@@ -1,0 +1,95 @@
+"""Experiment A1 — the word-size generic (§II).
+
+"The word size used for the register file is adjustable, so the interface
+can meet the requirements of the functional units while requiring as small
+a portion of the FPGA as possible."
+
+Regenerated trade-off for 128-bit addition:
+* narrow machine (32-bit words): 4-instruction ADC carry chain — cheap in
+  area, expensive in instructions and channel words;
+* wide machine (128-bit words): single ADD — one instruction, larger
+  register file and adder.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import area_framework, estimate_clock, format_table
+from repro.config import FrameworkConfig
+from repro.host import Session
+from repro.system import build_system
+
+A = 0xDEAD_BEEF_0123_4567_89AB_CDEF_1111_2222
+B = 0x0FED_CBA9_8765_4321_0F0F_0F0F_3333_4444
+TOTAL_BITS = 128
+
+
+def _narrow_add_cycles() -> int:
+    s = Session(build_system(FrameworkConfig(word_bits=32)))
+    ra = s.write_wide(A, 4)
+    rb = s.write_wide(B, 4)
+    s.drain()
+    start = s.driver.cycles
+    out, cf = s.add_wide(ra, rb)
+    s.drain()
+    cycles = s.driver.cycles - start
+    assert s.read_wide(out) == (A + B) & ((1 << 128) - 1)
+    return cycles
+
+
+def _wide_add_cycles() -> int:
+    from repro.isa import ArithOp
+
+    s = Session(build_system(FrameworkConfig(word_bits=128)))
+    ra, rb = s.put(A), s.put(B)
+    s.drain()
+    start = s.driver.cycles
+    rd = s.arith(ArithOp.ADD, ra, rb)
+    s.drain()
+    cycles = s.driver.cycles - start
+    assert s.read(rd) == (A + B) & ((1 << 128) - 1)
+    return cycles
+
+
+def test_a1_narrow(benchmark):
+    cycles = benchmark.pedantic(_narrow_add_cycles, rounds=1, iterations=1)
+    assert cycles > 0
+
+
+def test_a1_wide(benchmark):
+    cycles = benchmark.pedantic(_wide_add_cycles, rounds=1, iterations=1)
+    assert cycles > 0
+
+
+def test_a1_report(benchmark):
+    def build():
+        rows = []
+        for bits in (32, 64, 96, 128):
+            cfg = FrameworkConfig(word_bits=bits)
+            area = area_framework(cfg).total
+            clock = estimate_clock(cfg)
+            limbs = TOTAL_BITS // bits
+            rows.append([bits, limbs, area, round(clock.fmax_mhz, 1)])
+        narrow = _narrow_add_cycles()
+        wide = _wide_add_cycles()
+        return rows, narrow, wide
+
+    rows, narrow, wide = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "A1: word-size generic — framework area/clock vs configuration, and the "
+        "128-bit-addition trade-off",
+        format_table(
+            ["word bits", "instrs per 128-bit add", "framework LEs", "est. fmax MHz"],
+            rows,
+        )
+        + "\n"
+        + format_table(
+            ["machine", "cycles for one 128-bit add (execution phase)"],
+            [["32-bit words, ADC chain", narrow], ["128-bit words, single ADD", wide]],
+        ),
+    )
+    areas = [r[2] for r in rows]
+    assert areas == sorted(areas), "area must grow with word size"
+    clocks = [r[3] for r in rows]
+    assert clocks[-1] <= clocks[0], "wider carry chains slow the clock"
+    assert wide < narrow, "one wide instruction beats the 4-limb chain"

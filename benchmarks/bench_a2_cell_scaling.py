@@ -1,0 +1,99 @@
+"""Experiment A2 — cell-count scaling of the χ-sort machine (thesis §3.3).
+
+Regenerated series across n cells: split-step cycles flat; area linear
+(cells) plus ~linear tree; gate depth logarithmic; estimated fmax falling
+slowly; which Cyclone-class device the system fits.  Also the simulation-
+engineering comparison: the vectorised NumPy array vs the structural
+per-cell netlist (design decision 5).
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import report
+from repro.analysis import (
+    CYCLONE_EP1C3_LES,
+    CYCLONE_EP1C12_LES,
+    CYCLONE_EP1C20_LES,
+    area_case_study_system,
+    estimate_clock,
+    format_table,
+    measure_xisort_step_costs,
+)
+from repro.config import FrameworkConfig
+from repro.xisort import DirectXiSortMachine, tree_depth
+
+SIZES = (8, 32, 128, 512)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a2_split_cycles(benchmark, n):
+    costs = benchmark.pedantic(lambda: measure_xisort_step_costs(n),
+                               rounds=1, iterations=1)
+    assert costs.split_cycles == measure_xisort_step_costs(8).split_cycles
+
+
+def _device(les: int) -> str:
+    if les <= CYCLONE_EP1C3_LES:
+        return "EP1C3"
+    if les <= CYCLONE_EP1C12_LES:
+        return "EP1C12"
+    if les <= CYCLONE_EP1C20_LES:
+        return "EP1C20"
+    return "> Cyclone I"
+
+
+def test_a2_report(benchmark):
+    def build():
+        cfg = FrameworkConfig()
+        rows = []
+        for n in SIZES:
+            costs = measure_xisort_step_costs(n)
+            est = area_case_study_system(cfg, n_cells=n)
+            clock = estimate_clock(cfg, n_cells=n)
+            rows.append([
+                n, costs.split_cycles, tree_depth(n), est.total,
+                _device(est.total), round(clock.fmax_mhz, 1),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "A2: χ-sort machine scaling in the cell count",
+        format_table(
+            ["cells", "split cycles", "tree depth", "total LEs", "smallest device",
+             "est. fmax MHz"],
+            rows,
+            title="cycles flat; area linear; depth log; the paper's 'small "
+                  "Cyclone' holds up to a few dozen cells",
+        ),
+    )
+    assert len({r[1] for r in rows}) == 1              # flat cycles
+    assert rows[-1][3] > 30 * rows[0][3] / SIZES[-1] * SIZES[0]  # ~linear area
+    assert rows[0][4] in ("EP1C3", "EP1C12")
+
+
+def test_a2_vector_vs_structural_simulation(benchmark):
+    """The HPC-Python choice: vectorise the hot loop, keep the netlist as oracle."""
+
+    def build():
+        values = random.Random(1).sample(range(1 << 16), 12)
+        rows = []
+        for kind in ("vector", "structural"):
+            t0 = time.perf_counter()
+            machine = DirectXiSortMachine(16, array_kind=kind)
+            out = machine.sort(values)
+            elapsed = time.perf_counter() - t0
+            assert out == sorted(values)
+            rows.append([kind, machine.cycles, round(elapsed * 1000, 1)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "A2b: simulation engineering — vectorised vs structural cell array "
+        "(same cycle counts, different wall-clock)",
+        format_table(["implementation", "simulated cycles", "host ms"], rows),
+    )
+    assert rows[0][1] == rows[1][1], "implementations must be cycle-equivalent"

@@ -1,0 +1,77 @@
+"""Experiment C3 — the headline χ-sort claim (§IV.B).
+
+"Each operation takes a fixed number of clock cycles with the FPGA; with a
+CPU each operation requires an iteration that takes time proportional to
+the number of data elements."
+
+Reproduced shape: hardware cycles per split step are flat across n; the
+software model's per-step operation count grows linearly; with the paper's
+clock ratio (50 MHz FPGA vs 2 GHz CPU ≈ 40×) the hardware overtakes at a
+modest n and the gap then grows linearly.
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.analysis import DEFAULT_CLOCKS, format_table, measure_xisort_step_costs
+from repro.xisort import SoftwareXiSort
+
+SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def _hw_split_cycles(n: int) -> int:
+    return measure_xisort_step_costs(n).split_cycles
+
+
+def _sw_split_ops(n: int) -> int:
+    values = random.Random(n).sample(range(1 << 20), n)
+    sw = SoftwareXiSort(values)
+    pivot = sw.find_pivot()
+    before = sw.counter.ops
+    sw.split(pivot)
+    return sw.counter.ops - before
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_c3_hw_split_step(benchmark, n):
+    cycles = benchmark.pedantic(lambda: _hw_split_cycles(n), rounds=1, iterations=1)
+    assert cycles == _hw_split_cycles(8), "hardware step must be independent of n"
+
+
+def test_c3_sw_split_step(benchmark):
+    ops = benchmark.pedantic(lambda: [_sw_split_ops(n) for n in SIZES],
+                             rounds=1, iterations=1)
+    # linear growth: ops scale with n
+    assert ops[-1] > 16 * ops[0] / 2
+
+
+def test_c3_report(benchmark):
+    clocks = DEFAULT_CLOCKS
+
+    def build():
+        rows = []
+        for n in SIZES:
+            hw = _hw_split_cycles(n)
+            sw = _sw_split_ops(n)
+            hw_s = clocks.fpga_seconds(hw)
+            sw_s = clocks.cpu_seconds(sw)
+            rows.append([n, hw, sw, round(sw_s / hw_s, 2)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "C3: one χ-sort split step — FPGA fixed cycles vs CPU Θ(n) operations",
+        format_table(
+            ["n", "FPGA cycles (50 MHz)", "CPU ops (2 GHz, 3 cyc/op)", "speedup"],
+            rows,
+            title="paper: fixed cycles per op in hardware; Θ(n) per op in software",
+        ),
+    )
+    hw_cycles = [r[1] for r in rows]
+    speedups = [r[3] for r in rows]
+    assert len(set(hw_cycles)) == 1, "hardware cost must be flat in n"
+    assert speedups[-1] > speedups[0], "speedup must grow with n"
+    # crossover: hardware wins somewhere in this sweep
+    assert any(s > 1.0 for s in speedups)

@@ -1,0 +1,131 @@
+"""Experiment C4 — complete χ-sort runs: coprocessor vs software (§IV.B).
+
+Measures whole sorts (and selections) on the simulated machine — core-only
+and through the full framework with message traffic — against the software
+χ-sort and classic quicksort/quickselect, converted to wall-clock with the
+paper's clock model (50 MHz Cyclone vs 2 GHz CPU).
+
+Expected shapes: coprocessor total cycles grow ~n·(split+readout) ≈ O(n)
+up to O(n log n) rounds while software χ-sort grows ~n per step × n steps
+= O(n²); the speedup therefore widens with n.  Selection touches only one
+refinement path on both sides and stays much cheaper than sorting.
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.analysis import DEFAULT_CLOCKS, format_table, measure_end_to_end_sort
+from repro.host import OpCounter
+from repro.xisort import DirectXiSortMachine, SoftwareXiSort, quicksort_counted
+
+SIZES = (8, 32, 128, 512)
+
+
+def _core_sort_cycles(n: int) -> int:
+    values = random.Random(n).sample(range(1 << 20), n)
+    machine = DirectXiSortMachine(n)
+    out = machine.sort(values)
+    assert out == sorted(values)
+    return machine.cycles
+
+
+def _sw_xisort_ops(n: int) -> int:
+    values = random.Random(n).sample(range(1 << 20), n)
+    sw = SoftwareXiSort(values)
+    assert sw.sort() == sorted(values)
+    return sw.counter.ops
+
+
+def _quicksort_ops(n: int) -> int:
+    values = random.Random(n).sample(range(1 << 20), n)
+    counter = OpCounter()
+    quicksort_counted(values, counter)
+    return counter.ops
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_c4_core_sort(benchmark, n):
+    cycles = benchmark.pedantic(lambda: _core_sort_cycles(n), rounds=1, iterations=1)
+    assert cycles > 0
+
+
+def test_c4_framework_sort(benchmark):
+    cycles, out = benchmark.pedantic(
+        lambda: measure_end_to_end_sort(16, 16), rounds=1, iterations=1
+    )
+    assert out == sorted(out)
+
+
+def test_c4_report(benchmark):
+    clocks = DEFAULT_CLOCKS
+
+    def build():
+        rows = []
+        for n in SIZES:
+            hw = _core_sort_cycles(n)
+            sw_xi = _sw_xisort_ops(n)
+            sw_qs = _quicksort_ops(n)
+            hw_us = clocks.fpga_seconds(hw) * 1e6
+            xi_us = clocks.cpu_seconds(sw_xi) * 1e6
+            qs_us = clocks.cpu_seconds(sw_qs) * 1e6
+            rows.append([n, hw, round(hw_us, 2), sw_xi, round(xi_us, 2),
+                         sw_qs, round(qs_us, 2), round(xi_us / hw_us, 2)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "C4: complete χ-sort — coprocessor core vs software (wall-clock model: "
+        "50 MHz FPGA, 2 GHz CPU)",
+        format_table(
+            ["n", "hw cycles", "hw µs", "sw χ-sort ops", "sw µs",
+             "quicksort ops", "qs µs", "speedup vs sw χ-sort"],
+            rows,
+        ),
+    )
+    speedups = [r[-1] for r in rows]
+    assert speedups[-1] > speedups[0], "advantage must widen with n"
+    # the crossover falls inside this sweep: hardware wins by n = 512
+    assert speedups[-1] > 1.0
+
+
+def test_c4_framework_overhead_report(benchmark):
+    """Framework message/pipeline overhead on top of the bare core."""
+
+    def build():
+        rows = []
+        for n in (8, 16, 32):
+            core = _core_sort_cycles(n)
+            full, _ = measure_end_to_end_sort(n, n)
+            rows.append([n, core, full, round(full / core, 2)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "C4b: framework overhead — bare ξ-sort core vs full coprocessor path "
+        "(instructions, scoreboard, messages)",
+        format_table(["n", "core cycles", "full-system cycles", "ratio"], rows,
+                     title="the paper: system speed is set by interface latency + "
+                           "FPGA clock (§III)"),
+    )
+    assert all(r[2] > r[1] for r in rows)
+
+
+def test_c4_selection_vs_sort(benchmark):
+    def build():
+        n = 32
+        values = random.Random(5).sample(range(1 << 20), n)
+        m_sort = DirectXiSortMachine(n)
+        m_sort.sort(values)
+        m_sel = DirectXiSortMachine(n)
+        m_sel.select(values, n // 2)
+        return m_sort.cycles, m_sel.cycles
+
+    sort_c, sel_c = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "C4c: selection refines one path only",
+        format_table(["operation", "cycles"],
+                     [["full sort (n=32)", sort_c], ["select median (n=32)", sel_c]]),
+    )
+    assert sel_c < sort_c

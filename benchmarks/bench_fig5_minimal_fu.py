@@ -1,0 +1,80 @@
+"""Experiment F5 — the minimal functional-unit skeleton (paper Fig. 5 /
+thesis Fig. 2.16), including the ack-forwarding trade-off the thesis calls
+out: forwarding doubles throughput but lengthens the critical path (the
+timing model quantifies the clock penalty), so the *work rate* in real time
+is the interesting comparison.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import estimate_clock, format_table
+from repro.config import FrameworkConfig
+from repro.fu import FuComputation, MinimalFunctionalUnit, UnitOp, run_unit
+
+W = 32
+
+
+class BitReverse(MinimalFunctionalUnit):
+    """The Fig. 5 pattern: a pure Boolean function behind output registers."""
+
+    def compute(self, s):
+        return FuComputation(data1=int(f"{s.op_a:032b}"[::-1], 2))
+
+
+def _cpi(forwarding: bool, n=48) -> float:
+    ops = [UnitOp(0, i * 2654435761 & 0xFFFF_FFFF, dst1=1) for i in range(n)]
+    tb, cycles = run_unit(
+        lambda nm, p: BitReverse(nm, W, p, ack_forwarding=forwarding), ops
+    )
+    assert tb.completed == n
+    return cycles / n
+
+
+@pytest.mark.parametrize("forwarding", [True, False], ids=["fwd", "no-fwd"])
+def test_f5_throughput(benchmark, forwarding):
+    cpi = benchmark.pedantic(lambda: _cpi(forwarding), rounds=1, iterations=1)
+    expected = 1.0 if forwarding else 2.0
+    assert cpi == pytest.approx(expected, abs=0.2)
+
+
+def test_f5_correctness(benchmark):
+    def run():
+        ops = [UnitOp(0, 0b1, dst1=1), UnitOp(0, 0xFFFF_0000, dst1=2)]
+        tb, _ = run_unit(lambda nm, p: BitReverse(nm, W, p), ops)
+        return [t.data_value for t in tb.collected]
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert values == [1 << 31, 0x0000_FFFF]
+
+
+def test_f5_report(benchmark):
+    def build():
+        cfg = FrameworkConfig()
+        rows = []
+        for fwd in (False, True):
+            cpi = _cpi(fwd)
+            clock = estimate_clock(cfg, ack_forwarding=fwd)
+            ops_per_us = clock.fmax_mhz / cpi
+            rows.append([
+                "with ack forwarding" if fwd else "registered idle",
+                round(cpi, 2),
+                round(clock.fmax_mhz, 1),
+                clock.critical.name,
+                round(ops_per_us, 1),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "F5: minimal FU — throughput vs critical path (thesis §2.3.4 warning: "
+        "'combinational feedback ... only recommended for simple designs')",
+        format_table(
+            ["configuration", "cycles/instr", "est. fmax MHz", "critical path",
+             "ops/µs"],
+            rows,
+        ),
+    )
+    # forwarding halves CPI but costs clock speed — both effects visible
+    assert rows[1][1] < rows[0][1]
+    assert rows[1][2] < rows[0][2]

@@ -1,0 +1,97 @@
+"""Experiment F8 — the χ-sort tree network (paper Fig. 8 / thesis Fig. 3.9).
+
+"Both operations are associative and can therefore be realised with
+logarithmic delay in hardware."  Regenerated series:
+
+* microprogram cycle counts for the tree-using operations (flag count,
+  pivot select, retrieval) are flat across n — the log-depth fold fits in
+  one clock;
+* the price is paid in the clock period: estimated fmax falls ~log n;
+* the vectorised simulation of the fold itself scales ~linearly in n
+  (NumPy reductions), which is the simulation hot path the HPC guides
+  target.
+"""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.analysis import estimate_clock, format_table, measure_xisort_step_costs
+from repro.config import FrameworkConfig
+from repro.xisort import TreeNetwork, fold_reduce, tree_depth, tree_node_count
+
+SIZES = (16, 64, 256, 1024)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_f8_tree_ops_cycles_flat(benchmark, n):
+    costs = benchmark.pedantic(lambda: measure_xisort_step_costs(n),
+                               rounds=1, iterations=1)
+    base = measure_xisort_step_costs(16)
+    assert costs.find_pivot_cycles == base.find_pivot_cycles
+    assert costs.read_at_cycles == base.read_at_cycles
+
+
+def test_f8_vectorised_fold_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    n = 4096
+    sel = rng.random(n) < 0.3
+    data = rng.integers(0, 1 << 30, n).astype(np.uint64)
+    tree = TreeNetwork(n)
+
+    def run():
+        return tree.count(sel), tree.leftmost(sel)
+
+    benchmark(run)
+
+
+def test_f8_fold_matches_structural(benchmark):
+    def run():
+        rng = random.Random(3)
+        n = 257
+        sel = [rng.random() < 0.2 for _ in range(n)]
+        data = [rng.randrange(1 << 20) for _ in range(n)]
+        folded = fold_reduce(sel, data)
+        tree = TreeNetwork(n)
+        npsel = np.array(sel)
+        npdata = np.array(data, dtype=np.uint64)
+        assert tree.count(npsel) == folded.count
+        assert tree.leftmost(npsel) == folded.leftmost
+        return folded.count
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_f8_report(benchmark):
+    def build():
+        rows = []
+        for n in SIZES:
+            costs = measure_xisort_step_costs(n)
+            clock = estimate_clock(FrameworkConfig(), n_cells=n)
+            rows.append([
+                n,
+                tree_node_count(n),
+                tree_depth(n),
+                costs.find_pivot_cycles,
+                costs.read_at_cycles,
+                round(clock.fmax_mhz, 1),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "F8: tree network — logarithmic delay, constant cycles",
+        format_table(
+            ["cells", "tree nodes", "gate depth", "pivot-select cycles",
+             "retrieval cycles", "est. fmax MHz"],
+            rows,
+            title="cycles flat in n; fmax falls with the log-depth fold "
+                  "(the paper's 'logarithmic delay in hardware')",
+        ),
+    )
+    assert len({r[3] for r in rows}) == 1
+    assert rows[-1][-1] < rows[0][-1]
+    assert rows[-1][2] == rows[0][2] + 6  # 16 → 1024 : +6 levels

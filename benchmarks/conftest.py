@@ -1,0 +1,29 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module measures its experiment with pytest-benchmark and
+registers a paper-style table via :func:`report`; the tables are printed in
+the terminal summary so ``pytest benchmarks/ --benchmark-only | tee ...``
+captures the regenerated figures alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, text: str) -> None:
+    """Register a formatted experiment table for the terminal summary."""
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("reproduced experiment tables (paper: Koltes & O'Donnell, IPPS 2010)")
+    for title, text in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"=== {title} ===")
+        for line in text.splitlines():
+            tr.write_line(line)
+    tr.write_line("")

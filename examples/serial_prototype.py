@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The paper's actual experimental setup: the coprocessor behind a UART.
+
+"Our implementation used a prototyping board which is intended for
+experimentation and software development, but not for high speed.  In
+particular, only a very slow connection from the FPGA board to the
+processor was available" (§III).
+
+This example runs the complete framework behind a **bit-level 8N1 UART**
+(start/stop bits on a 1-bit wire, `repro.messages.uart`), does some real
+work, and breaks down where the cycles go — reproducing the experience the
+authors describe, then contrasting it with the integrated-fabric limit.
+
+Run:  python examples/serial_prototype.py
+"""
+
+from repro.config import FrameworkConfig
+from repro.hdl import Component, Simulator
+from repro.host import CoprocessorDriver
+from repro.isa import instructions as ins
+from repro.messages.transceiver import HostPort, Receiver, Transmitter
+from repro.messages.uart import BITS_PER_FRAME, BYTES_PER_WORD, UartLink
+from repro.rtm.rtm import RegisterTransferMachine, _connect
+from repro.system import build_system
+
+
+class SerialPrototype(Component):
+    """The development-board system: host ↔ UART wire ↔ framework."""
+
+    def __init__(self, divisor: int = 4):
+        super().__init__("proto")
+        cfg = FrameworkConfig()
+        self.config = cfg
+        self.host = HostPort("host", parent=self)
+        self.link = UartLink("link", divisor=divisor, parent=self)
+        self.receiver = Receiver("receiver", parent=self)
+        self.transmitter = Transmitter("transmitter", parent=self)
+        self.rtm = RegisterTransferMachine("rtm", cfg, parent=self)
+        _connect(self, self.host.tx, self.link.tx_down.inp)
+        _connect(self, self.link.rx_down.out, self.receiver.chan)
+        _connect(self, self.receiver.out, self.rtm.words_in)
+        _connect(self, self.rtm.words_out, self.transmitter.inp)
+        _connect(self, self.transmitter.chan, self.link.tx_up.inp)
+        _connect(self, self.link.rx_up.out, self.host.rx)
+
+    @property
+    def busy(self):
+        return bool(self.host.tx_pending or self.link.tx_down.busy
+                    or self.link.tx_up.busy)
+
+
+class _Built:
+    def __init__(self, soc, sim):
+        self.soc, self.sim, self.config = soc, sim, soc.config
+
+
+def main() -> None:
+    divisor = 4
+    soc = SerialPrototype(divisor)
+    sim = Simulator(soc)
+    sim.reset()
+    driver = CoprocessorDriver(_Built(soc, sim))
+
+    word_time = BYTES_PER_WORD * BITS_PER_FRAME * divisor
+    print(f"UART: 8N1, {divisor} clocks/bit → {word_time} cycles per 32-bit word")
+    print(f"(at the paper's 50 MHz fabric: {50e6 / word_time / 1e3:.1f}k words/s)\n")
+
+    # the workload: sum 1..16 on the coprocessor
+    start = driver.cycles
+    driver.write_reg(1, 0)
+    for v in range(1, 17):
+        driver.write_reg(2, v)
+        driver.execute(ins.add(1, 1, 2, dst_flag=1))
+    total = driver.read_reg(1, max_cycles=2_000_000)
+    serial_cycles = driver.cycles - start
+    assert total == sum(range(1, 17))
+
+    # the same workload on an integrated fabric
+    fast = CoprocessorDriver(build_system())
+    start = fast.cycles
+    fast.write_reg(1, 0)
+    for v in range(1, 17):
+        fast.write_reg(2, v)
+        fast.execute(ins.add(1, 1, 2, dst_flag=1))
+    assert fast.read_reg(1) == total
+    fast_cycles = fast.cycles - start
+
+    words_moved = 16 * (1 + 2) + 2 + 1 + 3 + 2   # frames in both directions
+    wire_budget = words_moved * word_time
+
+    print(f"sum(1..16) = {total}")
+    print(f"serial prototype : {serial_cycles:>8} cycles "
+          f"(wire-time lower bound ≈ {wire_budget})")
+    print(f"integrated fabric: {fast_cycles:>8} cycles")
+    print(f"link penalty     : {serial_cycles / fast_cycles:>8.1f}×")
+    print("\n→ §III: 'this is not a limitation of the approach' — identical "
+          "framework,\n  identical program, only the transceiver changed.")
+
+
+if __name__ == "__main__":
+    main()

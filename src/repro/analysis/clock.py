@@ -1,0 +1,83 @@
+"""Clock and link models: converting cycles into the paper's real units.
+
+The paper's prototype ran "on an Altera Cyclone FPGA ... with a clock speed
+of approximately 50 MHz" (§IV.B) behind "a very slow connection" (§III),
+while the CPU of the era clocked 1.5–3 GHz.  These models carry those
+constants so benchmarks can translate architecture-neutral counts
+(coprocessor cycles, CPU operations) into comparable wall-clock estimates —
+the absolute numbers are illustrative, the *shape* is the reproduction
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..messages.channel import ChannelSpec
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Clock frequencies of the two sides of the system."""
+
+    #: FPGA fabric clock (the paper's Cyclone prototype: ≈50 MHz)
+    fpga_mhz: float = 50.0
+    #: host CPU clock (a 2010-class workstation core)
+    cpu_mhz: float = 2000.0
+    #: average CPU clock cycles per counted primitive operation (load +
+    #: compare + branch per element in the scan loops; a conservative 3)
+    cpu_cycles_per_op: float = 3.0
+
+    @property
+    def clock_ratio(self) -> float:
+        """CPU clocks per FPGA clock."""
+        return self.cpu_mhz / self.fpga_mhz
+
+    def fpga_seconds(self, cycles: int) -> float:
+        return cycles / (self.fpga_mhz * 1e6)
+
+    def cpu_seconds(self, ops: int) -> float:
+        return ops * self.cpu_cycles_per_op / (self.cpu_mhz * 1e6)
+
+
+DEFAULT_CLOCKS = ClockModel()
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A physical link in real units, mappable onto a :class:`ChannelSpec`.
+
+    ``word_rate_hz`` — 32-bit words per second; ``latency_s`` — one-way
+    propagation + protocol latency.
+    """
+
+    name: str
+    word_rate_hz: float
+    latency_s: float
+
+    def transfer_seconds(self, n_words: int) -> float:
+        if n_words <= 0:
+            return 0.0
+        return self.latency_s + n_words / self.word_rate_hz
+
+    def to_channel_spec(self, fpga_mhz: float = 50.0) -> ChannelSpec:
+        """Express this link in coprocessor clock cycles."""
+        clock_hz = fpga_mhz * 1e6
+        return ChannelSpec(
+            self.name,
+            latency_cycles=max(1, round(self.latency_s * clock_hz)),
+            cycles_per_word=max(1, round(clock_hz / self.word_rate_hz)),
+        )
+
+
+#: The paper's development-board class link: a 115200-baud serial line
+#: (≈2880 words/s with 8N1 framing of 4-byte words).
+SERIAL_PROTOTYPE_LINK = LinkModel("serial-115200", word_rate_hz=2880.0, latency_s=100e-6)
+
+#: A 2010-class host bus (PCIe gen1 x1 effective): ≈50M words/s, ~1 µs latency.
+PCIE_CLASS_LINK = LinkModel("pcie-x1", word_rate_hz=50e6, latency_s=1e-6)
+
+#: Processor-integrated fabric (e.g. an FSB-attached FPGA): word per clock.
+INTEGRATED_LINK = LinkModel("integrated", word_rate_hz=50e6 * 1.0, latency_s=40e-9)
+
+REAL_LINKS = (SERIAL_PROTOTYPE_LINK, PCIE_CLASS_LINK, INTEGRATED_LINK)

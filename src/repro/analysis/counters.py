@@ -1,0 +1,77 @@
+"""Hardware performance counters: what the framework's blocks actually did.
+
+Aggregates the event counters the components maintain (dispatches, stall
+cycles, arbiter grants per port, writes, decode errors, outbound messages)
+into one report — the observability a bring-up engineer instruments a real
+FPGA design with, and the raw material for the pipeline benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import format_table
+
+
+@dataclass
+class CounterReport:
+    """Snapshot of every framework counter."""
+
+    cycles: int
+    dispatches: int
+    stall_cycles: int
+    retired_ops: int
+    writes: int
+    decode_errors: int
+    messages_sent: int
+    grants_by_port: dict[int, int] = field(default_factory=dict)
+    locks_outstanding: int = 0
+
+    @property
+    def dispatch_rate(self) -> float:
+        """Unit dispatches per cycle (utilisation of the dispatch port)."""
+        return self.dispatches / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles the dispatcher spent blocked on hazards."""
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    def table(self) -> str:
+        rows = [
+            ["cycles", self.cycles],
+            ["unit dispatches", self.dispatches],
+            ["dispatcher stall cycles", self.stall_cycles],
+            ["execution-stage retirements", self.retired_ops],
+            ["register writes", self.writes],
+            ["decode errors", self.decode_errors],
+            ["messages to host", self.messages_sent],
+            ["locks outstanding", self.locks_outstanding],
+        ]
+        for port, grants in sorted(self.grants_by_port.items()):
+            rows.append([f"arbiter grants, port {port}", grants])
+        return format_table(["counter", "value"], rows, title="framework counters")
+
+
+def collect_counters(soc) -> CounterReport:
+    """Read every counter from a (single- or multi-host) system's RTM."""
+    rtm = soc.rtm
+    sim_cycles = getattr(soc, "_sim_cycles", None)
+    return CounterReport(
+        cycles=sim_cycles if sim_cycles is not None else -1,
+        dispatches=rtm.dispatcher.dispatch_count,
+        stall_cycles=rtm.dispatcher.stall_cycles,
+        retired_ops=rtm.execution.retired,
+        writes=rtm.write_arbiter.writes_performed,
+        decode_errors=rtm.decoder.decode_errors,
+        messages_sent=rtm.serializer.messages_sent,
+        grants_by_port=dict(rtm.write_arbiter.grants_by_port),
+        locks_outstanding=rtm.lockmgr.locked_count,
+    )
+
+
+def counters_for(system) -> CounterReport:
+    """Counter snapshot for a BuiltSystem/BuiltMultiHostSystem."""
+    report = collect_counters(system.soc)
+    report.cycles = system.sim.now
+    return report

@@ -1,0 +1,129 @@
+"""First-order critical-path / clock model (Cyclone-class delays).
+
+"The generic controller is designed to minimise the clock period; this is
+achieved by pipelining, so the critical path in the controller is short ...
+The main limitation on performance will be the functional unit circuits"
+(§III).  This model expresses that argument quantitatively: every candidate
+path is a number of logic levels (4-LUT + routing ≈ 1 ns each on a
+Cyclone-class part), the clock is set by the worst one, and we can show
+
+* the RTM's own stages stay short regardless of configuration,
+* the ξ-sort tree adds ⌈log₂ n⌉ levels, eventually bounding the clock,
+* ack-forwarding in minimal units (thesis §2.3.4's warning) splices the
+  arbiter grant path into the dispatch path and visibly stretches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from ..config import FrameworkConfig
+
+#: effective delay per logic level (LUT + local routing), nanoseconds
+LEVEL_DELAY_NS = 1.0
+#: register clock-to-out + setup overhead, nanoseconds
+REG_OVERHEAD_NS = 1.5
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """One candidate critical path."""
+
+    name: str
+    levels: int
+
+    @property
+    def delay_ns(self) -> float:
+        return REG_OVERHEAD_NS + self.levels * LEVEL_DELAY_NS
+
+
+def _levels_carry_adder(width: int) -> int:
+    """Carry-chain adder: dedicated carry logic ≈ 1 level per 8 bits + 2."""
+    return 2 + ceil(width / 8)
+
+
+def _levels_compare(width: int) -> int:
+    return 1 + ceil(width / 8)
+
+
+def _levels_mux(n_inputs: int) -> int:
+    if n_inputs <= 1:
+        return 0
+    return ceil(log2(max(2, n_inputs)) / 2)  # 4:1 per level
+
+
+def rtm_paths(config: FrameworkConfig, n_units: int = 2) -> list[PathReport]:
+    """Candidate paths inside the controller pipeline."""
+    return [
+        PathReport("decoder.lookup", 3),
+        PathReport(
+            "dispatcher.read+hazard",
+            _levels_mux(config.n_regs) + 2,  # regfile read mux + lock check
+        ),
+        PathReport("execution.retire", 2),
+        PathReport("write_arbiter.grant", _levels_mux(max(1, n_units)) + 2),
+        PathReport("serializer.shift", 1),
+    ]
+
+
+def arith_unit_path(config: FrameworkConfig) -> PathReport:
+    """Operand steering + adder + flag generation (Table 3.1 datapath)."""
+    return PathReport(
+        "arith.datapath", 1 + _levels_carry_adder(config.word_bits) + 1
+    )
+
+
+def xisort_paths(n_cells: int, word_bits: int) -> list[PathReport]:
+    """The ξ-sort unit's candidate paths: cell compare and the tree fold."""
+    tree_levels = ceil(log2(n_cells)) if n_cells > 1 else 1
+    return [
+        PathReport("xisort.cell_compare", _levels_compare(word_bits) + 1),
+        PathReport("xisort.tree_fold", tree_levels + _levels_compare(16)),
+        PathReport("xisort.controller_alu", _levels_carry_adder(word_bits)),
+    ]
+
+
+def ack_forwarding_path(config: FrameworkConfig, n_units: int) -> PathReport:
+    """Minimal-FU combinational ack forwarding (thesis warning).
+
+    idle ← ack ← arbiter grant ← all units' ready: the grant logic plus the
+    forwarding gates land in the *dispatch* cycle, chaining the arbiter path
+    onto the dispatcher path.
+    """
+    base = _levels_mux(config.n_regs) + 2          # dispatcher portion
+    grant = _levels_mux(max(1, n_units)) + 2       # arbiter grant portion
+    return PathReport("dispatch+ack_forwarding", base + grant + 2)
+
+
+@dataclass(frozen=True)
+class ClockEstimate:
+    """Resolved clock for one system configuration."""
+
+    critical: PathReport
+    paths: tuple[PathReport, ...]
+
+    @property
+    def period_ns(self) -> float:
+        return self.critical.delay_ns
+
+    @property
+    def fmax_mhz(self) -> float:
+        return 1000.0 / self.period_ns
+
+
+def estimate_clock(
+    config: FrameworkConfig,
+    n_cells: int = 0,
+    ack_forwarding: bool = False,
+    n_units: int = 2,
+) -> ClockEstimate:
+    """Worst path over the whole system → achievable clock."""
+    paths = list(rtm_paths(config, n_units))
+    paths.append(arith_unit_path(config))
+    if n_cells:
+        paths.extend(xisort_paths(n_cells, min(config.word_bits, 64)))
+    if ack_forwarding:
+        paths.append(ack_forwarding_path(config, n_units))
+    critical = max(paths, key=lambda p: p.delay_ns)
+    return ClockEstimate(critical=critical, paths=tuple(paths))

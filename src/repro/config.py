@@ -1,0 +1,62 @@
+"""Framework configuration — the simulation analogue of the VHDL generics.
+
+"The architecture of the controller is specified as a set of generics in
+VHDL" (§I); "the word size used for the register file is adjustable, so the
+interface can meet the requirements of the functional units while requiring
+as small a portion of the FPGA as possible" (§II).  This dataclass is that
+generic set: every framework component takes it at construction time, and
+the word-size/register-count ablation benchmarks sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Static parameters of one framework instantiation."""
+
+    #: Register word size in bits — "configurable in multiples of 32 bits" (§III).
+    word_bits: int = 32
+    #: Number of main data registers (instruction fields address up to 256).
+    n_regs: int = 16
+    #: Number of flag-vector registers.
+    n_flag_regs: int = 8
+    #: Width of one flag vector.
+    flag_bits: int = 8
+    #: Depth of the receiver/transmitter elastic FIFOs.
+    transceiver_fifo_depth: int = 8
+    #: Depth of the outbound message queue in the encoder stage.
+    encoder_fifo_depth: int = 4
+    #: Build the case-study units in their pipelined (performance-optimised)
+    #: configuration instead of the area-optimised one.
+    pipelined_units: bool = False
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 32 or self.word_bits % 32 != 0:
+            raise ValueError(
+                f"word_bits must be a positive multiple of 32, got {self.word_bits}"
+            )
+        if not 1 <= self.n_regs <= 256:
+            raise ValueError("n_regs must be in [1, 256] (8-bit register fields)")
+        if not 1 <= self.n_flag_regs <= 256:
+            raise ValueError("n_flag_regs must be in [1, 256]")
+        if not 1 <= self.flag_bits <= 32:
+            raise ValueError("flag_bits must fit one channel word")
+
+    @property
+    def data_words(self) -> int:
+        """Channel words per register value (word framing length)."""
+        return self.word_bits // 32
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    def with_(self, **kwargs) -> "FrameworkConfig":
+        """Return a modified copy (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = FrameworkConfig()

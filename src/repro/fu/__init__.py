@@ -1,0 +1,73 @@
+"""repro.fu — the functional-unit framework and stateless case-study units.
+
+Implements the FU signal protocol (paper Fig. 5/6), the three construction
+skeletons of thesis §2.3.4 (minimal, area-optimised, pipelined), the
+arithmetic unit (Table 3.1) and the logic unit (Table 3.2), plus the unit
+registry the system builder populates the functional-unit table from.
+"""
+
+from .arith import ArithmeticUnit, ArithResult, PipelinedArithmeticUnit, arith_datapath
+from .base import (
+    AreaOptimizedFU,
+    FuComputation,
+    FunctionalUnit,
+    FuState,
+    MinimalFunctionalUnit,
+    PipelinedFunctionalUnit,
+)
+from .logic import LogicUnit, PipelinedLogicUnit, logic_datapath
+from .protocol import (
+    DispatchPort,
+    DispatchSample,
+    ProtocolMonitor,
+    ProtocolViolation,
+    ResultPort,
+    Transfer,
+    WriteSpace,
+)
+from .registry import UnitRegistry, default_registry
+from .stateful import (
+    AssociativeMemoryUnit,
+    HistogramUnit,
+    PrngUnit,
+    cam_factory,
+    histogram_factory,
+    prng_factory,
+    xorshift32,
+)
+from .testbench import FuTestbench, UnitOp, run_unit
+
+__all__ = [
+    "ArithmeticUnit",
+    "ArithResult",
+    "PipelinedArithmeticUnit",
+    "arith_datapath",
+    "AreaOptimizedFU",
+    "FuComputation",
+    "FunctionalUnit",
+    "FuState",
+    "MinimalFunctionalUnit",
+    "PipelinedFunctionalUnit",
+    "LogicUnit",
+    "PipelinedLogicUnit",
+    "logic_datapath",
+    "DispatchPort",
+    "DispatchSample",
+    "ProtocolMonitor",
+    "ProtocolViolation",
+    "ResultPort",
+    "Transfer",
+    "WriteSpace",
+    "UnitRegistry",
+    "default_registry",
+    "AssociativeMemoryUnit",
+    "HistogramUnit",
+    "PrngUnit",
+    "cam_factory",
+    "histogram_factory",
+    "prng_factory",
+    "xorshift32",
+    "FuTestbench",
+    "UnitOp",
+    "run_unit",
+]

@@ -1,0 +1,117 @@
+"""The arithmetic unit — stateless case study (thesis §3.2.2, Table 3.1).
+
+One adder datapath steered by six variety bits implements the whole
+instruction family: ADD, ADC, SUB, SBB, INC, DEC, NEG, CMP and CMPB.
+Multi-word operation is supported "through an externally provided carry bit
+read from the input carry flag" — chained ADC/SBB over 32-bit limbs, which
+`repro.host.session` exposes and `tests/integration/test_multiword.py`
+exercises against Python big-int arithmetic.
+
+The pure function :func:`arith_datapath` is the combinational cloud; the
+:class:`ArithmeticUnit` wraps it in the area-optimised skeleton (the
+case-study units "are designed as simple as possible" and accept one
+instruction every second cycle), and :class:`PipelinedArithmeticUnit`
+offers the performance-optimised wrapper for the throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.opcodes import (
+    ARITH_COMPL_SECOND,
+    ARITH_FIRST_ZERO,
+    ARITH_FIXED_CARRY,
+    ARITH_OUTPUT_DATA,
+    ARITH_SECOND_ZERO,
+    ARITH_USE_CARRY,
+    FLAG_CARRY,
+    FLAG_NEGATIVE,
+    FLAG_OVERFLOW,
+    FLAG_ZERO,
+)
+from .base import AreaOptimizedFU, FuComputation, PipelinedFunctionalUnit
+from .protocol import DispatchSample
+
+
+@dataclass(frozen=True)
+class ArithResult:
+    """Settled outputs of the adder datapath."""
+
+    value: int
+    flags: int
+    writes_data: bool
+
+
+def arith_datapath(variety: int, a: int, b: int, flag_in: int, width: int) -> ArithResult:
+    """The Table 3.1 datapath: operand steering, one adder, flag generation.
+
+    Parameters mirror the unit's input ports; ``width`` is the register
+    word size.  Returns the sum (masked), the output flag vector (carry,
+    zero, negative, signed overflow) and whether the "Output data" variety
+    bit requests a register write.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    if variety & ARITH_FIRST_ZERO:
+        a = 0
+    if variety & ARITH_SECOND_ZERO:
+        b = 0
+    if variety & ARITH_COMPL_SECOND:
+        b = ~b & mask
+    if variety & ARITH_USE_CARRY:
+        carry_in = flag_in & FLAG_CARRY
+    elif variety & ARITH_FIXED_CARRY:
+        carry_in = 1
+    else:
+        carry_in = 0
+    total = a + b + carry_in
+    value = total & mask
+    sign_bit = 1 << (width - 1)
+    flags = 0
+    if total >> width:
+        flags |= FLAG_CARRY
+    if value == 0:
+        flags |= FLAG_ZERO
+    if value & sign_bit:
+        flags |= FLAG_NEGATIVE
+    # Signed overflow: both addends share a sign the result does not.
+    if (a & sign_bit) == (b & sign_bit) and (value & sign_bit) != (a & sign_bit):
+        flags |= FLAG_OVERFLOW
+    return ArithResult(value, flags, bool(variety & ARITH_OUTPUT_DATA))
+
+
+def _compute(sample: DispatchSample, width: int) -> FuComputation:
+    result = arith_datapath(sample.variety, sample.op_a, sample.op_b, sample.flag_in, width)
+    return FuComputation(
+        data1=result.value if result.writes_data else None,
+        flags=result.flags,
+    )
+
+
+class ArithmeticUnit(AreaOptimizedFU):
+    """Area-optimised arithmetic unit (the thesis case-study configuration)."""
+
+    def __init__(self, name: str = "arith", word_bits: int = 32, parent=None):
+        super().__init__(name, word_bits, parent, execute_cycles=1)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        return _compute(sample, self.word_bits)
+
+
+class PipelinedArithmeticUnit(PipelinedFunctionalUnit):
+    """Performance-optimised variant: same datapath behind a 2-stage pipeline."""
+
+    def __init__(
+        self,
+        name: str = "arith_p",
+        word_bits: int = 32,
+        parent=None,
+        pipeline_depth: int = 2,
+        fifo_depth=None,
+    ):
+        super().__init__(name, word_bits, parent, pipeline_depth, fifo_depth)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        return _compute(sample, self.word_bits)

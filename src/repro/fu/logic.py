@@ -1,0 +1,94 @@
+"""The logic unit — second stateless case-study unit (thesis §3.2.2, Table 3.2).
+
+Performs "a variety of basic bitwise logic operations ... applied to the
+first and second source operand in the case of two input operands and to
+the first operand in the case one input operand".  The exact row set of
+Table 3.2 is not legible in the published scan; we implement the canonical
+one/two-input Boolean family (see :class:`repro.isa.LogicOp`).
+
+Flags produced: zero, negative (MSB) and even parity.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import FLAG_NEGATIVE, FLAG_PARITY, FLAG_ZERO, LogicOp
+from .base import AreaOptimizedFU, FuComputation, PipelinedFunctionalUnit
+from .protocol import DispatchSample
+
+
+def logic_datapath(variety: int, a: int, b: int, width: int) -> tuple[int, int]:
+    """The Table 3.2 datapath: Boolean function select + flag generation.
+
+    Returns ``(value, flags)``.  Raises ``ValueError`` for an undefined
+    variety — the unit maps that to the error flag at the framework level.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    try:
+        op = LogicOp(variety)
+    except ValueError as exc:
+        raise ValueError(f"undefined logic variety {variety:#x}") from exc
+    if op is LogicOp.AND:
+        value = a & b
+    elif op is LogicOp.OR:
+        value = a | b
+    elif op is LogicOp.XOR:
+        value = a ^ b
+    elif op is LogicOp.NOT:
+        value = ~a & mask
+    elif op is LogicOp.NAND:
+        value = ~(a & b) & mask
+    elif op is LogicOp.NOR:
+        value = ~(a | b) & mask
+    elif op is LogicOp.XNOR:
+        value = ~(a ^ b) & mask
+    elif op is LogicOp.ANDN:
+        value = a & (~b & mask)
+    elif op is LogicOp.ORN:
+        value = a | (~b & mask)
+    elif op is LogicOp.PASS:
+        value = a
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unhandled logic op {op}")
+    value &= mask
+    flags = 0
+    if value == 0:
+        flags |= FLAG_ZERO
+    if value & (1 << (width - 1)):
+        flags |= FLAG_NEGATIVE
+    if bin(value).count("1") % 2 == 0:
+        flags |= FLAG_PARITY
+    return value, flags
+
+
+def _compute(sample: DispatchSample, width: int) -> FuComputation:
+    value, flags = logic_datapath(sample.variety, sample.op_a, sample.op_b, width)
+    return FuComputation(data1=value, flags=flags)
+
+
+class LogicUnit(AreaOptimizedFU):
+    """Area-optimised logic unit (the thesis case-study configuration)."""
+
+    def __init__(self, name: str = "logic", word_bits: int = 32, parent=None):
+        super().__init__(name, word_bits, parent, execute_cycles=1)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        return _compute(sample, self.word_bits)
+
+
+class PipelinedLogicUnit(PipelinedFunctionalUnit):
+    """Performance-optimised variant of the logic unit."""
+
+    def __init__(
+        self,
+        name: str = "logic_p",
+        word_bits: int = 32,
+        parent=None,
+        pipeline_depth: int = 2,
+        fifo_depth=None,
+    ):
+        super().__init__(name, word_bits, parent, pipeline_depth, fifo_depth)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        return _compute(sample, self.word_bits)

@@ -1,0 +1,68 @@
+"""Registry mapping function codes to functional-unit factories.
+
+The framework's decoder consults a *functional unit table* to route
+dispatched instructions (thesis Fig. 1.4).  At system-build time the table
+is populated from a registry of unit factories; user code registers its own
+units the same way the case-study units are registered here, which is the
+"integration of hardware accelerators ... without changing the components
+themselves" design goal (thesis §1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..hdl import Component
+from ..isa.opcodes import Opcode
+from .arith import ArithmeticUnit, PipelinedArithmeticUnit
+from .base import FunctionalUnit
+from .logic import LogicUnit, PipelinedLogicUnit
+
+#: A factory builds a unit given (instance name, word_bits, parent component).
+UnitFactory = Callable[[str, int, Optional[Component]], FunctionalUnit]
+
+
+class UnitRegistry:
+    """Function-code → factory mapping used by the system builder."""
+
+    def __init__(self) -> None:
+        self._factories: dict[int, UnitFactory] = {}
+
+    def register(self, code: int, factory: UnitFactory) -> None:
+        if not 0x10 <= code <= 0xFF:
+            raise ValueError(f"unit codes must lie in [0x10, 0xFF], got {code:#x}")
+        if code in self._factories:
+            raise ValueError(f"unit code {code:#x} already registered")
+        self._factories[code] = factory
+
+    def build(self, code: int, name: str, word_bits: int, parent=None) -> FunctionalUnit:
+        try:
+            factory = self._factories[code]
+        except KeyError:
+            raise KeyError(f"no functional unit registered for code {code:#x}") from None
+        return factory(name, word_bits, parent)
+
+    def codes(self) -> tuple[int, ...]:
+        return tuple(sorted(self._factories))
+
+    def copy(self) -> "UnitRegistry":
+        dup = UnitRegistry()
+        dup._factories = dict(self._factories)
+        return dup
+
+
+def default_registry(pipelined: bool = False) -> UnitRegistry:
+    """The registry holding the paper's case-study units.
+
+    With ``pipelined=True`` the performance-optimised wrappers are used,
+    trading FPGA resources for one-instruction-per-cycle throughput
+    (thesis §2.3.4).
+    """
+    reg = UnitRegistry()
+    if pipelined:
+        reg.register(Opcode.ARITH, lambda n, w, p: PipelinedArithmeticUnit(n, w, p))
+        reg.register(Opcode.LOGIC, lambda n, w, p: PipelinedLogicUnit(n, w, p))
+    else:
+        reg.register(Opcode.ARITH, lambda n, w, p: ArithmeticUnit(n, w, p))
+        reg.register(Opcode.LOGIC, lambda n, w, p: LogicUnit(n, w, p))
+    return reg

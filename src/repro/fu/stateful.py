@@ -1,0 +1,249 @@
+"""The paper's other stateful functional units (§IV.B).
+
+"A stateful unit has a local persistent memory ... Examples of stateful
+functional units are histogram calculators, pseudorandom number generators,
+and associative memories."  χ-sort gets its own package
+(:mod:`repro.xisort`); this module implements the other three examples the
+paper names, each as an area-optimised unit with a persistent store and a
+variety-code instruction set, demonstrating that the framework hosts
+arbitrary stateful accelerators without modification.
+
+All three follow the same conventions as the ξ-sort adapter: persistent
+state lives in registers committed at clock edges, every operation has a
+cycle cost independent of host interaction, and each unit declares a
+``write_profile`` matching its instruction set (the framework's one hard
+contract).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component
+from .base import AreaOptimizedFU, FuComputation
+from .protocol import DispatchSample
+
+# ---------------------------------------------------------------------------
+# Histogram calculator
+# ---------------------------------------------------------------------------
+
+HIST_CLEAR = 0x01      # reset every bin
+HIST_SAMPLE = 0x02     # op_a = value → increment its bin (no result)
+HIST_READ = 0x03       # op_a = bin index → dst1 = count
+HIST_TOTAL = 0x04      # dst1 = total samples
+HIST_PEAK = 0x05       # dst1 = index of fullest bin, flags bit0 = non-empty
+
+
+def _hist_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    if variety in (HIST_CLEAR, HIST_SAMPLE):
+        return False, False, False
+    if variety == HIST_PEAK:
+        return True, False, True
+    return True, False, False
+
+
+class HistogramUnit(AreaOptimizedFU):
+    """Bins samples in on-chip counters; the host only ships values in.
+
+    A software histogram performs a read-modify-write per sample through the
+    memory hierarchy; here each sample is one dispatch, and readout happens
+    once at the end — the streaming-accumulator pattern the paper's intro
+    motivates.
+    """
+
+    write_profile = staticmethod(_hist_write_profile)
+
+    def __init__(
+        self,
+        name: str,
+        word_bits: int,
+        parent: Optional[Component] = None,
+        n_bins: int = 16,
+    ):
+        super().__init__(name, word_bits, parent, execute_cycles=1)
+        if n_bins < 1 or n_bins & (n_bins - 1):
+            raise ValueError("n_bins must be a power of two (address hashing)")
+        self.n_bins = n_bins
+        self._bins = self.reg("bins", None, reset=(0,) * n_bins)
+        self._total = self.reg("total", word_bits, 0)
+
+    def bin_of(self, value: int) -> int:
+        """The binning function: low-order bits (a real unit would range-map)."""
+        return value & (self.n_bins - 1)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        variety = sample.variety
+        bins = self._bins.nxt
+        if variety == HIST_CLEAR:
+            self._bins.nxt = (0,) * self.n_bins
+            self._total.nxt = 0
+            return FuComputation()
+        if variety == HIST_SAMPLE:
+            idx = self.bin_of(sample.op_a)
+            updated = list(bins)
+            updated[idx] += 1
+            self._bins.nxt = tuple(updated)
+            self._total.nxt = self._total.nxt + 1
+            return FuComputation()
+        if variety == HIST_READ:
+            idx = sample.op_a % self.n_bins
+            return FuComputation(data1=bins[idx])
+        if variety == HIST_TOTAL:
+            return FuComputation(data1=self._total.nxt)
+        if variety == HIST_PEAK:
+            peak = max(range(self.n_bins), key=lambda i: bins[i])
+            return FuComputation(data1=peak, flags=1 if bins[peak] else 0)
+        return FuComputation()  # unknown variety: harmless no-op
+
+
+def histogram_factory(n_bins: int = 16):
+    def make(name: str, word_bits: int, parent=None) -> HistogramUnit:
+        return HistogramUnit(name, word_bits, parent, n_bins=n_bins)
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# Pseudorandom number generator
+# ---------------------------------------------------------------------------
+
+PRNG_SEED = 0x01   # op_a = seed (no result)
+PRNG_NEXT = 0x02   # dst1 = next value
+
+
+def _prng_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    if variety == PRNG_NEXT:
+        return True, False, False
+    return False, False, False
+
+
+def xorshift32(state: int) -> int:
+    """The reference xorshift32 step (Marsaglia) — shared with the tests."""
+    state &= 0xFFFF_FFFF
+    state ^= (state << 13) & 0xFFFF_FFFF
+    state ^= state >> 17
+    state ^= (state << 5) & 0xFFFF_FFFF
+    return state & 0xFFFF_FFFF
+
+
+class PrngUnit(AreaOptimizedFU):
+    """A xorshift32 generator: three shift-XOR stages of pure logic.
+
+    Classic FPGA accelerator shape — the whole generator is a handful of
+    XOR gates, producing one word per dispatch with no multiplier.
+    """
+
+    write_profile = staticmethod(_prng_write_profile)
+
+    def __init__(self, name: str, word_bits: int, parent: Optional[Component] = None):
+        super().__init__(name, word_bits, parent, execute_cycles=1)
+        self._prng_state = self.reg("prng_state", 32, 0x1)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        if sample.variety == PRNG_SEED:
+            self._prng_state.nxt = sample.op_a or 1  # xorshift must not be zero
+            return FuComputation()
+        if sample.variety == PRNG_NEXT:
+            value = xorshift32(self._prng_state.nxt)
+            self._prng_state.nxt = value
+            return FuComputation(data1=value)
+        return FuComputation()
+
+
+def prng_factory():
+    def make(name: str, word_bits: int, parent=None) -> PrngUnit:
+        return PrngUnit(name, word_bits, parent)
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# Associative memory (content-addressable memory)
+# ---------------------------------------------------------------------------
+
+CAM_CLEAR = 0x01    # empty the memory
+CAM_STORE = 0x02    # op_a = key, op_b = value (no result)
+CAM_LOOKUP = 0x03   # op_a = key → dst1 = value, flags bit0 = hit
+CAM_DELETE = 0x04   # op_a = key (no result)
+CAM_COUNT = 0x05    # dst1 = occupied entries
+
+#: flag bit raised on a successful lookup
+CAM_FLAG_HIT = 0x01
+
+
+def _cam_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    if variety == CAM_LOOKUP:
+        return True, False, True
+    if variety == CAM_COUNT:
+        return True, False, False
+    return False, False, False
+
+
+class AssociativeMemoryUnit(AreaOptimizedFU):
+    """A key→value CAM: every entry compares against the key in parallel.
+
+    In hardware all ``capacity`` comparators fire in one cycle (like the
+    ξ-sort match commands), so lookups cost O(1) where a software map costs
+    hashing + probing per access.  Replacement is round-robin when full —
+    the simplest synthesisable policy.
+    """
+
+    write_profile = staticmethod(_cam_write_profile)
+
+    def __init__(
+        self,
+        name: str,
+        word_bits: int,
+        parent: Optional[Component] = None,
+        capacity: int = 8,
+    ):
+        super().__init__(name, word_bits, parent, execute_cycles=1)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # entries: tuple of (key, value) | None
+        self._entries = self.reg("entries", None, reset=(None,) * capacity)
+        self._victim = self.reg("victim", 16, 0)
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        variety = sample.variety
+        entries = list(self._entries.nxt)
+        if variety == CAM_CLEAR:
+            self._entries.nxt = (None,) * self.capacity
+            self._victim.nxt = 0
+            return FuComputation()
+        if variety == CAM_STORE:
+            key, value = sample.op_a, sample.op_b
+            slot = next(
+                (i for i, e in enumerate(entries) if e is not None and e[0] == key),
+                None,
+            )
+            if slot is None:
+                slot = next((i for i, e in enumerate(entries) if e is None), None)
+            if slot is None:  # full: round-robin replacement
+                slot = self._victim.nxt % self.capacity
+                self._victim.nxt = slot + 1
+            entries[slot] = (key, value)
+            self._entries.nxt = tuple(entries)
+            return FuComputation()
+        if variety == CAM_LOOKUP:
+            for entry in entries:
+                if entry is not None and entry[0] == sample.op_a:
+                    return FuComputation(data1=entry[1], flags=CAM_FLAG_HIT)
+            return FuComputation(data1=0, flags=0)
+        if variety == CAM_DELETE:
+            self._entries.nxt = tuple(
+                None if (e is not None and e[0] == sample.op_a) else e
+                for e in entries
+            )
+            return FuComputation()
+        if variety == CAM_COUNT:
+            return FuComputation(data1=sum(1 for e in entries if e is not None))
+        return FuComputation()
+
+
+def cam_factory(capacity: int = 8):
+    def make(name: str, word_bits: int, parent=None) -> AssociativeMemoryUnit:
+        return AssociativeMemoryUnit(name, word_bits, parent, capacity=capacity)
+
+    return make

@@ -1,0 +1,118 @@
+"""Standalone functional-unit testbench.
+
+Drives one unit's dispatch port as fast as its ``idle`` signal allows and
+acknowledges its result port like an otherwise-idle write arbiter — i.e. it
+isolates the unit's own issue rate from the message channel and pipeline
+(the paper's per-unit throughput claims, thesis §3.2.2).  Used by the FU
+unit tests and the C2/F6b benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..hdl import Component, Simulator
+from .base import FunctionalUnit
+from .protocol import ProtocolMonitor, Transfer
+
+
+@dataclass(frozen=True)
+class UnitOp:
+    """One operation to feed through the unit under test."""
+
+    variety: int
+    op_a: int = 0
+    op_b: int = 0
+    flag_in: int = 0
+    dst1: int = 1
+    dst2: int = 2
+    dst_flag: int = 0
+
+
+class FuTestbench(Component):
+    """A unit under test plus an eager dispatcher/arbiter pair."""
+
+    def __init__(
+        self,
+        unit_factory: Callable[[str, Component], FunctionalUnit],
+        name: str = "tb",
+        monitor: bool = True,
+        ack_every: int = 1,
+    ):
+        super().__init__(name)
+        self.unit = unit_factory("dut", self)
+        self.monitor: Optional[ProtocolMonitor] = (
+            ProtocolMonitor("mon", self.unit.dp, self.unit.rp, parent=self)
+            if monitor
+            else None
+        )
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self.ack_every = ack_every  # model a contended arbiter (ack 1-in-k)
+        self._queue = self.reg("queue", None, reset=())
+        self._ackctr = self.reg("ackctr", 8, 0)
+        #: transfers collected from the unit, in arrival order
+        self.collected: list[Transfer] = []
+        self.dispatched = 0
+        self.completed = 0
+
+        @self.comb
+        def _drive() -> None:
+            dp = self.unit.dp
+            queue = self._queue.value
+            go = bool(queue) and bool(dp.idle.value)
+            if go:
+                op: UnitOp = queue[0]
+                dp.variety.set(op.variety)
+                dp.op_a.set(op.op_a)
+                dp.op_b.set(op.op_b)
+                dp.flag_in.set(op.flag_in)
+                dp.dst1.set(op.dst1)
+                dp.dst2.set(op.dst2)
+                dp.dst_flag.set(op.dst_flag)
+            dp.dispatch.set(1 if go else 0)
+            rp = self.unit.rp
+            # ack_every models arbiter contention: grants land only on every
+            # k-th cycle (k=1 ⇒ an uncontended arbiter).
+            slot_open = self._ackctr.value == 0
+            rp.ack.set(1 if (rp.ready.value and slot_open) else 0)
+
+        @self.seq
+        def _tick() -> None:
+            dp = self.unit.dp
+            if dp.dispatch.value:
+                self._queue.nxt = self._queue.value[1:]
+                self.dispatched += 1
+            rp = self.unit.rp
+            if rp.ready.value and rp.ack.value:
+                transfer = rp.take()
+                self.collected.append(transfer)
+                if transfer.last:
+                    self.completed += 1
+            self._ackctr.nxt = (self._ackctr.value + 1) % self.ack_every
+
+    def enqueue(self, ops: Sequence[UnitOp]) -> None:
+        self._queue.force(self._queue.value + tuple(ops))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue.value)
+
+
+def run_unit(
+    unit_factory: Callable[[str, Component], FunctionalUnit],
+    ops: Sequence[UnitOp],
+    max_cycles: int = 100_000,
+    ack_every: int = 1,
+) -> tuple[FuTestbench, int]:
+    """Feed ``ops`` through a fresh unit; returns (testbench, cycles used)."""
+    tb = FuTestbench(unit_factory, ack_every=ack_every)
+    sim = Simulator(tb)
+    sim.reset()
+    tb.enqueue(ops)
+    start = sim.now
+    sim.run_until(lambda: tb.completed >= len(ops) or
+                  (tb.pending == 0 and not tb.unit.rp.ready.value and tb.unit.dp.idle.value),
+                  max_cycles)
+    return tb, sim.now - start

@@ -1,0 +1,119 @@
+"""Component base class — the unit of hierarchy in the simulated design.
+
+A component owns signals and registers and declares *processes*:
+
+* **combinational** processes (:meth:`Component.comb`) run repeatedly during
+  the settle phase until every signal is stable, mirroring zero-delay
+  combinational logic in VHDL;
+* **sequential** processes (:meth:`Component.seq`) run once per clock edge,
+  reading settled signal values and staging register updates.
+
+Components nest via :meth:`child`, giving the hierarchical naming the VCD
+tracer and error messages use.  This mirrors the paper's "highly modular"
+VHDL organisation (thesis §1.3): each framework block (decoder, dispatcher,
+write arbiter, functional units, …) is one component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from .errors import ElaborationError
+from .signal import Reg, Signal
+
+Process = Callable[[], None]
+
+
+class Component:
+    """A hierarchical block of logic with its own signals and processes."""
+
+    def __init__(self, name: str, parent: Optional["Component"] = None):
+        self.name = name
+        self.parent = parent
+        self.children: list[Component] = []
+        self.signals: list[Signal] = []
+        self.comb_procs: list[Process] = []
+        self.seq_procs: list[Process] = []
+        self.reset_hooks: list[Process] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- naming ---------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Full hierarchical path, e.g. ``soc.rtm.dispatcher``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    # -- construction helpers ---------------------------------------------------
+
+    def signal(self, name: str, width: Optional[int] = 1, reset: Any = 0) -> Signal:
+        """Declare a combinational net owned by this component."""
+        sig = Signal(f"{self.path}.{name}", width, reset)
+        sig.owner = self
+        self.signals.append(sig)
+        return sig
+
+    def reg(self, name: str, width: Optional[int] = 1, reset: Any = 0) -> Reg:
+        """Declare a clocked register owned by this component."""
+        r = Reg(f"{self.path}.{name}", width, reset)
+        r.owner = self
+        self.signals.append(r)
+        return r
+
+    def child(self, component: "Component") -> "Component":
+        """Adopt an already-constructed component as a child."""
+        if component.parent is None:
+            component.parent = self
+            self.children.append(component)
+        elif component.parent is not self:
+            raise ElaborationError(
+                f"component {component.name!r} already has parent {component.parent.name!r}"
+            )
+        return component
+
+    # -- process registration ----------------------------------------------------
+
+    def comb(self, fn: Process) -> Process:
+        """Register (or decorate) a combinational process."""
+        self.comb_procs.append(fn)
+        return fn
+
+    def seq(self, fn: Process) -> Process:
+        """Register (or decorate) a sequential (clock-edge) process."""
+        self.seq_procs.append(fn)
+        return fn
+
+    def on_reset(self, fn: Process) -> Process:
+        """Register a hook invoked by :meth:`Simulator.reset`."""
+        self.reset_hooks.append(fn)
+        return fn
+
+    # -- traversal -----------------------------------------------------------------
+
+    def walk(self) -> Iterator["Component"]:
+        """Yield this component and every descendant, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def all_signals(self) -> Iterator[Signal]:
+        for comp in self.walk():
+            yield from comp.signals
+
+    def find(self, path: str) -> "Component":
+        """Locate a descendant by dotted relative path (test/debug helper)."""
+        node: Component = self
+        for part in path.split("."):
+            for c in node.children:
+                if c.name == part:
+                    node = c
+                    break
+            else:
+                raise KeyError(f"no child {part!r} under {node.path!r}")
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Component {self.path}>"

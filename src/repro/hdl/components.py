@@ -1,0 +1,167 @@
+"""Generic reusable circuit elements — the kernel's "COTS library".
+
+The paper assumes a library of commercial-off-the-shelf VHDL blocks
+(receivers, transmitters, FIFOs, arbiters; thesis Fig. 1.2).  This module
+provides the simulation-level equivalents that the framework components are
+assembled from:
+
+* :class:`Stream` — a valid/ready/payload handshake bundle.  This is the
+  point-to-point connection discipline of the paper's pipeline ("Handshaking
+  is used to control transmission of data between pipeline stages ... there
+  is no global control for stalling the pipeline", §III).
+* :class:`PipeStage` — a registered stage that buffers one payload, used to
+  build elastic pipelines.
+* :class:`RoundRobinArbiter` / :func:`priority_grant` — grant logic for the
+  write arbiter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from .component import Component
+from .signal import Signal
+
+
+class Stream:
+    """A unidirectional valid/ready handshake with a payload net.
+
+    The producer drives ``valid`` and ``payload`` combinationally from its
+    own registers; the consumer drives ``ready`` combinationally.  A word is
+    transferred on every clock edge at which both are high (the stream
+    *fires*).  Either side may deassert to stall locally.
+    """
+
+    def __init__(self, comp: Component, name: str, width: Optional[int] = None):
+        self.name = f"{comp.path}.{name}"
+        self.valid: Signal = comp.signal(f"{name}_valid", 1)
+        self.ready: Signal = comp.signal(f"{name}_ready", 1)
+        self.payload: Signal = comp.signal(f"{name}_payload", width)
+
+    def fires(self) -> bool:
+        """True when a transfer happens at the coming clock edge."""
+        return bool(self.valid.value and self.ready.value)
+
+    def drive(self, valid: Any, payload: Any = None) -> None:
+        """Producer-side helper: drive valid (and payload when given)."""
+        self.valid.set(1 if valid else 0)
+        if payload is not None:
+            self.payload.set(payload)
+
+    def connect_from(self, comp: Component, other: "Stream") -> None:
+        """Wire this stream to mirror ``other`` (payload+valid forward, ready back).
+
+        Registers a combinational process on ``comp``; use for pure
+        point-to-point connections between sibling components.
+        """
+
+        def _link() -> None:
+            self.valid.set(other.valid.value)
+            self.payload.set(other.payload.value)
+            other.ready.set(self.ready.value)
+
+        comp.comb(_link)
+
+
+class PipeStage(Component):
+    """A one-deep registered buffer between two streams.
+
+    Accepts a payload when empty (or when simultaneously emptying), presents
+    it downstream until accepted.  Chaining :class:`PipeStage` components
+    yields an elastic pipeline with purely local stall control — the
+    structure of the RTM's main pipeline.
+
+    An optional ``transform`` callable maps the stored payload to the output
+    payload, modelling the combinational logic of the stage.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[Component] = None,
+        width: Optional[int] = None,
+        transform: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__(name, parent)
+        self.inp = Stream(self, "in", width)
+        self.out = Stream(self, "out", width)
+        self._full = self.reg("full", 1, 0)
+        self._data = self.reg("data", width, 0)
+        self._transform = transform
+
+        @self.comb
+        def _drive() -> None:
+            full = self._full.value
+            self.out.valid.set(full)
+            if full:
+                payload = self._data.value
+                if self._transform is not None:
+                    payload = self._transform(payload)
+                self.out.payload.set(payload)
+            # Ready when empty, or when the held word leaves this cycle.
+            self.inp.ready.set((not full) or (full and self.out.ready.value))
+
+        @self.seq
+        def _tick() -> None:
+            leaving = self.out.fires()
+            arriving = self.inp.fires()
+            if arriving:
+                self._data.nxt = self.inp.payload.value
+                self._full.nxt = 1
+            elif leaving:
+                self._full.nxt = 0
+
+    @property
+    def occupied(self) -> bool:
+        return bool(self._full.value)
+
+
+class RoundRobinArbiter(Component):
+    """Round-robin grant over N request lines with an optional priority line.
+
+    Models the paper's write arbiter grant core: the high-priority request
+    (from the RTM execution stage) always wins; otherwise the grant rotates
+    fairly among functional-unit result ports, preventing starvation of any
+    unit (thesis Fig. 1.4 "Write Arbiter", "High Priority Write").
+    """
+
+    def __init__(self, name: str, n: int, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self.requests = [self.signal(f"req{i}", 1) for i in range(n)]
+        self.priority_request = self.signal("priority_req", 1)
+        self.grant = self.signal("grant", max(1, n.bit_length() + 1))
+        self.grant_valid = self.signal("grant_valid", 1)
+        self.priority_grant = self.signal("priority_grant", 1)
+        self._last = self.reg("last", max(1, n.bit_length()), reset=n - 1)
+
+        @self.comb
+        def _arbitrate() -> None:
+            if self.priority_request.value:
+                self.priority_grant.set(1)
+                self.grant_valid.set(0)
+                return
+            self.priority_grant.set(0)
+            start = (self._last.value + 1) % self.n
+            for off in range(self.n):
+                idx = (start + off) % self.n
+                if self.requests[idx].value:
+                    self.grant.set(idx)
+                    self.grant_valid.set(1)
+                    return
+            self.grant_valid.set(0)
+
+        @self.seq
+        def _advance() -> None:
+            if self.grant_valid.value:
+                self._last.nxt = self.grant.value
+
+
+def priority_grant(requests: Sequence[int]) -> int:
+    """Fixed-priority grant helper: index of first asserted request, or -1."""
+    for i, r in enumerate(requests):
+        if r:
+            return i
+    return -1

@@ -1,0 +1,43 @@
+"""Exception types raised by the HDL simulation kernel."""
+
+from __future__ import annotations
+
+
+class HdlError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class CombinationalLoopError(HdlError):
+    """The combinational settle phase failed to reach a fixpoint.
+
+    Raised when signal values are still changing after the iteration bound,
+    which indicates a zero-delay feedback loop through combinational logic
+    (e.g. a ready/valid handshake wired back onto itself without a register
+    in the cycle).
+    """
+
+    def __init__(self, cycle: int, iterations: int, unstable: list[str]):
+        self.cycle = cycle
+        self.iterations = iterations
+        self.unstable = unstable
+        names = ", ".join(unstable[:8]) or "<unknown>"
+        super().__init__(
+            f"combinational logic did not settle at cycle {cycle} after "
+            f"{iterations} iterations; unstable signals: {names}"
+        )
+
+
+class WidthError(HdlError):
+    """A signal was created or driven with an invalid width or value."""
+
+
+class MultipleDriverError(HdlError):
+    """Two different combinational processes drove the same signal in one settle pass."""
+
+
+class SimulationError(HdlError):
+    """Generic runtime failure inside the simulator (bad component wiring, etc.)."""
+
+
+class ElaborationError(HdlError):
+    """A component hierarchy could not be elaborated into a runnable design."""

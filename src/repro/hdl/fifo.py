@@ -1,0 +1,77 @@
+"""Synchronous FIFO buffers.
+
+The performance-optimised functional-unit skeleton (thesis Fig. 2.19) and
+the message buffer/serialiser stages are built around on-chip SRAM FIFOs.
+:class:`SyncFifo` models a single-clock FIFO with registered occupancy:
+``in_ready`` reflects the count latched at the previous edge, so a full FIFO
+frees a slot one cycle after a pop — the conservative behaviour of a
+synthesised SRAM FIFO without first-word fall-through bypass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .component import Component
+from .components import Stream
+
+
+class SyncFifo(Component):
+    """Depth-bounded first-in first-out buffer with stream ports."""
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        parent: Optional[Component] = None,
+        width: Optional[int] = None,
+    ):
+        super().__init__(name, parent)
+        if depth < 1:
+            raise ValueError("fifo depth must be >= 1")
+        self.depth = depth
+        self.inp = Stream(self, "in", width)
+        self.out = Stream(self, "out", width)
+        # The queue contents are one register holding an immutable tuple;
+        # this stands in for the SRAM block + read/write pointers.
+        self._items = self.reg("items", None, reset=())
+
+        @self.comb
+        def _drive() -> None:
+            items = self._items.value
+            n = len(items)
+            self.out.valid.set(1 if n else 0)
+            if n:
+                self.out.payload.set(items[0])
+            self.inp.ready.set(1 if n < self.depth else 0)
+
+        @self.seq
+        def _tick() -> None:
+            items = self._items.value
+            popped = self.out.fires()
+            pushed = self.inp.fires()
+            if popped or pushed:
+                new = list(items)
+                if popped:
+                    new.pop(0)
+                if pushed:
+                    new.append(self.inp.payload.value)
+                self._items.nxt = tuple(new)
+
+    # -- inspection helpers (testbench use) ------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items.value)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items.value
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items.value) >= self.depth
+
+    def snapshot(self) -> tuple[Any, ...]:
+        """Current contents, head first (testbench/debug aid)."""
+        return tuple(self._items.value)

@@ -1,0 +1,100 @@
+"""Memory primitives: synchronous RAM and combinational ROM.
+
+The register file and flag register file of the RTM are built on
+:class:`SyncRam` (multi-read, single-write, write committed at the clock
+edge, reads combinational from the latched array — the behaviour of an
+FPGA block RAM used in "read during write: old data" mode, which is what
+the scoreboard timing of the dispatcher assumes).  The ξ-sort microcode
+store is a :class:`Rom`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .component import Component
+from .errors import SimulationError
+from .signal import mask_for
+
+
+class SyncRam(Component):
+    """Word-addressed RAM with combinational reads and edge-committed writes.
+
+    Reads performed during the settle phase observe the contents latched at
+    the previous edge ("old data" semantics).  Writes staged during the
+    edge phase accumulate into the register's next value, so multiple
+    sequential processes may each write a *different* address in one cycle
+    order-independently; architecturally the framework funnels all writes
+    through the write arbiter, which guarantees at most one data-space
+    write per cycle (the single physical write port the paper's arbiter
+    exists to share).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        words: int,
+        width: int,
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        if words < 1:
+            raise ValueError("memory must have at least one word")
+        self.words = words
+        self.width = width
+        self._mask = mask_for(width)
+        self._mem = self.reg("mem", None, reset=(0,) * words)
+        # A RAM is passive; register a no-op so a bare RAM is a valid design.
+        self.comb(lambda: None)
+
+    def read(self, addr: int) -> int:
+        """Combinational read of the previously latched contents."""
+        if not 0 <= addr < self.words:
+            raise SimulationError(f"{self.path}: read address {addr} out of range")
+        return self._mem.value[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        """Stage a write for the coming clock edge (call from seq processes)."""
+        if not 0 <= addr < self.words:
+            raise SimulationError(f"{self.path}: write address {addr} out of range")
+        mem = list(self._mem.nxt)
+        mem[addr] = int(value) & self._mask
+        self._mem.nxt = tuple(mem)
+
+    def dump(self) -> tuple[int, ...]:
+        """Current latched contents (testbench/debug aid)."""
+        return self._mem.value
+
+    def load(self, values: Sequence[int]) -> None:
+        """Backdoor initialisation (testbench aid; not a simulated write)."""
+        if len(values) > self.words:
+            raise SimulationError(f"{self.path}: load of {len(values)} words exceeds size")
+        mem = list(self._mem.value)
+        for i, v in enumerate(values):
+            mem[i] = int(v) & self._mask
+        self._mem.force(tuple(mem))
+
+
+class Rom(Component):
+    """Combinationally read, pre-initialised read-only store.
+
+    Holds arbitrary payload objects (e.g. decoded microinstructions), the
+    way a synthesised ROM holds control words: contents are fixed at
+    elaboration time.
+    """
+
+    def __init__(self, name: str, contents: Sequence, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self._contents = tuple(contents)
+        if not self._contents:
+            raise ValueError("ROM must have at least one word")
+        # Register a no-op process so a bare ROM is still a valid design.
+        self.comb(lambda: None)
+
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    def read(self, addr: int):
+        if not 0 <= addr < len(self._contents):
+            raise SimulationError(f"{self.path}: ROM address {addr} out of range")
+        return self._contents[addr]

@@ -1,0 +1,176 @@
+"""Signals, wires and registers — the value carriers of the simulation kernel.
+
+The kernel models a synchronous digital circuit at the cycle level, in the
+style the paper's VHDL targets:
+
+* :class:`Signal` — a combinational net.  Its value is (re)computed by
+  combinational processes during the *settle* phase of each cycle.
+* :class:`Reg` — a clocked register.  Sequential processes stage a value on
+  the ``next`` side during the clock-edge phase; the simulator commits all
+  staged values atomically, exactly like D flip-flops sampling on an edge.
+
+Values are plain Python ints masked to the declared bit width.  A width of
+``None`` declares a *payload* signal that can carry an arbitrary Python
+object; payload signals are used by behavioural models (e.g. message bundles
+in the host channel) where bit-exact encoding would add nothing but cost.
+Payload signals still obey the two-phase timing discipline, so cycle counts
+remain exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import WidthError
+
+_UNSET = object()
+
+
+class _ChangeTracker:
+    """Kernel-global dirty flag set by :meth:`Signal.set`.
+
+    The simulator clears it before each settle pass and reads it afterwards;
+    this frees combinational processes from having to report whether they
+    changed anything.  A single shared flag is sufficient because the kernel
+    is single-threaded and one simulator runs at a time per design.
+    """
+
+    __slots__ = ("dirty",)
+
+    def __init__(self) -> None:
+        self.dirty = False
+
+
+CHANGES = _ChangeTracker()
+
+
+def mask_for(width: int) -> int:
+    """Return the value mask for a bit width."""
+    return (1 << width) - 1
+
+
+class Signal:
+    """A combinational net carrying an integer (or object payload) value.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name, assigned by the owning component.
+    width:
+        Bit width (>= 1), or ``None`` for an object payload signal.
+    reset:
+        Value the signal takes on simulator reset and at construction.
+    """
+
+    __slots__ = ("name", "width", "_mask", "_value", "reset", "owner")
+
+    def __init__(self, name: str, width: Optional[int] = 1, reset: Any = 0):
+        if width is not None:
+            if not isinstance(width, int) or width < 1:
+                raise WidthError(f"signal {name!r}: width must be >= 1 or None, got {width!r}")
+            self._mask = mask_for(width)
+            reset = int(reset) & self._mask
+        else:
+            self._mask = None
+        self.name = name
+        self.width = width
+        self.reset = reset
+        self._value = reset
+        self.owner: Any = None
+
+    # -- value access -------------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        """Current settled value of the net."""
+        return self._value
+
+    def set(self, value: Any) -> bool:
+        """Drive the net; returns True when the value changed.
+
+        Only combinational processes (and the simulator's reset logic) may
+        call this.  Sequential processes must target :class:`Reg` ``nxt``.
+        """
+        if self._mask is not None:
+            value = int(value) & self._mask
+        if value != self._value:
+            self._value = value
+            CHANGES.dirty = True
+            return True
+        return False
+
+    def force(self, value: Any) -> None:
+        """Set the value without change tracking (reset / test harness use)."""
+        if self._mask is not None:
+            value = int(value) & self._mask
+        self._value = value
+
+    # -- conveniences --------------------------------------------------------
+
+    def bit(self, index: int) -> int:
+        """Read a single bit of the current value."""
+        return (self._value >> index) & 1
+
+    def bits(self, hi: int, lo: int) -> int:
+        """Read the inclusive bit slice ``[hi:lo]`` of the current value."""
+        return (self._value >> lo) & mask_for(hi - lo + 1)
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __index__(self) -> int:
+        return int(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        w = "obj" if self.width is None else f"{self.width}b"
+        return f"<Signal {self.name} {w} = {self._value!r}>"
+
+
+class Reg(Signal):
+    """A clocked register.
+
+    Sequential processes assign the *next* value via :attr:`nxt` (or
+    :meth:`stage`); the simulator commits every staged value at the end of
+    the clock-edge phase.  Reading :attr:`value` always yields the value
+    latched at the previous edge, which is exactly the semantics of a D
+    flip-flop bank and is what makes the pipeline models race-free.
+    """
+
+    __slots__ = ("_staged",)
+
+    def __init__(self, name: str, width: Optional[int] = 1, reset: Any = 0):
+        super().__init__(name, width, reset)
+        self._staged: Any = _UNSET
+
+    def stage(self, value: Any) -> None:
+        """Stage ``value`` to be committed at the coming clock edge."""
+        if self._mask is not None:
+            value = int(value) & self._mask
+        self._staged = value
+
+    @property
+    def nxt(self) -> Any:
+        """The currently staged next value (or the held value if none staged)."""
+        return self._value if self._staged is _UNSET else self._staged
+
+    @nxt.setter
+    def nxt(self, value: Any) -> None:
+        self.stage(value)
+
+    def commit(self) -> bool:
+        """Latch the staged value; returns True when the register changed."""
+        if self._staged is _UNSET:
+            return False
+        changed = self._staged != self._value
+        self._value = self._staged
+        self._staged = _UNSET
+        return changed
+
+    def reset_state(self) -> None:
+        """Restore the reset value and drop any staged update."""
+        self._value = self.reset
+        self._staged = _UNSET
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        w = "obj" if self.width is None else f"{self.width}b"
+        return f"<Reg {self.name} {w} = {self._value!r}>"

@@ -1,0 +1,142 @@
+"""The two-phase synchronous simulator.
+
+Each simulated clock cycle proceeds in two phases:
+
+1. **Settle** — every combinational process runs repeatedly until no signal
+   changes (a fixpoint).  This implements zero-delay combinational logic and
+   lets backward-propagating ``ready`` and forward-propagating ``valid``
+   handshakes resolve within a cycle, which is how the paper's RTM pipeline
+   achieves local stalling without a global stall net (paper §III).
+2. **Edge** — every sequential process runs exactly once against the settled
+   values and stages register updates, which are then committed atomically.
+
+The phases correspond to the delta-cycle / clock-edge split of an HDL
+simulator, restricted to a single clock domain (the paper's framework is
+single-clock; functional units may internally use other domains, which we
+model behaviourally inside the unit when needed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .component import Component
+from .errors import CombinationalLoopError, SimulationError
+from .signal import CHANGES, Reg
+
+#: Iteration bound for the settle fixpoint.  A well-formed design settles in
+#: at most (longest combinational chain) passes; the framework's longest
+#: chains (ready propagation through the 6-stage pipeline, tree folds) are
+#: far below this bound, so hitting it indicates a genuine loop.
+MAX_SETTLE_ITERATIONS = 256
+
+
+class Simulator:
+    """Runs a component hierarchy cycle by cycle."""
+
+    def __init__(self, top: Component, max_settle: int = MAX_SETTLE_ITERATIONS):
+        self.top = top
+        self.max_settle = max_settle
+        self.now = 0
+        self._comb: list[Callable[[], None]] = []
+        self._seq: list[Callable[[], None]] = []
+        self._regs: list[Reg] = []
+        self._resets: list[Callable[[], None]] = []
+        self._observers: list[Callable[[int], None]] = []
+        self._elaborate()
+
+    # -- elaboration -------------------------------------------------------------
+
+    def _elaborate(self) -> None:
+        for comp in self.top.walk():
+            self._comb.extend(comp.comb_procs)
+            self._seq.extend(comp.seq_procs)
+            self._resets.extend(comp.reset_hooks)
+            for sig in comp.signals:
+                if isinstance(sig, Reg):
+                    self._regs.append(sig)
+        if not self._comb and not self._seq:
+            raise SimulationError(f"design {self.top.path!r} has no processes")
+
+    def add_observer(self, fn: Callable[[int], None]) -> None:
+        """Register a callback invoked with the cycle number after each cycle.
+
+        Used by tracers (see :mod:`repro.hdl.trace`) and test probes.
+        """
+        self._observers.append(fn)
+
+    # -- phases ---------------------------------------------------------------
+
+    def settle(self) -> int:
+        """Run combinational processes to fixpoint; returns iterations used."""
+        comb = self._comb
+        tracker = CHANGES
+        for iteration in range(1, self.max_settle + 1):
+            tracker.dirty = False
+            for proc in comb:
+                proc()
+            if not tracker.dirty:
+                return iteration
+        unstable = self._find_unstable()
+        raise CombinationalLoopError(self.now, self.max_settle, unstable)
+
+    def _find_unstable(self) -> list[str]:
+        """Best-effort identification of oscillating signals for diagnostics."""
+        before = {s.name: s.value for s in self.top.all_signals()}
+        for proc in self._comb:
+            proc()
+        return [s.name for s in self.top.all_signals() if before[s.name] != s.value]
+
+    def _edge(self) -> None:
+        for proc in self._seq:
+            proc()
+        for reg in self._regs:
+            reg.commit()
+
+    # -- public stepping API ---------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the design by ``cycles`` full clock cycles."""
+        for _ in range(cycles):
+            self.settle()
+            self._edge()
+            self.now += 1
+            for obs in self._observers:
+                obs(self.now)
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: int = 100_000) -> int:
+        """Step until ``predicate()`` holds (evaluated on settled state).
+
+        Returns the number of cycles consumed.  Raises ``SimulationError``
+        when the bound is exceeded — the standard way tests detect protocol
+        deadlocks (e.g. a functional unit that never raises ``idle``).
+        """
+        start = self.now
+        self.settle()
+        while not predicate():
+            if self.now - start >= max_cycles:
+                raise SimulationError(
+                    f"condition not reached within {max_cycles} cycles "
+                    f"(started at {start}, now {self.now})"
+                )
+            self.step()
+            self.settle()
+        return self.now - start
+
+    def reset(self) -> None:
+        """Drive the whole design to its reset state (asynchronous reset)."""
+        for sig in self.top.all_signals():
+            if isinstance(sig, Reg):
+                sig.reset_state()
+            else:
+                sig.force(sig.reset)
+        for hook in self._resets:
+            hook()
+        self.settle()
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def process_counts(self) -> tuple[int, int]:
+        """(combinational, sequential) process counts — used by area tests."""
+        return len(self._comb), len(self._seq)

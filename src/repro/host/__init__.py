@@ -1,0 +1,28 @@
+"""repro.host — the host-computer software stack.
+
+The driver (message-level), the session API (register allocation, typed
+operations, multi-word arithmetic), batch program execution, and the
+software baselines the benchmarks compare against.
+"""
+
+from .baselines import OpCounter, limbs_of, multiword_add, multiword_sub, value_of
+from .driver import CoprocessorDriver, CoprocessorError
+from .multidriver import HostCpuDriver, drivers_for
+from .program import collect_values, run_program
+from .session import OutOfRegisters, Session
+
+__all__ = [
+    "OpCounter",
+    "limbs_of",
+    "multiword_add",
+    "multiword_sub",
+    "value_of",
+    "CoprocessorDriver",
+    "CoprocessorError",
+    "HostCpuDriver",
+    "drivers_for",
+    "collect_values",
+    "run_program",
+    "OutOfRegisters",
+    "Session",
+]

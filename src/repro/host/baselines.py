@@ -1,0 +1,81 @@
+"""Software baselines: the operations the coprocessor accelerates, in software.
+
+The paper's comparisons are between a specialised circuit and "a general
+purpose circuit (i.e. processor) running a program" (§I).  These functions
+are the processor-side implementations, instrumented with an explicit
+*operation counter* so the benchmarks can compare costs in
+architecture-neutral units (CPU operations vs coprocessor cycles) and then
+apply the clock model of :mod:`repro.analysis` for wall-clock shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Counts primitive CPU operations executed by a software baseline."""
+
+    ops: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: str, n: int = 1) -> None:
+        self.ops += n
+        self.breakdown[kind] = self.breakdown.get(kind, 0) + n
+
+
+def multiword_add(
+    a: list[int], b: list[int], width: int, counter: OpCounter | None = None
+) -> tuple[list[int], int]:
+    """Limb-by-limb addition with carry propagation, LS limb first.
+
+    Mirrors what a C program does for multi-precision addition with 32/64-bit
+    limbs; returns (limbs, carry_out).
+    """
+    if len(a) != len(b):
+        raise ValueError("operand limb counts differ")
+    mask = (1 << width) - 1
+    carry = 0
+    out: list[int] = []
+    for x, y in zip(a, b):
+        total = (x & mask) + (y & mask) + carry
+        out.append(total & mask)
+        carry = total >> width
+        if counter is not None:
+            counter.count("add", 1)
+            counter.count("carry", 1)
+    return out, carry
+
+
+def multiword_sub(
+    a: list[int], b: list[int], width: int, counter: OpCounter | None = None
+) -> tuple[list[int], int]:
+    """Limb-by-limb subtraction; returns (limbs, carry) with carry=1 ⇔ no borrow."""
+    if len(a) != len(b):
+        raise ValueError("operand limb counts differ")
+    mask = (1 << width) - 1
+    carry = 1
+    out: list[int] = []
+    for x, y in zip(a, b):
+        total = (x & mask) + ((~y) & mask) + carry
+        out.append(total & mask)
+        carry = total >> width
+        if counter is not None:
+            counter.count("sub", 1)
+            counter.count("carry", 1)
+    return out, carry
+
+
+def limbs_of(value: int, n: int, width: int) -> list[int]:
+    """Split a non-negative integer into ``n`` limbs, LS first."""
+    mask = (1 << width) - 1
+    return [(value >> (width * i)) & mask for i in range(n)]
+
+
+def value_of(limbs: list[int], width: int) -> int:
+    """Reassemble limbs (LS first) into an integer."""
+    value = 0
+    for i, limb in enumerate(limbs):
+        value |= limb << (width * i)
+    return value

@@ -1,0 +1,178 @@
+"""Host-side driver: the software component that talks to the coprocessor.
+
+"The entire system is controlled by the host computer.  To perform an
+accelerated operation, the host sends one or more packets of data to the
+controller on the FPGA ... and [the controller] returns the final results
+to the processor" (§II).  The driver frames messages onto the simulated
+channel, advances the simulation (standing in for wall-clock time passing
+on the host), and deframes responses.
+
+Every driver call accounts its cost in *coprocessor clock cycles* via the
+underlying simulator — the currency all benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..hdl.errors import SimulationError
+from ..isa.encoding import Instruction, encode
+from ..messages.framing import Deframer, Framer
+from ..messages.types import (
+    DataRecord,
+    Exec,
+    ExceptionReport,
+    FlagVector,
+    Halted,
+    Message,
+    Reset,
+    WriteFlags,
+    WriteReg,
+)
+from ..system.builder import BuiltSystem
+
+
+class CoprocessorError(RuntimeError):
+    """The coprocessor reported an exception message."""
+
+    def __init__(self, report: ExceptionReport):
+        self.report = report
+        super().__init__(f"coprocessor exception: code={report.code} info={report.info}")
+
+
+class CoprocessorDriver:
+    """Message-level interface to a built system."""
+
+    def __init__(
+        self,
+        system: BuiltSystem,
+        raise_on_exception: bool = True,
+        host_port=None,
+    ):
+        self.system = system
+        self.soc = system.soc
+        self.sim = system.sim
+        self.raise_on_exception = raise_on_exception
+        #: the HostPort this driver speaks through (multi-CPU systems have
+        #: several, one per CPU — paper Fig. 1.1)
+        self.host = host_port if host_port is not None else system.soc.host
+        cfg = system.config
+        self._framer = Framer(cfg.data_words)
+        self._deframer = Deframer(cfg.data_words)
+        #: responses received from the coprocessor, oldest first
+        self.inbox: list[Message] = []
+        self.exceptions: list[ExceptionReport] = []
+
+    # -- low level ---------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Elapsed coprocessor clock cycles."""
+        return self.sim.now
+
+    def send(self, msg: Message) -> None:
+        """Frame and enqueue one message toward the coprocessor."""
+        self.host.send_words(self._framer.frame(msg))
+
+    def send_all(self, msgs: Iterable[Message]) -> None:
+        for m in msgs:
+            self.send(m)
+
+    def pump(self, cycles: int = 1) -> None:
+        """Advance the simulation, draining any arrived response words."""
+        for _ in range(cycles):
+            self.sim.step()
+            self._drain()
+
+    def _drain(self) -> None:
+        while True:
+            word = self.host.recv_word()
+            if word is None:
+                return
+            msg = self._deframer.push(word)
+            if msg is not None:
+                if isinstance(msg, ExceptionReport):
+                    self.exceptions.append(msg)
+                    if self.raise_on_exception:
+                        raise CoprocessorError(msg)
+                self.inbox.append(msg)
+
+    def run_until_quiet(self, max_cycles: int = 1_000_000) -> int:
+        """Pump until the whole system is drained; returns cycles consumed."""
+        start = self.sim.now
+        idle_streak = 0
+        while idle_streak < 4:  # a few cycles of hysteresis for edge cases
+            if self.sim.now - start >= max_cycles:
+                raise SimulationError(
+                    f"system did not go quiet within {max_cycles} cycles"
+                )
+            self.pump()
+            idle_streak = idle_streak + 1 if not self.soc.busy else 0
+        return self.sim.now - start
+
+    def wait_for(self, count: int = 1, max_cycles: int = 1_000_000) -> list[Message]:
+        """Pump until ``count`` responses are available; pops and returns them."""
+        start = self.sim.now
+        while len(self.inbox) < count:
+            if self.sim.now - start >= max_cycles:
+                raise SimulationError(
+                    f"expected {count} responses, got {len(self.inbox)} after "
+                    f"{max_cycles} cycles"
+                )
+            self.pump()
+        out, self.inbox = self.inbox[:count], self.inbox[count:]
+        return out
+
+    # -- message-level convenience ----------------------------------------------
+
+    def execute(self, instr: Instruction) -> None:
+        """Send one instruction for execution (no waiting)."""
+        self.send(Exec(encode(instr)))
+
+    def execute_all(self, instrs: Iterable[Instruction]) -> None:
+        for i in instrs:
+            self.execute(i)
+
+    def write_reg(self, reg: int, value: int) -> None:
+        self.send(WriteReg(reg, value & self.system.config.word_mask))
+
+    def write_flags(self, flag_reg: int, value: int) -> None:
+        self.send(WriteFlags(flag_reg, value))
+
+    def reset_message(self) -> None:
+        self.send(Reset())
+
+    def read_reg(self, reg: int, tag: int = 0, max_cycles: int = 1_000_000) -> int:
+        """GET a register and wait for its data record."""
+        from ..isa import instructions as ins
+
+        self.execute(ins.get(reg, tag))
+        msg = self._expect(DataRecord, max_cycles)
+        if msg.tag != tag:
+            raise SimulationError(f"data record tag mismatch: sent {tag}, got {msg.tag}")
+        return msg.value
+
+    def read_flags(self, flag_reg: int, tag: int = 0, max_cycles: int = 1_000_000) -> int:
+        """GETF a flag register and wait for its flag vector."""
+        from ..isa import instructions as ins
+
+        self.execute(ins.getf(flag_reg, tag))
+        msg = self._expect(FlagVector, max_cycles)
+        if msg.tag != tag:
+            raise SimulationError(f"flag vector tag mismatch: sent {tag}, got {msg.tag}")
+        return msg.value
+
+    def halt_and_wait(self, max_cycles: int = 1_000_000) -> None:
+        """Send HALT and wait for the acknowledgement."""
+        from ..isa import instructions as ins
+
+        self.execute(ins.halt())
+        self._expect(Halted, max_cycles)
+
+    def _expect(self, msg_type: type, max_cycles: int) -> Message:
+        (msg,) = self.wait_for(1, max_cycles)
+        if not isinstance(msg, msg_type):
+            raise SimulationError(
+                f"expected {msg_type.__name__}, received {type(msg).__name__}: {msg!r}"
+            )
+        return msg

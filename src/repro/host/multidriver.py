@@ -1,0 +1,61 @@
+"""Per-CPU driver for a shared coprocessor (paper Fig. 1.1).
+
+Each CPU gets its own :class:`HostCpuDriver`, which is a normal
+:class:`CoprocessorDriver` speaking through that CPU's port of the shared
+bus, with the bus's tag namespace applied automatically so responses are
+routed back to the issuing CPU.
+
+Register-file partitioning between CPUs is a software convention, exactly
+as it would be on a real shared coprocessor; use disjoint register ranges
+(the tests partition by halves).
+"""
+
+from __future__ import annotations
+
+from ..messages.multihost import TAG_SEQ_MASK, host_tag
+from ..system.multihost import BuiltMultiHostSystem
+from .driver import CoprocessorDriver
+
+
+class HostCpuDriver(CoprocessorDriver):
+    """Driver bound to one CPU of a multi-host system."""
+
+    def __init__(
+        self,
+        system: BuiltMultiHostSystem,
+        host_id: int,
+        raise_on_exception: bool = True,
+    ):
+        if not 0 <= host_id < system.soc.bus.n_hosts:
+            raise ValueError(f"host id {host_id} out of range")
+        super().__init__(
+            system,
+            raise_on_exception=raise_on_exception,
+            host_port=system.soc.bus.hosts[host_id],
+        )
+        self.host_id = host_id
+        self._seq = 0
+
+    def _next_tag(self) -> int:
+        self._seq = (self._seq + 1) & TAG_SEQ_MASK
+        return host_tag(self.host_id, self._seq)
+
+    def read_reg(self, reg: int, tag: int | None = None,
+                 max_cycles: int = 1_000_000) -> int:
+        if tag is None:
+            tag = self._next_tag()
+        return super().read_reg(reg, tag, max_cycles)
+
+    def read_flags(self, flag_reg: int, tag: int | None = None,
+                   max_cycles: int = 1_000_000) -> int:
+        if tag is None:
+            tag = self._next_tag()
+        return super().read_flags(flag_reg, tag, max_cycles)
+
+
+def drivers_for(system: BuiltMultiHostSystem, raise_on_exception: bool = True):
+    """One driver per CPU of the shared system."""
+    return [
+        HostCpuDriver(system, i, raise_on_exception)
+        for i in range(system.soc.bus.n_hosts)
+    ]

@@ -1,0 +1,217 @@
+"""High-level host API: register allocation and typed coprocessor calls.
+
+This is the layer an application programmer uses — the software half of
+the paper's partitioning ("the main program is written in C or any other
+programming language", Fig. 1 caption).  It wraps the driver with:
+
+* a register allocator over the configured register file,
+* typed operation helpers for the case-study units,
+* multi-word (arbitrary precision) arithmetic built from ADC/SBB carry
+  chains — the "multi-word operation ... through an externally provided
+  carry bit" of thesis §3.2.2.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from ..isa import instructions as ins
+from ..isa.opcodes import FLAG_CARRY, ArithOp, LogicOp, Opcode
+from ..system.builder import BuiltSystem, build_system
+from .driver import CoprocessorDriver
+
+
+class OutOfRegisters(RuntimeError):
+    """The register allocator has no free register left."""
+
+
+class Session:
+    """An open connection to a coprocessor with managed registers."""
+
+    def __init__(
+        self,
+        system: Optional[BuiltSystem] = None,
+        reg_range: Optional[range] = None,
+        flag_range: Optional[range] = None,
+        driver: Optional[CoprocessorDriver] = None,
+        **build_kwargs,
+    ):
+        """Open a session, optionally confined to a register partition.
+
+        ``reg_range``/``flag_range`` restrict the allocator to a sub-range
+        of the register files — the software convention that lets several
+        CPUs (or several libraries on one CPU) share a coprocessor without
+        trampling each other (paper Fig. 1.1).
+        """
+        self.system = system if system is not None else build_system(**build_kwargs)
+        self.driver = driver if driver is not None else CoprocessorDriver(self.system)
+        cfg = self.system.config
+        regs = reg_range if reg_range is not None else range(cfg.n_regs)
+        flags = flag_range if flag_range is not None else range(1, cfg.n_flag_regs)
+        if regs and not (0 <= regs[0] and regs[-1] < cfg.n_regs):
+            raise ValueError(f"reg_range {regs} outside the register file")
+        if flags and not (0 <= flags[0] and flags[-1] < cfg.n_flag_regs):
+            raise ValueError(f"flag_range {flags} outside the flag file")
+        self._free = list(reversed(regs))
+        self._free_flags = list(reversed(flags))  # f0 kept as scratch by default
+
+    # -- register management -------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Claim a free main register."""
+        if not self._free:
+            raise OutOfRegisters("no free data register")
+        return self._free.pop()
+
+    def alloc_many(self, n: int) -> list[int]:
+        return [self.alloc() for _ in range(n)]
+
+    def alloc_flag(self) -> int:
+        if not self._free_flags:
+            raise OutOfRegisters("no free flag register")
+        return self._free_flags.pop()
+
+    def free(self, *regs: int) -> None:
+        for r in regs:
+            self._free.append(r)
+
+    def free_flag(self, *regs: int) -> None:
+        for r in regs:
+            self._free_flags.append(r)
+
+    @contextmanager
+    def scratch(self, n: int = 1) -> Iterator[list[int]]:
+        """Temporarily claim ``n`` registers."""
+        regs = self.alloc_many(n)
+        try:
+            yield regs
+        finally:
+            self.free(*regs)
+
+    # -- scalar operations -----------------------------------------------------------
+
+    def write(self, reg: int, value: int) -> None:
+        self.driver.write_reg(reg, value)
+
+    def read(self, reg: int) -> int:
+        return self.driver.read_reg(reg)
+
+    def put(self, value: int) -> int:
+        """Allocate a register and load a value into it."""
+        reg = self.alloc()
+        self.write(reg, value)
+        return reg
+
+    def arith(
+        self,
+        op: ArithOp,
+        a: int,
+        b: int = 0,
+        dst: Optional[int] = None,
+        flag_out: int = 0,
+        flag_in: int = 0,
+    ) -> int:
+        """Issue one arithmetic-unit instruction; returns the dst register."""
+        if dst is None:
+            dst = self.alloc()
+        instr = ins.dispatch(
+            Opcode.ARITH, int(op), dst1=dst, src1=a, src2=b,
+            dst_flag=flag_out, src_flag=flag_in,
+        )
+        self.driver.execute(instr)
+        return dst
+
+    def logic(self, op: LogicOp, a: int, b: int = 0, dst: Optional[int] = None,
+              flag_out: int = 0) -> int:
+        """Issue one logic-unit instruction; returns the dst register."""
+        if dst is None:
+            dst = self.alloc()
+        instr = ins.dispatch(Opcode.LOGIC, int(op), dst1=dst, src1=a, src2=b,
+                             dst_flag=flag_out)
+        self.driver.execute(instr)
+        return dst
+
+    def compute(self, op: ArithOp | LogicOp, x: int, y: int = 0) -> int:
+        """Round-trip helper: load operands, run one op, fetch the result."""
+        ra = self.put(x)
+        rb = self.put(y)
+        if isinstance(op, ArithOp):
+            rd = self.arith(op, ra, rb)
+        else:
+            rd = self.logic(op, ra, rb)
+        value = self.read(rd)
+        self.free(ra, rb, rd)
+        return value
+
+    def read_carry(self, flag_reg: int) -> int:
+        return self.driver.read_flags(flag_reg) & FLAG_CARRY
+
+    # -- multi-word arithmetic (thesis §3.2.2 carry chains) ---------------------------
+
+    def write_wide(self, value: int, limbs: int) -> list[int]:
+        """Load an arbitrary-precision value into ``limbs`` registers, LS first."""
+        mask = self.system.config.word_mask
+        width = self.system.config.word_bits
+        regs = self.alloc_many(limbs)
+        for i, reg in enumerate(regs):
+            self.write(reg, (value >> (width * i)) & mask)
+        return regs
+
+    def read_wide(self, regs: Sequence[int]) -> int:
+        width = self.system.config.word_bits
+        value = 0
+        for i, reg in enumerate(regs):
+            value |= self.read(reg) << (width * i)
+        return value
+
+    def add_wide(self, a: Sequence[int], b: Sequence[int]) -> tuple[list[int], int]:
+        """Multi-word addition via an ADD/ADC carry chain.
+
+        Returns (result registers LS-first, final carry flag register).
+        """
+        if len(a) != len(b):
+            raise ValueError("operand limb counts differ")
+        carry_flag = self.alloc_flag()
+        out: list[int] = []
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            rd = self.alloc()
+            if i == 0:
+                self.arith(ArithOp.ADD, ra, rb, dst=rd, flag_out=carry_flag)
+            else:
+                self.arith(ArithOp.ADC, ra, rb, dst=rd,
+                           flag_out=carry_flag, flag_in=carry_flag)
+            out.append(rd)
+        return out, carry_flag
+
+    def sub_wide(self, a: Sequence[int], b: Sequence[int]) -> tuple[list[int], int]:
+        """Multi-word subtraction via a SUB/SBB borrow chain."""
+        if len(a) != len(b):
+            raise ValueError("operand limb counts differ")
+        carry_flag = self.alloc_flag()
+        out: list[int] = []
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            rd = self.alloc()
+            if i == 0:
+                self.arith(ArithOp.SUB, ra, rb, dst=rd, flag_out=carry_flag)
+            else:
+                self.arith(ArithOp.SBB, ra, rb, dst=rd,
+                           flag_out=carry_flag, flag_in=carry_flag)
+            out.append(rd)
+        return out, carry_flag
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Wait for all in-flight work to finish; returns cycles consumed."""
+        return self.driver.run_until_quiet(max_cycles)
+
+    def close(self) -> None:
+        self.driver.halt_and_wait()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()

@@ -1,0 +1,88 @@
+"""repro.isa — the RTM instruction set: encodings, builders, (dis)assembler.
+
+Reproduces Fig. 7 and thesis Tables 3.1/3.2: a 64-bit instruction word with
+a function code, an 8-bit variety code steering the functional unit's
+datapath, up to three source registers and up to two destinations plus a
+destination flag register.
+"""
+
+from . import instructions
+from .assembler import AssemblerError, assemble, assemble_line
+from .disassembler import disassemble, disassemble_program, disassemble_word
+from .encoding import EncodingError, Instruction, decode, encode
+from .fields import (
+    DST1,
+    DST2,
+    DST_FLAG,
+    IMM32,
+    MAX_REG_INDEX,
+    OPCODE,
+    SRC1,
+    SRC2,
+    SRC_FLAG,
+    VARIETY,
+    WORD_BITS,
+)
+from .opcodes import (
+    ARITH_COMPL_SECOND,
+    ARITH_FIRST_ZERO,
+    ARITH_FIXED_CARRY,
+    ARITH_OUTPUT_DATA,
+    ARITH_SECOND_ZERO,
+    ARITH_USE_CARRY,
+    FIRST_UNIT_OPCODE,
+    FLAG_BITS,
+    FLAG_CARRY,
+    FLAG_ERROR,
+    FLAG_NEGATIVE,
+    FLAG_OVERFLOW,
+    FLAG_PARITY,
+    FLAG_ZERO,
+    IMMEDIATE_OPCODES,
+    ArithOp,
+    LogicOp,
+    Opcode,
+)
+
+__all__ = [
+    "instructions",
+    "AssemblerError",
+    "assemble",
+    "assemble_line",
+    "disassemble",
+    "disassemble_program",
+    "disassemble_word",
+    "EncodingError",
+    "Instruction",
+    "decode",
+    "encode",
+    "DST1",
+    "DST2",
+    "DST_FLAG",
+    "IMM32",
+    "MAX_REG_INDEX",
+    "OPCODE",
+    "SRC1",
+    "SRC2",
+    "SRC_FLAG",
+    "VARIETY",
+    "WORD_BITS",
+    "ARITH_COMPL_SECOND",
+    "ARITH_FIRST_ZERO",
+    "ARITH_FIXED_CARRY",
+    "ARITH_OUTPUT_DATA",
+    "ARITH_SECOND_ZERO",
+    "ARITH_USE_CARRY",
+    "FIRST_UNIT_OPCODE",
+    "FLAG_BITS",
+    "FLAG_CARRY",
+    "FLAG_ERROR",
+    "FLAG_NEGATIVE",
+    "FLAG_OVERFLOW",
+    "FLAG_PARITY",
+    "FLAG_ZERO",
+    "IMMEDIATE_OPCODES",
+    "ArithOp",
+    "LogicOp",
+    "Opcode",
+]

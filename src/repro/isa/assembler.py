@@ -1,0 +1,241 @@
+"""A small textual assembler for RTM instruction streams.
+
+The paper treats RTM programming as "software design, considerably simpler
+than designing a dedicated interface from the ground up" (§V).  This
+assembler provides that software surface: a line-oriented syntax that
+compiles directly to 64-bit instruction words.
+
+Syntax (one instruction per line; ``;`` or ``#`` start a comment)::
+
+    nop | halt | fence
+    copy   rD, rS
+    cpflag fD, fS
+    get    rS [, tag]
+    getf   fS [, tag]
+    loadi  rD, imm
+    loadis rD, imm
+    setf   fD, imm
+    add    rD, rA, rB            [-> fD]
+    adc    rD, rA, rB, fC        [-> fD]
+    sub    rD, rA, rB            [-> fD]
+    sbb    rD, rA, rB, fC        [-> fD]
+    inc    rD, rA                [-> fD]
+    dec    rD, rA                [-> fD]
+    neg    rD, rB                [-> fD]
+    cmp    rA, rB                [-> fD]
+    cmpb   rA, rB, fC            [-> fD]
+    and|or|xor|nand|nor|xnor|andn|orn  rD, rA, rB   [-> fD]
+    not|pass rD, rA              [-> fD]
+    unit   code, variety [, rD [, rA [, rB]]] [-> fD]
+
+Registers are ``rN``, flag registers ``fN``; immediates accept decimal,
+hex (``0x``) and binary (``0b``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from . import instructions as ins
+from .encoding import Instruction
+
+_COMMENT = re.compile(r"[;#].*$")
+_ARROW = re.compile(r"->\s*f(\d+)\s*$")
+
+
+class AssemblerError(ValueError):
+    def __init__(self, lineno: int, line: str, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}: {line.strip()!r}")
+
+
+def _parse_int(tok: str) -> int:
+    return int(tok, 0)
+
+
+def _parse_reg(tok: str) -> int:
+    m = re.fullmatch(r"r(\d+)", tok)
+    if not m:
+        raise ValueError(f"expected register rN, got {tok!r}")
+    return int(m.group(1))
+
+
+def _parse_flag(tok: str) -> int:
+    m = re.fullmatch(r"f(\d+)", tok)
+    if not m:
+        raise ValueError(f"expected flag register fN, got {tok!r}")
+    return int(m.group(1))
+
+
+def _three_reg(builder: Callable[..., Instruction]):
+    def build(args: list[str], dst_flag: int) -> Instruction:
+        d, a, b = (_parse_reg(t) for t in args)
+        return builder(d, a, b, dst_flag=dst_flag)
+
+    return build
+
+
+def _three_reg_flag(builder: Callable[..., Instruction]):
+    def build(args: list[str], dst_flag: int) -> Instruction:
+        d, a, b = (_parse_reg(t) for t in args[:3])
+        cf = _parse_flag(args[3])
+        return builder(d, a, b, cf, dst_flag=dst_flag)
+
+    return build
+
+
+def _two_reg(builder: Callable[..., Instruction]):
+    def build(args: list[str], dst_flag: int) -> Instruction:
+        d, a = (_parse_reg(t) for t in args)
+        return builder(d, a, dst_flag=dst_flag)
+
+    return build
+
+
+def _build_nullary(builder):
+    return lambda args, dst_flag: builder()
+
+
+def _build_copy(args, dst_flag):
+    return ins.copy(_parse_reg(args[0]), _parse_reg(args[1]))
+
+
+def _build_cpflag(args, dst_flag):
+    return ins.cpflag(_parse_flag(args[0]), _parse_flag(args[1]))
+
+
+def _build_get(args, dst_flag):
+    tag = _parse_int(args[1]) if len(args) > 1 else 0
+    return ins.get(_parse_reg(args[0]), tag)
+
+
+def _build_getf(args, dst_flag):
+    tag = _parse_int(args[1]) if len(args) > 1 else 0
+    return ins.getf(_parse_flag(args[0]), tag)
+
+
+def _build_loadi(args, dst_flag):
+    return ins.loadi(_parse_reg(args[0]), _parse_int(args[1]))
+
+
+def _build_loadis(args, dst_flag):
+    return ins.loadis(_parse_reg(args[0]), _parse_int(args[1]))
+
+
+def _build_setf(args, dst_flag):
+    return ins.setf(_parse_flag(args[0]), _parse_int(args[1]))
+
+
+def _build_cmp(args, dst_flag):
+    return ins.cmp(_parse_reg(args[0]), _parse_reg(args[1]), dst_flag=dst_flag)
+
+
+def _build_cmpb(args, dst_flag):
+    return ins.cmpb(
+        _parse_reg(args[0]), _parse_reg(args[1]), _parse_flag(args[2]), dst_flag=dst_flag
+    )
+
+
+def _build_unit(args, dst_flag):
+    code = _parse_int(args[0])
+    variety = _parse_int(args[1])
+    regs = [_parse_reg(t) for t in args[2:5]]
+    regs += [0] * (3 - len(regs))
+    return ins.dispatch(
+        code, variety, dst1=regs[0], src1=regs[1], src2=regs[2], dst_flag=dst_flag
+    )
+
+
+def _xi(variety_name: str, **field_order):
+    """Builder factory for ξ-sort mnemonics (variety looked up lazily to
+    keep :mod:`repro.isa` free of a package cycle with :mod:`repro.xisort`)."""
+
+    def build(args, dst_flag):
+        from ..xisort import microcode as xi
+        from .opcodes import Opcode
+
+        variety = getattr(xi, variety_name)
+        fields = {}
+        for (field, parser), tok in zip(field_order.items(), args):
+            fields[field] = _parse_reg(tok) if parser == "r" else _parse_int(tok)
+        return ins.dispatch(Opcode.XISORT, variety, dst_flag=dst_flag, **fields)
+
+    return build
+
+
+_MNEMONICS: dict[str, Callable[[list[str], int], Instruction]] = {
+    "nop": _build_nullary(ins.nop),
+    "halt": _build_nullary(ins.halt),
+    "fence": _build_nullary(ins.fence),
+    "copy": _build_copy,
+    "cpflag": _build_cpflag,
+    "get": _build_get,
+    "getf": _build_getf,
+    "loadi": _build_loadi,
+    "loadis": _build_loadis,
+    "setf": _build_setf,
+    "add": _three_reg(ins.add),
+    "adc": _three_reg_flag(ins.adc),
+    "sub": _three_reg(ins.sub),
+    "sbb": _three_reg_flag(ins.sbb),
+    "inc": _two_reg(ins.inc),
+    "dec": _two_reg(ins.dec),
+    "neg": _two_reg(ins.neg),
+    "cmp": _build_cmp,
+    "cmpb": _build_cmpb,
+    "and": _three_reg(ins.and_),
+    "or": _three_reg(ins.or_),
+    "xor": _three_reg(ins.xor),
+    "nand": _three_reg(ins.nand),
+    "nor": _three_reg(ins.nor),
+    "xnor": _three_reg(ins.xnor),
+    "andn": _three_reg(ins.andn),
+    "orn": _three_reg(ins.orn),
+    "not": _two_reg(ins.not_),
+    "pass": _two_reg(ins.pass_),
+    "unit": _build_unit,
+    # ξ-sort case-study mnemonics (opcode 0x12; see repro.xisort.microcode)
+    "xi.reset": _xi("XI_RESET"),
+    "xi.load": _xi("XI_LOAD", src1="r", src2="r"),
+    "xi.split": _xi("XI_SPLIT", dst1="r", src1="r", src2="r"),
+    "xi.findpivot": _xi("XI_FIND_PIVOT", dst1="r", dst2="r"),
+    "xi.findpivotat": _xi("XI_FIND_PIVOT_AT", dst1="r", dst2="r", src1="r"),
+    "xi.readat": _xi("XI_READ_AT", dst1="r", src1="r"),
+    "xi.writeat": _xi("XI_WRITE_AT", src1="r", src2="r"),
+    "xi.status": _xi("XI_STATUS", dst1="r"),
+    "xi.rank": _xi("XI_RANK", dst1="r", src1="r"),
+    "xi.counteq": _xi("XI_COUNT_EQ", dst1="r", src1="r"),
+}
+
+
+def assemble_line(line: str, lineno: int = 0) -> Instruction | None:
+    """Assemble one source line; returns None for blank/comment lines."""
+    text = _COMMENT.sub("", line).strip()
+    if not text:
+        return None
+    dst_flag = 0
+    arrow = _ARROW.search(text)
+    if arrow:
+        dst_flag = int(arrow.group(1))
+        text = text[: arrow.start()].strip().rstrip(",")
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    args = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+    builder = _MNEMONICS.get(mnemonic)
+    if builder is None:
+        raise AssemblerError(lineno, line, f"unknown mnemonic {mnemonic!r}")
+    try:
+        return builder(args, dst_flag)
+    except (ValueError, IndexError) as exc:
+        raise AssemblerError(lineno, line, str(exc)) from exc
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble a multi-line program into a list of instructions."""
+    program: list[Instruction] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        instr = assemble_line(line, lineno)
+        if instr is not None:
+            program.append(instr)
+    return program

@@ -1,0 +1,119 @@
+"""Instruction → assembler-text disassembly (round-trips with the assembler)."""
+
+from __future__ import annotations
+
+from .encoding import Instruction, decode
+from .opcodes import ArithOp, LogicOp, Opcode
+
+_ARITH_NAMES = {int(op): op.name.lower() for op in ArithOp}
+_LOGIC_NAMES = {int(op): op.name.lower() for op in LogicOp}
+
+
+def _flag_suffix(instr: Instruction) -> str:
+    return f" -> f{instr.dst_flag}" if instr.dst_flag else ""
+
+
+def _disassemble_arith(instr: Instruction) -> str:
+    name = _ARITH_NAMES.get(instr.variety)
+    if name is None:
+        return _disassemble_unit(instr)
+    suffix = _flag_suffix(instr)
+    if name in ("add", "sub"):
+        return f"{name} r{instr.dst1}, r{instr.src1}, r{instr.src2}{suffix}"
+    if name in ("adc", "sbb"):
+        return f"{name} r{instr.dst1}, r{instr.src1}, r{instr.src2}, f{instr.src_flag}{suffix}"
+    if name in ("inc", "dec"):
+        return f"{name} r{instr.dst1}, r{instr.src1}{suffix}"
+    if name == "neg":
+        return f"neg r{instr.dst1}, r{instr.src2}{suffix}"
+    if name == "cmp":
+        return f"cmp r{instr.src1}, r{instr.src2}{suffix}"
+    if name == "cmpb":
+        return f"cmpb r{instr.src1}, r{instr.src2}, f{instr.src_flag}{suffix}"
+    return _disassemble_unit(instr)
+
+
+def _disassemble_logic(instr: Instruction) -> str:
+    name = _LOGIC_NAMES.get(instr.variety)
+    if name is None:
+        return _disassemble_unit(instr)
+    suffix = _flag_suffix(instr)
+    if name in ("not", "pass"):
+        return f"{name} r{instr.dst1}, r{instr.src1}{suffix}"
+    return f"{name} r{instr.dst1}, r{instr.src1}, r{instr.src2}{suffix}"
+
+
+def _disassemble_unit(instr: Instruction) -> str:
+    text = f"unit {instr.opcode:#x}, {instr.variety:#x}"
+    text += f", r{instr.dst1}, r{instr.src1}, r{instr.src2}"
+    return text + _flag_suffix(instr)
+
+
+def _disassemble_xisort(instr: Instruction) -> str:
+    from ..xisort import microcode as xi
+
+    suffix = _flag_suffix(instr)
+    v = instr.variety
+    if v == xi.XI_RESET:
+        return f"xi.reset{suffix}"
+    if v == xi.XI_LOAD:
+        return f"xi.load r{instr.src1}, r{instr.src2}{suffix}"
+    if v == xi.XI_SPLIT:
+        return f"xi.split r{instr.dst1}, r{instr.src1}, r{instr.src2}{suffix}"
+    if v == xi.XI_FIND_PIVOT:
+        return f"xi.findpivot r{instr.dst1}, r{instr.dst2}{suffix}"
+    if v == xi.XI_FIND_PIVOT_AT:
+        return f"xi.findpivotat r{instr.dst1}, r{instr.dst2}, r{instr.src1}{suffix}"
+    if v == xi.XI_READ_AT:
+        return f"xi.readat r{instr.dst1}, r{instr.src1}{suffix}"
+    if v == xi.XI_WRITE_AT:
+        return f"xi.writeat r{instr.src1}, r{instr.src2}{suffix}"
+    if v == xi.XI_STATUS:
+        return f"xi.status r{instr.dst1}{suffix}"
+    if v == xi.XI_RANK:
+        return f"xi.rank r{instr.dst1}, r{instr.src1}{suffix}"
+    if v == xi.XI_COUNT_EQ:
+        return f"xi.counteq r{instr.dst1}, r{instr.src1}{suffix}"
+    return _disassemble_unit(instr)
+
+
+def disassemble(instr: Instruction) -> str:
+    """Render one instruction as assembler text."""
+    op = instr.opcode
+    if op == Opcode.NOP:
+        return "nop"
+    if op == Opcode.HALT:
+        return "halt"
+    if op == Opcode.FENCE:
+        return "fence"
+    if op == Opcode.COPY:
+        return f"copy r{instr.dst1}, r{instr.src1}"
+    if op == Opcode.CPFLAG:
+        return f"cpflag f{instr.dst_flag}, f{instr.src_flag}"
+    if op == Opcode.GET:
+        return f"get r{instr.src1}, {instr.variety}"
+    if op == Opcode.GETF:
+        return f"getf f{instr.src_flag}, {instr.variety}"
+    if op == Opcode.LOADI:
+        return f"loadi r{instr.dst1}, {instr.imm:#x}"
+    if op == Opcode.LOADIS:
+        return f"loadis r{instr.dst1}, {instr.imm:#x}"
+    if op == Opcode.SETF:
+        return f"setf f{instr.dst_flag}, {instr.variety:#x}"
+    if op == Opcode.ARITH:
+        return _disassemble_arith(instr)
+    if op == Opcode.LOGIC:
+        return _disassemble_logic(instr)
+    if op == Opcode.XISORT:
+        return _disassemble_xisort(instr)
+    return _disassemble_unit(instr)
+
+
+def disassemble_word(word: int) -> str:
+    """Decode and render a raw 64-bit instruction word."""
+    return disassemble(decode(word))
+
+
+def disassemble_program(instrs) -> str:
+    """Render an instruction sequence as a program listing."""
+    return "\n".join(disassemble(i) for i in instrs)

@@ -1,0 +1,186 @@
+"""Convenience constructors for every instruction the framework defines.
+
+These builders are what the host-side driver and the assembler use; they
+keep the field-placement conventions (e.g. "the negation instruction is
+applied to the second operand only, for reasons of logic compactness",
+thesis §3.2.2) in one place.
+"""
+
+from __future__ import annotations
+
+from .encoding import Instruction
+from .opcodes import ArithOp, LogicOp, Opcode
+
+
+# -- framework primitives -----------------------------------------------------
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.HALT)
+
+
+def copy(dst: int, src: int) -> Instruction:
+    return Instruction(Opcode.COPY, dst1=dst, src1=src)
+
+
+def cpflag(dst_flag: int, src_flag: int) -> Instruction:
+    return Instruction(Opcode.CPFLAG, dst_flag=dst_flag, src_flag=src_flag)
+
+
+def get(src: int, tag: int = 0) -> Instruction:
+    """Send the contents of register ``src`` back to the host, labelled ``tag``."""
+    return Instruction(Opcode.GET, variety=tag, src1=src)
+
+
+def getf(src_flag: int, tag: int = 0) -> Instruction:
+    """Send the flag vector ``src_flag`` back to the host, labelled ``tag``."""
+    return Instruction(Opcode.GETF, variety=tag, src_flag=src_flag)
+
+
+def loadi(dst: int, imm: int) -> Instruction:
+    return Instruction(Opcode.LOADI, dst1=dst, imm=imm & 0xFFFF_FFFF)
+
+
+def loadis(dst: int, imm: int) -> Instruction:
+    """Shift ``dst`` left 32 bits and OR in ``imm`` (builds >32-bit constants)."""
+    return Instruction(Opcode.LOADIS, dst1=dst, imm=imm & 0xFFFF_FFFF)
+
+
+def fence() -> Instruction:
+    return Instruction(Opcode.FENCE)
+
+
+def setf(dst_flag: int, value: int) -> Instruction:
+    return Instruction(Opcode.SETF, variety=value & 0xFF, dst_flag=dst_flag)
+
+
+# -- arithmetic unit (thesis Table 3.1) ----------------------------------------
+
+def _arith(op: ArithOp, dst: int, a: int, b: int, dst_flag: int, src_flag: int) -> Instruction:
+    return Instruction(
+        Opcode.ARITH,
+        variety=int(op),
+        dst_flag=dst_flag,
+        dst1=dst,
+        src1=a,
+        src2=b,
+        src_flag=src_flag,
+    )
+
+
+def add(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.ADD, dst, a, b, dst_flag, 0)
+
+
+def adc(dst: int, a: int, b: int, src_flag: int, dst_flag: int = 0) -> Instruction:
+    """Add with carry taken from flag register ``src_flag`` (multi-word chains)."""
+    return _arith(ArithOp.ADC, dst, a, b, dst_flag, src_flag)
+
+
+def sub(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.SUB, dst, a, b, dst_flag, 0)
+
+
+def sbb(dst: int, a: int, b: int, src_flag: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.SBB, dst, a, b, dst_flag, src_flag)
+
+
+def inc(dst: int, a: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.INC, dst, a, 0, dst_flag, 0)
+
+
+def dec(dst: int, a: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.DEC, dst, a, 0, dst_flag, 0)
+
+
+def neg(dst: int, b: int, dst_flag: int = 0) -> Instruction:
+    """Two's complement negation — applied to the *second* operand (Table 3.1)."""
+    return _arith(ArithOp.NEG, dst, 0, b, dst_flag, 0)
+
+
+def cmp(a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.CMP, 0, a, b, dst_flag, 0)
+
+
+def cmpb(a: int, b: int, src_flag: int, dst_flag: int = 0) -> Instruction:
+    return _arith(ArithOp.CMPB, 0, a, b, dst_flag, src_flag)
+
+
+# -- logic unit (thesis Table 3.2) ---------------------------------------------
+
+def _logic(op: LogicOp, dst: int, a: int, b: int, dst_flag: int) -> Instruction:
+    return Instruction(
+        Opcode.LOGIC, variety=int(op), dst_flag=dst_flag, dst1=dst, src1=a, src2=b
+    )
+
+
+def and_(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.AND, dst, a, b, dst_flag)
+
+
+def or_(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.OR, dst, a, b, dst_flag)
+
+
+def xor(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.XOR, dst, a, b, dst_flag)
+
+
+def not_(dst: int, a: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.NOT, dst, a, 0, dst_flag)
+
+
+def nand(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.NAND, dst, a, b, dst_flag)
+
+
+def nor(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.NOR, dst, a, b, dst_flag)
+
+
+def xnor(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.XNOR, dst, a, b, dst_flag)
+
+
+def andn(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.ANDN, dst, a, b, dst_flag)
+
+
+def orn(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.ORN, dst, a, b, dst_flag)
+
+
+def pass_(dst: int, a: int, dst_flag: int = 0) -> Instruction:
+    return _logic(LogicOp.PASS, dst, a, 0, dst_flag)
+
+
+# -- generic functional-unit dispatch -------------------------------------------
+
+def dispatch(
+    unit: int,
+    variety: int,
+    dst1: int = 0,
+    dst2: int = 0,
+    src1: int = 0,
+    src2: int = 0,
+    dst_flag: int = 0,
+    src_flag: int = 0,
+) -> Instruction:
+    """Build a dispatch to an arbitrary functional-unit opcode.
+
+    This is the escape hatch user-defined units (and the ξ-sort adapter)
+    use; ``unit`` is the function code configured in the FU table.
+    """
+    return Instruction(
+        opcode=unit,
+        variety=variety,
+        dst_flag=dst_flag,
+        dst1=dst1,
+        dst2=dst2,
+        src1=src1,
+        src2=src2,
+        src_flag=src_flag,
+    )

@@ -1,0 +1,118 @@
+"""Opcode and variety-code definitions.
+
+Framework primitives (opcodes ``0x00–0x0F``) execute inside the RTM's own
+pipeline ("General management primitives, e.g. copying data from one
+register to another, are provided by the framework and executed directly in
+the main pipeline", thesis §1.3.1).  Opcodes ``>= 0x10`` are *user
+instructions* dispatched to functional units via the functional-unit table;
+the thesis's arithmetic-unit case study sits at function code 16 (Table 3.1
+"Function code: 16"), which anchors our numbering.
+
+The arithmetic unit is a **single adder datapath steered by six variety
+bits** — exactly the structure of thesis Table 3.1, whose columns are the
+modifier bits ("Use carry flag", "Fixed carry", "Output data", "First input
+zero", "Second input zero", "Complement second input") and whose rows (ADD,
+ADC, SUB, SBB, INC, DEC, NEG, CMP, CMPB) are particular bit patterns.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Opcode(IntEnum):
+    """Major opcodes (instruction word bits ``[63:56]``)."""
+
+    # -- framework primitives (executed in the RTM execution stage) -----------
+    NOP = 0x00
+    HALT = 0x01
+    COPY = 0x02      # R[dst1] := R[src1]
+    CPFLAG = 0x03    # F[dst_flag] := F[src_flag]
+    GET = 0x04       # emit data record (tag=variety) carrying R[src1]
+    GETF = 0x05      # emit flag vector (tag=variety) carrying F[src_flag]
+    LOADI = 0x06     # R[dst1] := imm32
+    LOADIS = 0x07    # R[dst1] := (R[dst1] << 32) | imm32   (build wide words)
+    FENCE = 0x08     # stall until every register lock is released
+    SETF = 0x09      # F[dst_flag] := variety (immediate flag write)
+
+    # -- default functional-unit codes (configurable via the FU table) --------
+    ARITH = 0x10     # thesis Table 3.1 — "Function code: 16"
+    LOGIC = 0x11     # thesis Table 3.2
+    XISORT = 0x12    # stateful ξ-sort case study
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.value < FIRST_UNIT_OPCODE
+
+
+#: Opcodes below this value are framework primitives; at or above, FU dispatches.
+FIRST_UNIT_OPCODE = 0x10
+
+#: Opcodes that use the immediate instruction format.
+IMMEDIATE_OPCODES = frozenset({Opcode.LOADI, Opcode.LOADIS})
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic unit variety bits (thesis Table 3.1 columns)
+# ---------------------------------------------------------------------------
+
+ARITH_USE_CARRY = 0x01       # carry-in taken from the source flag register
+ARITH_FIXED_CARRY = 0x02     # carry-in forced to 1 (when not using the flag)
+ARITH_OUTPUT_DATA = 0x04     # write the sum to dst1 (clear for CMP/CMPB)
+ARITH_FIRST_ZERO = 0x08      # operand A forced to zero
+ARITH_SECOND_ZERO = 0x10     # operand B forced to zero (before complement)
+ARITH_COMPL_SECOND = 0x20    # operand B bitwise complemented
+
+
+class ArithOp(IntEnum):
+    """Table 3.1 rows, expressed as variety-bit patterns over one datapath."""
+
+    ADD = ARITH_OUTPUT_DATA                                            # a + b
+    ADC = ARITH_OUTPUT_DATA | ARITH_USE_CARRY                          # a + b + cf
+    SUB = ARITH_OUTPUT_DATA | ARITH_COMPL_SECOND | ARITH_FIXED_CARRY   # a + ~b + 1
+    SBB = ARITH_OUTPUT_DATA | ARITH_COMPL_SECOND | ARITH_USE_CARRY     # a + ~b + cf
+    INC = ARITH_OUTPUT_DATA | ARITH_SECOND_ZERO | ARITH_FIXED_CARRY    # a + 0 + 1
+    DEC = ARITH_OUTPUT_DATA | ARITH_SECOND_ZERO | ARITH_COMPL_SECOND   # a + ~0
+    NEG = (ARITH_OUTPUT_DATA | ARITH_FIRST_ZERO                        # 0 + ~b + 1
+           | ARITH_COMPL_SECOND | ARITH_FIXED_CARRY)
+    CMP = ARITH_COMPL_SECOND | ARITH_FIXED_CARRY                       # flags of a - b
+    CMPB = ARITH_COMPL_SECOND | ARITH_USE_CARRY                        # flags of a - b - !cf
+
+
+# ---------------------------------------------------------------------------
+# Logic unit varieties (thesis Table 3.2; exact rows reconstructed)
+# ---------------------------------------------------------------------------
+
+class LogicOp(IntEnum):
+    """Bitwise operations of the logic unit.
+
+    The thesis lists "a variety of basic bitwise logic operations", applied
+    to both source operands (two-input ops) or the first operand only
+    (one-input ops); the precise row set of Table 3.2 is not legible in the
+    published scan, so this is the canonical two/one-input Boolean family.
+    """
+
+    AND = 0x00
+    OR = 0x01
+    XOR = 0x02
+    NOT = 0x03     # ~a (one-input)
+    NAND = 0x04
+    NOR = 0x05
+    XNOR = 0x06
+    ANDN = 0x07    # a & ~b
+    ORN = 0x08     # a | ~b
+    PASS = 0x09    # a (one-input; register move through the unit)
+
+
+# ---------------------------------------------------------------------------
+# Flag vector bit assignments
+# ---------------------------------------------------------------------------
+
+FLAG_CARRY = 0x01      # carry out of the adder (borrow convention: 1 = no borrow)
+FLAG_ZERO = 0x02       # result equal to zero
+FLAG_NEGATIVE = 0x04   # most significant bit of the result
+FLAG_OVERFLOW = 0x08   # signed (two's complement) overflow
+FLAG_ERROR = 0x10      # exceptional condition (thesis §3.2.1, e.g. divide by zero)
+FLAG_PARITY = 0x20     # even parity of the result (logic unit)
+
+FLAG_BITS = 8

@@ -1,0 +1,86 @@
+"""repro.messages — host↔coprocessor message protocol, framing and channels.
+
+Implements the communication side of the framework: typed messages (data
+records, flag vectors, instructions), 32-bit word framing, cycle-accurate
+latency/bandwidth channel models spanning the paper's "slow prototyping
+link" to "tightly integrated" spectrum, and the pluggable COTS
+receiver/transmitter boundary.
+"""
+
+from .channel import (
+    FAST_BUS,
+    INTEGRATED,
+    PRESETS,
+    SLOW_PROTOTYPE,
+    ChannelSpec,
+    DelayLine,
+    Link,
+)
+from .framing import (
+    Deframer,
+    Framer,
+    FramingError,
+    make_header,
+    split_header,
+    value_to_words,
+    words_to_value,
+)
+from .multihost import SharedHostBus, host_tag, tag_owner
+from .transceiver import HostPort, Receiver, Transmitter
+from .uart import UartLink, UartRx, UartTx
+from .types import (
+    COP_TO_HOST,
+    BadFrame,
+    HOST_TO_COP,
+    DataRecord,
+    Exec,
+    ExceptionCode,
+    ExceptionReport,
+    FlagVector,
+    Halted,
+    Message,
+    MsgType,
+    Reset,
+    WriteFlags,
+    WriteReg,
+)
+
+__all__ = [
+    "FAST_BUS",
+    "INTEGRATED",
+    "PRESETS",
+    "SLOW_PROTOTYPE",
+    "ChannelSpec",
+    "DelayLine",
+    "Link",
+    "Deframer",
+    "Framer",
+    "FramingError",
+    "make_header",
+    "split_header",
+    "value_to_words",
+    "words_to_value",
+    "SharedHostBus",
+    "host_tag",
+    "tag_owner",
+    "HostPort",
+    "Receiver",
+    "Transmitter",
+    "UartLink",
+    "UartRx",
+    "UartTx",
+    "COP_TO_HOST",
+    "BadFrame",
+    "HOST_TO_COP",
+    "DataRecord",
+    "Exec",
+    "ExceptionCode",
+    "ExceptionReport",
+    "FlagVector",
+    "Halted",
+    "Message",
+    "MsgType",
+    "Reset",
+    "WriteFlags",
+    "WriteReg",
+]

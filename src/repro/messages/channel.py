@@ -1,0 +1,123 @@
+"""Physical-channel models between host and coprocessor.
+
+The paper's prototype used "a very slow connection from the FPGA board to
+the processor", while noting that tightly integrated FPGAs offer "extremely
+high transfer rates" (§III) — i.e. system behaviour is parametric in the
+link.  :class:`ChannelSpec` captures that parameter space (per-word latency
+and inverse bandwidth in coprocessor clock cycles), :class:`DelayLine` is
+the cycle-accurate simulation of one direction, and the presets span the
+paper's spectrum from prototyping serial link to processor-integrated
+fabric.  `analysis.LinkModel` extends the same specs with real-unit
+arithmetic for the link-bound benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hdl import Component, Stream
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Timing parameters of one link direction, in coprocessor clock cycles."""
+
+    name: str
+    latency_cycles: int       # pipeline delay from accept to deliver
+    cycles_per_word: int      # minimum spacing between accepted words (1/bandwidth)
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 1:
+            raise ValueError("latency must be at least one cycle")
+        if self.cycles_per_word < 1:
+            raise ValueError("cycles_per_word must be at least 1")
+
+    def transfer_cycles(self, n_words: int) -> int:
+        """Cycles to move ``n_words`` through this direction (analytic)."""
+        if n_words <= 0:
+            return 0
+        return self.latency_cycles + (n_words - 1) * self.cycles_per_word + 1
+
+
+#: Direct on-chip connection — the limit case for a processor-integrated FPGA.
+INTEGRATED = ChannelSpec("integrated", latency_cycles=2, cycles_per_word=1)
+
+#: A fast external fabric (e.g. a modern host bus adapter).
+FAST_BUS = ChannelSpec("fast-bus", latency_cycles=16, cycles_per_word=2)
+
+#: The paper's development-board class link: high latency, low bandwidth.
+#: (A real 115200-baud serial line at 50 MHz would be ≈17k cycles/word; we
+#: default to a 64× faster stand-in to keep cycle-accurate runs tractable and
+#: recover the true ratio analytically in `repro.analysis.LinkModel`.)
+SLOW_PROTOTYPE = ChannelSpec("slow-prototype", latency_cycles=64, cycles_per_word=256)
+
+PRESETS = {spec.name: spec for spec in (INTEGRATED, FAST_BUS, SLOW_PROTOTYPE)}
+
+
+class DelayLine(Component):
+    """One direction of a link: a rate-limited, fixed-latency word pipe.
+
+    Accepts at most one word every ``cycles_per_word`` cycles on ``inp`` and
+    presents each word on ``out`` exactly ``latency_cycles`` cycles after
+    acceptance (later if downstream back-pressures).
+    """
+
+    def __init__(self, name: str, spec: ChannelSpec, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.spec = spec
+        self.inp = Stream(self, "in", 32)
+        self.out = Stream(self, "out", 32)
+        self._cycle = self.reg("cycle", 64, 0)
+        self._next_accept = self.reg("next_accept", 64, 0)
+        # In-flight words as (deliver_cycle, word) tuples, oldest first.
+        self._flight = self.reg("flight", None, reset=())
+
+        @self.comb
+        def _drive() -> None:
+            now = self._cycle.value
+            flight = self._flight.value
+            deliverable = bool(flight) and flight[0][0] <= now
+            self.out.valid.set(1 if deliverable else 0)
+            if deliverable:
+                self.out.payload.set(flight[0][1])
+            self.inp.ready.set(1 if now >= self._next_accept.value else 0)
+
+        @self.seq
+        def _tick() -> None:
+            now = self._cycle.value
+            flight = self._flight.value
+            if self.out.fires():
+                flight = flight[1:]
+            if self.inp.fires():
+                flight = flight + ((now + self.spec.latency_cycles, self.inp.payload.value),)
+                self._next_accept.nxt = now + self.spec.cycles_per_word
+            self._flight.nxt = flight
+            self._cycle.nxt = now + 1
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._flight.value)
+
+
+class Link(Component):
+    """A full-duplex host↔coprocessor link: two independent delay lines.
+
+    ``downstream`` carries host→coprocessor words, ``upstream`` the reverse.
+    By default both directions share one :class:`ChannelSpec` (a symmetric
+    link); pass ``upstream_spec`` for asymmetric channels (common in real
+    fabrics — e.g. a wide write path with a narrow readback path).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: ChannelSpec,
+        parent: Optional[Component] = None,
+        upstream_spec: Optional[ChannelSpec] = None,
+    ):
+        super().__init__(name, parent)
+        self.spec = spec
+        self.upstream_spec = upstream_spec if upstream_spec is not None else spec
+        self.downstream = DelayLine("downstream", spec, parent=self)
+        self.upstream = DelayLine("upstream", self.upstream_spec, parent=self)

@@ -1,0 +1,118 @@
+"""Transceiver modules: the pluggable boundary to the physical channel.
+
+"The register transfer machine communicates with the host processor using a
+transceiver circuit ... In some cases a predefined transceiver interface
+module may be available ... Depending on the system, it may be necessary to
+create a new transceiver circuit" (§II).  We model that plug point:
+
+* :class:`Receiver` / :class:`Transmitter` — word-stream adapters with a
+  small elastic FIFO, the shape of a COTS UART/bus endpoint.
+* :class:`HostPort` — the *host end* of the link: a behavioural component
+  the host driver uses to push and pop words from Python.
+
+New physical interfaces are added by subclassing Receiver/Transmitter (see
+``tests/messages/test_transceiver.py`` for a custom example), leaving the
+RTM untouched — the portability claim of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component, Stream, SyncFifo
+
+
+class Receiver(Component):
+    """Channel → framework word stream, with an elastic buffer.
+
+    The FIFO decouples channel timing from message-buffer timing, standing
+    in for the clock-domain/rate adaptation a real COTS receiver performs.
+    """
+
+    def __init__(self, name: str, parent: Optional[Component] = None, depth: int = 8):
+        super().__init__(name, parent)
+        self.fifo = SyncFifo("fifo", depth=depth, parent=self, width=32)
+        #: channel-facing input
+        self.chan = self.fifo.inp
+        #: framework-facing output
+        self.out = self.fifo.out
+
+    @property
+    def buffered(self) -> int:
+        return self.fifo.occupancy
+
+
+class Transmitter(Component):
+    """Framework word stream → channel, with an elastic buffer."""
+
+    def __init__(self, name: str, parent: Optional[Component] = None, depth: int = 8):
+        super().__init__(name, parent)
+        self.fifo = SyncFifo("fifo", depth=depth, parent=self, width=32)
+        #: framework-facing input
+        self.inp = self.fifo.inp
+        #: channel-facing output
+        self.chan = self.fifo.out
+
+    @property
+    def buffered(self) -> int:
+        return self.fifo.occupancy
+
+
+class HostPort(Component):
+    """The host computer's end of the link (behavioural).
+
+    The host driver calls :meth:`send_word` to enqueue words toward the
+    coprocessor and :meth:`recv_word` to drain arrived words; the component
+    presents/accepts them on streams with correct cycle timing.
+    """
+
+    def __init__(self, name: str, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        #: words travelling host → coprocessor
+        self.tx = Stream(self, "tx", 32)
+        #: words travelling coprocessor → host
+        self.rx = Stream(self, "rx", 32)
+        self._txq = self.reg("txq", None, reset=())
+        self._rxq = self.reg("rxq", None, reset=())
+
+        @self.comb
+        def _drive() -> None:
+            txq = self._txq.value
+            self.tx.valid.set(1 if txq else 0)
+            if txq:
+                self.tx.payload.set(txq[0])
+            self.rx.ready.set(1)  # the host always drains
+
+        @self.seq
+        def _tick() -> None:
+            txq = self._txq.value
+            if self.tx.fires():
+                txq = txq[1:]
+            self._txq.nxt = txq
+            if self.rx.fires():
+                self._rxq.nxt = self._rxq.value + (self.rx.payload.value,)
+
+    # -- driver-side API ---------------------------------------------------------
+
+    def send_word(self, word: int) -> None:
+        """Queue one 32-bit word for transmission (takes effect next settle)."""
+        self._txq.force(self._txq.value + (word & 0xFFFF_FFFF,))
+
+    def send_words(self, words) -> None:
+        self._txq.force(self._txq.value + tuple(w & 0xFFFF_FFFF for w in words))
+
+    def recv_word(self) -> Optional[int]:
+        """Pop the oldest received word, or None when nothing has arrived."""
+        rxq = self._rxq.value
+        if not rxq:
+            return None
+        self._rxq.force(rxq[1:])
+        return rxq[0]
+
+    @property
+    def tx_pending(self) -> int:
+        return len(self._txq.value)
+
+    @property
+    def rx_available(self) -> int:
+        return len(self._rxq.value)

@@ -1,0 +1,200 @@
+"""Bit-level UART transceiver — the paper's prototyping link, for real.
+
+The published prototype talked to its host over "a very slow connection"
+(§III) — a development-board serial line.  This module models that link at
+the signal level rather than as an abstract delay: a configurable-divisor
+8N1 UART with an actual 1-bit ``line`` between transmitter and receiver,
+start-bit edge detection and mid-bit sampling.  Four bytes (LSB first per
+byte, little-endian across bytes) carry one 32-bit channel word.
+
+It slots in as an alternative physical layer under the same framing as the
+abstract :class:`repro.messages.channel.DelayLine` — the "selecting the
+appropriate transmitter and receiver modules" step of Fig. 3 exercised all
+the way down to the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component, Stream
+
+BITS_PER_FRAME = 10  # start + 8 data + stop
+BYTES_PER_WORD = 4
+
+
+class UartTx(Component):
+    """Serialises 32-bit words onto a 1-bit line, 8N1, LSB first.
+
+    ``divisor`` is the clocks-per-bit ratio (clock / baud).  The line idles
+    high; each byte is start(0) + 8 data bits + stop(1).
+    """
+
+    def __init__(self, name: str, divisor: int = 4, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if divisor < 1:
+            raise ValueError("divisor must be >= 1")
+        self.divisor = divisor
+        self.inp = Stream(self, "in", 32)
+        #: the serial line (idle high)
+        self.line = self.signal("line", 1, reset=1)
+        self._bits = self.reg("bits", None, reset=())   # bit queue, LSB first
+        self._phase = self.reg("phase", 16, 0)
+
+        @self.comb
+        def _drive() -> None:
+            bits = self._bits.value
+            self.line.set(bits[0] if bits else 1)
+            self.inp.ready.set(0 if bits else 1)
+
+        @self.seq
+        def _tick() -> None:
+            bits = self._bits.value
+            if bits:
+                phase = self._phase.value + 1
+                if phase >= self.divisor:
+                    self._bits.nxt = bits[1:]
+                    self._phase.nxt = 0
+                else:
+                    self._phase.nxt = phase
+            elif self.inp.fires():
+                word = self.inp.payload.value
+                frame: list[int] = []
+                for b in range(BYTES_PER_WORD):
+                    byte = (word >> (8 * b)) & 0xFF
+                    frame.append(0)                       # start bit
+                    frame.extend((byte >> i) & 1 for i in range(8))
+                    frame.append(1)                       # stop bit
+                self._bits.nxt = tuple(frame)
+                self._phase.nxt = 0
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._bits.value)
+
+
+class UartRx(Component):
+    """Samples the line, reassembles bytes into 32-bit words.
+
+    Detects the falling start edge, then samples each bit at its centre
+    (divisor//2 clocks after the bit boundary) — the standard oversampling
+    receiver, reduced to the clock-synchronous case.
+    """
+
+    IDLE, RECEIVING = 0, 1
+
+    def __init__(self, name: str, divisor: int = 4, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if divisor < 2:
+            raise ValueError("receiver divisor must be >= 2 (needs a sample point)")
+        self.divisor = divisor
+        #: the serial line input
+        self.line = self.signal("line", 1, reset=1)
+        self.out = Stream(self, "out", 32)
+        self._state = self.reg("state", 1, self.IDLE)
+        self._phase = self.reg("phase", 16, 0)
+        self._bitno = self.reg("bitno", 8, 0)
+        self._shift = self.reg("shift", 8, 0)
+        self._bytes = self.reg("bytes", None, reset=())
+        self._word = self.reg("word", 32, 0)
+        self._word_valid = self.reg("word_valid", 1, 0)
+        self._idle_run = self.reg("idle_run", 24, 0)
+        #: idle cycles after which a partial word is flushed (byte-slip resync)
+        self.resync_idle = BITS_PER_FRAME * divisor * 2
+        self.framing_errors = 0
+        self.resyncs = 0
+
+        @self.comb
+        def _drive() -> None:
+            self.out.valid.set(self._word_valid.value)
+            self.out.payload.set(self._word.value)
+
+        @self.seq
+        def _tick() -> None:
+            if self._word_valid.value and self.out.ready.value:
+                self._word_valid.nxt = 0
+            state = self._state.value
+            if state == self.IDLE:
+                if not self.line.value:  # start edge
+                    self._state.nxt = self.RECEIVING
+                    self._phase.nxt = 0
+                    self._bitno.nxt = 0
+                    self._shift.nxt = 0
+                    self._idle_run.nxt = 0
+                else:
+                    # inter-word gap resynchronisation: a long idle line means
+                    # the sender is between words; drop any byte-slipped
+                    # partial word so the next frame starts a clean word.
+                    run = self._idle_run.value + 1
+                    self._idle_run.nxt = run
+                    if run == self.resync_idle and self._bytes.value:
+                        self._bytes.nxt = ()
+                        self.resyncs += 1
+                return
+            phase = self._phase.value + 1
+            # sample at mid-bit; bit 0 is the start bit itself
+            if phase == self.divisor // 2 + self._bitno.value * self.divisor:
+                bit = self.line.value
+                bitno = self._bitno.value
+                if bitno == 0:
+                    if bit:  # false start
+                        self._state.nxt = self.IDLE
+                        return
+                elif bitno <= 8:
+                    self._shift.nxt = self._shift.value | (bit << (bitno - 1))
+                else:  # stop bit
+                    if not bit:
+                        # broken frame: count it and drop the partial word —
+                        # alignment recovers at the next inter-word gap
+                        self.framing_errors += 1
+                        self._bytes.nxt = ()
+                    else:
+                        self._accept_byte(self._shift.value)
+                    self._state.nxt = self.IDLE
+                    self._phase.nxt = 0
+                    return
+                self._bitno.nxt = bitno + 1
+            self._phase.nxt = phase
+
+        @self.on_reset
+        def _clear() -> None:
+            pass
+
+    def _accept_byte(self, byte: int) -> None:
+        collected = self._bytes.nxt + (byte,)
+        if len(collected) == BYTES_PER_WORD:
+            word = 0
+            for i, b in enumerate(collected):
+                word |= b << (8 * i)
+            self._word.nxt = word
+            self._word_valid.nxt = 1
+            self._bytes.nxt = ()
+        else:
+            self._bytes.nxt = collected
+
+
+class UartLink(Component):
+    """Full-duplex serial link: two UART pairs over two wires.
+
+    The word-level ports (``downstream``/``upstream`` stream pairs) match
+    the abstract :class:`Link`'s shape, so the SoC wiring is identical —
+    only the physics underneath changes.
+    """
+
+    def __init__(self, name: str, divisor: int = 4, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.divisor = divisor
+        self.tx_down = UartTx("tx_down", divisor, parent=self)
+        self.rx_down = UartRx("rx_down", divisor, parent=self)
+        self.tx_up = UartTx("tx_up", divisor, parent=self)
+        self.rx_up = UartRx("rx_up", divisor, parent=self)
+
+        @self.comb
+        def _wires() -> None:
+            self.rx_down.line.set(self.tx_down.line.value)
+            self.rx_up.line.set(self.tx_up.line.value)
+
+    @property
+    def cycles_per_word(self) -> int:
+        """Effective inverse bandwidth: 4 frames of 10 bits at divisor clocks."""
+        return BYTES_PER_WORD * BITS_PER_FRAME * self.divisor

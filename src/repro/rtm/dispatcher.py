@@ -1,0 +1,168 @@
+"""Dispatcher — third pipeline stage (§III).
+
+"Reads from the register file take place in the dispatcher stage, and
+instructions that initiate a functional unit operation transmit data to the
+functional unit through a register in this stage."
+
+Responsibilities implemented here:
+
+* **Hazard checking** against the lock manager: an instruction may not
+  proceed while any of its source or destination registers is locked by an
+  older in-flight instruction (RAW and WAW; in-order GETs then give the
+  host a result stream "consistent with the stream of instructions that
+  were issued" despite out-of-order unit completion).
+* **Operand fetch**: up to two data operands plus one flag vector read
+  combinationally from the register files.
+* **Unit dispatch**: when the target unit's ``idle`` is high, drive its
+  dispatch port (operands, variety, destination side-band) and strobe
+  ``dispatch``; the instruction's write set is locked at the same edge.
+* **Primitive resolution**: framework primitives have their register reads
+  performed here and travel on to the execution stage as a fully resolved
+  :class:`ExecOp`.
+* **FENCE**: stalls until the lock manager reports every register free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..fu.protocol import Transfer
+from ..hdl import Component, Stream
+from ..isa.opcodes import Opcode
+from ..messages.types import DataRecord, FlagVector
+from .decoder import DecodedOp, ExecOp
+from .futable import FunctionalUnitTable
+from .lockmgr import LockManager
+from .regfile import FlagRegisterFile, RegisterFile
+
+
+class Dispatcher(Component):
+    """Registered dispatch stage with local (handshake) stall control."""
+
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        regfile: RegisterFile,
+        flagfile: FlagRegisterFile,
+        lockmgr: LockManager,
+        futable: FunctionalUnitTable,
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        self.regfile = regfile
+        self.flagfile = flagfile
+        self.lockmgr = lockmgr
+        self.futable = futable
+        #: from the decoder (DecodedOp payloads)
+        self.inp = Stream(self, "in", None)
+        #: to the execution stage (ExecOp payloads)
+        self.out = Stream(self, "out", None)
+        self._full = self.reg("full", 1, 0)
+        self._op = self.reg("op", None, reset=None)
+        #: settles high when the held op completes this cycle (consumed by seq)
+        self._advancing = self.signal("advancing", 1, 0)
+        #: high while the held op is stalled on a lock (observability/benches)
+        self.stalled = self.signal("stalled", 1, 0)
+        self.dispatch_count = 0
+        self.stall_cycles = 0
+
+        @self.comb
+        def _drive() -> None:
+            # Compute every output first, then drive each signal exactly once
+            # per pass (a signal toggling within one pass would never settle).
+            full = self._full.value
+            op: Optional[DecodedOp] = self._op.value if full else None
+            advancing = 0
+            stalled = 0
+            out_valid = 0
+            out_payload: Optional[ExecOp] = None
+            dispatch_target = None
+            if op is not None:
+                blocked = self.lockmgr.any_locked(op.sources) or self.lockmgr.any_locked(
+                    op.write_set
+                )
+                if op.require_all_free and not self.lockmgr.all_free:
+                    blocked = True
+                if blocked:
+                    stalled = 1
+                elif op.kind == "unit":
+                    unit = op.entry.unit
+                    if unit.dp.idle.value:
+                        dispatch_target = unit
+                        advancing = 1
+                    else:
+                        stalled = 1
+                else:  # execution-stage op
+                    out_valid = 1
+                    out_payload = self._resolve(op)
+                    advancing = 1 if self.out.ready.value else 0
+            for unit in self.futable.units:
+                if unit is dispatch_target:
+                    self._drive_unit_port(op)
+                else:
+                    unit.dp.dispatch.set(0)
+            self.out.valid.set(out_valid)
+            if out_payload is not None:
+                self.out.payload.set(out_payload)
+            self._advancing.set(advancing)
+            self.stalled.set(stalled)
+            self.inp.ready.set((not full) or bool(advancing))
+
+        @self.seq
+        def _tick() -> None:
+            if self._advancing.value:
+                op: DecodedOp = self._op.value
+                if op.kind == "unit":
+                    self.dispatch_count += 1
+                self.lockmgr.lock_set(op.write_set)
+            elif self.stalled.value:
+                self.stall_cycles += 1
+            if self.inp.fires():
+                self._op.nxt = self.inp.payload.value
+                self._full.nxt = 1
+            elif self._advancing.value:
+                self._full.nxt = 0
+
+    # -- unit dispatch ------------------------------------------------------------
+
+    def _drive_unit_port(self, op: DecodedOp) -> None:
+        instr = op.instr
+        dp = op.entry.unit.dp
+        dp.variety.set(instr.variety)
+        dp.op_a.set(self.regfile.read(instr.src1))
+        dp.op_b.set(self.regfile.read(instr.src2))
+        dp.flag_in.set(self.flagfile.read(instr.src_flag))
+        dp.dst1.set(instr.dst1)
+        dp.dst2.set(instr.dst2)
+        dp.dst_flag.set(instr.dst_flag)
+        dp.dispatch.set(1)
+
+    # -- primitive resolution (register reads happen here, per §III) ---------------
+
+    def _resolve(self, op: DecodedOp) -> ExecOp:
+        if op.exec_op is not None:
+            return op.exec_op
+        instr = op.instr
+        cfg = self.config
+        opcode = instr.opcode
+        if opcode == Opcode.COPY:
+            return ExecOp(
+                transfer=Transfer(data_reg=instr.dst1, data_value=self.regfile.read(instr.src1))
+            )
+        if opcode == Opcode.CPFLAG:
+            return ExecOp(
+                transfer=Transfer(
+                    flag_reg=instr.dst_flag, flag_value=self.flagfile.read(instr.src_flag)
+                )
+            )
+        if opcode == Opcode.GET:
+            return ExecOp(message=DataRecord(instr.variety, self.regfile.read(instr.src1)))
+        if opcode == Opcode.GETF:
+            return ExecOp(message=FlagVector(instr.variety, self.flagfile.read(instr.src_flag)))
+        if opcode == Opcode.LOADIS:
+            merged = ((self.regfile.read(instr.dst1) << 32) | instr.imm) & cfg.word_mask
+            return ExecOp(transfer=Transfer(data_reg=instr.dst1, data_value=merged))
+        raise AssertionError(f"unresolvable primitive opcode {opcode:#x}")

@@ -1,0 +1,33 @@
+"""Message encoder — fifth pipeline stage (§III).
+
+"There are several types of message that can be sent from the RTM to the
+host, including data records and flag vectors, and these are multiplexed
+into a single standard vector of signals."  The encoder accepts outbound
+messages from the execution stage, buffers them in a small FIFO (keeping
+the pipeline free-running while the serialiser drains at channel speed)
+and presents a single message stream to the serialiser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..hdl import Component, SyncFifo
+
+
+class MessageEncoder(Component):
+    """Outbound-message multiplexer + elastic buffer."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        self.fifo = SyncFifo("fifo", depth=config.encoder_fifo_depth, parent=self, width=None)
+        #: from the execution stage (Message payloads)
+        self.inp = self.fifo.inp
+        #: to the serialiser (Message payloads)
+        self.out = self.fifo.out
+
+    @property
+    def queued(self) -> int:
+        return self.fifo.occupancy

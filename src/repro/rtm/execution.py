@@ -1,0 +1,106 @@
+"""Execution stage — fourth pipeline stage (§III).
+
+"Instructions that operate on the state of the RTM are executed" here.  By
+the time an operation reaches this stage it is a fully resolved
+:class:`ExecOp`; the stage's job is sequencing its effects:
+
+* register writes go to the write arbiter's **high-priority port** (thesis
+  Fig. 1.4), so framework primitives never lose arbitration to functional
+  units;
+* outbound messages (data records, flag vectors, exception reports, the
+  HALT acknowledgement) go to the message encoder;
+* HALT sets the halt latch that gates the message buffer; a RESET message
+  clears it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..hdl import Component, Signal, Stream
+from .decoder import ExecOp
+
+
+class Execution(Component):
+    """Holds one ExecOp and retires it via the arbiter/encoder."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        #: from the dispatcher (ExecOp payloads)
+        self.inp = Stream(self, "in", None)
+        #: to the message encoder (Message payloads)
+        self.msg_out = Stream(self, "msg_out", None)
+        # High-priority write port toward the arbiter.
+        self.prio_valid: Signal = self.signal("prio_valid", 1, 0)
+        self.prio_transfer: Signal = self.signal("prio_transfer", None, reset=None)
+        self.prio_ack: Signal = self.signal("prio_ack", 1, 0)
+        #: the halt latch (read by the message buffer)
+        self.halted = self.reg("halted", 1, 0)
+        self._full = self.reg("full", 1, 0)
+        self._op = self.reg("op", None, reset=None)
+        #: transfer already acknowledged (for ops with transfer + message)
+        self._xfer_done = self.reg("xfer_done", 1, 0)
+        self.retired = 0
+
+        @self.comb
+        def _drive() -> None:
+            full = self._full.value
+            op: Optional[ExecOp] = self._op.value if full else None
+            prio_valid = 0
+            msg_valid = 0
+            if op is not None:
+                if op.transfer is not None and not self._xfer_done.value:
+                    prio_valid = 1
+                    self.prio_transfer.set(op.transfer)
+                elif op.message is not None:
+                    msg_valid = 1
+                    self.msg_out.payload.set(op.message)
+            self.prio_valid.set(prio_valid)
+            self.msg_out.valid.set(msg_valid)
+            # Accept a new op when empty or when the held op retires this cycle.
+            self.inp.ready.set((not full) or self._retiring())
+
+        @self.seq
+        def _tick() -> None:
+            full = self._full.value
+            op: Optional[ExecOp] = self._op.value if full else None
+            retiring = False
+            if op is not None:
+                if self.prio_valid.value and self.prio_ack.value:
+                    if op.message is not None:
+                        self._xfer_done.nxt = 1
+                    else:
+                        retiring = True
+                elif self.msg_out.fires():
+                    retiring = True
+                elif op.transfer is None and op.message is None:
+                    retiring = True  # pure state ops (NOP, FENCE, RESET latch)
+                if retiring:
+                    if op.set_halt:
+                        self.halted.nxt = 1
+                    if op.clear_halt:
+                        self.halted.nxt = 0
+                    self.retired += 1
+                    self._xfer_done.nxt = 0
+            if self.inp.fires():
+                self._op.nxt = self.inp.payload.value
+                self._full.nxt = 1
+                self._xfer_done.nxt = 0
+            elif retiring:
+                self._full.nxt = 0
+
+    def _retiring(self) -> bool:
+        """Combinational view of whether the held op completes this cycle."""
+        op: Optional[ExecOp] = self._op.value if self._full.value else None
+        if op is None:
+            return False
+        if op.transfer is None and op.message is None:
+            return True
+        if op.transfer is not None and not self._xfer_done.value:
+            # Retires now only if this is the last effect and it is acked.
+            return bool(self.prio_ack.value) and op.message is None
+        if op.message is not None:
+            return bool(self.msg_out.valid.value and self.msg_out.ready.value)
+        return True

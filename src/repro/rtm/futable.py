@@ -1,0 +1,79 @@
+"""The functional unit table.
+
+Routes user instructions to functional-unit ports and carries each unit's
+static *write profile* — which destination fields an instruction with a
+given variety code actually writes.  Thesis Fig. 1.4 notes the lookup
+tables are "implicitly synthesised into [the] Decoder" with "external table
+module definitions [to] alleviate customisation": here the table is built
+at system-assembly time from the registered units, and the write profile is
+the per-unit decode information the dispatcher's lock manager needs (lock
+exactly what will be written, no more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..fu.base import FunctionalUnit
+from ..isa.opcodes import ARITH_OUTPUT_DATA, Opcode
+
+#: variety → (writes_dst1, writes_dst2, writes_flags)
+WriteProfile = Callable[[int], tuple[bool, bool, bool]]
+
+
+def default_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    """Safe default: one data result plus flags."""
+    return True, False, True
+
+
+def arith_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    """Table 3.1: the "Output data" variety bit gates the data write."""
+    return bool(variety & ARITH_OUTPUT_DATA), False, True
+
+
+@dataclass(frozen=True)
+class UnitEntry:
+    """One row of the functional unit table."""
+
+    code: int
+    port: int                     # index of the unit's dispatch/result ports
+    unit: FunctionalUnit
+    write_profile: WriteProfile
+
+
+class FunctionalUnitTable:
+    """opcode → :class:`UnitEntry` lookup consulted by the decoder."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, UnitEntry] = {}
+
+    def add(
+        self,
+        code: int,
+        unit: FunctionalUnit,
+        write_profile: Optional[WriteProfile] = None,
+    ) -> UnitEntry:
+        if code in self._entries:
+            raise ValueError(f"unit code {code:#x} already in the table")
+        if write_profile is None:
+            write_profile = getattr(unit, "write_profile", None) or (
+                arith_write_profile if code == Opcode.ARITH else default_write_profile
+            )
+        entry = UnitEntry(code, len(self._entries), unit, write_profile)
+        self._entries[code] = entry
+        return entry
+
+    def lookup(self, code: int) -> Optional[UnitEntry]:
+        return self._entries.get(code)
+
+    @property
+    def units(self) -> tuple[FunctionalUnit, ...]:
+        """Units in port order."""
+        return tuple(e.unit for e in sorted(self._entries.values(), key=lambda e: e.port))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, code: int) -> bool:
+        return code in self._entries

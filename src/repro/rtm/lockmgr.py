@@ -1,0 +1,74 @@
+"""The lock manager / register usage table — the RTM's scoreboard.
+
+Thesis Fig. 1.4 shows a *Lock Manager* beside the register file and a
+*Register Usage Table* feeding the dispatcher.  Together they allow
+out-of-order functional-unit completion while keeping the result stream
+consistent with issue order (§II): the dispatcher locks every register an
+in-flight instruction will write; later instructions that read or write a
+locked register stall in the dispatcher; the write arbiter releases locks
+as results arrive.  A GET therefore cannot read a register until the
+instruction producing it has retired — which is precisely the in-order
+result guarantee.
+
+Lock state is a bitmask per register space, latched at the clock edge.
+Lock and unlock requests issued during the same edge accumulate
+commutatively into the staged next value, so the dispatcher and the write
+arbiter never race.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..config import FrameworkConfig
+from ..fu.protocol import WriteSpace
+from ..hdl import Component
+
+
+class LockManager(Component):
+    """Tracks which data/flag registers are claimed by in-flight instructions."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        self._data_locks = self.reg("data_locks", config.n_regs, 0)
+        self._flag_locks = self.reg("flag_locks", config.n_flag_regs, 0)
+        # A passive component still needs a process to be simulable alone.
+        self.comb(lambda: None)
+
+    def _reg_for(self, space: WriteSpace):
+        return self._data_locks if space is WriteSpace.DATA else self._flag_locks
+
+    # -- queries (combinational, latched state) ---------------------------------
+
+    def is_locked(self, space: WriteSpace, reg: int) -> bool:
+        return bool((self._reg_for(space).value >> reg) & 1)
+
+    def any_locked(self, pairs: Iterable[tuple[WriteSpace, int]]) -> bool:
+        """True when any of the (space, reg) pairs is currently locked."""
+        return any(self.is_locked(space, reg) for space, reg in pairs)
+
+    @property
+    def all_free(self) -> bool:
+        """True when no register in either space is locked (FENCE condition)."""
+        return self._data_locks.value == 0 and self._flag_locks.value == 0
+
+    @property
+    def locked_count(self) -> int:
+        return bin(self._data_locks.value).count("1") + bin(self._flag_locks.value).count("1")
+
+    # -- updates (edge phase; commutative accumulation via .nxt) -----------------
+
+    def lock(self, space: WriteSpace, reg: int) -> None:
+        """Claim a register (dispatcher, at the dispatch edge)."""
+        target = self._reg_for(space)
+        target.nxt = target.nxt | (1 << reg)
+
+    def unlock(self, space: WriteSpace, reg: int) -> None:
+        """Release a register (write arbiter, as the write commits)."""
+        target = self._reg_for(space)
+        target.nxt = target.nxt & ~(1 << reg)
+
+    def lock_set(self, pairs: Iterable[tuple[WriteSpace, int]]) -> None:
+        for space, reg in pairs:
+            self.lock(space, reg)

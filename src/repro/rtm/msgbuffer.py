@@ -1,0 +1,74 @@
+"""Message buffer — the first pipeline stage (§III).
+
+"The first stage receives data from the FPGA input port connected to the
+host processor, and converts it to a form usable by the decoder.  This
+stage needs to be implemented according to the communication protocol used
+by the host processor."  Here the host protocol is the 32-bit word framing
+of :mod:`repro.messages.framing`; the stage consumes one channel word per
+cycle and presents each completed message to the decoder.
+
+While the RTM is halted the buffer discards everything except a RESET
+frame, so a halted coprocessor can always be revived over the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..hdl import Component, Stream
+from ..messages.framing import Deframer, FramingError
+from ..messages.types import BadFrame, Message, Reset
+
+
+class MessageBuffer(Component):
+    """Channel words in, parsed host messages out."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        #: channel-side input (32-bit words from the receiver)
+        self.inp = Stream(self, "in", 32)
+        #: decoder-side output (Message payloads)
+        self.out = Stream(self, "out", None)
+        #: driven by the execution stage's halt latch
+        self.halted = self.signal("halted", 1, 0)
+        self._deframer = Deframer(config.data_words)
+        self._pending = self.reg("pending", None, reset=None)
+
+        @self.comb
+        def _drive() -> None:
+            pending = self._pending.value
+            self.out.valid.set(1 if pending is not None else 0)
+            if pending is not None:
+                self.out.payload.set(pending)
+            # Take a new word only while no completed message waits.
+            self.inp.ready.set(1 if pending is None else 0)
+
+        @self.seq
+        def _tick() -> None:
+            pending = self._pending.value
+            if pending is not None and self.out.fires():
+                pending = None
+            if self.inp.fires():
+                word = self.inp.payload.value
+                try:
+                    msg = self._deframer.push(word)
+                except FramingError:
+                    # Malformed frame: report it instead of wedging (§II —
+                    # the coprocessor must stay controllable by the host).
+                    msg = BadFrame(word)
+                if msg is not None:
+                    if self.halted.value and not isinstance(msg, Reset):
+                        msg = None  # discarded while halted
+                    else:
+                        pending = msg
+            self._pending.nxt = pending
+
+        @self.on_reset
+        def _clear() -> None:
+            self._deframer = Deframer(config.data_words)
+
+    @property
+    def pending_message(self) -> Optional[Message]:
+        return self._pending.value

@@ -1,0 +1,68 @@
+"""The main register file of the Register Transfer Machine.
+
+"The main register file holds data, and its word size is configurable in
+multiples of 32 bits" (§III).  Reads are combinational (up to three per
+instruction, performed in the dispatcher stage); there is a single write
+path shared between the write arbiter's granted transfer and the execution
+stage's high-priority write — sharing that path is the write arbiter's job,
+so this component simply exposes the RAM and enforces the index range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..hdl import Component, SyncRam
+
+
+class RegisterFile(Component):
+    """N words of ``config.word_bits`` bits with combinational reads."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        self.n_regs = config.n_regs
+        self.ram = SyncRam("ram", config.n_regs, config.word_bits, parent=self)
+
+    def valid_index(self, reg: int) -> bool:
+        return 0 <= reg < self.n_regs
+
+    def read(self, reg: int) -> int:
+        """Combinational read (dispatcher stage)."""
+        return self.ram.read(reg)
+
+    def write(self, reg: int, value: int) -> None:
+        """Edge write (write arbiter only)."""
+        self.ram.write(reg, value)
+
+    def dump(self) -> tuple[int, ...]:
+        return self.ram.dump()
+
+    def load(self, values) -> None:
+        self.ram.load(values)
+
+
+class FlagRegisterFile(Component):
+    """The secondary register file "holding vectors of flags" (§III)."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        self.n_regs = config.n_flag_regs
+        self.ram = SyncRam("ram", config.n_flag_regs, config.flag_bits, parent=self)
+
+    def valid_index(self, reg: int) -> bool:
+        return 0 <= reg < self.n_regs
+
+    def read(self, reg: int) -> int:
+        return self.ram.read(reg)
+
+    def write(self, reg: int, value: int) -> None:
+        self.ram.write(reg, value)
+
+    def dump(self) -> tuple[int, ...]:
+        return self.ram.dump()
+
+    def load(self, values) -> None:
+        self.ram.load(values)

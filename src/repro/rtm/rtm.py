@@ -1,0 +1,132 @@
+"""The Register Transfer Machine — top-level assembly (paper Figs. 2 and 4).
+
+Instantiates and wires the six pipeline stages (message buffer, decoder,
+dispatcher, execution, message encoder, message serialiser), the register
+and flag register files, the lock manager, the write arbiter and the
+configured functional units.  All connections are point-to-point
+valid/ready streams — "there is no global control for stalling the
+pipeline" (§III).
+
+The RTM exposes two word streams (``words_in`` / ``words_out``) that the
+transceiver modules attach to, keeping the controller independent of the
+physical channel exactly as the paper's portability goal requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import FrameworkConfig
+from ..fu.base import FunctionalUnit
+from ..fu.registry import UnitRegistry, default_registry
+from ..hdl import Component
+from .decoder import Decoder
+from .dispatcher import Dispatcher
+from .encoder import MessageEncoder
+from .execution import Execution
+from .futable import FunctionalUnitTable
+from .lockmgr import LockManager
+from .msgbuffer import MessageBuffer
+from .regfile import FlagRegisterFile, RegisterFile
+from .serializer import MessageSerializer
+from .write_arbiter import WriteArbiter
+
+
+def _connect(comp: Component, src, dst) -> None:
+    """Point-to-point stream connection: src.out-style → dst.in-style."""
+
+    def _link() -> None:
+        dst.valid.set(src.valid.value)
+        dst.payload.set(src.payload.value)
+        src.ready.set(dst.ready.value)
+
+    comp.comb(_link)
+
+
+class RegisterTransferMachine(Component):
+    """The generic controller circuit: pipeline + register files + arbiter."""
+
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        registry: Optional[UnitRegistry] = None,
+        unit_codes: Optional[Sequence[int]] = None,
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        registry = registry if registry is not None else default_registry(config.pipelined_units)
+        codes = tuple(unit_codes) if unit_codes is not None else registry.codes()
+
+        # -- state ------------------------------------------------------------
+        self.regfile = RegisterFile("regfile", config, parent=self)
+        self.flagfile = FlagRegisterFile("flagfile", config, parent=self)
+        self.lockmgr = LockManager("lockmgr", config, parent=self)
+        self.futable = FunctionalUnitTable()
+
+        # -- functional units ---------------------------------------------------
+        self.units: list[FunctionalUnit] = []
+        for code in codes:
+            unit = registry.build(code, f"fu_{code:02x}", config.word_bits, parent=self)
+            self.futable.add(code, unit)
+            self.units.append(unit)
+
+        # -- pipeline stages -----------------------------------------------------
+        self.msgbuffer = MessageBuffer("msgbuffer", config, parent=self)
+        self.decoder = Decoder("decoder", config, self.futable, parent=self)
+        self.dispatcher = Dispatcher(
+            "dispatcher", config, self.regfile, self.flagfile, self.lockmgr,
+            self.futable, parent=self,
+        )
+        self.execution = Execution("execution", config, parent=self)
+        self.encoder = MessageEncoder("encoder", config, parent=self)
+        self.serializer = MessageSerializer("serializer", config, parent=self)
+
+        # -- write arbiter ---------------------------------------------------------
+        self.write_arbiter = WriteArbiter(
+            "write_arbiter", config, self.regfile, self.flagfile, self.lockmgr,
+            parent=self,
+        )
+        for unit in self.units:
+            self.write_arbiter.attach_port(unit.rp)
+        self.write_arbiter.attach_priority(
+            self.execution.prio_valid,
+            self.execution.prio_transfer,
+            self.execution.prio_ack,
+        )
+
+        # -- stream wiring (all point-to-point) ---------------------------------------
+        _connect(self, self.msgbuffer.out, self.decoder.inp)
+        _connect(self, self.decoder.out, self.dispatcher.inp)
+        _connect(self, self.dispatcher.out, self.execution.inp)
+        _connect(self, self.execution.msg_out, self.encoder.inp)
+        _connect(self, self.encoder.out, self.serializer.inp)
+
+        @self.comb
+        def _halt_wire() -> None:
+            self.msgbuffer.halted.set(self.execution.halted.value)
+
+        #: channel-facing ports (the transceiver plug points)
+        self.words_in = self.msgbuffer.inp
+        self.words_out = self.serializer.out
+
+    # -- convenience accessors (testbench/driver use) ------------------------------
+
+    @property
+    def halted(self) -> bool:
+        return bool(self.execution.halted.value)
+
+    def register_value(self, reg: int) -> int:
+        """Backdoor read of a main register (testbench aid)."""
+        return self.regfile.read(reg)
+
+    def flag_value(self, reg: int) -> int:
+        """Backdoor read of a flag register (testbench aid)."""
+        return self.flagfile.read(reg)
+
+    def unit_for(self, code: int) -> FunctionalUnit:
+        entry = self.futable.lookup(code)
+        if entry is None:
+            raise KeyError(f"no unit with code {code:#x}")
+        return entry.unit

@@ -1,0 +1,56 @@
+"""Message serialiser — final pipeline stage (§III).
+
+"The signal vector is converted to the form required by the communication
+port to the host, and is transmitted on the port."  Each message is framed
+into 32-bit channel words (header + payload, LSW first) and shifted out one
+word per cycle toward the transmitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..hdl import Component, Stream
+from ..messages.framing import Framer
+
+
+class MessageSerializer(Component):
+    """Messages in, framed 32-bit words out (one per cycle)."""
+
+    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.config = config
+        self._framer = Framer(config.data_words)
+        #: from the encoder (Message payloads)
+        self.inp = Stream(self, "in", None)
+        #: to the transmitter (32-bit words)
+        self.out = Stream(self, "out", 32)
+        self._words = self.reg("words", None, reset=())
+        self.messages_sent = 0
+
+        @self.comb
+        def _drive() -> None:
+            words = self._words.value
+            self.out.valid.set(1 if words else 0)
+            if words:
+                self.out.payload.set(words[0])
+            # A new message is accepted only once the current frame has fully
+            # left (the shift register is single-buffered, like the thesis's
+            # serialiser stage).
+            self.inp.ready.set(0 if words else 1)
+
+        @self.seq
+        def _tick() -> None:
+            words = self._words.value
+            if self.out.fires():
+                words = words[1:]
+            if self.inp.fires():
+                framed = tuple(self._framer.frame(self.inp.payload.value))
+                words = words + framed
+                self.messages_sent += 1
+            self._words.nxt = words
+
+    @property
+    def words_pending(self) -> int:
+        return len(self._words.value)

@@ -1,0 +1,116 @@
+"""Write arbiter — shares the register files' write paths (thesis Fig. 1.4).
+
+The main register file has a single data write port and the flag register
+file a single flag write port; every producer of results — each functional
+unit's result port plus the execution stage's high-priority port — funnels
+through this arbiter.  Per cycle it grants at most one transfer:
+
+* the **high-priority write** (framework primitives and host register
+  writes) always wins, so the RTM pipeline never blocks behind functional
+  units;
+* otherwise the grant rotates **round-robin** over the units' result
+  ports, so no unit can starve another.
+
+The granted transfer's writes commit at the clock edge, and the lock
+manager releases the written registers in the same cycle — the unlock path
+of the scoreboard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FrameworkConfig
+from ..fu.protocol import ResultPort, Transfer, WriteSpace
+from ..hdl import Component
+from .lockmgr import LockManager
+from .regfile import FlagRegisterFile, RegisterFile
+
+
+class WriteArbiter(Component):
+    """Round-robin arbiter with a high-priority port, plus the write datapath."""
+
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        regfile: RegisterFile,
+        flagfile: FlagRegisterFile,
+        lockmgr: LockManager,
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        self.regfile = regfile
+        self.flagfile = flagfile
+        self.lockmgr = lockmgr
+        self._ports: list[ResultPort] = []
+        # Execution-stage priority port wiring (set by the RTM top level).
+        self.prio_valid = None
+        self.prio_transfer = None
+        self.prio_ack = None
+        self._last = self.reg("last", 8, 0)
+        self._grant = self.signal("grant", 8, 0)
+        self._grant_valid = self.signal("grant_valid", 1, 0)
+        self._prio_granted = self.signal("prio_granted", 1, 0)
+        self.writes_performed = 0
+        self.grants_by_port: dict[int, int] = {}
+
+        @self.comb
+        def _arbitrate() -> None:
+            # Compute the grant first, then drive every ack exactly once per
+            # pass (a signal toggling within one pass would never settle).
+            prio = bool(self.prio_valid is not None and self.prio_valid.value)
+            granted_idx = -1
+            if not prio and self._ports:
+                n = len(self._ports)
+                start = (self._last.value + 1) % n
+                for off in range(n):
+                    idx = (start + off) % n
+                    if self._ports[idx].ready.value:
+                        granted_idx = idx
+                        break
+            for i, port in enumerate(self._ports):
+                port.ack.set(1 if i == granted_idx else 0)
+            self._prio_granted.set(1 if prio else 0)
+            if self.prio_ack is not None:
+                self.prio_ack.set(1 if prio else 0)
+            if granted_idx >= 0:
+                self._grant.set(granted_idx)
+            self._grant_valid.set(1 if granted_idx >= 0 else 0)
+
+        @self.seq
+        def _commit() -> None:
+            transfer: Optional[Transfer] = None
+            if self._prio_granted.value:
+                transfer = self.prio_transfer.value
+            elif self._grant_valid.value:
+                idx = self._grant.value
+                transfer = self._ports[idx].take()
+                self._last.nxt = idx
+                self.grants_by_port[idx] = self.grants_by_port.get(idx, 0) + 1
+            if transfer is None:
+                return
+            if transfer.has_data:
+                self.regfile.write(transfer.data_reg, transfer.data_value)
+                self.lockmgr.unlock(WriteSpace.DATA, transfer.data_reg)
+                self.writes_performed += 1
+            if transfer.has_flags:
+                self.flagfile.write(transfer.flag_reg, transfer.flag_value)
+                self.lockmgr.unlock(WriteSpace.FLAG, transfer.flag_reg)
+                self.writes_performed += 1
+
+    def attach_port(self, port: ResultPort) -> int:
+        """Register a functional unit's result port; returns its index."""
+        self._ports.append(port)
+        return len(self._ports) - 1
+
+    def attach_priority(self, valid, transfer, ack) -> None:
+        """Wire the execution stage's high-priority write port."""
+        self.prio_valid = valid
+        self.prio_transfer = transfer
+        self.prio_ack = ack
+
+    @property
+    def n_ports(self) -> int:
+        return len(self._ports)

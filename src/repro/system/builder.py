@@ -1,0 +1,104 @@
+"""System builder — the "configure the interface framework" step (§II).
+
+The paper's workflow for a programmer is: partition the algorithm, define
+functional units, then *configure the interface framework by specifying
+size parameters for the register file and selecting the appropriate
+transmitter and receiver modules*.  :class:`SystemBuilder` is that step as
+a fluent API; :func:`build_system` is the one-call convenience wrapper used
+throughout the tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config import FrameworkConfig
+from ..fu.registry import UnitRegistry, default_registry
+from ..hdl import Simulator
+from ..messages.channel import INTEGRATED, ChannelSpec
+from .soc import CoprocessorSystem
+
+
+@dataclass
+class BuiltSystem:
+    """A wired system plus its simulator (what the builder produces)."""
+
+    soc: CoprocessorSystem
+    sim: Simulator
+
+    @property
+    def config(self) -> FrameworkConfig:
+        return self.soc.config
+
+
+class SystemBuilder:
+    """Fluent configuration of a coprocessor installation."""
+
+    def __init__(self, config: Optional[FrameworkConfig] = None):
+        self._config = config if config is not None else FrameworkConfig()
+        self._channel: ChannelSpec = INTEGRATED
+        self._upstream: Optional[ChannelSpec] = None
+        self._registry: Optional[UnitRegistry] = None
+        self._unit_codes: Optional[Sequence[int]] = None
+
+    def with_config(self, **kwargs) -> "SystemBuilder":
+        """Override framework generics (word_bits, n_regs, …)."""
+        self._config = self._config.with_(**kwargs)
+        return self
+
+    def with_channel(
+        self, spec: ChannelSpec, upstream: Optional[ChannelSpec] = None
+    ) -> "SystemBuilder":
+        """Select the link model (transceiver selection in the paper).
+
+        ``upstream`` selects a different spec for the coprocessor→host
+        direction (asymmetric fabrics).
+        """
+        self._channel = spec
+        self._upstream = upstream
+        return self
+
+    def with_registry(self, registry: UnitRegistry) -> "SystemBuilder":
+        """Provide a custom functional-unit registry."""
+        self._registry = registry
+        return self
+
+    def with_unit(self, code: int, factory) -> "SystemBuilder":
+        """Register one extra functional unit on top of the defaults."""
+        if self._registry is None:
+            self._registry = default_registry(self._config.pipelined_units)
+        self._registry.register(code, factory)
+        return self
+
+    def with_units(self, codes: Sequence[int]) -> "SystemBuilder":
+        """Restrict the build to a subset of registered unit codes."""
+        self._unit_codes = tuple(codes)
+        return self
+
+    def build(self) -> BuiltSystem:
+        soc = CoprocessorSystem(
+            self._config,
+            channel=self._channel,
+            registry=self._registry,
+            unit_codes=self._unit_codes,
+            upstream_channel=self._upstream,
+        )
+        sim = Simulator(soc)
+        sim.reset()
+        return BuiltSystem(soc=soc, sim=sim)
+
+
+def build_system(
+    config: Optional[FrameworkConfig] = None,
+    channel: ChannelSpec = INTEGRATED,
+    registry: Optional[UnitRegistry] = None,
+    unit_codes: Optional[Sequence[int]] = None,
+) -> BuiltSystem:
+    """One-call system construction with sensible defaults."""
+    builder = SystemBuilder(config).with_channel(channel)
+    if registry is not None:
+        builder.with_registry(registry)
+    if unit_codes is not None:
+        builder.with_units(unit_codes)
+    return builder.build()

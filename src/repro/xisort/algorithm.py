@@ -1,0 +1,192 @@
+"""Host-side χ-sort: driving the stateful unit through the full framework.
+
+This is the paper's §IV.B in executable form: "The χ-sort algorithm
+executes in the Register Transfer Machine, which issues microinstructions
+to a stateful functional unit."  The host issues RTM instructions (unit
+dispatches, GETs) over the message channel; the scoreboard guarantees that
+a SPLIT dispatched right after FIND_PIVOT reads the pivot registers only
+once the unit has written them — out-of-order completion with in-order
+results, with no host-side synchronisation beyond the protocol itself.
+
+Keys must be distinct (a property of χ-sort's index-interval scheme; see
+DESIGN.md).  :meth:`XiSortAccelerator.sort` can enforce this transparently
+by packing each value with its original position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..isa import instructions as ins
+from ..isa.opcodes import Opcode
+from ..host.session import Session
+from .cell import INTERVAL_BITS
+from .microcode import (
+    XI_FIND_PIVOT,
+    XI_WRITE_AT,
+    XI_RANK,
+    XI_COUNT_EQ,
+    XI_FIND_PIVOT_AT,
+    XI_FLAG_FOUND,
+    XI_LOAD,
+    XI_READ_AT,
+    XI_RESET,
+    XI_SPLIT,
+    XI_STATUS,
+)
+
+
+class XiSortAccelerator:
+    """χ-sort operations over an open :class:`Session`.
+
+    The session's system must include a ξ-sort unit (see
+    :func:`repro.xisort.adapter.xisort_factory` and the system builder).
+    """
+
+    def __init__(self, session: Session, unit_code: int = Opcode.XISORT):
+        self.session = session
+        self.unit_code = unit_code
+        d = session.driver
+        # dedicated registers for the pivot protocol
+        self.r_val = session.alloc()      # operand A staging
+        self.r_aux = session.alloc()      # operand B staging
+        self.r_pivot = session.alloc()    # FIND_PIVOT → pivot datum
+        self.r_interval = session.alloc() # FIND_PIVOT → packed interval
+        self.r_out = session.alloc()      # READ_AT / SPLIT results
+        self.f_status = session.alloc_flag()
+
+    # -- raw unit dispatches ---------------------------------------------------------
+
+    def _dispatch(self, variety: int, src1: int = 0, src2: int = 0,
+                  dst1: int = 0, dst2: int = 0, dst_flag: int = 0) -> None:
+        self.session.driver.execute(
+            ins.dispatch(self.unit_code, variety, dst1=dst1, dst2=dst2,
+                         src1=src1, src2=src2, dst_flag=dst_flag)
+        )
+
+    def reset(self) -> None:
+        self._dispatch(XI_RESET)
+
+    def load(self, values: Sequence[int]) -> None:
+        """Stream the values into the smart memory (one LOAD dispatch each)."""
+        s = self.session
+        n = len(values)
+        s.write(self.r_aux, n - 1)
+        for v in values:
+            s.write(self.r_val, v)
+            self._dispatch(XI_LOAD, src1=self.r_val, src2=self.r_aux)
+
+    def find_pivot(self) -> bool:
+        """Dispatch FIND_PIVOT; returns the found flag (one GETF round trip).
+
+        The pivot datum/interval stay on the coprocessor in ``r_pivot`` /
+        ``r_interval`` — the host never needs their values, it only chains
+        them into SPLIT (the scoreboard orders the two dispatches).
+        """
+        self._dispatch(
+            XI_FIND_PIVOT,
+            dst1=self.r_pivot, dst2=self.r_interval, dst_flag=self.f_status,
+        )
+        flags = self.session.driver.read_flags(self.f_status)
+        return bool(flags & XI_FLAG_FOUND)
+
+    def find_pivot_at(self, k: int) -> bool:
+        """FIND_PIVOT_AT k — pivot of the segment containing index k."""
+        self.session.write(self.r_val, k)
+        self._dispatch(
+            XI_FIND_PIVOT_AT, src1=self.r_val,
+            dst1=self.r_pivot, dst2=self.r_interval, dst_flag=self.f_status,
+        )
+        flags = self.session.driver.read_flags(self.f_status)
+        return bool(flags & XI_FLAG_FOUND)
+
+    def split(self) -> None:
+        """SPLIT on the pivot registers produced by the last FIND_PIVOT*."""
+        self._dispatch(XI_SPLIT, src1=self.r_pivot, src2=self.r_interval,
+                       dst1=self.r_out)
+
+    def read_at(self, index: int) -> Optional[int]:
+        s = self.session
+        s.write(self.r_val, index)
+        self._dispatch(XI_READ_AT, src1=self.r_val, dst1=self.r_out,
+                       dst_flag=self.f_status)
+        flags = s.driver.read_flags(self.f_status)
+        if not flags & XI_FLAG_FOUND:
+            return None
+        return s.read(self.r_out)
+
+    def imprecise_count(self) -> int:
+        self._dispatch(XI_STATUS, dst1=self.r_out)
+        return self.session.read(self.r_out)
+
+    def rank(self, value: int) -> int:
+        """Constant-time order statistic: elements strictly below value."""
+        s = self.session
+        s.write(self.r_val, value)
+        self._dispatch(XI_RANK, src1=self.r_val, dst1=self.r_out)
+        return s.read(self.r_out)
+
+    def count_eq(self, value: int) -> int:
+        """Constant-time multiplicity / membership test."""
+        s = self.session
+        s.write(self.r_val, value)
+        self._dispatch(XI_COUNT_EQ, src1=self.r_val, dst1=self.r_out)
+        return s.read(self.r_out)
+
+    def write_at(self, index: int, value: int) -> bool:
+        """Overwrite the datum at a precise index (smart-memory update)."""
+        s = self.session
+        s.write(self.r_val, index)
+        s.write(self.r_aux, value)
+        self._dispatch(XI_WRITE_AT, src1=self.r_val, src2=self.r_aux,
+                       dst_flag=self.f_status)
+        return bool(s.driver.read_flags(self.f_status) & XI_FLAG_FOUND)
+
+    # -- high-level algorithms ----------------------------------------------------------
+
+    def sort(self, values: Sequence[int], ensure_distinct: bool = True) -> list[int]:
+        """Full χ-sort; returns the values in ascending order.
+
+        With ``ensure_distinct``, each value is packed with its original
+        index before loading (stable order among duplicates) and unpacked
+        on readout, lifting the distinct-keys requirement.
+        """
+        n = len(values)
+        if n == 0:
+            return []
+        idx_bits = max(1, (n - 1).bit_length()) if ensure_distinct else 0
+        if ensure_distinct:
+            loaded = [(v << idx_bits) | i for i, v in enumerate(values)]
+        else:
+            loaded = list(values)
+        self.reset()
+        self.load(loaded)
+        while self.find_pivot():
+            self.split()
+        out = []
+        for i in range(n):
+            v = self.read_at(i)
+            if v is None:
+                raise RuntimeError(f"no element settled at index {i}")
+            out.append(v >> idx_bits if ensure_distinct else v)
+        return out
+
+    def select(self, values: Sequence[int], k: int, ensure_distinct: bool = True) -> int:
+        """k-th smallest (0-based), refining only the path containing k."""
+        n = len(values)
+        if not 0 <= k < n:
+            raise IndexError(f"k={k} out of range for {n} values")
+        idx_bits = max(1, (n - 1).bit_length()) if ensure_distinct else 0
+        if ensure_distinct:
+            loaded = [(v << idx_bits) | i for i, v in enumerate(values)]
+        else:
+            loaded = list(values)
+        self.reset()
+        self.load(loaded)
+        while True:
+            v = self.read_at(k)
+            if v is not None:
+                return v >> idx_bits if ensure_distinct else v
+            if not self.find_pivot_at(k):
+                raise RuntimeError("no imprecise interval contains k; bad state")
+            self.split()

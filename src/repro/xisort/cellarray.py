@@ -1,0 +1,211 @@
+"""Cell arrays: vectorised (NumPy) and structural implementations.
+
+The vectorised array is the production model — one sequential process
+updates all n cells as NumPy arrays per cycle, following the domain
+guidance to vectorise the hot loop.  The structural array instantiates one
+:class:`repro.xisort.cell.Cell` component per element and is the
+equivalence oracle (and the faithful picture of the synthesised design) for
+small n.
+
+Both expose the same port set:
+
+* command inputs: ``cmd``, ``broadcast``, ``load_data``, ``load_lower``,
+  ``load_upper`` (driven by the ξ-sort controller);
+* tree outputs (paper Fig. 8): ``count``, ``leftmost_found``,
+  ``leftmost_data``, ``leftmost_lower``, ``leftmost_upper``,
+  ``selected_value``, ``selected_unique``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hdl import Component
+from .cell import INTERVAL_BITS, SENTINEL, Cell, CellCmd, CellState
+from .tree import TreeNetwork
+
+
+class CellArrayPorts:
+    """Shared port declaration for both array implementations."""
+
+    def _make_ports(self, comp: Component, word_bits: int) -> None:
+        # command side (driven by the controller)
+        self.cmd = comp.signal("cmd", 8, CellCmd.NOP)
+        self.broadcast = comp.signal("broadcast", word_bits, 0)
+        self.load_data = comp.signal("load_data", word_bits, 0)
+        self.load_lower = comp.signal("load_lower", INTERVAL_BITS, 0)
+        self.load_upper = comp.signal("load_upper", INTERVAL_BITS, 0)
+        # tree outputs
+        self.count = comp.signal("count", 32, 0)
+        self.leftmost_found = comp.signal("leftmost_found", 1, 0)
+        self.leftmost_data = comp.signal("leftmost_data", word_bits, 0)
+        self.leftmost_lower = comp.signal("leftmost_lower", INTERVAL_BITS, 0)
+        self.leftmost_upper = comp.signal("leftmost_upper", INTERVAL_BITS, 0)
+        self.selected_value = comp.signal("selected_value", word_bits, 0)
+        self.selected_unique = comp.signal("selected_unique", 1, 0)
+
+
+class VectorCellArray(Component, CellArrayPorts):
+    """All n cells as NumPy arrays; one seq process applies the command."""
+
+    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
+                 parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if n_cells < 1:
+            raise ValueError("cell array needs at least one cell")
+        if n_cells - 1 >= SENTINEL:
+            raise ValueError(f"n_cells must stay below the sentinel index {SENTINEL:#x}")
+        self.n_cells = n_cells
+        self.word_bits = word_bits
+        self.tree = TreeNetwork(n_cells)
+        self._make_ports(self, word_bits)
+        self._init_state()
+
+        @self.comb
+        def _tree_outputs() -> None:
+            sel = self.sel
+            count = self.tree.count(sel)
+            self.count.set(count)
+            left = self.tree.leftmost(sel)
+            self.leftmost_found.set(1 if left is not None else 0)
+            if left is not None:
+                self.leftmost_data.set(int(self.data[left]))
+                self.leftmost_lower.set(int(self.lower[left]))
+                self.leftmost_upper.set(int(self.upper[left]))
+            self.selected_unique.set(1 if count == 1 else 0)
+            self.selected_value.set(self.tree.selected_value(sel, self.data))
+
+        @self.seq
+        def _apply() -> None:
+            self._step(CellCmd(self.cmd.value))
+
+        @self.on_reset
+        def _reset() -> None:
+            self._init_state()
+
+    def _init_state(self) -> None:
+        n = self.n_cells
+        self.data = np.zeros(n, dtype=np.uint64)
+        self.lower = np.full(n, SENTINEL, dtype=np.uint32)
+        self.upper = np.full(n, SENTINEL, dtype=np.uint32)
+        self.sel = np.zeros(n, dtype=bool)
+        self.saved = np.zeros(n, dtype=bool)
+
+    # -- the SIMD step (vectorised cell_step) -------------------------------------
+
+    def _step(self, cmd: CellCmd) -> None:
+        if cmd == CellCmd.NOP:
+            return
+        b = self.broadcast.value
+        bi = b & ((1 << INTERVAL_BITS) - 1)
+        if cmd == CellCmd.LOAD:
+            self.data = np.roll(self.data, 1)
+            self.lower = np.roll(self.lower, 1)
+            self.upper = np.roll(self.upper, 1)
+            self.data[0] = self.load_data.value
+            self.lower[0] = self.load_lower.value
+            self.upper[0] = self.load_upper.value
+            self.sel = np.zeros(self.n_cells, dtype=bool)
+            self.saved = np.zeros(self.n_cells, dtype=bool)
+        elif cmd == CellCmd.CLEAR:
+            self._init_state()
+        elif cmd == CellCmd.SELECT_ALL:
+            self.sel = np.ones(self.n_cells, dtype=bool)
+        elif cmd == CellCmd.SELECT_IMPRECISE:
+            self.sel = self.sel & (self.lower != self.upper)
+        elif cmd == CellCmd.MATCH_DATA_LT:
+            self.sel = self.sel & (self.data < np.uint64(b))
+        elif cmd == CellCmd.MATCH_DATA_EQ:
+            self.sel = self.sel & (self.data == np.uint64(b))
+        elif cmd == CellCmd.MATCH_DATA_GT:
+            self.sel = self.sel & (self.data > np.uint64(b))
+        elif cmd == CellCmd.MATCH_LOWER_BOUND:
+            self.sel = self.sel & (self.lower == bi)
+        elif cmd == CellCmd.MATCH_UPPER_BOUND:
+            self.sel = self.sel & (self.upper == bi)
+        elif cmd == CellCmd.MATCH_LOWER_BOUND_I:
+            self.sel = self.sel & (self.lower <= bi)
+        elif cmd == CellCmd.MATCH_UPPER_BOUND_I:
+            self.sel = self.sel & (self.upper >= bi)
+        elif cmd == CellCmd.SET_LOWER_BOUND:
+            self.lower = np.where(self.sel, np.uint32(bi), self.lower)
+        elif cmd == CellCmd.SET_UPPER_BOUND:
+            self.upper = np.where(self.sel, np.uint32(bi), self.upper)
+        elif cmd == CellCmd.SET_BOUNDS:
+            self.lower = np.where(self.sel, np.uint32(bi), self.lower)
+            self.upper = np.where(self.sel, np.uint32(bi), self.upper)
+        elif cmd == CellCmd.LOAD_SELECTED:
+            self.data = np.where(self.sel, np.uint64(b), self.data)
+        elif cmd == CellCmd.SAVE:
+            self.saved = self.sel.copy()
+        elif cmd == CellCmd.RESTORE:
+            self.sel = self.saved.copy()
+        else:  # pragma: no cover - enum exhaustive
+            raise ValueError(f"unknown cell command {cmd!r}")
+
+    # -- inspection ---------------------------------------------------------------
+
+    def states(self) -> list[CellState]:
+        """Snapshot as CellState objects (equivalence tests)."""
+        return [
+            CellState(
+                data=int(self.data[i]),
+                lower=int(self.lower[i]),
+                upper=int(self.upper[i]),
+                selected=bool(self.sel[i]),
+                saved=bool(self.saved[i]),
+            )
+            for i in range(self.n_cells)
+        ]
+
+
+class StructuralCellArray(Component, CellArrayPorts):
+    """One :class:`Cell` component per element plus a structural tree fold.
+
+    Cycle-for-cycle equivalent to :class:`VectorCellArray`; used as the
+    oracle in property tests and for small faithful simulations.
+    """
+
+    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
+                 parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if n_cells < 1:
+            raise ValueError("cell array needs at least one cell")
+        self.n_cells = n_cells
+        self.word_bits = word_bits
+        self.tree = TreeNetwork(n_cells)
+        self._make_ports(self, word_bits)
+        self.cells: list[Cell] = []
+        prev: Optional[Cell] = None
+        for i in range(n_cells):
+            cell = Cell(f"cell{i}", word_bits, parent=self)
+            cell.cmd = self.cmd
+            cell.broadcast = self.broadcast
+            cell.load_data = self.load_data
+            cell.load_lower = self.load_lower
+            cell.load_upper = self.load_upper
+            cell.prev_cell = prev
+            cell.is_first = i == 0
+            self.cells.append(cell)
+            prev = cell
+
+        @self.comb
+        def _tree_outputs() -> None:
+            from .tree import fold_reduce
+
+            states = [c.state for c in self.cells]
+            folded = fold_reduce([s.selected for s in states], [s.data for s in states])
+            self.count.set(folded.count)
+            self.leftmost_found.set(1 if folded.leftmost is not None else 0)
+            if folded.leftmost is not None:
+                s = states[folded.leftmost]
+                self.leftmost_data.set(s.data)
+                self.leftmost_lower.set(s.lower)
+                self.leftmost_upper.set(s.upper)
+            self.selected_unique.set(1 if folded.count == 1 else 0)
+            self.selected_value.set(folded.any_value)
+
+    def states(self) -> list[CellState]:
+        return [c.state for c in self.cells]

@@ -1,0 +1,159 @@
+"""Software baselines for χ-sort (the paper's CPU-side comparison).
+
+"With a CPU each operation requires an iteration that takes time
+proportional to the number of data elements" (§IV.B).
+:class:`SoftwareXiSort` executes the *same* index-interval algorithm the
+hardware runs, element by element, instrumented with an operation counter —
+the per-step cost is Θ(n), while the hardware's is constant.  Classic
+quicksort/quickselect baselines are included for an honest best-known-
+software comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..host.baselines import OpCounter
+
+
+@dataclass
+class SwCell:
+    """The software mirror of one smart-memory cell."""
+
+    data: int
+    lower: int
+    upper: int
+
+    @property
+    def imprecise(self) -> bool:
+        return self.lower != self.upper
+
+
+class SoftwareXiSort:
+    """The interval-refinement algorithm executed sequentially."""
+
+    def __init__(self, values: Sequence[int], counter: Optional[OpCounter] = None):
+        n = len(values)
+        self.cells = [SwCell(v, 0, n - 1) for v in values]
+        self.counter = counter if counter is not None else OpCounter()
+        self.split_steps = 0
+
+    # -- the Θ(n)-per-step primitives (each is one fixed-cycle op in hardware) -----
+
+    def find_pivot(self) -> Optional[SwCell]:
+        """Leftmost imprecise cell — a full scan on a CPU."""
+        for cell in self.cells:
+            self.counter.count("scan")
+            if cell.imprecise:
+                return cell
+        return None
+
+    def find_pivot_at(self, k: int) -> Optional[SwCell]:
+        for cell in self.cells:
+            self.counter.count("scan")
+            if cell.imprecise and cell.lower <= k <= cell.upper:
+                return cell
+        return None
+
+    def split(self, pivot: SwCell) -> int:
+        """One refinement step: every element of the segment is touched."""
+        p, q, v = pivot.lower, pivot.upper, pivot.data
+        segment = []
+        for cell in self.cells:
+            self.counter.count("match")
+            if cell.lower == p and cell.upper == q:
+                segment.append(cell)
+        k = 0
+        for cell in segment:
+            self.counter.count("compare")
+            if cell.data < v:
+                k += 1
+        for cell in segment:
+            self.counter.count("update")
+            if cell.data < v:
+                cell.upper = p + k - 1
+            elif cell.data > v:
+                cell.lower = p + k + 1
+            else:
+                cell.lower = cell.upper = p + k
+        self.split_steps += 1
+        return k
+
+    def read_at(self, index: int) -> Optional[int]:
+        for cell in self.cells:
+            self.counter.count("scan")
+            if cell.lower == index and cell.upper == index:
+                return cell.data
+        return None
+
+    # -- full algorithms ------------------------------------------------------------
+
+    def sort(self) -> list[int]:
+        while True:
+            pivot = self.find_pivot()
+            if pivot is None:
+                break
+            self.split(pivot)
+        return [c.data for c in sorted(self.cells, key=lambda c: c.lower)]
+
+    def select(self, k: int) -> int:
+        while True:
+            v = self.read_at(k)
+            if v is not None:
+                return v
+            pivot = self.find_pivot_at(k)
+            if pivot is None:
+                raise RuntimeError("no interval contains k")
+            self.split(pivot)
+
+
+def quicksort_counted(values: Sequence[int], counter: Optional[OpCounter] = None) -> list[int]:
+    """Plain quicksort with comparison counting (best-software baseline)."""
+    counter = counter if counter is not None else OpCounter()
+
+    def qs(arr: list[int]) -> list[int]:
+        if len(arr) <= 1:
+            return arr
+        pivot = arr[0]
+        lt, eq, gt = [], [], []
+        for x in arr:
+            counter.count("compare")
+            if x < pivot:
+                lt.append(x)
+            elif x > pivot:
+                gt.append(x)
+            else:
+                eq.append(x)
+        return qs(lt) + eq + qs(gt)
+
+    return qs(list(values))
+
+
+def quickselect_counted(
+    values: Sequence[int], k: int, counter: Optional[OpCounter] = None
+) -> int:
+    """Plain quickselect with comparison counting."""
+    counter = counter if counter is not None else OpCounter()
+    arr = list(values)
+    lo_rank = 0
+    while True:
+        if len(arr) == 1:
+            return arr[0]
+        pivot = arr[0]
+        lt, eq, gt = [], [], []
+        for x in arr:
+            counter.count("compare")
+            if x < pivot:
+                lt.append(x)
+            elif x > pivot:
+                gt.append(x)
+            else:
+                eq.append(x)
+        if k < lo_rank + len(lt):
+            arr = lt
+        elif k < lo_rank + len(lt) + len(eq):
+            return pivot
+        else:
+            lo_rank += len(lt) + len(eq)
+            arr = gt

@@ -1,0 +1,52 @@
+"""Unit tests for the elaboration report."""
+
+from repro.analysis import inventory, inventory_table, stats_for
+from repro.config import FrameworkConfig
+from repro.system import build_system
+from repro.xisort import XiSortCore
+
+
+class TestStats:
+    def test_counts_cover_whole_tree(self):
+        soc = build_system().soc
+        top = stats_for(soc)
+        # sum over direct children + the top's own signals equals the total
+        child_total = sum(stats_for(c).components for c in soc.children)
+        assert top.components == child_total + 1
+
+    def test_registers_subset_of_signals(self):
+        soc = build_system().soc
+        s = stats_for(soc)
+        assert 0 < s.registers <= s.signals
+        assert s.register_bits > 0
+
+    def test_word_size_scales_register_bits(self):
+        # the ξ-sort controller's temporaries/outputs are word-width registers
+        small = stats_for(XiSortCore("a", 8, word_bits=32))
+        large = stats_for(XiSortCore("b", 8, word_bits=64))
+        assert large.register_bits > small.register_bits
+        assert large.components == small.components  # structure unchanged
+
+    def test_config_preserves_structure(self):
+        small = stats_for(build_system(FrameworkConfig(word_bits=32)).soc)
+        large = stats_for(build_system(FrameworkConfig(word_bits=128)).soc)
+        assert large.components == small.components
+        assert large.signals == small.signals
+
+    def test_cell_count_scales_structural_core(self):
+        a = stats_for(XiSortCore("a", 4, array_kind="structural"))
+        b = stats_for(XiSortCore("b", 8, array_kind="structural"))
+        assert b.components == a.components + 4  # one component per extra cell
+
+
+class TestInventory:
+    def test_depth_limits_rows(self):
+        soc = build_system().soc
+        shallow = inventory(soc, depth=1)
+        deep = inventory(soc, depth=3)
+        assert len(deep) > len(shallow) > 1
+
+    def test_table_renders_entities(self):
+        text = inventory_table(build_system().soc, depth=2)
+        for entity in ("soc.rtm", "soc.rtm.dispatcher", "soc.link"):
+            assert entity in text

@@ -1,0 +1,80 @@
+"""Unit tests for the logic unit (experiment T2, thesis Table 3.2)."""
+
+import pytest
+
+from repro.fu import LogicUnit, PipelinedLogicUnit, UnitOp, logic_datapath, run_unit
+from repro.isa import FLAG_NEGATIVE, FLAG_PARITY, FLAG_ZERO, LogicOp
+
+W = 32
+MASK = (1 << W) - 1
+
+A, B = 0b1100_1010, 0b1010_0110
+
+
+class TestDatapath:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (LogicOp.AND, A & B),
+            (LogicOp.OR, A | B),
+            (LogicOp.XOR, A ^ B),
+            (LogicOp.NOT, ~A & MASK),
+            (LogicOp.NAND, ~(A & B) & MASK),
+            (LogicOp.NOR, ~(A | B) & MASK),
+            (LogicOp.XNOR, ~(A ^ B) & MASK),
+            (LogicOp.ANDN, A & ~B & MASK),
+            (LogicOp.ORN, (A | (~B & MASK)) & MASK),
+            (LogicOp.PASS, A),
+        ],
+    )
+    def test_all_varieties(self, op, expected):
+        value, _ = logic_datapath(int(op), A, B, W)
+        assert value == expected
+
+    def test_zero_flag(self):
+        _, flags = logic_datapath(int(LogicOp.XOR), 5, 5, W)
+        assert flags & FLAG_ZERO
+
+    def test_negative_flag(self):
+        _, flags = logic_datapath(int(LogicOp.NOT), 0, 0, W)
+        assert flags & FLAG_NEGATIVE
+
+    def test_parity_flag_even(self):
+        _, flags = logic_datapath(int(LogicOp.PASS), 0b11, 0, W)
+        assert flags & FLAG_PARITY
+        _, flags = logic_datapath(int(LogicOp.PASS), 0b111, 0, W)
+        assert not flags & FLAG_PARITY
+
+    def test_undefined_variety_raises(self):
+        with pytest.raises(ValueError):
+            logic_datapath(0x7F, 1, 2, W)
+
+    def test_one_input_ops_ignore_b(self):
+        v1, _ = logic_datapath(int(LogicOp.NOT), A, 0, W)
+        v2, _ = logic_datapath(int(LogicOp.NOT), A, MASK, W)
+        assert v1 == v2
+
+
+class TestUnit:
+    def test_through_protocol(self):
+        tb, _ = run_unit(
+            lambda n, p: LogicUnit(n, W, p),
+            [UnitOp(int(LogicOp.XOR), 0b1100, 0b1010, dst1=2, dst_flag=1)],
+        )
+        (t,) = tb.collected
+        assert t.data_value == 0b0110
+        assert t.data_reg == 2
+
+    def test_issue_rate_every_second_cycle(self):
+        n = 30
+        ops = [UnitOp(int(LogicOp.AND), i, 0xF, dst1=2, dst_flag=1) for i in range(n)]
+        tb, cycles = run_unit(lambda nm, p: LogicUnit(nm, W, p), ops)
+        assert tb.completed == n
+        assert cycles / n == pytest.approx(2.0, abs=0.2)
+
+    def test_pipelined_variant(self):
+        n = 30
+        ops = [UnitOp(int(LogicOp.OR), i, 1, dst1=2, dst_flag=1) for i in range(n)]
+        tb, cycles = run_unit(lambda nm, p: PipelinedLogicUnit(nm, W, p), ops)
+        assert tb.completed == n
+        assert cycles / n < 1.5

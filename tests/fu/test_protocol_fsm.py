@@ -1,0 +1,148 @@
+"""Experiment F6: the FU protocol FSM and its monitor.
+
+Verifies the protocol invariants of paper Fig. 6 / thesis Fig. 2.18 on the
+case-study units, and that the monitor actually catches violations when a
+deliberately broken unit commits them.
+"""
+
+import pytest
+
+from repro.fu import (
+    ArithmeticUnit,
+    FuComputation,
+    FunctionalUnit,
+    ProtocolMonitor,
+    ProtocolViolation,
+    Transfer,
+    UnitOp,
+    run_unit,
+)
+from repro.hdl import Component, Simulator
+from repro.isa import ArithOp
+
+W = 32
+
+
+class TestMonitorOnGoodUnits:
+    def test_arith_unit_is_clean(self):
+        ops = [UnitOp(int(ArithOp.ADD), i, 1, dst1=1, dst_flag=0) for i in range(25)]
+        tb, _ = run_unit(lambda n, p: ArithmeticUnit(n, W, p), ops)
+        assert tb.monitor.dispatch_count == 25
+        assert tb.monitor.transfer_count == 25
+
+    def test_transfer_count_tracks_bursts(self):
+        class Two(FunctionalUnit):
+            pass
+
+        from repro.fu import AreaOptimizedFU
+
+        class TwoOut(AreaOptimizedFU):
+            def compute(self, s):
+                return FuComputation(data1=1, data2=2)
+
+        ops = [UnitOp(0, dst1=1, dst2=2) for _ in range(4)]
+        tb, _ = run_unit(lambda n, p: TwoOut(n, W, p), ops)
+        assert tb.monitor.transfer_count == 8  # two transfers per op
+
+
+class MutatingUnit(FunctionalUnit):
+    """Deliberately violates payload stability while awaiting ack."""
+
+    def __init__(self, name, word_bits, parent=None):
+        super().__init__(name, word_bits, parent)
+        self._counter = self.reg("ctr", 8, 0)
+        self._armed = self.reg("armed", 1, 0)
+
+        @self.comb
+        def _drive():
+            self.dp.idle.set(not self._armed.value)
+            if self._armed.value:
+                # payload changes every cycle — a protocol violation
+                self.rp.present(Transfer(1, self._counter.value))
+            else:
+                self.rp.present(None)
+
+        @self.seq
+        def _tick():
+            self._counter.nxt = self._counter.value + 1
+            if self.dp.dispatch.value:
+                self._armed.nxt = 1
+            elif self.rp.ack.value:
+                self._armed.nxt = 0
+
+
+def test_monitor_catches_unstable_payload():
+    with pytest.raises(ProtocolViolation, match="pending transfer changed"):
+        # never ack, so the unstable payload is observed across cycles
+        run_unit(lambda n, p: MutatingUnit(n, W, p),
+                 [UnitOp(0, dst1=1)], max_cycles=10, ack_every=1000)
+
+
+class EmptyTransferUnit(FunctionalUnit):
+    """Presents ready with neither write half valid."""
+
+    def __init__(self, name, word_bits, parent=None):
+        super().__init__(name, word_bits, parent)
+
+        @self.comb
+        def _drive():
+            self.dp.idle.set(1)
+            self.rp.ready.set(1)
+            self.rp.data_valid.set(0)
+            self.rp.flag_valid.set(0)
+
+        self.seq(lambda: None)
+
+
+def test_monitor_catches_empty_transfer():
+    from repro.fu.testbench import FuTestbench
+
+    tb = FuTestbench(lambda n, p: EmptyTransferUnit(n, W, p))
+    sim = Simulator(tb)
+    sim.reset()
+    with pytest.raises(ProtocolViolation, match="no write halves"):
+        sim.step(3)
+
+
+class RogueDispatcher(Component):
+    """Strobes dispatch while the unit is busy."""
+
+    def __init__(self):
+        super().__init__("rogue")
+        self.unit = ArithmeticUnit("dut", W, parent=self)
+        self.mon = ProtocolMonitor("mon", self.unit.dp, self.unit.rp, parent=self)
+        self.cycle = self.reg("cycle", 8, 0)
+
+        @self.comb
+        def _drive():
+            # dispatch unconditionally, ignoring idle
+            self.unit.dp.dispatch.set(1)
+            self.unit.dp.variety.set(int(ArithOp.ADD))
+            self.unit.rp.ack.set(self.unit.rp.ready.value)
+
+        @self.seq
+        def _tick():
+            self.cycle.nxt = self.cycle.value + 1
+
+
+def test_monitor_catches_dispatch_while_busy():
+    sim = Simulator(RogueDispatcher())
+    sim.reset()
+    with pytest.raises(ProtocolViolation, match="not idle"):
+        sim.step(5)
+
+
+def test_fsm_reset_returns_to_idle():
+    """'If the reset signal is asserted the FSM moves to state Idle' (Fig. 2.18)."""
+    from repro.fu import FuState
+    from repro.fu.testbench import FuTestbench
+
+    tb = FuTestbench(lambda n, p: ArithmeticUnit(n, W, p))
+    sim = Simulator(tb)
+    sim.reset()
+    tb.enqueue([UnitOp(int(ArithOp.ADD), 1, 2, dst1=1, dst_flag=0)])
+    sim.step(1)  # dispatched; unit now mid-flight
+    assert tb.unit.state != FuState.IDLE
+    sim.reset()
+    assert tb.unit.state == FuState.IDLE
+    assert not tb.unit.rp.ready.value

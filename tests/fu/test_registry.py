@@ -1,0 +1,60 @@
+"""Unit tests for the functional-unit registry."""
+
+import pytest
+
+from repro.fu import (
+    ArithmeticUnit,
+    LogicUnit,
+    PipelinedArithmeticUnit,
+    UnitRegistry,
+    default_registry,
+)
+from repro.isa import Opcode
+
+
+class TestRegistry:
+    def test_default_registry_has_case_study_units(self):
+        reg = default_registry()
+        assert set(reg.codes()) == {Opcode.ARITH, Opcode.LOGIC}
+
+    def test_build_produces_units(self):
+        reg = default_registry()
+        unit = reg.build(Opcode.ARITH, "a", 32)
+        assert isinstance(unit, ArithmeticUnit)
+        assert isinstance(reg.build(Opcode.LOGIC, "l", 32), LogicUnit)
+
+    def test_pipelined_flag_switches_implementations(self):
+        reg = default_registry(pipelined=True)
+        assert isinstance(reg.build(Opcode.ARITH, "a", 32), PipelinedArithmeticUnit)
+
+    def test_word_bits_forwarded(self):
+        unit = default_registry().build(Opcode.ARITH, "a", 64)
+        assert unit.word_bits == 64
+
+    def test_duplicate_code_rejected(self):
+        reg = default_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(Opcode.ARITH, lambda n, w, p: ArithmeticUnit(n, w, p))
+
+    def test_code_range_enforced(self):
+        reg = UnitRegistry()
+        with pytest.raises(ValueError):
+            reg.register(0x05, lambda n, w, p: ArithmeticUnit(n, w, p))
+        with pytest.raises(ValueError):
+            reg.register(0x100, lambda n, w, p: ArithmeticUnit(n, w, p))
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            UnitRegistry().build(0x42, "x", 32)
+
+    def test_copy_is_independent(self):
+        reg = default_registry()
+        dup = reg.copy()
+        dup.register(0x42, lambda n, w, p: ArithmeticUnit(n, w, p))
+        assert 0x42 not in reg.codes()
+        assert 0x42 in dup.codes()
+
+    def test_user_unit_registration(self):
+        reg = default_registry()
+        reg.register(0x30, lambda n, w, p: LogicUnit(n, w, p))
+        assert isinstance(reg.build(0x30, "u", 32), LogicUnit)

@@ -1,0 +1,82 @@
+"""Unit tests for the component hierarchy."""
+
+import pytest
+
+from repro.hdl import Component, ElaborationError
+
+
+def test_hierarchical_paths():
+    top = Component("top")
+    mid = Component("mid", parent=top)
+    leaf = Component("leaf", parent=mid)
+    assert leaf.path == "top.mid.leaf"
+    assert top.path == "top"
+
+
+def test_signal_names_carry_path():
+    top = Component("top")
+    sub = Component("sub", parent=top)
+    s = sub.signal("data", 8)
+    assert s.name == "top.sub.data"
+    assert s.owner is sub
+
+
+def test_walk_depth_first():
+    top = Component("t")
+    a = Component("a", parent=top)
+    b = Component("b", parent=top)
+    a1 = Component("a1", parent=a)
+    assert [c.name for c in top.walk()] == ["t", "a", "a1", "b"]
+
+
+def test_all_signals_spans_tree():
+    top = Component("t")
+    top.signal("x")
+    sub = Component("s", parent=top)
+    sub.reg("y", 4)
+    names = [s.name for s in top.all_signals()]
+    assert names == ["t.x", "t.s.y"]
+
+
+def test_child_adoption():
+    top = Component("t")
+    orphan = Component("o")
+    top.child(orphan)
+    assert orphan.parent is top
+    assert orphan in top.children
+
+
+def test_child_cannot_have_two_parents():
+    t1, t2 = Component("t1"), Component("t2")
+    c = Component("c", parent=t1)
+    with pytest.raises(ElaborationError):
+        t2.child(c)
+
+
+def test_find_by_path():
+    top = Component("t")
+    a = Component("a", parent=top)
+    b = Component("b", parent=a)
+    assert top.find("a.b") is b
+    with pytest.raises(KeyError):
+        top.find("a.missing")
+
+
+def test_process_registration_decorators():
+    c = Component("c")
+
+    @c.comb
+    def f1():
+        pass
+
+    @c.seq
+    def f2():
+        pass
+
+    @c.on_reset
+    def f3():
+        pass
+
+    assert c.comb_procs == [f1]
+    assert c.seq_procs == [f2]
+    assert c.reset_hooks == [f3]

@@ -1,0 +1,85 @@
+"""Unit tests for the synchronous FIFO."""
+
+import pytest
+
+from repro.hdl import Component, Simulator, SyncFifo
+
+
+class FifoHarness(Component):
+    def __init__(self, depth=4):
+        super().__init__("fh")
+        self.fifo = SyncFifo("fifo", depth=depth, parent=self, width=8)
+        self.to_send: list[int] = []
+        self.received: list[int] = []
+        self.drain = True
+
+        @self.comb
+        def _drive():
+            self.fifo.inp.valid.set(1 if self.to_send else 0)
+            if self.to_send:
+                self.fifo.inp.payload.set(self.to_send[0])
+            self.fifo.out.ready.set(1 if self.drain else 0)
+
+        @self.seq
+        def _tick():
+            if self.fifo.inp.fires():
+                self.to_send.pop(0)
+            if self.fifo.out.fires():
+                self.received.append(self.fifo.out.payload.value)
+
+
+class TestSyncFifo:
+    def test_fifo_order(self):
+        h = FifoHarness()
+        sim = Simulator(h)
+        h.to_send = [9, 8, 7]
+        sim.step(8)
+        assert h.received == [9, 8, 7]
+
+    def test_fills_to_depth_under_backpressure(self):
+        h = FifoHarness(depth=3)
+        sim = Simulator(h)
+        h.drain = False
+        h.to_send = [1, 2, 3, 4, 5]
+        sim.step(10)
+        assert h.fifo.occupancy == 3
+        assert h.fifo.is_full
+        assert h.to_send == [4, 5]  # 4 and 5 refused
+
+    def test_drains_after_backpressure(self):
+        h = FifoHarness(depth=3)
+        sim = Simulator(h)
+        h.drain = False
+        h.to_send = [1, 2, 3]
+        sim.step(5)
+        h.drain = True
+        sim.step(5)
+        assert h.received == [1, 2, 3]
+        assert h.fifo.is_empty
+
+    def test_simultaneous_push_pop_when_partially_full(self):
+        h = FifoHarness(depth=2)
+        sim = Simulator(h)
+        h.to_send = list(range(10))
+        sim.step(14)
+        assert h.received == list(range(10))
+
+    def test_occupancy_and_snapshot(self):
+        h = FifoHarness(depth=4)
+        sim = Simulator(h)
+        h.drain = False
+        h.to_send = [5, 6]
+        sim.step(4)
+        assert h.fifo.occupancy == 2
+        assert h.fifo.snapshot() == (5, 6)
+
+    def test_one_word_per_cycle_throughput(self):
+        h = FifoHarness(depth=4)
+        sim = Simulator(h)
+        h.to_send = list(range(8))
+        sim.step(10)  # 1 cycle latency + 8 transfers
+        assert h.received == list(range(8))
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            SyncFifo("bad", depth=0)

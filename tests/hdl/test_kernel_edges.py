@@ -1,0 +1,145 @@
+"""Edge-case tests of the simulation kernel's semantics."""
+
+import pytest
+
+from repro.hdl import (
+    CombinationalLoopError,
+    Component,
+    Reg,
+    Simulator,
+)
+
+
+class TestSettleScaling:
+    def test_settle_iterations_track_chain_depth(self):
+        """Reverse-registered comb chains need one pass per level (+1)."""
+
+        def chain(depth):
+            top = Component("c")
+            src = top.reg("src", 8, 1)
+            nets = [top.signal(f"n{i}", 8) for i in range(depth)]
+            for i in reversed(range(depth)):
+                def proc(i=i):
+                    val = src.value if i == 0 else nets[i - 1].value
+                    nets[i].set(val + 1)
+                top.comb(proc)
+            top.seq(lambda: None)
+            return top, nets
+
+        for depth in (2, 6, 12):
+            top, nets = chain(depth)
+            sim = Simulator(top)
+            iters = sim.settle()
+            assert nets[-1].value == 1 + depth
+            assert iters <= depth + 2
+
+    def test_forward_order_settles_in_two_passes(self):
+        top = Component("c")
+        src = top.reg("src", 8, 3)
+        nets = [top.signal(f"n{i}", 8) for i in range(10)]
+        for i in range(10):
+            def proc(i=i):
+                val = src.value if i == 0 else nets[i - 1].value
+                nets[i].set(val + 1)
+            top.comb(proc)
+        top.seq(lambda: None)
+        assert Simulator(top).settle() <= 2
+
+
+class TestDoubleDriveHazard:
+    def test_clear_then_set_pattern_never_settles(self):
+        """The footgun ARCHITECTURE.md documents: a comb process that writes
+        a signal twice with different values per pass keeps the dirty flag
+        set and must be reported as a loop."""
+        top = Component("c")
+        strobe = top.signal("strobe", 1)
+        armed = top.reg("armed", 1, 1)
+
+        @top.comb
+        def _bad():
+            strobe.set(0)            # "default"
+            if armed.value:
+                strobe.set(1)        # "override" — toggles every pass
+
+        top.seq(lambda: None)
+        sim = Simulator(top)
+        with pytest.raises(CombinationalLoopError):
+            sim.settle()
+
+    def test_compute_then_drive_is_fine(self):
+        top = Component("c")
+        strobe = top.signal("strobe", 1)
+        armed = top.reg("armed", 1, 1)
+
+        @top.comb
+        def _good():
+            strobe.set(1 if armed.value else 0)
+
+        top.seq(lambda: None)
+        Simulator(top).settle()
+        assert strobe.value == 1
+
+
+class TestResetSemantics:
+    def test_reset_hooks_run_and_state_restored(self):
+        top = Component("c")
+        counter = top.reg("ctr", 8, 5)
+        events = []
+
+        @top.seq
+        def _tick():
+            counter.nxt = counter.value + 1
+
+        @top.on_reset
+        def _hook():
+            events.append("reset")
+
+        sim = Simulator(top)
+        sim.step(3)
+        assert counter.value == 8
+        sim.reset()
+        assert counter.value == 5
+        assert events == ["reset"]
+
+    def test_reset_drops_staged_writes(self):
+        top = Component("c")
+        r = top.reg("r", 8, 0)
+        top.seq(lambda: None)
+        sim = Simulator(top)
+        r.nxt = 42
+        sim.reset()
+        sim.step()
+        assert r.value == 0  # the staged 42 must not leak through reset
+
+    def test_reset_restores_plain_signals(self):
+        top = Component("c")
+        s = top.signal("s", 8, reset=7)
+        top.comb(lambda: None)
+        sim = Simulator(top)
+        s.force(99)
+        sim.reset()
+        assert s.value == 7
+
+
+class TestPayloadRegs:
+    def test_tuple_payloads_commit_atomically(self):
+        top = Component("c")
+        q = top.reg("q", None, reset=())
+
+        @top.seq
+        def _tick():
+            q.nxt = q.nxt + (len(q.nxt),)
+
+        sim = Simulator(top)
+        sim.step(3)
+        assert q.value == (0, 1, 2)
+
+    def test_none_reset_payload(self):
+        top = Component("c")
+        r = top.reg("r", None, reset=None)
+        top.seq(lambda: None)
+        sim = Simulator(top)
+        assert r.value is None
+        r.nxt = {"k": 1}
+        sim.step()
+        assert r.value == {"k": 1}

@@ -1,0 +1,142 @@
+"""Unit tests for signals, registers and the change tracker."""
+
+import pytest
+
+from repro.hdl import Reg, Signal, WidthError, mask_for
+from repro.hdl.signal import CHANGES
+
+
+class TestSignal:
+    def test_initial_value_is_reset(self):
+        s = Signal("s", 8, reset=7)
+        assert s.value == 7
+        assert s.reset == 7
+
+    def test_set_masks_to_width(self):
+        s = Signal("s", 4)
+        s.set(0x1F)
+        assert s.value == 0xF
+
+    def test_set_reports_change(self):
+        s = Signal("s", 8)
+        assert s.set(3) is True
+        assert s.set(3) is False
+        assert s.set(4) is True
+
+    def test_set_marks_change_tracker(self):
+        s = Signal("s", 8)
+        CHANGES.dirty = False
+        s.set(9)
+        assert CHANGES.dirty is True
+        CHANGES.dirty = False
+        s.set(9)  # no change
+        assert CHANGES.dirty is False
+
+    def test_negative_values_wrap(self):
+        s = Signal("s", 8)
+        s.set(-1)
+        assert s.value == 0xFF
+
+    def test_reset_value_masked(self):
+        s = Signal("s", 4, reset=0x2F)
+        assert s.value == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Signal("s", 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(WidthError):
+            Signal("s", -3)
+
+    def test_payload_signal_accepts_objects(self):
+        s = Signal("s", None, reset=None)
+        assert s.value is None
+        s.set(("a", 1))
+        assert s.value == ("a", 1)
+
+    def test_payload_equality_suppresses_change(self):
+        s = Signal("s", None, reset=None)
+        s.set((1, 2))
+        assert s.set((1, 2)) is False
+
+    def test_bit_and_bits_accessors(self):
+        s = Signal("s", 8)
+        s.set(0b1011_0110)
+        assert s.bit(0) == 0
+        assert s.bit(1) == 1
+        assert s.bit(7) == 1
+        assert s.bits(5, 2) == 0b1101
+
+    def test_bool_and_index(self):
+        s = Signal("s", 4)
+        assert not s
+        s.set(5)
+        assert s
+        assert int(s) == 5
+
+    def test_force_bypasses_change_tracking(self):
+        s = Signal("s", 8)
+        CHANGES.dirty = False
+        s.force(42)
+        assert s.value == 42
+        assert CHANGES.dirty is False
+
+
+class TestReg:
+    def test_staged_value_not_visible_until_commit(self):
+        r = Reg("r", 8)
+        r.nxt = 5
+        assert r.value == 0
+        assert r.commit() is True
+        assert r.value == 5
+
+    def test_commit_without_stage_is_noop(self):
+        r = Reg("r", 8, reset=3)
+        assert r.commit() is False
+        assert r.value == 3
+
+    def test_nxt_reads_staged_else_current(self):
+        r = Reg("r", 8, reset=1)
+        assert r.nxt == 1
+        r.nxt = 9
+        assert r.nxt == 9
+        assert r.value == 1
+
+    def test_nxt_accumulation_read_modify_write(self):
+        # the lock-manager pattern: OR into nxt repeatedly within one edge
+        r = Reg("r", 8)
+        r.nxt = r.nxt | 0b001
+        r.nxt = r.nxt | 0b100
+        r.commit()
+        assert r.value == 0b101
+
+    def test_staged_value_masked(self):
+        r = Reg("r", 4)
+        r.nxt = 0x3F
+        r.commit()
+        assert r.value == 0xF
+
+    def test_reset_state_drops_staged(self):
+        r = Reg("r", 8, reset=2)
+        r.nxt = 9
+        r.reset_state()
+        assert r.value == 2
+        assert r.commit() is False
+
+    def test_commit_returns_false_when_same(self):
+        r = Reg("r", 8, reset=4)
+        r.nxt = 4
+        assert r.commit() is False
+
+    def test_payload_reg_holds_tuples(self):
+        r = Reg("r", None, reset=())
+        r.nxt = (1, 2)
+        r.commit()
+        assert r.value == (1, 2)
+
+
+def test_mask_for():
+    assert mask_for(1) == 1
+    assert mask_for(8) == 0xFF
+    assert mask_for(32) == 0xFFFF_FFFF

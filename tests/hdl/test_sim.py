@@ -1,0 +1,163 @@
+"""Unit tests for the two-phase simulator: settle, edge, reset, run_until."""
+
+import pytest
+
+from repro.hdl import (
+    CombinationalLoopError,
+    Component,
+    SimulationError,
+    Simulator,
+)
+
+
+class Counter(Component):
+    """Minimal clocked design: a counter with a combinational double."""
+
+    def __init__(self):
+        super().__init__("counter")
+        self.count = self.reg("count", 8, 0)
+        self.double = self.signal("double", 9, 0)
+
+        @self.comb
+        def _comb():
+            self.double.set(self.count.value * 2)
+
+        @self.seq
+        def _seq():
+            self.count.nxt = self.count.value + 1
+
+
+class TestBasicStepping:
+    def test_step_advances_time(self):
+        sim = Simulator(Counter())
+        sim.step(5)
+        assert sim.now == 5
+
+    def test_register_updates_per_cycle(self):
+        top = Counter()
+        sim = Simulator(top)
+        sim.step(3)
+        assert top.count.value == 3
+
+    def test_comb_follows_registers(self):
+        top = Counter()
+        sim = Simulator(top)
+        sim.step(4)
+        sim.settle()
+        assert top.double.value == 8
+
+    def test_reset_restores_state(self):
+        top = Counter()
+        sim = Simulator(top)
+        sim.step(7)
+        sim.reset()
+        assert top.count.value == 0
+        assert top.double.value == 0
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(Component("empty"))
+
+
+class ChainedComb(Component):
+    """A 5-deep combinational chain: settle needs multiple passes."""
+
+    def __init__(self, depth=5):
+        super().__init__("chain")
+        self.inp = self.reg("inp", 8, 1)
+        self.links = [self.signal(f"s{i}", 8, 0) for i in range(depth)]
+        # register processes in *reverse* dependency order to force
+        # several settle iterations
+        for i in reversed(range(depth)):
+            def make(i=i):
+                def proc():
+                    src = self.inp.value if i == 0 else self.links[i - 1].value
+                    self.links[i].set(src + 1)
+                return proc
+            self.comb(make())
+        self.seq(lambda: None)
+
+
+def test_settle_reaches_fixpoint_across_passes():
+    top = ChainedComb(depth=6)
+    sim = Simulator(top)
+    iterations = sim.settle()
+    assert iterations > 1  # reverse order requires multiple passes
+    assert top.links[-1].value == 1 + 6
+
+
+class Oscillator(Component):
+    """A genuine zero-delay loop: a ^= 1 every pass."""
+
+    def __init__(self):
+        super().__init__("osc")
+        self.a = self.signal("a", 1, 0)
+
+        @self.comb
+        def _osc():
+            self.a.set(1 - self.a.value)
+
+
+def test_combinational_loop_detected():
+    sim = Simulator(Oscillator())
+    with pytest.raises(CombinationalLoopError) as err:
+        sim.settle()
+    assert "osc.a" in str(err.value)
+
+
+class TestRunUntil:
+    def test_run_until_condition(self):
+        top = Counter()
+        sim = Simulator(top)
+        used = sim.run_until(lambda: top.count.value == 10)
+        assert top.count.value == 10
+        assert used == 10
+
+    def test_run_until_timeout(self):
+        top = Counter()
+        sim = Simulator(top)
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=20)
+
+    def test_run_until_already_true_consumes_nothing(self):
+        top = Counter()
+        sim = Simulator(top)
+        assert sim.run_until(lambda: True) == 0
+
+
+def test_observers_called_each_cycle():
+    top = Counter()
+    sim = Simulator(top)
+    seen = []
+    sim.add_observer(seen.append)
+    sim.step(3)
+    assert seen == [1, 2, 3]
+
+
+def test_process_counts():
+    sim = Simulator(Counter())
+    comb, seq = sim.process_counts
+    assert comb == 1 and seq == 1
+
+
+class TwoPhaseRace(Component):
+    """Two registers swapping values — atomic commit must prevent races."""
+
+    def __init__(self):
+        super().__init__("swap")
+        self.a = self.reg("a", 8, 1)
+        self.b = self.reg("b", 8, 2)
+
+        @self.seq
+        def _swap():
+            self.a.nxt = self.b.value
+            self.b.nxt = self.a.value
+
+
+def test_register_swap_is_atomic():
+    top = TwoPhaseRace()
+    sim = Simulator(top)
+    sim.step()
+    assert (top.a.value, top.b.value) == (2, 1)
+    sim.step()
+    assert (top.a.value, top.b.value) == (1, 2)

@@ -1,0 +1,92 @@
+"""Unit tests for the tracer and VCD writer."""
+
+import io
+
+from repro.hdl import Component, Simulator, Tracer, VcdWriter, trace_to_string
+
+
+class Toggler(Component):
+    def __init__(self):
+        super().__init__("tg")
+        self.bit = self.reg("bit", 1, 0)
+        self.count = self.reg("count", 8, 0)
+        self.payload = self.signal("payload", None, reset=None)
+
+        @self.seq
+        def _tick():
+            self.bit.nxt = 1 - self.bit.value
+            self.count.nxt = self.count.value + 1
+
+
+class TestTracer:
+    def test_history_recorded_per_cycle(self):
+        top = Toggler()
+        sim = Simulator(top)
+        tr = Tracer(sim, [top.bit, top.count])
+        sim.step(4)
+        assert tr.series(top.count) == [1, 2, 3, 4]
+        assert tr.series(top.bit) == [1, 0, 1, 0]
+
+    def test_at_cycle(self):
+        top = Toggler()
+        sim = Simulator(top)
+        tr = Tracer(sim, [top.count])
+        sim.step(3)
+        assert tr.at(2) == {"tg.count": 2}
+
+    def test_count_transitions(self):
+        top = Toggler()
+        sim = Simulator(top)
+        tr = Tracer(sim, [top.bit])
+        sim.step(6)
+        assert tr.count_transitions(top.bit) == 5
+
+    def test_first_cycle_where(self):
+        top = Toggler()
+        sim = Simulator(top)
+        tr = Tracer(sim, [top.count])
+        sim.step(5)
+        assert tr.first_cycle_where(top.count, 3) == 3
+        assert tr.first_cycle_where(top.count, 99) == -1
+
+
+class TestVcd:
+    def test_header_and_samples(self):
+        top = Toggler()
+        sim = Simulator(top)
+        buf = io.StringIO()
+        VcdWriter(sim, buf, [top.bit, top.count], clock_period_ns=20)
+        sim.step(2)
+        text = buf.getvalue()
+        assert "$timescale 1 ns $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 8" in text
+        assert "#20" in text and "#40" in text
+
+    def test_payload_signals_skipped(self):
+        top = Toggler()
+        sim = Simulator(top)
+        buf = io.StringIO()
+        writer = VcdWriter(sim, buf)
+        assert all(s.width is not None for s in writer.signals)
+
+    def test_no_output_when_nothing_changes(self):
+        class Static(Component):
+            def __init__(self):
+                super().__init__("st")
+                self.x = self.reg("x", 4, 5)
+                self.seq(lambda: None)
+
+        top = Static()
+        sim = Simulator(top)
+        buf = io.StringIO()
+        VcdWriter(sim, buf, [top.x])
+        before = buf.getvalue()
+        sim.step(3)
+        assert buf.getvalue() == before  # only the initial dump
+
+    def test_trace_to_string_runs(self):
+        top = Toggler()
+        sim = Simulator(top)
+        text = trace_to_string(sim, [top.bit], 3)
+        assert text.startswith("$date")

@@ -1,0 +1,59 @@
+"""Unit tests for the software arithmetic baselines."""
+
+import pytest
+
+from repro.host import OpCounter, limbs_of, multiword_add, multiword_sub, value_of
+
+
+class TestLimbHelpers:
+    def test_roundtrip(self):
+        v = 0x0123_4567_89AB_CDEF_5555
+        assert value_of(limbs_of(v, 3, 32), 32) == v
+
+    def test_ls_first(self):
+        assert limbs_of(0x1_0000_0002, 2, 32) == [2, 1]
+
+    def test_different_widths(self):
+        v = (1 << 100) | 7
+        for w in (32, 64):
+            n = (101 + w - 1) // w
+            assert value_of(limbs_of(v, n, w), w) == v
+
+
+class TestMultiwordAdd:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 0), (0xFFFF_FFFF, 1), ((1 << 96) - 1, 1), (12345678901234567890, 998877)],
+    )
+    def test_matches_bigint(self, a, b):
+        limbs = 4
+        out, carry = multiword_add(limbs_of(a, limbs, 32), limbs_of(b, limbs, 32), 32)
+        total = value_of(out, 32) | (carry << (32 * limbs))
+        assert total == a + b
+
+    def test_counter_scales_with_limbs(self):
+        c2, c8 = OpCounter(), OpCounter()
+        multiword_add([0] * 2, [0] * 2, 32, c2)
+        multiword_add([0] * 8, [0] * 8, 32, c8)
+        assert c8.ops == 4 * c2.ops
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multiword_add([1], [1, 2], 32)
+
+
+class TestMultiwordSub:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(10, 3), ((1 << 64), 1), (0xFFFF_FFFF_FFFF, 0x1234_5678)],
+    )
+    def test_matches_bigint(self, a, b):
+        limbs = 3
+        out, carry = multiword_sub(limbs_of(a, limbs, 32), limbs_of(b, limbs, 32), 32)
+        assert value_of(out, 32) == (a - b) & ((1 << 96) - 1)
+        assert carry == 1  # no borrow for a >= b
+
+    def test_borrow_reported(self):
+        out, carry = multiword_sub([0], [1], 32)
+        assert carry == 0
+        assert out == [0xFFFF_FFFF]

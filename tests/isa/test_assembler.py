@@ -1,0 +1,144 @@
+"""Unit tests for the assembler and disassembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    Opcode,
+    assemble,
+    assemble_line,
+    disassemble,
+    disassemble_program,
+    disassemble_word,
+    encode,
+    instructions as ins,
+)
+
+
+class TestAssembleLine:
+    def test_blank_and_comment_lines(self):
+        assert assemble_line("") is None
+        assert assemble_line("   ; just a comment") is None
+        assert assemble_line("# hash comment") is None
+
+    def test_nullary(self):
+        assert assemble_line("nop") == ins.nop()
+        assert assemble_line("halt") == ins.halt()
+        assert assemble_line("fence") == ins.fence()
+
+    def test_three_reg_arith(self):
+        assert assemble_line("add r3, r1, r2") == ins.add(3, 1, 2)
+        assert assemble_line("sub r3, r1, r2") == ins.sub(3, 1, 2)
+
+    def test_flag_destination_arrow(self):
+        assert assemble_line("add r3, r1, r2 -> f2") == ins.add(3, 1, 2, dst_flag=2)
+
+    def test_carry_ops(self):
+        assert assemble_line("adc r3, r1, r2, f1 -> f1") == ins.adc(3, 1, 2, 1, dst_flag=1)
+        assert assemble_line("sbb r0, r1, r2, f3") == ins.sbb(0, 1, 2, 3)
+
+    def test_unary_ops(self):
+        assert assemble_line("inc r1, r2") == ins.inc(1, 2)
+        assert assemble_line("neg r1, r2") == ins.neg(1, 2)
+        assert assemble_line("not r1, r2") == ins.not_(1, 2)
+
+    def test_cmp(self):
+        assert assemble_line("cmp r1, r2 -> f1") == ins.cmp(1, 2, dst_flag=1)
+        assert assemble_line("cmpb r1, r2, f1 -> f2") == ins.cmpb(1, 2, 1, dst_flag=2)
+
+    def test_immediates(self):
+        assert assemble_line("loadi r1, 0x10") == ins.loadi(1, 16)
+        assert assemble_line("loadi r1, 0b101") == ins.loadi(1, 5)
+        assert assemble_line("loadi r1, 42") == ins.loadi(1, 42)
+        assert assemble_line("setf f2, 0x3") == ins.setf(2, 3)
+
+    def test_get_with_tag(self):
+        assert assemble_line("get r5, 9") == ins.get(5, 9)
+        assert assemble_line("get r5") == ins.get(5, 0)
+        assert assemble_line("getf f1, 2") == ins.getf(1, 2)
+
+    def test_logic_ops(self):
+        assert assemble_line("xor r1, r2, r3") == ins.xor(1, 2, 3)
+        assert assemble_line("nand r1, r2, r3") == ins.nand(1, 2, 3)
+        assert assemble_line("pass r1, r2") == ins.pass_(1, 2)
+
+    def test_generic_unit_dispatch(self):
+        got = assemble_line("unit 0x20, 3, r1, r2, r3 -> f1")
+        assert got == ins.dispatch(0x20, 3, dst1=1, src1=2, src2=3, dst_flag=1)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble_line("frob r1", 3)
+
+    def test_bad_register_token(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("add r1, x2, r3")
+
+    def test_missing_args(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("add r1, r2")
+
+
+class TestAssembleProgram:
+    def test_multiline_program(self):
+        src = """
+        ; load operands
+        loadi r1, 20
+        loadi r2, 22
+        add r3, r1, r2 -> f1   ; the work
+        get r3
+        halt
+        """
+        program = assemble(src)
+        assert [i.opcode for i in program] == [
+            Opcode.LOADI, Opcode.LOADI, Opcode.ARITH, Opcode.GET, Opcode.HALT
+        ]
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")
+
+
+class TestDisassembler:
+    CASES = [
+        ins.nop(),
+        ins.halt(),
+        ins.fence(),
+        ins.copy(1, 2),
+        ins.cpflag(3, 4),
+        ins.get(5, 2),
+        ins.getf(1, 3),
+        ins.loadi(2, 0xFF),
+        ins.loadis(2, 0xAB),
+        ins.setf(1, 7),
+        ins.add(1, 2, 3, dst_flag=2),
+        ins.adc(1, 2, 3, 4, dst_flag=2),
+        ins.sub(1, 2, 3),
+        ins.sbb(1, 2, 3, 4),
+        ins.inc(1, 2),
+        ins.dec(1, 2),
+        ins.neg(1, 2, dst_flag=1),
+        ins.cmp(1, 2, dst_flag=1),
+        ins.cmpb(1, 2, 3, dst_flag=1),
+        ins.and_(1, 2, 3),
+        ins.orn(1, 2, 3),
+        ins.not_(1, 2),
+        ins.pass_(1, 2),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: i.mnemonic_hint())
+    def test_roundtrip_via_assembler(self, instr):
+        text = disassemble(instr)
+        assert assemble_line(text) == instr
+
+    def test_disassemble_word(self):
+        assert disassemble_word(encode(ins.halt())) == "halt"
+
+    def test_unknown_unit_renders_generic(self):
+        text = disassemble(ins.dispatch(0x33, 7, dst1=1, src1=2, src2=3))
+        assert text.startswith("unit 0x33")
+        assert assemble_line(text) == ins.dispatch(0x33, 7, dst1=1, src1=2, src2=3)
+
+    def test_program_listing(self):
+        listing = disassemble_program([ins.nop(), ins.halt()])
+        assert listing == "nop\nhalt"

@@ -1,0 +1,117 @@
+"""Unit tests for instruction encode/decode."""
+
+import pytest
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    Opcode,
+    decode,
+    encode,
+    instructions as ins,
+)
+
+
+class TestRoundTrip:
+    def test_register_format(self):
+        i = Instruction(Opcode.ARITH, variety=0x04, dst_flag=3, dst1=5,
+                        dst2=6, src1=7, src2=8, src_flag=2)
+        assert decode(encode(i)) == i
+
+    def test_immediate_format(self):
+        i = ins.loadi(9, 0xDEADBEEF)
+        assert decode(encode(i)) == i
+
+    def test_nullary(self):
+        for builder in (ins.nop, ins.halt, ins.fence):
+            i = builder()
+            assert decode(encode(i)) == i
+
+    def test_all_builders_roundtrip(self):
+        cases = [
+            ins.copy(1, 2),
+            ins.cpflag(1, 2),
+            ins.get(3, 7),
+            ins.getf(2, 9),
+            ins.loadis(4, 0x1234),
+            ins.setf(1, 0xAA),
+            ins.add(1, 2, 3, dst_flag=4),
+            ins.adc(1, 2, 3, 5, dst_flag=4),
+            ins.sub(1, 2, 3),
+            ins.sbb(1, 2, 3, 5),
+            ins.inc(1, 2),
+            ins.dec(1, 2),
+            ins.neg(1, 2),
+            ins.cmp(1, 2, dst_flag=3),
+            ins.cmpb(1, 2, 4, dst_flag=3),
+            ins.and_(1, 2, 3),
+            ins.xor(1, 2, 3),
+            ins.not_(1, 2),
+            ins.pass_(1, 2),
+            ins.dispatch(0x20, 5, dst1=1, src1=2, src2=3),
+        ]
+        for i in cases:
+            assert decode(encode(i)) == i, i
+
+
+class TestFieldPlacement:
+    def test_opcode_in_top_byte(self):
+        word = encode(ins.halt())
+        assert (word >> 56) == Opcode.HALT
+
+    def test_variety_below_opcode(self):
+        word = encode(ins.get(1, tag=0xAB))
+        assert (word >> 48) & 0xFF == 0xAB
+
+    def test_immediate_in_low_word(self):
+        word = encode(ins.loadi(2, 0xCAFEBABE))
+        assert word & 0xFFFF_FFFF == 0xCAFEBABE
+        assert (word >> 32) & 0xFF == 2  # dst1
+
+    def test_register_fields(self):
+        i = Instruction(Opcode.ARITH, variety=1, dst_flag=0xAA, dst1=0xBB,
+                        dst2=0xCC, src1=0xDD, src2=0xEE, src_flag=0xFF)
+        w = encode(i)
+        assert (w >> 40) & 0xFF == 0xAA
+        assert (w >> 32) & 0xFF == 0xBB
+        assert (w >> 24) & 0xFF == 0xCC
+        assert (w >> 16) & 0xFF == 0xDD
+        assert (w >> 8) & 0xFF == 0xEE
+        assert w & 0xFF == 0xFF
+
+
+class TestValidation:
+    def test_oversized_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(0x100))
+
+    def test_immediate_with_reg_fields_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.LOADI, dst1=1, src1=2, imm=5))
+
+    def test_register_format_with_imm_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.COPY, dst1=1, src1=2, imm=5))
+
+    def test_oversized_imm_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.LOADI, dst1=1, imm=1 << 32))
+
+    def test_decode_oversized_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 64)
+
+    def test_word_is_64_bits(self):
+        w = encode(ins.dispatch(0xFF, 0xFF, dst1=0xFF, dst2=0xFF,
+                                src1=0xFF, src2=0xFF, dst_flag=0xFF, src_flag=0xFF))
+        assert 0 <= w < (1 << 64)
+
+
+class TestInstructionProperties:
+    def test_primitive_classification(self):
+        assert ins.nop().opcode < 0x10
+        assert ins.add(1, 2, 3).opcode >= 0x10
+
+    def test_mnemonic_hint(self):
+        assert ins.halt().mnemonic_hint() == "HALT"
+        assert ins.dispatch(0x42, 0).mnemonic_hint() == "UNIT_0x42"

@@ -1,0 +1,70 @@
+"""Unit tests for the instruction-word field definitions."""
+
+import pytest
+
+from repro.isa.fields import (
+    DST1,
+    DST2,
+    DST_FLAG,
+    IMM32,
+    IMMEDIATE_FORMAT_FIELDS,
+    OPCODE,
+    REGISTER_FORMAT_FIELDS,
+    SRC1,
+    SRC2,
+    SRC_FLAG,
+    VARIETY,
+    WORD_BITS,
+    Field,
+)
+
+
+def test_register_format_covers_all_64_bits_exactly_once():
+    seen = [0] * WORD_BITS
+    for f in REGISTER_FORMAT_FIELDS:
+        for b in range(f.lo, f.hi + 1):
+            seen[b] += 1
+    assert all(c == 1 for c in seen), "fields must tile the word without overlap"
+
+
+def test_immediate_format_covers_word_without_overlap():
+    seen = [0] * WORD_BITS
+    for f in IMMEDIATE_FORMAT_FIELDS:
+        for b in range(f.lo, f.hi + 1):
+            seen[b] += 1
+    assert all(c <= 1 for c in seen)
+    assert sum(seen) == 8 + 8 + 8 + 8 + 32
+
+
+def test_field_widths():
+    assert OPCODE.width == 8
+    assert VARIETY.width == 8
+    assert DST_FLAG.width == DST1.width == DST2.width == 8
+    assert SRC1.width == SRC2.width == SRC_FLAG.width == 8
+    assert IMM32.width == 32
+
+
+def test_extract_insert_roundtrip():
+    word = 0
+    word = OPCODE.insert(word, 0x12)
+    word = SRC1.insert(word, 0x34)
+    assert OPCODE.extract(word) == 0x12
+    assert SRC1.extract(word) == 0x34
+    assert DST1.extract(word) == 0
+
+
+def test_insert_rejects_oversized_value():
+    with pytest.raises(ValueError):
+        OPCODE.insert(0, 0x1FF)
+
+
+def test_insert_replaces_previous_value():
+    word = SRC2.insert(0, 0xAA)
+    word = SRC2.insert(word, 0x55)
+    assert SRC2.extract(word) == 0x55
+
+
+def test_field_mask():
+    f = Field("x", 11, 4)
+    assert f.width == 8
+    assert f.mask == 0xFF

@@ -1,0 +1,146 @@
+"""Experiment T1: thesis Table 3.1 — arithmetic instructions as variety-bit
+patterns over one adder datapath.
+
+The table's columns are the six modifier bits; its rows are the nine
+mnemonics.  These tests pin down each row's bit pattern and verify the
+datapath identities behind them (e.g. NEG ≡ 0 + ~b + 1 applied to the
+*second* operand only).
+"""
+
+import pytest
+
+from repro.fu import arith_datapath
+from repro.isa import (
+    ARITH_COMPL_SECOND,
+    ARITH_FIRST_ZERO,
+    ARITH_FIXED_CARRY,
+    ARITH_OUTPUT_DATA,
+    ARITH_SECOND_ZERO,
+    ARITH_USE_CARRY,
+    FLAG_CARRY,
+    FLAG_NEGATIVE,
+    FLAG_OVERFLOW,
+    FLAG_ZERO,
+    ArithOp,
+)
+
+W = 32
+MASK = (1 << W) - 1
+
+
+class TestVarietyBitPatterns:
+    """The encoding table itself."""
+
+    def test_add(self):
+        assert ArithOp.ADD == ARITH_OUTPUT_DATA
+
+    def test_adc_uses_carry_flag(self):
+        assert ArithOp.ADC == ARITH_OUTPUT_DATA | ARITH_USE_CARRY
+
+    def test_sub_is_complement_plus_fixed_carry(self):
+        assert ArithOp.SUB == ARITH_OUTPUT_DATA | ARITH_COMPL_SECOND | ARITH_FIXED_CARRY
+
+    def test_sbb_is_complement_plus_carry_flag(self):
+        assert ArithOp.SBB == ARITH_OUTPUT_DATA | ARITH_COMPL_SECOND | ARITH_USE_CARRY
+
+    def test_inc_zeroes_second_input(self):
+        assert ArithOp.INC == ARITH_OUTPUT_DATA | ARITH_SECOND_ZERO | ARITH_FIXED_CARRY
+
+    def test_dec_adds_all_ones(self):
+        assert ArithOp.DEC == ARITH_OUTPUT_DATA | ARITH_SECOND_ZERO | ARITH_COMPL_SECOND
+
+    def test_neg_applies_to_second_operand_only(self):
+        # "The negation instruction is applied to the second operand only,
+        # for reasons of logic compactness" — first input forced to zero.
+        assert ArithOp.NEG & ARITH_FIRST_ZERO
+        assert ArithOp.NEG & ARITH_COMPL_SECOND
+        assert ArithOp.NEG & ARITH_FIXED_CARRY
+
+    def test_cmp_cmpb_suppress_output(self):
+        # the "Output data" column is clear only for the comparisons
+        assert not ArithOp.CMP & ARITH_OUTPUT_DATA
+        assert not ArithOp.CMPB & ARITH_OUTPUT_DATA
+        for op in (ArithOp.ADD, ArithOp.ADC, ArithOp.SUB, ArithOp.SBB,
+                   ArithOp.INC, ArithOp.DEC, ArithOp.NEG):
+            assert op & ARITH_OUTPUT_DATA
+
+    def test_all_nine_rows_distinct(self):
+        assert len({int(op) for op in ArithOp}) == 9
+
+
+class TestDatapathIdentities:
+    """Each mnemonic's semantics emerge from the shared datapath."""
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (MASK, 1), (12345, 67890)])
+    def test_add(self, a, b):
+        r = arith_datapath(ArithOp.ADD, a, b, 0, W)
+        assert r.value == (a + b) & MASK
+        assert r.writes_data
+
+    @pytest.mark.parametrize("carry", [0, 1])
+    def test_adc_consumes_carry_flag(self, carry):
+        r = arith_datapath(ArithOp.ADC, 10, 20, carry, W)
+        assert r.value == 30 + carry
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (3, 5), (0, 1), (MASK, MASK)])
+    def test_sub(self, a, b):
+        r = arith_datapath(ArithOp.SUB, a, b, 0, W)
+        assert r.value == (a - b) & MASK
+        # carry flag = no borrow
+        assert bool(r.flags & FLAG_CARRY) == (a >= b)
+
+    def test_sbb_borrow_chain(self):
+        # 0x1_00000000 - 1 over two limbs: low limb borrows
+        low = arith_datapath(ArithOp.SUB, 0, 1, 0, W)
+        assert low.value == MASK
+        assert not low.flags & FLAG_CARRY  # borrow happened
+        high = arith_datapath(ArithOp.SBB, 1, 0, low.flags, W)
+        assert high.value == 0
+        assert high.flags & FLAG_CARRY
+
+    def test_inc_dec(self):
+        assert arith_datapath(ArithOp.INC, 41, 999, 0, W).value == 42
+        assert arith_datapath(ArithOp.DEC, 43, 999, 0, W).value == 42
+        assert arith_datapath(ArithOp.DEC, 0, 0, 0, W).value == MASK
+
+    def test_neg_second_operand(self):
+        r = arith_datapath(ArithOp.NEG, 999, 5, 0, W)   # first operand ignored
+        assert r.value == (-5) & MASK
+
+    def test_cmp_flags_only(self):
+        r = arith_datapath(ArithOp.CMP, 7, 7, 0, W)
+        assert not r.writes_data
+        assert r.flags & FLAG_ZERO
+        r2 = arith_datapath(ArithOp.CMP, 3, 7, 0, W)
+        assert not r2.flags & FLAG_ZERO
+        assert r2.flags & FLAG_NEGATIVE  # 3-7 < 0
+
+    def test_cmpb_multiword_compare(self):
+        # compare 0x0000_0001_0000_0000 vs 0x0000_0000_FFFF_FFFF limbwise
+        low = arith_datapath(ArithOp.CMP, 0, MASK, 0, W)
+        high = arith_datapath(ArithOp.CMPB, 1, 0, low.flags, W)
+        assert high.flags & FLAG_CARRY  # a >= b overall
+
+    def test_zero_flag(self):
+        r = arith_datapath(ArithOp.ADD, 0, 0, 0, W)
+        assert r.flags & FLAG_ZERO
+        assert arith_datapath(ArithOp.ADD, MASK, 1, 0, W).flags & FLAG_ZERO
+
+    def test_overflow_flag_signed(self):
+        big = (1 << (W - 1)) - 1  # INT_MAX
+        r = arith_datapath(ArithOp.ADD, big, 1, 0, W)
+        assert r.flags & FLAG_OVERFLOW
+        assert r.flags & FLAG_NEGATIVE
+        r2 = arith_datapath(ArithOp.ADD, 1, 1, 0, W)
+        assert not r2.flags & FLAG_OVERFLOW
+
+    def test_carry_out(self):
+        r = arith_datapath(ArithOp.ADD, MASK, 1, 0, W)
+        assert r.flags & FLAG_CARRY
+
+    @pytest.mark.parametrize("width", [32, 64, 128])
+    def test_word_size_generic(self, width):
+        mask = (1 << width) - 1
+        r = arith_datapath(ArithOp.ADD, mask, 1, 0, width)
+        assert r.value == 0
+        assert r.flags & FLAG_CARRY

@@ -1,0 +1,121 @@
+"""Unit tests for message framing (header layout, multi-word values, streaming)."""
+
+import pytest
+
+from repro.messages import (
+    DataRecord,
+    Deframer,
+    Exec,
+    ExceptionReport,
+    FlagVector,
+    Framer,
+    FramingError,
+    Halted,
+    MsgType,
+    Reset,
+    WriteFlags,
+    WriteReg,
+    make_header,
+    split_header,
+    value_to_words,
+    words_to_value,
+)
+
+ALL_MESSAGES = [
+    Exec(0x1234_5678_9ABC_DEF0),
+    WriteReg(5, 0xDEADBEEF),
+    WriteFlags(2, 0x5A),
+    Reset(),
+    DataRecord(7, 0xCAFEBABE),
+    FlagVector(1, 0x03),
+    ExceptionReport(2, 0x44),
+    Halted(),
+]
+
+
+class TestHeader:
+    def test_layout(self):
+        h = make_header(MsgType.EXEC, 0xAB, 0x1234)
+        assert split_header(h) == (MsgType.EXEC, 0xAB, 0x1234)
+
+    def test_arg_range(self):
+        with pytest.raises(FramingError):
+            make_header(1, 256, 0)
+
+    def test_length_range(self):
+        with pytest.raises(FramingError):
+            make_header(1, 0, 1 << 16)
+
+
+class TestValueWords:
+    def test_single_word(self):
+        assert value_to_words(0x12345678, 1) == [0x12345678]
+
+    def test_multi_word_lsw_first(self):
+        words = value_to_words(0x1_0000_0002, 2)
+        assert words == [2, 1]
+
+    def test_roundtrip(self):
+        v = 0xFEDC_BA98_7654_3210
+        assert words_to_value(value_to_words(v, 2)) == v
+
+    def test_too_large_rejected(self):
+        with pytest.raises(FramingError):
+            value_to_words(1 << 32, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FramingError):
+            value_to_words(-1, 1)
+
+
+class TestFramerDeframer:
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_roundtrip_word32(self, msg):
+        framer, deframer = Framer(1), Deframer(1)
+        out = list(deframer.push_all(framer.frame(msg)))
+        assert out == [msg]
+
+    def test_roundtrip_wide_words(self):
+        framer, deframer = Framer(4), Deframer(4)  # 128-bit registers
+        msg = WriteReg(3, (1 << 127) | 5)
+        assert list(deframer.push_all(framer.frame(msg))) == [msg]
+
+    def test_exec_always_two_words(self):
+        framer = Framer(4)
+        words = framer.frame(Exec(0xFFFF_FFFF_FFFF_FFFF))
+        assert len(words) == 3  # header + 2 payload regardless of data_words
+
+    def test_stream_of_messages(self):
+        framer, deframer = Framer(1), Deframer(1)
+        stream = framer.frame_all(ALL_MESSAGES)
+        out = list(deframer.push_all(stream))
+        assert out == ALL_MESSAGES
+
+    def test_incremental_push(self):
+        framer, deframer = Framer(2), Deframer(2)
+        words = framer.frame(WriteReg(1, 0x1_0000_0002))
+        assert deframer.push(words[0]) is None
+        assert deframer.mid_frame
+        assert deframer.push(words[1]) is None
+        msg = deframer.push(words[2])
+        assert msg == WriteReg(1, 0x1_0000_0002)
+        assert not deframer.mid_frame
+
+    def test_zero_payload_messages_complete_on_header(self):
+        framer, deframer = Framer(1), Deframer(1)
+        (header,) = framer.frame(Reset())
+        assert deframer.push(header) == Reset()
+
+    def test_unknown_type_rejected(self):
+        deframer = Deframer(1)
+        with pytest.raises(FramingError):
+            deframer.push(make_header(0x7F, 0, 0))
+
+    def test_value_masked_on_wire(self):
+        framer = Framer(1)
+        words = framer.frame(FlagVector(1, 0x1_0000_00FF))
+        assert words[1] == 0xFF | 0x1_0000_0000 & 0xFFFFFFFF or words[1] == 0xFF
+
+    def test_data_words_validated(self):
+        with pytest.raises(FramingError):
+            Framer(0)

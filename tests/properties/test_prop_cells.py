@@ -1,0 +1,134 @@
+"""Property-based tests of the SIMD cell semantics and array equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import Component, Simulator
+from repro.xisort import (
+    SENTINEL,
+    CellCmd,
+    CellState,
+    StructuralCellArray,
+    VectorCellArray,
+    cell_step,
+)
+
+BOUND = st.integers(min_value=0, max_value=SENTINEL)
+DATA = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+cell_states = st.builds(
+    CellState,
+    data=DATA,
+    lower=BOUND,
+    upper=BOUND,
+    selected=st.booleans(),
+    saved=st.booleans(),
+)
+
+MATCH_CMDS = [
+    CellCmd.SELECT_IMPRECISE,
+    CellCmd.MATCH_DATA_LT,
+    CellCmd.MATCH_DATA_EQ,
+    CellCmd.MATCH_DATA_GT,
+    CellCmd.MATCH_LOWER_BOUND,
+    CellCmd.MATCH_UPPER_BOUND,
+    CellCmd.MATCH_LOWER_BOUND_I,
+    CellCmd.MATCH_UPPER_BOUND_I,
+]
+
+
+class TestCellStepProperties:
+    @given(cell_states, st.sampled_from(MATCH_CMDS), DATA)
+    def test_matches_only_narrow_selection(self, state, cmd, bcast):
+        """Match commands are monotone: they never select a deselected cell."""
+        after = cell_step(state, cmd, broadcast=bcast)
+        assert not (after.selected and not state.selected)
+
+    @given(cell_states, st.sampled_from(MATCH_CMDS), DATA)
+    def test_matches_preserve_payload(self, state, cmd, bcast):
+        after = cell_step(state, cmd, broadcast=bcast)
+        assert (after.data, after.lower, after.upper) == (
+            state.data, state.lower, state.upper
+        )
+
+    @given(cell_states)
+    def test_save_restore_roundtrip(self, state):
+        saved = cell_step(state, CellCmd.SAVE)
+        mutated = cell_step(saved, CellCmd.MATCH_DATA_LT, broadcast=0)
+        restored = cell_step(mutated, CellCmd.RESTORE)
+        assert restored.selected == state.selected
+
+    @given(cell_states, DATA)
+    def test_set_bounds_makes_precise(self, state, bcast):
+        after = cell_step(state, CellCmd.SET_BOUNDS, broadcast=bcast)
+        if state.selected:
+            assert not after.imprecise
+        else:
+            assert (after.lower, after.upper) == (state.lower, state.upper)
+
+    @given(cell_states)
+    def test_clear_is_absorbing(self, state):
+        assert cell_step(state, CellCmd.CLEAR) == CellState()
+
+    @given(cell_states, st.sampled_from(list(CellCmd)), DATA)
+    def test_step_is_total_and_pure(self, state, cmd, bcast):
+        if cmd == CellCmd.LOAD:
+            return  # requires shift_in wiring
+        a = cell_step(state, cmd, broadcast=bcast)
+        b = cell_step(state, cmd, broadcast=bcast)
+        assert a == b
+
+
+command_scripts = st.lists(
+    st.tuples(
+        st.sampled_from([c for c in CellCmd]),
+        st.integers(0, 63),     # broadcast
+        st.integers(0, 63),     # load_data
+        st.integers(0, 15),     # load_lower
+        st.integers(0, 15),     # load_upper
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class _Dual(Component):
+    def __init__(self, n_cells):
+        super().__init__("dual")
+        self.vec = VectorCellArray("vec", n_cells, 32, parent=self)
+        self.struct = StructuralCellArray("struct", n_cells, 32, parent=self)
+        self.script = []
+
+        @self.comb
+        def _drive():
+            cmd, b, ld, ll, lu = (
+                self.script[0] if self.script else (CellCmd.NOP, 0, 0, 0, 0)
+            )
+            for arr in (self.vec, self.struct):
+                arr.cmd.set(int(cmd))
+                arr.broadcast.set(b)
+                arr.load_data.set(ld)
+                arr.load_lower.set(ll)
+                arr.load_upper.set(lu)
+
+        @self.seq
+        def _tick():
+            if self.script:
+                self.script.pop(0)
+
+
+class TestArrayEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(script=command_scripts, n_cells=st.integers(1, 5))
+    def test_vector_equals_structural_under_any_script(self, script, n_cells):
+        """The NumPy hot path is observationally equal to the per-cell netlist."""
+        top = _Dual(n_cells)
+        sim = Simulator(top)
+        sim.reset()
+        top.script = list(script)
+        sim.step(len(script) + 1)
+        sim.settle()
+        assert top.vec.states() == top.struct.states()
+        assert top.vec.count.value == top.struct.count.value
+        assert top.vec.leftmost_found.value == top.struct.leftmost_found.value
+        assert top.vec.selected_value.value == top.struct.selected_value.value

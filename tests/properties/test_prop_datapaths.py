@@ -1,0 +1,146 @@
+"""Property-based tests of the stateless datapaths against Python semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fu import arith_datapath, logic_datapath
+from repro.isa import (
+    FLAG_CARRY,
+    FLAG_NEGATIVE,
+    FLAG_ZERO,
+    ArithOp,
+    LogicOp,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+CARRIES = st.integers(min_value=0, max_value=0xFF)
+W = 32
+MASK = (1 << W) - 1
+
+
+class TestArithProperties:
+    @given(a=WORDS, b=WORDS)
+    def test_add_mod_2_32(self, a, b):
+        r = arith_datapath(ArithOp.ADD, a, b, 0, W)
+        assert r.value == (a + b) & MASK
+        assert bool(r.flags & FLAG_CARRY) == (a + b > MASK)
+
+    @given(a=WORDS, b=WORDS, f=CARRIES)
+    def test_adc_full_adder_identity(self, a, b, f):
+        cin = f & FLAG_CARRY
+        r = arith_datapath(ArithOp.ADC, a, b, f, W)
+        assert r.value == (a + b + cin) & MASK
+
+    @given(a=WORDS, b=WORDS)
+    def test_sub_two_complement_identity(self, a, b):
+        r = arith_datapath(ArithOp.SUB, a, b, 0, W)
+        assert r.value == (a - b) & MASK
+        assert bool(r.flags & FLAG_CARRY) == (a >= b)
+
+    @given(a=WORDS, b=WORDS, f=CARRIES)
+    def test_sbb_borrow_identity(self, a, b, f):
+        borrow = 1 - (f & FLAG_CARRY)
+        r = arith_datapath(ArithOp.SBB, a, b, f, W)
+        assert r.value == (a - b - borrow) & MASK
+
+    @given(a=WORDS)
+    def test_inc_dec_inverse(self, a):
+        up = arith_datapath(ArithOp.INC, a, 0, 0, W).value
+        down = arith_datapath(ArithOp.DEC, up, 0, 0, W).value
+        assert down == a
+
+    @given(b=WORDS)
+    def test_neg_is_additive_inverse(self, b):
+        n = arith_datapath(ArithOp.NEG, 0, b, 0, W).value
+        assert (n + b) & MASK == 0
+
+    @given(a=WORDS, b=WORDS)
+    def test_cmp_matches_sub_flags(self, a, b):
+        cmp_r = arith_datapath(ArithOp.CMP, a, b, 0, W)
+        sub_r = arith_datapath(ArithOp.SUB, a, b, 0, W)
+        assert cmp_r.flags == sub_r.flags
+        assert not cmp_r.writes_data
+
+    @given(a=WORDS, b=WORDS)
+    def test_zero_flag_iff_result_zero(self, a, b):
+        r = arith_datapath(ArithOp.ADD, a, b, 0, W)
+        assert bool(r.flags & FLAG_ZERO) == (r.value == 0)
+
+    @given(a=WORDS, b=WORDS)
+    def test_negative_flag_is_msb(self, a, b):
+        r = arith_datapath(ArithOp.ADD, a, b, 0, W)
+        assert bool(r.flags & FLAG_NEGATIVE) == bool(r.value >> (W - 1))
+
+    @given(a=WORDS, b=WORDS)
+    def test_signed_overflow_definition(self, a, b):
+        from repro.isa import FLAG_OVERFLOW
+
+        def signed(x):
+            return x - (1 << W) if x >> (W - 1) else x
+
+        r = arith_datapath(ArithOp.ADD, a, b, 0, W)
+        true_sum = signed(a) + signed(b)
+        assert bool(r.flags & FLAG_OVERFLOW) == not_in_range(true_sum, W)
+
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 128) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    def test_multiword_chain_equals_bigint(self, a, b):
+        """ADC chains over 4 limbs compute exact 128-bit addition."""
+        flags = 0
+        result = 0
+        for i in range(4):
+            la = (a >> (32 * i)) & MASK
+            lb = (b >> (32 * i)) & MASK
+            op = ArithOp.ADD if i == 0 else ArithOp.ADC
+            r = arith_datapath(op, la, lb, flags, W)
+            flags = r.flags
+            result |= r.value << (32 * i)
+        carry = 1 if flags & FLAG_CARRY else 0
+        assert result | (carry << 128) == a + b
+
+
+def not_in_range(v: int, width: int) -> bool:
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return not lo <= v <= hi
+
+
+class TestLogicProperties:
+    @given(a=WORDS, b=WORDS)
+    def test_demorgan(self, a, b):
+        nand, _ = logic_datapath(int(LogicOp.NAND), a, b, W)
+        or_of_nots = (logic_datapath(int(LogicOp.NOT), a, 0, W)[0]
+                      | logic_datapath(int(LogicOp.NOT), b, 0, W)[0])
+        assert nand == or_of_nots
+
+    @given(a=WORDS)
+    def test_not_involution(self, a):
+        once, _ = logic_datapath(int(LogicOp.NOT), a, 0, W)
+        twice, _ = logic_datapath(int(LogicOp.NOT), once, 0, W)
+        assert twice == a
+
+    @given(a=WORDS, b=WORDS)
+    def test_xor_xnor_complementary(self, a, b):
+        x, _ = logic_datapath(int(LogicOp.XOR), a, b, W)
+        xn, _ = logic_datapath(int(LogicOp.XNOR), a, b, W)
+        assert x ^ xn == MASK
+
+    @given(a=WORDS, b=WORDS)
+    def test_andn_identity(self, a, b):
+        v, _ = logic_datapath(int(LogicOp.ANDN), a, b, W)
+        assert v == a & ~b & MASK
+
+    @given(a=WORDS)
+    def test_pass_preserves(self, a):
+        v, _ = logic_datapath(int(LogicOp.PASS), a, 12345, W)
+        assert v == a
+
+    @given(a=WORDS, b=WORDS, op=st.sampled_from(list(LogicOp)))
+    def test_flags_consistent(self, a, b, op):
+        from repro.isa import FLAG_PARITY
+
+        v, flags = logic_datapath(int(op), a, b, W)
+        assert bool(flags & FLAG_ZERO) == (v == 0)
+        assert bool(flags & FLAG_NEGATIVE) == bool(v >> (W - 1))
+        assert bool(flags & FLAG_PARITY) == (bin(v).count("1") % 2 == 0)

@@ -1,0 +1,85 @@
+"""Robustness fuzzing: the coprocessor must survive arbitrary channel input.
+
+"The entire system is controlled by the host computer" (§II) — which means
+a buggy host must never be able to wedge the coprocessor.  We fire random
+word streams (including torn frames and unknown message types) at the
+channel and require that the RTM keeps responding to well-formed traffic
+afterwards.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host import CoprocessorDriver
+from repro.messages import Reset
+from repro.system import build_system
+
+WORDS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def _frame_boundary_flush(driver: CoprocessorDriver) -> None:
+    """Force the deframer back to a frame boundary.
+
+    Random garbage may leave a legitimate-looking frame half-received;
+    feeding zero-payload RESET headers until the deframer is idle models
+    the host's resynchronisation procedure.
+    """
+    # Header validation is eager, so at most max_length (= 2 here) words of
+    # a legitimate-looking garbage frame can be absorbed before resync.
+    for _ in range(8):
+        if not driver.soc.rtm.msgbuffer._deframer.mid_frame:
+            break
+        driver.send(Reset())
+        driver.pump(4)
+    driver.reset_message()  # ensure any halted state is cleared
+
+
+class TestGarbageTolerance:
+    @settings(max_examples=15, deadline=None)
+    @given(garbage=st.lists(WORDS, min_size=1, max_size=12))
+    def test_survives_random_words(self, garbage):
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        driver.soc.host.send_words(garbage)
+        driver.pump(len(garbage) * 8 + 50)
+        _frame_boundary_flush(driver)
+        driver.run_until_quiet(max_cycles=2_000_000)
+        driver.inbox.clear()
+        # the machine still works
+        driver.write_reg(1, 1234)
+        assert driver.read_reg(1, max_cycles=2_000_000) == 1234
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        garbage=st.lists(WORDS, min_size=1, max_size=6),
+        value=st.integers(0, (1 << 32) - 1),
+    )
+    def test_garbage_then_valid_traffic(self, garbage, value):
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        driver.soc.host.send_words(garbage)
+        driver.pump(len(garbage) * 8 + 50)
+        _frame_boundary_flush(driver)
+        driver.inbox.clear()
+        driver.write_reg(2, value)
+        assert driver.read_reg(2, max_cycles=2_000_000) == value
+
+    def test_unknown_type_reports_bad_message(self):
+        from repro.messages import ExceptionCode
+
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        driver.soc.host.send_words([0x7F00_0000])  # type 0x7F, zero payload
+        (msg,) = driver.wait_for(1)
+        assert msg.code == ExceptionCode.BAD_MESSAGE
+        assert msg.info == 0x7F00_0000
+
+    def test_torn_frame_resynchronises(self):
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        # a WRITE_REG header claiming 1 payload word, followed by nothing,
+        # then a full valid frame that lands as the torn frame's payload
+        from repro.messages import make_header, MsgType
+
+        driver.soc.host.send_word(make_header(MsgType.WRITE_REG, 3, 1))
+        driver.pump(10)
+        _frame_boundary_flush(driver)
+        driver.inbox.clear()
+        driver.write_reg(1, 77)
+        assert driver.read_reg(1) == 77

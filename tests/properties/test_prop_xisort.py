@@ -1,0 +1,78 @@
+"""Property-based tests of the χ-sort machine against Python's sort."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xisort import DirectXiSortMachine, SoftwareXiSort
+
+distinct_values = st.lists(
+    st.integers(min_value=0, max_value=(1 << 20) - 1),
+    min_size=1,
+    max_size=14,
+    unique=True,
+)
+
+
+class TestHardwareSortProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(values=distinct_values)
+    def test_sorts_any_distinct_input(self, values):
+        machine = DirectXiSortMachine(max(2, len(values)))
+        assert machine.sort(values) == sorted(values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=distinct_values, data=st.data())
+    def test_select_matches_sorted_index(self, values, data):
+        k = data.draw(st.integers(0, len(values) - 1))
+        machine = DirectXiSortMachine(max(2, len(values)))
+        assert machine.select(values, k) == sorted(values)[k]
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=distinct_values)
+    def test_hw_and_sw_agree(self, values):
+        hw = DirectXiSortMachine(max(2, len(values))).sort(values)
+        sw = SoftwareXiSort(values).sort()
+        assert hw == sw
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=distinct_values)
+    def test_intervals_are_invariant_preserving(self, values):
+        """After every split, each datum's interval still brackets its true rank,
+        and all cells of one segment share identical intervals."""
+        machine = DirectXiSortMachine(max(2, len(values)))
+        machine.reset_array()
+        machine.load(values)
+        ranks = {v: i for i, v in enumerate(sorted(values))}
+        while True:
+            pivot = machine.find_pivot()
+            if pivot is None:
+                break
+            machine.split(*pivot)
+            for s in machine.core.array.states():
+                if s.lower == s.upper == 0xFFFF:
+                    continue  # empty sentinel cell
+                assert s.lower <= ranks[s.data] <= s.upper, (
+                    f"interval <{s.lower},{s.upper}> lost rank {ranks[s.data]} "
+                    f"of value {s.data}"
+                )
+        # termination: everything precise and correctly placed
+        for s in machine.core.array.states():
+            if s.lower == s.upper == 0xFFFF:
+                continue
+            assert s.lower == s.upper == ranks[s.data]
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=distinct_values)
+    def test_split_count_bounded_by_n(self, values):
+        """χ-sort performs at most n split rounds (each fixes ≥1 pivot)."""
+        machine = DirectXiSortMachine(max(2, len(values)))
+        machine.reset_array()
+        machine.load(values)
+        rounds = 0
+        while machine.find_pivot() is not None:
+            pivot = machine.find_pivot()
+            machine.split(*pivot)
+            rounds += 1
+            assert rounds <= len(values)

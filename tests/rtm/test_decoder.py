@@ -1,0 +1,141 @@
+"""Unit tests for the decode logic (classification, validation, hazard sets)."""
+
+import pytest
+
+from repro.config import FrameworkConfig
+from repro.fu import ArithmeticUnit, WriteSpace
+from repro.hdl import Simulator
+from repro.isa import Opcode, encode, instructions as ins
+from repro.isa.opcodes import ArithOp
+from repro.messages import (
+    ExceptionCode,
+    ExceptionReport,
+    Exec,
+    Halted,
+    Reset,
+    WriteFlags,
+    WriteReg,
+)
+from repro.rtm import Decoder, FunctionalUnitTable
+
+
+@pytest.fixture
+def decoder():
+    cfg = FrameworkConfig(n_regs=8, n_flag_regs=4)
+    table = FunctionalUnitTable()
+    table.add(Opcode.ARITH, ArithmeticUnit("a", cfg.word_bits))
+    d = Decoder("dec", cfg, table)
+    Simulator(d)  # elaborate so _decode can run standalone
+    return d
+
+
+def _decode_instr(decoder, instr):
+    return decoder._decode(Exec(encode(instr)))
+
+
+class TestUnitDecoding:
+    def test_arith_classified_as_unit(self, decoder):
+        op = _decode_instr(decoder, ins.add(3, 1, 2, dst_flag=1))
+        assert op.kind == "unit"
+        assert op.entry.code == Opcode.ARITH
+
+    def test_sources_include_flag_register(self, decoder):
+        op = _decode_instr(decoder, ins.adc(3, 1, 2, 2, dst_flag=1))
+        assert (WriteSpace.DATA, 1) in op.sources
+        assert (WriteSpace.DATA, 2) in op.sources
+        assert (WriteSpace.FLAG, 2) in op.sources
+
+    def test_write_set_follows_profile_add(self, decoder):
+        op = _decode_instr(decoder, ins.add(3, 1, 2, dst_flag=1))
+        assert (WriteSpace.DATA, 3) in op.write_set
+        assert (WriteSpace.FLAG, 1) in op.write_set
+
+    def test_write_set_cmp_flags_only(self, decoder):
+        # CMP's variety clears "Output data" → dst1 must NOT be locked
+        op = _decode_instr(decoder, ins.cmp(1, 2, dst_flag=1))
+        assert op.write_set == ((WriteSpace.FLAG, 1),)
+
+    def test_unknown_unit_is_illegal_opcode(self, decoder):
+        op = _decode_instr(decoder, ins.dispatch(0x55, 0, dst1=1))
+        assert op.kind == "exec"
+        assert isinstance(op.exec_op.message, ExceptionReport)
+        assert op.exec_op.message.code == ExceptionCode.ILLEGAL_OPCODE
+
+    def test_out_of_range_register_rejected(self, decoder):
+        op = _decode_instr(decoder, ins.add(3, 200, 2))  # src1 = 200 > 7
+        assert isinstance(op.exec_op.message, ExceptionReport)
+        assert op.exec_op.message.code == ExceptionCode.BAD_REGISTER
+
+    def test_out_of_range_flag_register_rejected(self, decoder):
+        op = _decode_instr(decoder, ins.add(3, 1, 2, dst_flag=9))
+        assert isinstance(op.exec_op.message, ExceptionReport)
+
+
+class TestPrimitiveDecoding:
+    def test_nop_is_empty_exec(self, decoder):
+        op = _decode_instr(decoder, ins.nop())
+        assert op.kind == "exec"
+        assert op.exec_op.is_nop
+
+    def test_halt_sets_halt_and_acknowledges(self, decoder):
+        op = _decode_instr(decoder, ins.halt())
+        assert op.exec_op.set_halt
+        assert op.exec_op.message == Halted()
+
+    def test_fence_requires_all_free(self, decoder):
+        op = _decode_instr(decoder, ins.fence())
+        assert op.require_all_free
+
+    def test_copy_needs_resolution_and_locks_dst(self, decoder):
+        op = _decode_instr(decoder, ins.copy(4, 2))
+        assert op.needs_resolution
+        assert op.sources == ((WriteSpace.DATA, 2),)
+        assert op.write_set == ((WriteSpace.DATA, 4),)
+
+    def test_get_reads_but_locks_nothing(self, decoder):
+        op = _decode_instr(decoder, ins.get(3, tag=1))
+        assert op.sources == ((WriteSpace.DATA, 3),)
+        assert op.write_set == ()
+
+    def test_loadi_carries_prebuilt_transfer(self, decoder):
+        op = _decode_instr(decoder, ins.loadi(2, 0xBEEF))
+        assert op.exec_op.transfer.data_reg == 2
+        assert op.exec_op.transfer.data_value == 0xBEEF
+
+    def test_loadis_reads_its_own_destination(self, decoder):
+        op = _decode_instr(decoder, ins.loadis(2, 0xBEEF))
+        assert (WriteSpace.DATA, 2) in op.sources
+        assert (WriteSpace.DATA, 2) in op.write_set
+
+    def test_setf_immediate_flag_write(self, decoder):
+        op = _decode_instr(decoder, ins.setf(1, 0x5))
+        assert op.exec_op.transfer.flag_reg == 1
+        assert op.exec_op.transfer.flag_value == 0x5
+
+    def test_bad_primitive_register(self, decoder):
+        op = _decode_instr(decoder, ins.copy(200, 1))
+        assert isinstance(op.exec_op.message, ExceptionReport)
+
+
+class TestHostMessages:
+    def test_write_reg(self, decoder):
+        op = decoder._decode(WriteReg(3, 77))
+        assert op.exec_op.transfer.data_reg == 3
+        assert op.exec_op.transfer.data_value == 77
+        assert op.write_set == ((WriteSpace.DATA, 3),)
+
+    def test_write_reg_masked_to_word(self, decoder):
+        op = decoder._decode(WriteReg(3, 1 << 40))
+        assert op.exec_op.transfer.data_value == 0  # masked to 32 bits
+
+    def test_write_flags(self, decoder):
+        op = decoder._decode(WriteFlags(2, 0xAB))
+        assert op.exec_op.transfer.flag_reg == 2
+
+    def test_write_reg_out_of_range(self, decoder):
+        op = decoder._decode(WriteReg(99, 1))
+        assert isinstance(op.exec_op.message, ExceptionReport)
+
+    def test_reset_clears_halt(self, decoder):
+        op = decoder._decode(Reset())
+        assert op.exec_op.clear_halt

@@ -1,0 +1,121 @@
+"""Direct unit tests of the execution stage (retire sequencing, halt latch)."""
+
+import pytest
+
+from repro.config import FrameworkConfig
+from repro.fu.protocol import Transfer
+from repro.hdl import Component, Simulator
+from repro.messages import DataRecord, Halted
+from repro.rtm import ExecOp, Execution
+
+
+class ExecHarness(Component):
+    def __init__(self):
+        super().__init__("eh")
+        self.exe = Execution("exe", FrameworkConfig(), parent=self)
+        self.to_send: list[ExecOp] = []
+        self.messages = []
+        self.writes = []
+        self.msg_ready = True
+        self.prio_grant = True
+
+        @self.comb
+        def _drive():
+            self.exe.inp.valid.set(1 if self.to_send else 0)
+            if self.to_send:
+                self.exe.inp.payload.set(self.to_send[0])
+            self.exe.msg_out.ready.set(1 if self.msg_ready else 0)
+            self.exe.prio_ack.set(
+                1 if (self.prio_grant and self.exe.prio_valid.value) else 0
+            )
+
+        @self.seq
+        def _tick():
+            if self.exe.inp.fires():
+                self.to_send.pop(0)
+            if self.exe.msg_out.fires():
+                self.messages.append(self.exe.msg_out.payload.value)
+            if self.exe.prio_valid.value and self.exe.prio_ack.value:
+                self.writes.append(self.exe.prio_transfer.value)
+
+
+@pytest.fixture
+def h():
+    harness = ExecHarness()
+    sim = Simulator(harness)
+    sim.reset()
+    return harness, sim
+
+
+class TestRetireSequencing:
+    def test_transfer_goes_to_priority_port(self, h):
+        harness, sim = h
+        t = Transfer(data_reg=3, data_value=42)
+        harness.to_send = [ExecOp(transfer=t)]
+        sim.run_until(lambda: harness.writes, 20)
+        assert harness.writes == [t]
+        assert harness.exe.retired == 1
+
+    def test_message_goes_to_encoder(self, h):
+        harness, sim = h
+        msg = DataRecord(1, 99)
+        harness.to_send = [ExecOp(message=msg)]
+        sim.run_until(lambda: harness.messages, 20)
+        assert harness.messages == [msg]
+
+    def test_transfer_then_message_sequenced(self, h):
+        harness, sim = h
+        t = Transfer(flag_reg=1, flag_value=3)
+        msg = Halted()
+        harness.to_send = [ExecOp(transfer=t, message=msg, set_halt=True)]
+        sim.run_until(lambda: harness.messages, 30)
+        assert harness.writes == [t]
+        assert harness.messages == [msg]
+        assert harness.exe.halted.value
+
+    def test_pure_state_op_retires_immediately(self, h):
+        harness, sim = h
+        harness.to_send = [ExecOp(), ExecOp()]
+        sim.step(6)
+        assert harness.exe.retired == 2
+
+    def test_blocked_priority_port_stalls(self, h):
+        harness, sim = h
+        harness.prio_grant = False
+        harness.to_send = [ExecOp(transfer=Transfer(data_reg=1, data_value=1))]
+        sim.step(10)
+        assert harness.writes == []
+        assert harness.exe.retired == 0
+        harness.prio_grant = True
+        sim.run_until(lambda: harness.writes, 10)
+
+    def test_blocked_encoder_stalls(self, h):
+        harness, sim = h
+        harness.msg_ready = False
+        harness.to_send = [ExecOp(message=DataRecord(0, 1))]
+        sim.step(10)
+        assert harness.messages == []
+        harness.msg_ready = True
+        sim.run_until(lambda: harness.messages, 10)
+
+
+class TestHaltLatch:
+    def test_set_then_clear(self, h):
+        harness, sim = h
+        harness.to_send = [
+            ExecOp(message=Halted(), set_halt=True),
+            ExecOp(clear_halt=True),
+        ]
+        sim.run_until(lambda: harness.exe.halted.value == 1, 20)
+        sim.run_until(lambda: harness.exe.halted.value == 0, 20)
+
+    def test_ops_ordered_fifo(self, h):
+        harness, sim = h
+        harness.to_send = [
+            ExecOp(message=DataRecord(0, 1)),
+            ExecOp(transfer=Transfer(data_reg=2, data_value=2)),
+            ExecOp(message=DataRecord(0, 3)),
+        ]
+        sim.run_until(lambda: len(harness.messages) == 2, 40)
+        assert [m.value for m in harness.messages] == [1, 3]
+        assert harness.writes[0].data_value == 2

@@ -1,0 +1,93 @@
+"""Unit tests for the lock manager (the register usage table / scoreboard)."""
+
+from repro.config import FrameworkConfig
+from repro.fu import WriteSpace
+from repro.hdl import Component, Simulator
+from repro.rtm import LockManager
+
+
+class LockHarness(Component):
+    def __init__(self):
+        super().__init__("lh")
+        self.mgr = LockManager("mgr", FrameworkConfig(), parent=self)
+        self.plan = []  # list of (action, space, reg) applied one batch/cycle
+
+        @self.seq
+        def _tick():
+            if self.plan:
+                for action, space, reg in self.plan.pop(0):
+                    getattr(self.mgr, action)(space, reg)
+
+
+def _sim():
+    h = LockHarness()
+    return h, Simulator(h)
+
+
+class TestLockManager:
+    def test_initially_free(self):
+        h, sim = _sim()
+        assert h.mgr.all_free
+        assert h.mgr.locked_count == 0
+
+    def test_lock_visible_next_cycle(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 3)]]
+        sim.settle()
+        assert not h.mgr.is_locked(WriteSpace.DATA, 3)  # not yet latched
+        sim.step()
+        assert h.mgr.is_locked(WriteSpace.DATA, 3)
+
+    def test_unlock_releases(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 3)], [("unlock", WriteSpace.DATA, 3)]]
+        sim.step(2)
+        assert h.mgr.all_free
+
+    def test_spaces_are_independent(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 2)]]
+        sim.step()
+        assert h.mgr.is_locked(WriteSpace.DATA, 2)
+        assert not h.mgr.is_locked(WriteSpace.FLAG, 2)
+
+    def test_same_cycle_lock_and_unlock_different_regs(self):
+        # dispatcher locks r1 while the arbiter unlocks r2 — must commute
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 2)],
+                  [("lock", WriteSpace.DATA, 1), ("unlock", WriteSpace.DATA, 2)]]
+        sim.step(2)
+        assert h.mgr.is_locked(WriteSpace.DATA, 1)
+        assert not h.mgr.is_locked(WriteSpace.DATA, 2)
+
+    def test_multiple_locks_one_cycle(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 0), ("lock", WriteSpace.DATA, 5),
+                   ("lock", WriteSpace.FLAG, 1)]]
+        sim.step()
+        assert h.mgr.locked_count == 3
+
+    def test_any_locked(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.FLAG, 4)]]
+        sim.step()
+        assert h.mgr.any_locked([(WriteSpace.DATA, 4), (WriteSpace.FLAG, 4)])
+        assert not h.mgr.any_locked([(WriteSpace.DATA, 4)])
+        assert not h.mgr.any_locked([])
+
+    def test_lock_set_helper(self):
+        mgr = LockManager("m", FrameworkConfig())
+        mgr.lock_set([(WriteSpace.DATA, 1), (WriteSpace.FLAG, 2)])
+        mgr._data_locks.commit()
+        mgr._flag_locks.commit()
+        assert mgr.is_locked(WriteSpace.DATA, 1)
+        assert mgr.is_locked(WriteSpace.FLAG, 2)
+
+    def test_idempotent_relock(self):
+        h, sim = _sim()
+        h.plan = [[("lock", WriteSpace.DATA, 3), ("lock", WriteSpace.DATA, 3)]]
+        sim.step()
+        assert h.mgr.locked_count == 1
+        h.plan = [[("unlock", WriteSpace.DATA, 3)]]
+        sim.step()
+        assert h.mgr.all_free

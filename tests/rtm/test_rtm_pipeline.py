@@ -1,0 +1,215 @@
+"""Integration tests of the full RTM pipeline (experiment F4).
+
+These drive the complete system through the host driver and verify the
+architectural behaviours the paper claims for the controller: in-order
+results despite out-of-order unit completion, scoreboard interlocks,
+write-arbiter sharing, FENCE, HALT/RESET, and exception reporting.
+"""
+
+import pytest
+
+from repro.config import FrameworkConfig
+from repro.host import CoprocessorDriver, CoprocessorError
+from repro.isa import FLAG_CARRY, FLAG_ZERO, Opcode, instructions as ins
+from repro.messages import DataRecord, ExceptionCode, FlagVector, Halted
+from repro.system import build_system
+
+
+@pytest.fixture
+def driver():
+    return CoprocessorDriver(build_system())
+
+
+class TestBasicDataflow:
+    def test_write_then_read_register(self, driver):
+        driver.write_reg(1, 12345)
+        assert driver.read_reg(1) == 12345
+
+    def test_arith_through_pipeline(self, driver):
+        driver.write_reg(1, 20)
+        driver.write_reg(2, 22)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))
+        assert driver.read_reg(3) == 42
+
+    def test_flags_written_and_read(self, driver):
+        driver.write_reg(1, 0xFFFF_FFFF)
+        driver.write_reg(2, 1)
+        driver.execute(ins.add(3, 1, 2, dst_flag=2))
+        flags = driver.read_flags(2)
+        assert flags & FLAG_CARRY
+        assert flags & FLAG_ZERO
+
+    def test_copy_and_cpflag(self, driver):
+        driver.write_reg(1, 99)
+        driver.execute(ins.copy(4, 1))
+        assert driver.read_reg(4) == 99
+        driver.write_flags(1, 0x3)
+        driver.execute(ins.cpflag(2, 1))
+        assert driver.read_flags(2) == 0x3
+
+    def test_loadi_and_loadis(self, driver):
+        driver.execute(ins.loadi(5, 0x1234))
+        assert driver.read_reg(5) == 0x1234
+
+    def test_setf(self, driver):
+        driver.execute(ins.setf(3, 0x15))
+        assert driver.read_flags(3) == 0x15
+
+    def test_get_tags_echoed(self, driver):
+        driver.write_reg(1, 7)
+        driver.execute(ins.get(1, tag=0x42))
+        (msg,) = driver.wait_for(1)
+        assert isinstance(msg, DataRecord)
+        assert msg.tag == 0x42 and msg.value == 7
+
+
+class TestScoreboard:
+    def test_raw_hazard_resolved(self, driver):
+        """GET of a unit result must wait for the unit's writeback."""
+        driver.write_reg(1, 5)
+        driver.write_reg(2, 6)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))
+        driver.execute(ins.get(3))  # issued immediately after, no host sync
+        (msg,) = driver.wait_for(1)
+        assert msg.value == 11
+
+    def test_dependent_chain(self, driver):
+        driver.write_reg(1, 1)
+        driver.write_reg(2, 1)
+        # r3 = r1+r2; r4 = r3+r3; r5 = r4+r4 — every input is a hazard
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))
+        driver.execute(ins.add(4, 3, 3, dst_flag=1))
+        driver.execute(ins.add(5, 4, 4, dst_flag=1))
+        assert driver.read_reg(5) == 8
+
+    def test_flag_chain_through_scoreboard(self, driver):
+        """ADC reads the flag register the previous ADD wrote."""
+        driver.write_reg(1, 0xFFFF_FFFF)
+        driver.write_reg(2, 1)
+        driver.write_reg(4, 10)
+        driver.write_reg(5, 20)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))        # sets carry
+        driver.execute(ins.adc(6, 4, 5, 1, dst_flag=2))     # consumes carry
+        assert driver.read_reg(6) == 31
+
+    def test_waw_ordering(self, driver):
+        driver.write_reg(1, 1)
+        driver.write_reg(2, 2)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))   # r3 = 3
+        driver.execute(ins.sub(3, 1, 2, dst_flag=1))   # r3 = -1
+        assert driver.read_reg(3) == (1 - 2) & 0xFFFF_FFFF
+
+    def test_fence_waits_for_all_locks(self, driver):
+        driver.write_reg(1, 3)
+        driver.write_reg(2, 4)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))
+        driver.execute(ins.fence())
+        driver.run_until_quiet()
+        assert driver.soc.rtm.lockmgr.all_free
+        assert driver.soc.rtm.register_value(3) == 7
+
+
+class TestResultOrdering:
+    def test_results_arrive_in_issue_order(self, driver):
+        """The paper's out-of-order/in-order guarantee (§II)."""
+        driver.write_reg(1, 10)
+        driver.write_reg(2, 3)
+        program = [
+            ins.add(3, 1, 2, dst_flag=1),
+            ins.get(3, tag=0),
+            ins.sub(4, 1, 2, dst_flag=1),
+            ins.get(4, tag=1),
+            ins.xor(5, 1, 2, dst_flag=1),
+            ins.get(5, tag=2),
+        ]
+        driver.execute_all(program)
+        msgs = driver.wait_for(3)
+        assert [m.tag for m in msgs] == [0, 1, 2]
+        assert [m.value for m in msgs] == [13, 7, 9]
+
+    def test_mixed_data_and_flag_responses_ordered(self, driver):
+        driver.write_reg(1, 1)
+        driver.write_reg(2, 1)
+        driver.execute(ins.cmp(1, 2, dst_flag=3))
+        driver.execute(ins.getf(3, tag=5))
+        driver.execute(ins.get(1, tag=6))
+        m1, m2 = driver.wait_for(2)
+        assert isinstance(m1, FlagVector) and m1.tag == 5 and m1.value & FLAG_ZERO
+        assert isinstance(m2, DataRecord) and m2.tag == 6
+
+
+class TestExceptions:
+    def test_illegal_opcode_reported(self):
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        driver.execute(ins.dispatch(0x7F, 0, dst1=1))
+        (msg,) = driver.wait_for(1)
+        assert msg.code == ExceptionCode.ILLEGAL_OPCODE
+
+    def test_bad_register_reported(self):
+        cfg = FrameworkConfig(n_regs=4)
+        driver = CoprocessorDriver(build_system(cfg), raise_on_exception=False)
+        driver.execute(ins.add(3, 1, 200, dst_flag=1))
+        (msg,) = driver.wait_for(1)
+        assert msg.code == ExceptionCode.BAD_REGISTER
+
+    def test_driver_raises_by_default(self, driver):
+        driver.execute(ins.dispatch(0x7F, 0))
+        with pytest.raises(CoprocessorError):
+            driver.wait_for(1)
+
+    def test_pipeline_survives_exception(self):
+        driver = CoprocessorDriver(build_system(), raise_on_exception=False)
+        driver.execute(ins.dispatch(0x7F, 0))
+        driver.wait_for(1)
+        driver.write_reg(1, 5)
+        assert driver.read_reg(1) == 5  # still alive
+
+
+class TestHaltReset:
+    def test_halt_acknowledged(self, driver):
+        driver.halt_and_wait()
+        assert driver.soc.rtm.halted
+
+    def test_halted_rtm_ignores_instructions(self, driver):
+        driver.write_reg(1, 42)
+        driver.run_until_quiet()
+        driver.halt_and_wait()
+        driver.execute(ins.loadi(1, 7))  # must be discarded
+        driver.run_until_quiet()
+        assert driver.soc.rtm.register_value(1) == 42
+
+    def test_reset_message_revives(self, driver):
+        driver.halt_and_wait()
+        driver.reset_message()
+        driver.run_until_quiet()
+        assert not driver.soc.rtm.halted
+        driver.write_reg(1, 9)
+        assert driver.read_reg(1) == 9
+
+
+class TestWriteArbiter:
+    def test_priority_and_unit_writes_share_the_port(self, driver):
+        # interleave host writes (priority path) with unit results
+        driver.write_reg(1, 1)
+        driver.write_reg(2, 2)
+        for i in range(6):
+            driver.execute(ins.add(3 + (i % 3), 1, 2, dst_flag=1))
+            driver.write_reg(6 + (i % 3), i)
+        driver.run_until_quiet()
+        rtm = driver.soc.rtm
+        assert rtm.register_value(3) == 3
+        assert rtm.write_arbiter.writes_performed > 0
+
+    def test_both_units_complete_under_contention(self, driver):
+        driver.write_reg(1, 0b1100)
+        driver.write_reg(2, 0b1010)
+        driver.execute(ins.add(3, 1, 2, dst_flag=1))
+        driver.execute(ins.xor(4, 1, 2, dst_flag=2))
+        driver.execute(ins.and_(5, 1, 2, dst_flag=3))
+        driver.execute(ins.sub(6, 1, 2, dst_flag=4))
+        driver.run_until_quiet()
+        rtm = driver.soc.rtm
+        assert rtm.register_value(3) == 0b1100 + 0b1010
+        assert rtm.register_value(4) == 0b0110
+        assert rtm.register_value(5) == 0b1000
+        assert rtm.register_value(6) == 0b0010

@@ -1,0 +1,48 @@
+"""Unit tests for the framework configuration (the VHDL generics)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, FrameworkConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, 16, 33, 48, -32])
+    def test_word_bits_must_be_multiple_of_32(self, bad):
+        with pytest.raises(ValueError):
+            FrameworkConfig(word_bits=bad)
+
+    @pytest.mark.parametrize("good", [32, 64, 96, 128, 256])
+    def test_valid_word_sizes(self, good):
+        cfg = FrameworkConfig(word_bits=good)
+        assert cfg.data_words == good // 32
+        assert cfg.word_mask == (1 << good) - 1
+
+    def test_register_count_bounds(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(n_regs=0)
+        with pytest.raises(ValueError):
+            FrameworkConfig(n_regs=257)
+        FrameworkConfig(n_regs=256)  # 8-bit fields: exactly addressable
+
+    def test_flag_reg_bounds(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(n_flag_regs=0)
+
+    def test_flag_bits_bounds(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(flag_bits=33)
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        cfg = DEFAULT_CONFIG.with_(word_bits=64)
+        assert cfg.word_bits == 64
+        assert DEFAULT_CONFIG.word_bits == 32
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_(word_bits=17)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.word_bits = 64

@@ -1,0 +1,112 @@
+"""Unit tests for the ξ-sort functional-unit adapter (experiment F9b)."""
+
+import pytest
+
+from repro.fu import UnitOp
+from repro.fu.testbench import FuTestbench
+from repro.hdl import Simulator
+from repro.xisort import (
+    XI_FIND_PIVOT,
+    XI_LOAD,
+    XI_READ_AT,
+    XI_RESET,
+    XI_SPLIT,
+    XI_STATUS,
+    XiSortUnit,
+    pack_interval,
+    write_profile,
+    xisort_factory,
+)
+from repro.xisort.adapter import AdapterState
+
+
+def _tb(n_cells=8):
+    tb = FuTestbench(lambda n, p: XiSortUnit(n, 32, p, n_cells=n_cells))
+    sim = Simulator(tb)
+    sim.reset()
+    return tb, sim
+
+
+def _run_op(tb, sim, op, max_cycles=200):
+    before = tb.completed + 0
+    tb.enqueue([op])
+    target_dispatch = tb.dispatched + 1
+    sim.run_until(
+        lambda: tb.dispatched >= target_dispatch and tb.unit.dp.idle.value
+        and not tb.unit.rp.ready.value,
+        max_cycles,
+    )
+
+
+class TestAdapterFsm:
+    def test_idle_initially(self):
+        tb, sim = _tb()
+        assert tb.unit.dp.idle.value
+        assert AdapterState(tb.unit._state.value) == AdapterState.IDLE
+
+    def test_busy_while_core_runs(self):
+        tb, sim = _tb()
+        tb.enqueue([UnitOp(XI_SPLIT, 5, pack_interval(0, 3), dst1=1)])
+        sim.step(3)
+        assert not tb.unit.dp.idle.value
+
+    def test_returns_to_idle_after_send(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_STATUS, dst1=1))
+        assert AdapterState(tb.unit._state.value) == AdapterState.IDLE
+
+    def test_operations_counted(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_STATUS, dst1=1))
+        _run_op(tb, sim, UnitOp(XI_STATUS, dst1=1))
+        assert tb.unit.operations == 2
+
+
+class TestTransferShapes:
+    def test_load_produces_no_transfers(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_LOAD, 42, 3))
+        assert tb.collected == []
+
+    def test_status_produces_one_data_transfer(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_STATUS, dst1=5))
+        (t,) = tb.collected
+        assert t.data_reg == 5 and not t.has_flags
+
+    def test_find_pivot_produces_two_transfers_with_flags(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_LOAD, 42, 1))
+        _run_op(tb, sim, UnitOp(XI_LOAD, 17, 1))
+        tb.collected.clear()
+        _run_op(tb, sim, UnitOp(XI_FIND_PIVOT, dst1=1, dst2=2, dst_flag=3))
+        assert len(tb.collected) == 2
+        first, second = tb.collected
+        assert first.data_reg == 1 and first.has_flags and first.flag_reg == 3
+        assert first.flag_value & 0x1  # found
+        assert not first.last
+        assert second.data_reg == 2 and second.last
+        assert second.data_value == pack_interval(0, 1)
+
+    def test_read_at_flags_absence(self):
+        tb, sim = _tb()
+        _run_op(tb, sim, UnitOp(XI_READ_AT, 0, dst1=1, dst_flag=2))
+        (t,) = tb.collected
+        assert not t.flag_value & 0x1  # nothing at index 0 in an empty array
+
+
+class TestWriteProfile:
+    def test_profile_matches_transfers(self):
+        assert write_profile(XI_LOAD) == (False, False, False)
+        assert write_profile(XI_RESET) == (False, False, False)
+        assert write_profile(XI_FIND_PIVOT) == (True, True, True)
+        assert write_profile(XI_READ_AT) == (True, False, True)
+        assert write_profile(XI_SPLIT) == (True, False, False)
+        assert write_profile(XI_STATUS) == (True, False, False)
+
+    def test_unknown_variety_claims_nothing(self):
+        assert write_profile(0x66) == (False, False, False)
+
+    def test_factory_builds_sized_units(self):
+        unit = xisort_factory(n_cells=16)("u", 32, None)
+        assert unit.core.n_cells == 16

@@ -1,0 +1,129 @@
+"""Unit tests for the SIMD cell transition function (experiment F9)."""
+
+import pytest
+
+from repro.xisort import SENTINEL, CellCmd, CellState, cell_step
+
+
+def make(data=0, lower=0, upper=10, selected=True, saved=False):
+    return CellState(data=data, lower=lower, upper=upper,
+                     selected=selected, saved=saved)
+
+
+class TestSelection:
+    def test_select_all(self):
+        s = cell_step(make(selected=False), CellCmd.SELECT_ALL)
+        assert s.selected
+
+    def test_select_imprecise_keeps_imprecise(self):
+        assert cell_step(make(lower=1, upper=5), CellCmd.SELECT_IMPRECISE).selected
+        assert not cell_step(make(lower=3, upper=3), CellCmd.SELECT_IMPRECISE).selected
+
+    def test_select_imprecise_requires_prior_selection(self):
+        s = make(lower=1, upper=5, selected=False)
+        assert not cell_step(s, CellCmd.SELECT_IMPRECISE).selected
+
+    @pytest.mark.parametrize(
+        "cmd,data,bcast,expect",
+        [
+            (CellCmd.MATCH_DATA_LT, 5, 7, True),
+            (CellCmd.MATCH_DATA_LT, 7, 7, False),
+            (CellCmd.MATCH_DATA_EQ, 7, 7, True),
+            (CellCmd.MATCH_DATA_EQ, 8, 7, False),
+            (CellCmd.MATCH_DATA_GT, 9, 7, True),
+            (CellCmd.MATCH_DATA_GT, 7, 7, False),
+        ],
+    )
+    def test_data_matches(self, cmd, data, bcast, expect):
+        assert cell_step(make(data=data), cmd, broadcast=bcast).selected == expect
+
+    @pytest.mark.parametrize(
+        "cmd,field_val,bcast,expect",
+        [
+            (CellCmd.MATCH_LOWER_BOUND, 4, 4, True),
+            (CellCmd.MATCH_LOWER_BOUND, 4, 5, False),
+            (CellCmd.MATCH_LOWER_BOUND_I, 4, 6, True),   # lower <= k
+            (CellCmd.MATCH_LOWER_BOUND_I, 4, 3, False),
+        ],
+    )
+    def test_lower_bound_matches(self, cmd, field_val, bcast, expect):
+        s = make(lower=field_val)
+        assert cell_step(s, cmd, broadcast=bcast).selected == expect
+
+    @pytest.mark.parametrize(
+        "cmd,field_val,bcast,expect",
+        [
+            (CellCmd.MATCH_UPPER_BOUND, 9, 9, True),
+            (CellCmd.MATCH_UPPER_BOUND, 9, 8, False),
+            (CellCmd.MATCH_UPPER_BOUND_I, 9, 7, True),   # upper >= k
+            (CellCmd.MATCH_UPPER_BOUND_I, 9, 10, False),
+        ],
+    )
+    def test_upper_bound_matches(self, cmd, field_val, bcast, expect):
+        s = make(upper=field_val)
+        assert cell_step(s, cmd, broadcast=bcast).selected == expect
+
+    def test_matches_need_prior_selection(self):
+        s = make(data=1, selected=False)
+        assert not cell_step(s, CellCmd.MATCH_DATA_LT, broadcast=10).selected
+
+
+class TestUpdates:
+    def test_set_bounds_only_when_selected(self):
+        s = cell_step(make(selected=True), CellCmd.SET_BOUNDS, broadcast=7)
+        assert (s.lower, s.upper) == (7, 7)
+        s2 = cell_step(make(selected=False), CellCmd.SET_BOUNDS, broadcast=7)
+        assert (s2.lower, s2.upper) == (0, 10)
+
+    def test_set_lower_and_upper_independent(self):
+        s = cell_step(make(), CellCmd.SET_LOWER_BOUND, broadcast=3)
+        assert s.lower == 3 and s.upper == 10
+        s = cell_step(s, CellCmd.SET_UPPER_BOUND, broadcast=8)
+        assert s.upper == 8
+
+    def test_bounds_masked_to_interval_bits(self):
+        s = cell_step(make(), CellCmd.SET_BOUNDS, broadcast=0x1_0005)
+        assert s.lower == 5
+
+    def test_load_selected_writes_data(self):
+        s = cell_step(make(selected=True), CellCmd.LOAD_SELECTED, broadcast=999)
+        assert s.data == 999
+        s2 = cell_step(make(selected=False), CellCmd.LOAD_SELECTED, broadcast=999)
+        assert s2.data == 0
+
+    def test_save_restore(self):
+        s = cell_step(make(selected=True), CellCmd.SAVE)
+        assert s.saved
+        s = cell_step(s, CellCmd.SELECT_IMPRECISE, broadcast=0)  # may clear sel
+        s = cell_step(s, CellCmd.RESTORE)
+        assert s.selected
+
+
+class TestLoadShift:
+    def test_first_cell_takes_load_buses(self):
+        s = cell_step(make(), CellCmd.LOAD, load_data=42, load_lower=0,
+                      load_upper=15, is_first=True)
+        assert (s.data, s.lower, s.upper) == (42, 0, 15)
+        assert not s.selected and not s.saved
+
+    def test_other_cells_shift_from_neighbour(self):
+        prev = CellState(data=5, lower=1, upper=2, selected=True, saved=True)
+        s = cell_step(make(), CellCmd.LOAD, shift_in=prev)
+        assert (s.data, s.lower, s.upper) == (5, 1, 2)
+        assert not s.selected and not s.saved  # flags do not shift
+
+    def test_clear_returns_to_sentinel(self):
+        s = cell_step(make(data=5, lower=1, upper=2), CellCmd.CLEAR)
+        assert s == CellState()
+        assert s.lower == SENTINEL and s.upper == SENTINEL
+        assert not s.imprecise  # sentinel cells are precise → never pivots
+
+
+def test_nop_identity():
+    s = make(data=3, lower=1, upper=9, selected=True, saved=True)
+    assert cell_step(s, CellCmd.NOP) == s
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(ValueError):
+        cell_step(make(), 99)

@@ -1,0 +1,48 @@
+"""Tests for the microcode ROM listing formatter."""
+
+from repro.xisort import (
+    MICROCODE,
+    XI_LOAD,
+    XI_SPLIT,
+    format_microcode,
+    format_microinstr,
+    program_length,
+)
+from repro.xisort.microcode import MicroInstr
+
+
+class TestFormatter:
+    def test_full_rom_lists_every_program(self):
+        text = format_microcode()
+        for name in ("XI_LOAD", "XI_SPLIT", "XI_FIND_PIVOT", "XI_READ_AT",
+                     "XI_STATUS", "XI_RESET", "XI_WRITE_AT", "XI_RANK",
+                     "XI_COUNT_EQ"):
+            assert name in text
+
+    def test_listing_line_count_matches_rom(self):
+        text = format_microcode([XI_SPLIT])
+        body = [l for l in text.splitlines() if l.startswith("  ")]
+        assert len(body) == program_length(XI_SPLIT)
+
+    def test_load_shows_bus_sources(self):
+        text = format_microcode([XI_LOAD])
+        assert "LOAD" in text and "data=op_a" in text and "hi=op_b" in text
+
+    def test_done_marked(self):
+        text = format_microcode([XI_SPLIT])
+        assert text.rstrip().endswith("DONE")
+
+    def test_nop_word(self):
+        assert format_microinstr(MicroInstr()) == "nop"
+
+    def test_alu_and_emit_rendering(self):
+        text = format_microcode([XI_SPLIT])
+        assert "t2 := mov(count, count)" in text
+        assert "data1 ← t2" in text
+
+    def test_unknown_varieties_skipped(self):
+        assert format_microcode([0x7E]) == ""
+
+    def test_every_program_renders_without_error(self):
+        for variety in MICROCODE:
+            assert format_microcode([variety])

@@ -1,0 +1,88 @@
+"""Unit tests for the software baselines (and their Θ(n)-per-step cost)."""
+
+import random
+
+import pytest
+
+from repro.host import OpCounter
+from repro.xisort import (
+    SoftwareXiSort,
+    quickselect_counted,
+    quicksort_counted,
+)
+
+
+class TestSoftwareXiSort:
+    @pytest.mark.parametrize("n", [1, 2, 5, 20])
+    def test_sort_correct(self, n):
+        values = random.Random(n).sample(range(10_000), n)
+        assert SoftwareXiSort(values).sort() == sorted(values)
+
+    @pytest.mark.parametrize("k", [0, 4, 11])
+    def test_select_correct(self, k):
+        values = random.Random(k).sample(range(1000), 12)
+        assert SoftwareXiSort(values).select(k) == sorted(values)[k]
+
+    def test_split_step_cost_scales_with_n(self):
+        """The CPU-side half of claim C3: per-step cost is Θ(n)."""
+        costs = {}
+        for n in (16, 64, 256):
+            values = random.Random(7).sample(range(100_000), n)
+            sw = SoftwareXiSort(values)
+            pivot = sw.find_pivot()
+            before = sw.counter.ops
+            sw.split(pivot)
+            costs[n] = sw.counter.ops - before
+        assert costs[64] > 2 * costs[16]
+        assert costs[256] > 2 * costs[64]
+
+    def test_find_pivot_scan_cost(self):
+        values = list(range(100, 0, -1))
+        sw = SoftwareXiSort(values)
+        sw.find_pivot()
+        assert sw.counter.ops >= 1  # leftmost imprecise found quickly
+        # after full sort a pivot scan walks all n cells
+        sw.sort()
+        before = sw.counter.ops
+        assert sw.find_pivot() is None
+        assert sw.counter.ops - before == len(values)
+
+    def test_counter_breakdown(self):
+        values = [4, 2, 9]
+        sw = SoftwareXiSort(values)
+        sw.sort()
+        assert set(sw.counter.breakdown) <= {"scan", "match", "compare", "update"}
+        assert sw.counter.ops == sum(sw.counter.breakdown.values())
+
+    def test_split_steps_counted(self):
+        values = random.Random(1).sample(range(1000), 10)
+        sw = SoftwareXiSort(values)
+        sw.sort()
+        assert sw.split_steps >= 1
+
+
+class TestClassicBaselines:
+    @pytest.mark.parametrize("n", [1, 3, 10, 50])
+    def test_quicksort(self, n):
+        values = random.Random(n).sample(range(10_000), n)
+        counter = OpCounter()
+        assert quicksort_counted(values, counter) == sorted(values)
+        if n > 1:
+            assert counter.ops > 0
+
+    def test_quicksort_handles_duplicates(self):
+        values = [3, 1, 3, 2, 1, 3]
+        assert quicksort_counted(values) == sorted(values)
+
+    @pytest.mark.parametrize("k", [0, 7, 19])
+    def test_quickselect(self, k):
+        values = random.Random(k).sample(range(5000), 20)
+        counter = OpCounter()
+        assert quickselect_counted(values, k, counter) == sorted(values)[k]
+
+    def test_quickselect_cheaper_than_quicksort(self):
+        values = random.Random(3).sample(range(100_000), 200)
+        c_sort, c_sel = OpCounter(), OpCounter()
+        quicksort_counted(values, c_sort)
+        quickselect_counted(values, 100, c_sel)
+        assert c_sel.ops < c_sort.ops

@@ -1,0 +1,78 @@
+"""Tests for the XI_WRITE_AT smart-memory update path."""
+
+import random
+
+import pytest
+
+from repro.fu import default_registry
+from repro.host import Session
+from repro.isa import Opcode
+from repro.system import build_system
+from repro.xisort import (
+    XI_WRITE_AT,
+    DirectXiSortMachine,
+    XiSortAccelerator,
+    program_length,
+    write_profile,
+    xisort_factory,
+)
+
+
+class TestDirectWriteAt:
+    def test_overwrites_at_precise_index(self):
+        m = DirectXiSortMachine(8)
+        m.sort([40, 10, 30, 20])
+        assert m.write_at(1, 15)
+        assert m.read_at(1) == 15
+        # neighbours untouched
+        assert m.read_at(0) == 10
+        assert m.read_at(2) == 30
+
+    def test_miss_returns_false(self):
+        m = DirectXiSortMachine(8)
+        m.sort([1, 2])
+        assert not m.write_at(5, 9)
+
+    def test_interval_preserved(self):
+        m = DirectXiSortMachine(8)
+        m.sort([5, 6, 7])
+        m.write_at(0, 99)
+        states = [s for s in m.core.array.states() if s.data == 99]
+        assert states and states[0].lower == states[0].upper == 0
+
+    def test_constant_cycles(self):
+        costs = set()
+        for n in (8, 64, 256):
+            m = DirectXiSortMachine(n)
+            m.sort(random.Random(n).sample(range(1000), 4))
+            before = m.cycles
+            m.write_at(0, 1)
+            costs.add(m.cycles - before)
+        assert len(costs) == 1
+        assert program_length(XI_WRITE_AT) == 4
+
+    def test_write_profile_flags_only(self):
+        assert write_profile(XI_WRITE_AT) == (False, False, True)
+
+
+class TestFrameworkWriteAt:
+    @pytest.fixture
+    def accel(self):
+        registry = default_registry()
+        registry.register(Opcode.XISORT, xisort_factory(n_cells=16))
+        return XiSortAccelerator(Session(build_system(registry=registry)))
+
+    def test_update_through_framework(self, accel):
+        values = [50, 20, 40, 10, 30]
+        accel.sort(values, ensure_distinct=False)
+        assert accel.write_at(2, 25)
+        assert accel.read_at(2) == 25
+
+    def test_update_then_reselect(self, accel):
+        """Updates compose with further smart-memory operations."""
+        values = [8, 2, 6, 4]
+        accel.sort(values, ensure_distinct=False)
+        accel.write_at(0, 1)
+        accel.write_at(3, 9)
+        got = [accel.read_at(i) for i in range(4)]
+        assert got == [1, 4, 6, 9]
