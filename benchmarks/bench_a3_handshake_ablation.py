@@ -98,7 +98,7 @@ def _run_elastic(p: float, q: float, items: int = ITEMS) -> int:
             self.src = _burst_pattern(11, 100_000, p)
             self.snk = _burst_pattern(22, 100_000, q)
 
-            @self.comb
+            @self.comb(always=True)
             def _drive():
                 offering = self.sent < items and self.src[self.cycle]
                 self.pipe.first.inp.valid.set(1 if offering else 0)
@@ -131,7 +131,7 @@ def _run_global(p: float, q: float, items: int = ITEMS) -> int:
             self.src = _burst_pattern(11, 200_000, p)
             self.snk = _burst_pattern(22, 200_000, q)
 
-            @self.comb
+            @self.comb(always=True)
             def _drive():
                 offering = self.sent < items and self.src[self.cycle]
                 self.pipe.in_valid.set(1 if offering else 0)

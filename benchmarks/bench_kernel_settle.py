@@ -1,0 +1,162 @@
+"""Experiment K — the event-driven settle scheduler vs the exhaustive kernel.
+
+Measures simulation throughput (simulated cycles per host second) of the
+dependency-tracked, fanout-driven settle scheduler against the retained
+exhaustive reference kernel on the designs the paper actually exercises:
+
+* the fig. 4 RTM pipeline under three deployment scenarios —
+  back-to-back instruction streaming over the integrated link (the
+  kernel's worst case: every stage busy every cycle), the paper's serial
+  prototype link (words arrive every 256 cycles, the pipeline mostly
+  waits), and the offload duty cycle of the paper's usage model (bursts
+  of work followed by host think-time, during which the coprocessor sits
+  quiescent);
+* the A2 ξ-sort cell-scaling design (structural array, event-tracked
+  cells).
+
+Every scenario asserts the two schedulers agree on the exact cycle count —
+the schedulers must be indistinguishable at the waveform level (the
+property suite additionally pins VCD-byte equality).  The acceptance
+criterion for the event kernel is ≥ 3× on the representative offload
+scenario of the fig. 4 pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.analysis import counters_for, format_table, make_system
+from repro.host import CoprocessorDriver
+from repro.isa import instructions as ins
+from repro.messages.channel import INTEGRATED, SLOW_PROTOTYPE
+
+BURST = 48            # instructions per offload burst
+THINK_CYCLES = 3000   # host-side gap between bursts (offload scenario)
+
+SCHEDULERS = ("exhaustive", "event")
+
+
+def _rtm_workload(scheduler: str, channel, idle_cycles: int = 0):
+    """One offload round on the fig. 4 pipeline; returns (cycles, seconds)."""
+    system = make_system(scheduler=scheduler, channel=channel)
+    driver = CoprocessorDriver(system)
+    driver.write_reg(1, 3)
+    driver.write_reg(2, 5)
+    driver.run_until_quiet()
+    start = system.sim.now
+    t0 = time.perf_counter()
+    for i in range(BURST):
+        driver.execute(ins.add(3 + i % 4, 1, 2, dst_flag=1))
+    driver.execute(ins.fence())
+    driver.run_until_quiet()
+    if idle_cycles:
+        system.sim.step(idle_cycles)
+    elapsed = time.perf_counter() - t0
+    return system.sim.now - start, elapsed, system
+
+
+def _xisort_workload(scheduler: str, n_cells: int = 16):
+    """A2 cell-scaling: sort through the full framework; (cycles, seconds)."""
+    import random
+
+    from repro.host.session import Session
+    from repro.xisort import XiSortAccelerator
+
+    system = make_system(scheduler=scheduler, xisort_cells=n_cells)
+    session = Session(system)
+    acc = XiSortAccelerator(session)
+    values = random.Random(7).sample(range(1 << 16), n_cells)
+    start = session.driver.cycles
+    t0 = time.perf_counter()
+    out = acc.sort(values)
+    elapsed = time.perf_counter() - t0
+    assert out == sorted(values)
+    return session.driver.cycles - start, elapsed, system
+
+
+SCENARIOS = {
+    "rtm stream (integrated)": lambda s: _rtm_workload(s, INTEGRATED),
+    "rtm serial prototype": lambda s: _rtm_workload(s, SLOW_PROTOTYPE),
+    "rtm offload duty cycle": lambda s: _rtm_workload(s, INTEGRATED, THINK_CYCLES),
+    "a2 xisort cells": lambda s: _xisort_workload(s),
+}
+
+
+def _measure(scenario, rounds: int = 3):
+    """Best-of-N cycles/sec per scheduler; asserts identical cycle counts."""
+    out = {}
+    for sched in SCHEDULERS:
+        best = None
+        for _ in range(rounds):
+            cycles, elapsed, system = scenario(sched)
+            if best is None or elapsed < best[1]:
+                best = (cycles, elapsed, system)
+        out[sched] = best
+    cyc_ex, t_ex, _ = out["exhaustive"]
+    cyc_ev, t_ev, system = out["event"]
+    assert cyc_ex == cyc_ev, (
+        f"schedulers disagree on cycle count: exhaustive {cyc_ex}, event {cyc_ev}"
+    )
+    return {
+        "cycles": cyc_ex,
+        "exhaustive_cps": cyc_ex / t_ex,
+        "event_cps": cyc_ev / t_ev,
+        "speedup": t_ex / t_ev,
+        "kernel": system.sim.kernel_stats.as_dict(),
+    }
+
+
+@pytest.mark.parametrize("name", list(SCENARIOS))
+def test_kernel_settle_scenario(benchmark, name):
+    result = benchmark.pedantic(lambda: _measure(SCENARIOS[name]),
+                                rounds=1, iterations=1)
+    assert result["speedup"] > 1.0
+
+
+def test_kernel_settle_report(benchmark):
+    def build():
+        return {name: _measure(scenario) for name, scenario in SCENARIOS.items()}
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [name, r["cycles"], round(r["exhaustive_cps"]), round(r["event_cps"]),
+         f"{r['speedup']:.2f}x"]
+        for name, r in results.items()
+    ]
+    duty = results["rtm offload duty cycle"]
+    k = duty["kernel"]
+    report(
+        "K: event-driven settle scheduler vs exhaustive reference kernel",
+        format_table(
+            ["scenario", "cycles", "exhaustive cyc/s", "event cyc/s", "speedup"],
+            rows,
+            title="identical cycle counts asserted per scenario; speedup is "
+                  "wall-clock (best of 3)",
+        )
+        + "\n"
+        + format_table(
+            ["kernel counter (offload scenario)", "value"],
+            [[key.replace("_", " "), value] for key, value in k.items()],
+        ),
+    )
+    # Acceptance: ≥ 3× on the representative offload scenario of the fig. 4
+    # RTM pipeline (bursts + host think-time, the paper's usage model).
+    assert duty["speedup"] >= 3.0, f"offload speedup {duty['speedup']:.2f}x < 3x"
+    # The serial prototype link (the paper's actual hardware) should also
+    # clear 3x; the saturated integrated stream is the documented worst case.
+    assert results["rtm serial prototype"]["speedup"] >= 2.5
+    assert results["rtm stream (integrated)"]["speedup"] >= 1.5
+
+
+def test_kernel_counters_surface():
+    """counters_for folds scheduler stats into the framework counter report."""
+    cycles, _, system = _rtm_workload("event", INTEGRATED)
+    rep = counters_for(system)
+    assert rep.kernel["settle_calls"] > 0
+    assert rep.kernel["activations"] > 0
+    assert rep.kernel["tracked_procs"] > 0
+    assert rep.settle_activations_per_cycle > 0
+    assert "settle scheduler" in rep.kernel_table()

@@ -26,6 +26,9 @@ class CounterReport:
     messages_sent: int
     grants_by_port: dict[int, int] = field(default_factory=dict)
     locks_outstanding: int = 0
+    #: settle-scheduler counters (``Simulator.kernel_stats.as_dict()``);
+    #: empty when the report was built without a simulator in hand
+    kernel: dict = field(default_factory=dict)
 
     @property
     def dispatch_rate(self) -> float:
@@ -52,6 +55,21 @@ class CounterReport:
             rows.append([f"arbiter grants, port {port}", grants])
         return format_table(["counter", "value"], rows, title="framework counters")
 
+    def kernel_table(self) -> str:
+        """Settle-scheduler counters as a table (empty string when absent)."""
+        if not self.kernel:
+            return ""
+        rows = [[name.replace("_", " "), value] for name, value in self.kernel.items()]
+        return format_table(["kernel counter", "value"], rows,
+                            title="settle scheduler (Simulator.kernel_stats)")
+
+    @property
+    def settle_activations_per_cycle(self) -> float:
+        """Scheduled comb executions per cycle — the event kernel's work rate."""
+        if not self.kernel or not self.cycles or self.cycles < 0:
+            return 0.0
+        return (self.kernel["activations"] + self.kernel["always_runs"]) / self.cycles
+
 
 def collect_counters(soc) -> CounterReport:
     """Read every counter from a (single- or multi-host) system's RTM."""
@@ -74,4 +92,10 @@ def counters_for(system) -> CounterReport:
     """Counter snapshot for a BuiltSystem/BuiltMultiHostSystem."""
     report = collect_counters(system.soc)
     report.cycles = system.sim.now
+    report.kernel = system.sim.kernel_stats.as_dict()
     return report
+
+
+def kernel_counters_for(sim) -> dict:
+    """Settle-scheduler counter snapshot for a bare :class:`Simulator`."""
+    return sim.kernel_stats.as_dict()

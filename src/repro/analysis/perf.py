@@ -26,13 +26,14 @@ def make_system(
     channel: ChannelSpec = INTEGRATED,
     xisort_cells: int = 0,
     pipelined: bool = False,
+    scheduler: str = "event",
 ) -> BuiltSystem:
     """Standard benchmark system: case-study units (+ optional ξ-sort)."""
     cfg = config if config is not None else FrameworkConfig(pipelined_units=pipelined)
     registry = default_registry(pipelined=cfg.pipelined_units)
     if xisort_cells:
         registry.register(Opcode.XISORT, xisort_factory(n_cells=xisort_cells))
-    return build_system(cfg, channel=channel, registry=registry)
+    return build_system(cfg, channel=channel, registry=registry, scheduler=scheduler)
 
 
 @dataclass

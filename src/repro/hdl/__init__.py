@@ -20,7 +20,7 @@ from .errors import (
 from .fifo import SyncFifo
 from .memory import Rom, SyncRam
 from .signal import Reg, Signal, mask_for
-from .sim import MAX_SETTLE_ITERATIONS, Simulator
+from .sim import DYNAMIC_GROWTH_LIMIT, MAX_SETTLE_ITERATIONS, KernelStats, Simulator
 from .trace import Tracer
 from .vcd import VcdWriter, trace_to_string
 
@@ -42,7 +42,9 @@ __all__ = [
     "Reg",
     "Signal",
     "mask_for",
+    "DYNAMIC_GROWTH_LIMIT",
     "MAX_SETTLE_ITERATIONS",
+    "KernelStats",
     "Simulator",
     "Tracer",
     "VcdWriter",

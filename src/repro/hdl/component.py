@@ -33,6 +33,9 @@ class Component:
         self.children: list[Component] = []
         self.signals: list[Signal] = []
         self.comb_procs: list[Process] = []
+        #: comb processes the scheduler must run on every settle iteration
+        #: because they read state it cannot see (see :meth:`comb`)
+        self.always_procs: list[Process] = []
         self.seq_procs: list[Process] = []
         self.reset_hooks: list[Process] = []
         if parent is not None:
@@ -76,9 +79,25 @@ class Component:
 
     # -- process registration ----------------------------------------------------
 
-    def comb(self, fn: Process) -> Process:
-        """Register (or decorate) a combinational process."""
+    def comb(self, fn: Process = None, *, always: bool = False) -> Process:
+        """Register (or decorate) a combinational process.
+
+        The event-driven scheduler discovers which signals a process reads
+        and re-runs it only when one of them changes.  A process whose
+        outputs depend on state *not* read through ``Signal.value`` (plain
+        Python attributes mutated by sequential processes, NumPy arrays, …)
+        is invisible to that discovery and must be registered with
+        ``always=True``, which pins it to every settle iteration — the
+        exhaustive semantics of the original kernel, applied to just that
+        process.  See docs/ARCHITECTURE.md ("the discovery-pass contract").
+        """
+        if fn is None:
+            def _register(f: Process) -> Process:
+                return self.comb(f, always=always)
+            return _register
         self.comb_procs.append(fn)
+        if always:
+            self.always_procs.append(fn)
         return fn
 
     def seq(self, fn: Process) -> Process:

@@ -15,6 +15,28 @@ object; payload signals are used by behavioural models (e.g. message bundles
 in the host channel) where bit-exact encoding would add nothing but cost.
 Payload signals still obey the two-phase timing discipline, so cycle counts
 remain exact.
+
+Scheduler hooks
+---------------
+
+Two light-weight hooks make the event-driven settle scheduler in
+:mod:`repro.hdl.sim` possible without changing how processes are written:
+
+* **Read tracking** — while the module-level ``_READS`` set is non-None,
+  every value read (``.value``, ``.bit``, ``.bits``, ``bool()``, ``int()``)
+  records the signal into it.  The simulator points ``_READS`` at a
+  process's sensitivity set while running it, which is how each process's
+  read set is discovered and kept up to date.
+* **Change notification** — each signal carries a ``_pending`` slot that the
+  owning simulator points at its changed-signal list during elaboration.
+  :meth:`Signal.set`, :meth:`Signal.force` and :meth:`Reg.commit` append the
+  signal there whenever its value actually changes, so the scheduler knows
+  exactly which fanout cones to re-evaluate.  Signals outside any simulator
+  (``_pending is None``) skip the append entirely.
+
+The historical kernel-global :data:`CHANGES` dirty flag is retained: the
+exhaustive reference scheduler and the loop-termination check of the
+event scheduler both still read it, and tests may assert on it.
 """
 
 from __future__ import annotations
@@ -24,6 +46,18 @@ from typing import Any, Optional
 from .errors import WidthError
 
 _UNSET = object()
+
+#: When non-None, every signal value read adds the signal to this set.
+#: The simulator installs a process's read set here while running it
+#: (see ``Simulator``'s discovery/tracked execution paths).
+_READS: Optional[set] = None
+
+#: When non-None, every :meth:`Signal.set` call (changing or not) adds the
+#: signal to this set.  Only active during the discovery settle, where it
+#: separates genuinely inert processes (no reads, no writes — the no-op
+#: placeholders passive components register) from processes with hidden
+#: inputs (no reads, but real outputs), which must fall back to always-run.
+_WRITES: Optional[set] = None
 
 
 class _ChangeTracker:
@@ -62,7 +96,8 @@ class Signal:
         Value the signal takes on simulator reset and at construction.
     """
 
-    __slots__ = ("name", "width", "_mask", "_value", "reset", "owner")
+    __slots__ = ("name", "width", "_mask", "_value", "reset", "owner",
+                 "_pending", "_fanout")
 
     def __init__(self, name: str, width: Optional[int] = 1, reset: Any = 0):
         if width is not None:
@@ -77,12 +112,18 @@ class Signal:
         self.reset = reset
         self._value = reset
         self.owner: Any = None
+        #: changed-signal list of the owning simulator (None when unmanaged)
+        self._pending: Optional[list] = None
+        #: combinational processes sensitive to this signal (scheduler-owned)
+        self._fanout: list = []
 
     # -- value access -------------------------------------------------------
 
     @property
     def value(self) -> Any:
         """Current settled value of the net."""
+        if _READS is not None:
+            _READS.add(self)
         return self._value
 
     def set(self, value: Any) -> bool:
@@ -93,32 +134,60 @@ class Signal:
         """
         if self._mask is not None:
             value = int(value) & self._mask
+        if _WRITES is not None:
+            _WRITES.add(self)
         if value != self._value:
             self._value = value
             CHANGES.dirty = True
+            # Unconditionally notify the owning scheduler (draining a signal
+            # with no fanout is a no-op).  Unlike force/commit, set() runs
+            # *while* a process executes, and that process may have read this
+            # signal for the first time moments ago — its fanout edge is only
+            # registered after the run, so gating on a non-empty fanout here
+            # would drop the wake-up and stall the feedback loop.
+            if self._pending is not None:
+                self._pending.append(self)
             return True
         return False
 
     def force(self, value: Any) -> None:
-        """Set the value without change tracking (reset / test harness use)."""
+        """Set the value without dirty-flag tracking (reset / test harness use).
+
+        The owning simulator is still notified of the change so that an
+        event-driven settle following the force re-evaluates the fanout.
+        Unlike :meth:`set`, force happens between cycles (never while a
+        process is mid-run), so the fanout map is complete and an empty
+        fanout safely means no combinational reader exists.
+        """
         if self._mask is not None:
             value = int(value) & self._mask
-        self._value = value
+        if value != self._value:
+            self._value = value
+            if self._pending is not None and self._fanout:
+                self._pending.append(self)
 
     # -- conveniences --------------------------------------------------------
 
     def bit(self, index: int) -> int:
         """Read a single bit of the current value."""
+        if _READS is not None:
+            _READS.add(self)
         return (self._value >> index) & 1
 
     def bits(self, hi: int, lo: int) -> int:
         """Read the inclusive bit slice ``[hi:lo]`` of the current value."""
+        if _READS is not None:
+            _READS.add(self)
         return (self._value >> lo) & mask_for(hi - lo + 1)
 
     def __bool__(self) -> bool:
+        if _READS is not None:
+            _READS.add(self)
         return bool(self._value)
 
     def __index__(self) -> int:
+        if _READS is not None:
+            _READS.add(self)
         return int(self._value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -136,16 +205,21 @@ class Reg(Signal):
     flip-flop bank and is what makes the pipeline models race-free.
     """
 
-    __slots__ = ("_staged",)
+    __slots__ = ("_staged", "_stage_list")
 
     def __init__(self, name: str, width: Optional[int] = 1, reset: Any = 0):
         super().__init__(name, width, reset)
         self._staged: Any = _UNSET
+        #: staged-register list of the owning simulator (None when unmanaged);
+        #: lets the edge phase commit only registers that were actually staged
+        self._stage_list: Optional[list] = None
 
     def stage(self, value: Any) -> None:
         """Stage ``value`` to be committed at the coming clock edge."""
         if self._mask is not None:
             value = int(value) & self._mask
+        if self._staged is _UNSET and self._stage_list is not None:
+            self._stage_list.append(self)
         self._staged = value
 
     @property
@@ -164,6 +238,11 @@ class Reg(Signal):
         changed = self._staged != self._value
         self._value = self._staged
         self._staged = _UNSET
+        # Commit runs at the clock edge (no process mid-run), so the fanout
+        # map is complete: an empty fanout means no comb process has ever
+        # read this register and the scheduler does not need to know.
+        if changed and self._pending is not None and self._fanout:
+            self._pending.append(self)
         return changed
 
     def reset_state(self) -> None:

@@ -1,10 +1,10 @@
-"""The two-phase synchronous simulator.
+"""The two-phase synchronous simulator with an event-driven settle scheduler.
 
 Each simulated clock cycle proceeds in two phases:
 
-1. **Settle** — every combinational process runs repeatedly until no signal
-   changes (a fixpoint).  This implements zero-delay combinational logic and
-   lets backward-propagating ``ready`` and forward-propagating ``valid``
+1. **Settle** — combinational processes run until no signal changes (a
+   fixpoint).  This implements zero-delay combinational logic and lets
+   backward-propagating ``ready`` and forward-propagating ``valid``
    handshakes resolve within a cycle, which is how the paper's RTM pipeline
    achieves local stalling without a global stall net (paper §III).
 2. **Edge** — every sequential process runs exactly once against the settled
@@ -14,15 +14,55 @@ The phases correspond to the delta-cycle / clock-edge split of an HDL
 simulator, restricted to a single clock domain (the paper's framework is
 single-clock; functional units may internally use other domains, which we
 model behaviourally inside the unit when needed).
+
+Settle scheduling
+-----------------
+
+Two schedulers implement the settle phase:
+
+* ``scheduler="event"`` (the default) — dependency-tracked, event-driven
+  evaluation.  The first settle after elaboration (and after
+  :meth:`Simulator.reset`) is a *discovery* pass: every combinational
+  process runs to fixpoint exactly like the exhaustive kernel, but with a
+  read-tracking hook installed on :class:`~repro.hdl.signal.Signal` so the
+  kernel learns which signals each process reads.  From then on each
+  process is re-run only when a signal in its recorded read set changes:
+  signal writes (``Signal.set``/``force``, ``Reg.commit``) notify the
+  scheduler, which enqueues the fanout of each changed signal.  A cycle in
+  which nothing changed costs (almost) nothing.
+
+  Read sets stay *sound* under data-dependent control flow because
+  tracking remains active on every scheduled run: a process that suddenly
+  reads a new signal (a mux leg it had never taken) grows its read set and
+  fanout on the spot, before the new dependency can ever change
+  unobserved.  A process whose read set keeps growing past
+  ``DYNAMIC_GROWTH_LIMIT`` is reclassified as *dynamic* and falls back to
+  exhaustive semantics (re-run on every settle iteration), as do processes
+  that read no signals at all during discovery (their inputs, if any, are
+  invisible to the kernel) and processes registered with
+  ``Component.comb(fn, always=True)``.
+
+* ``scheduler="exhaustive"`` — the original reference kernel: every
+  combinational process runs on every settle iteration until a full pass
+  changes nothing.  Retained as the equivalence oracle for property tests
+  and as the baseline for the kernel microbenchmark
+  (``benchmarks/bench_kernel_settle.py``).
+
+Both schedulers produce bit-identical signal traces and cycle counts; the
+property suite (``tests/properties/test_prop_kernel_equiv.py``) pins this.
+:attr:`Simulator.kernel_stats` exposes activation/iteration/queue counters
+for benchmarks and CI perf logs (see :mod:`repro.analysis.counters`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
+from . import signal as _signal_mod
 from .component import Component
 from .errors import CombinationalLoopError, SimulationError
-from .signal import CHANGES, Reg
+from .signal import CHANGES, Reg, Signal
 
 #: Iteration bound for the settle fixpoint.  A well-formed design settles in
 #: at most (longest combinational chain) passes; the framework's longest
@@ -30,31 +70,150 @@ from .signal import CHANGES, Reg
 #: far below this bound, so hitting it indicates a genuine loop.
 MAX_SETTLE_ITERATIONS = 256
 
+#: Number of read-set growth events after which a process is reclassified as
+#: dynamic (exhaustive fallback).  Growth is a normal, bounded occurrence for
+#: multiplexer-style processes (each untaken leg adds its signals once); a
+#: process that keeps discovering new dependencies is reading data-dependent
+#: state the scheduler cannot enumerate, and pinning it to every iteration
+#: is both sound and cheaper than churning its fanout.
+DYNAMIC_GROWTH_LIMIT = 8
+
+
+class _Proc:
+    """Scheduler bookkeeping for one combinational process."""
+
+    __slots__ = ("fn", "reads", "writes", "queued", "always", "inert",
+                 "growths", "rank")
+
+    def __init__(self, fn: Callable[[], None], always: bool = False):
+        self.fn = fn
+        #: union of every signal this process has ever read (sensitivity set)
+        self.reads: set = set()
+        #: signals written during discovery (classification, rank graph)
+        self.writes: set = set()
+        #: True while sitting in the scheduler's run queue
+        self.queued = False
+        #: True for exhaustive-fallback processes (run every iteration)
+        self.always = always
+        #: True for no-op placeholders (no reads, no writes) — never scheduled
+        self.inert = False
+        #: read-set growth events observed after discovery
+        self.growths = 0
+        #: topological depth in the writer→reader dependency graph; the
+        #: scheduler evaluates shallower ranks first so a value propagates
+        #: through a combinational chain in a single sweep
+        self.rank = 0
+
+
+@dataclass
+class KernelStats:
+    """Settle-scheduler performance counters (see ``analysis.counters``)."""
+
+    #: total :meth:`Simulator.settle` calls
+    settle_calls: int = 0
+    #: settle calls that found no pending work at all (quiescent fast path)
+    quiescent_settles: int = 0
+    #: delta iterations executed across all event-mode settles
+    settle_iterations: int = 0
+    #: combinational process executions scheduled by the event kernel
+    activations: int = 0
+    #: executions of exhaustive-fallback ("always") processes
+    always_runs: int = 0
+    #: full passes executed in discovery (and post-reset rediscovery) mode
+    discovery_passes: int = 0
+    #: full passes executed by the exhaustive reference scheduler
+    exhaustive_passes: int = 0
+    #: deepest run queue observed at the start of an iteration
+    peak_queue_depth: int = 0
+    #: processes reclassified as dynamic after exceeding the growth limit
+    dynamic_fallbacks: int = 0
+    #: static (event-scheduled) vs always-run process counts, set at discovery
+    tracked_procs: int = 0
+    always_procs: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "settle_calls": self.settle_calls,
+            "quiescent_settles": self.quiescent_settles,
+            "settle_iterations": self.settle_iterations,
+            "activations": self.activations,
+            "always_runs": self.always_runs,
+            "discovery_passes": self.discovery_passes,
+            "exhaustive_passes": self.exhaustive_passes,
+            "peak_queue_depth": self.peak_queue_depth,
+            "dynamic_fallbacks": self.dynamic_fallbacks,
+            "tracked_procs": self.tracked_procs,
+            "always_procs": self.always_procs,
+        }
+
 
 class Simulator:
-    """Runs a component hierarchy cycle by cycle."""
+    """Runs a component hierarchy cycle by cycle.
 
-    def __init__(self, top: Component, max_settle: int = MAX_SETTLE_ITERATIONS):
+    Parameters
+    ----------
+    top:
+        Root of the component hierarchy.
+    max_settle:
+        Settle fixpoint iteration bound (loop detector threshold).
+    scheduler:
+        ``"event"`` (default) for the dependency-tracked scheduler or
+        ``"exhaustive"`` for the reference kernel.  Both are cycle-exact
+        and produce identical traces.
+
+    A design must be driven by at most one live simulator: elaboration
+    claims every signal's change-notification hook for this instance.
+    """
+
+    def __init__(
+        self,
+        top: Component,
+        max_settle: int = MAX_SETTLE_ITERATIONS,
+        scheduler: str = "event",
+    ):
+        if scheduler not in ("event", "exhaustive"):
+            raise SimulationError(f"unknown scheduler {scheduler!r}")
         self.top = top
         self.max_settle = max_settle
+        self.scheduler = scheduler
         self.now = 0
         self._comb: list[Callable[[], None]] = []
         self._seq: list[Callable[[], None]] = []
         self._regs: list[Reg] = []
         self._resets: list[Callable[[], None]] = []
         self._observers: list[Callable[[int], None]] = []
+        #: scheduler state (event mode)
+        self._procs: list[_Proc] = []
+        self._always: list[_Proc] = []
+        #: rank-indexed run queue: _buckets[r] holds queued procs of rank r
+        self._buckets: list[list[_Proc]] = [[]]
+        self._npend = 0
+        self._changed: list[Signal] = []
+        self._staged_regs: list[Reg] = []
+        self._needs_discovery = True
+        self.kernel_stats = KernelStats()
         self._elaborate()
 
     # -- elaboration -------------------------------------------------------------
 
     def _elaborate(self) -> None:
+        event = self.scheduler == "event"
         for comp in self.top.walk():
-            self._comb.extend(comp.comb_procs)
+            always_fns = set(map(id, comp.always_procs))
+            for fn in comp.comb_procs:
+                self._comb.append(fn)
+                self._procs.append(_Proc(fn, always=id(fn) in always_fns))
             self._seq.extend(comp.seq_procs)
             self._resets.extend(comp.reset_hooks)
             for sig in comp.signals:
                 if isinstance(sig, Reg):
                     self._regs.append(sig)
+                    sig._stage_list = self._staged_regs
+                # Claim (or, for the exhaustive scheduler, release) the
+                # change-notification hook, and clear any fanout a previous
+                # simulator of this design may have left.
+                sig._pending = self._changed if event else None
+                sig._fanout = []
         if not self._comb and not self._seq:
             raise SimulationError(f"design {self.top.path!r} has no processes")
 
@@ -62,17 +221,38 @@ class Simulator:
         """Register a callback invoked with the cycle number after each cycle.
 
         Used by tracers (see :mod:`repro.hdl.trace`) and test probes.
+        ``step`` skips observer dispatch entirely while no observer is
+        registered, so untraced runs pay nothing here.
         """
         self._observers.append(fn)
 
-    # -- phases ---------------------------------------------------------------
+    def remove_observer(self, fn: Callable[[int], None]) -> None:
+        """Detach a previously registered observer (restores the fast path)."""
+        self._observers.remove(fn)
+
+    # -- settle phase ----------------------------------------------------------
 
     def settle(self) -> int:
-        """Run combinational processes to fixpoint; returns iterations used."""
+        """Run combinational processes to fixpoint; returns iterations used.
+
+        Event mode returns 0 from the quiescent fast path (nothing changed
+        since the last settle, so the fixpoint is already in place).
+        """
+        self.kernel_stats.settle_calls += 1
+        if self.scheduler == "exhaustive":
+            return self._settle_exhaustive()
+        if self._needs_discovery:
+            return self._settle_discovery()
+        return self._settle_event()
+
+    def _settle_exhaustive(self) -> int:
+        """Reference kernel: every process, every pass, until a clean pass."""
         comb = self._comb
         tracker = CHANGES
+        stats = self.kernel_stats
         for iteration in range(1, self.max_settle + 1):
             tracker.dirty = False
+            stats.exhaustive_passes += 1
             for proc in comb:
                 proc()
             if not tracker.dirty:
@@ -80,29 +260,283 @@ class Simulator:
         unstable = self._find_unstable()
         raise CombinationalLoopError(self.now, self.max_settle, unstable)
 
+    def _settle_discovery(self) -> int:
+        """Instrumented full-pass settle: builds/refreshes read sets.
+
+        Used for the first settle after elaboration and after
+        :meth:`reset` — any point where signal values may have changed
+        without change notifications.  Runs exactly like the exhaustive
+        kernel (same pass structure, same iteration count) but with read
+        tracking installed, then registers per-signal fanout and classifies
+        processes for event scheduling.
+        """
+        procs = self._procs
+        tracker = CHANGES
+        stats = self.kernel_stats
+        for bucket in self._buckets:
+            bucket.clear()
+        self._npend = 0
+        for p in procs:
+            p.queued = False
+        try:
+            for iteration in range(1, self.max_settle + 1):
+                tracker.dirty = False
+                stats.discovery_passes += 1
+                for p in procs:
+                    if p.always:
+                        p.fn()
+                    else:
+                        _signal_mod._READS = p.reads
+                        _signal_mod._WRITES = p.writes
+                        try:
+                            p.fn()
+                        finally:
+                            _signal_mod._READS = None
+                            _signal_mod._WRITES = None
+                if not tracker.dirty:
+                    self._finish_discovery()
+                    return iteration
+        finally:
+            self._changed.clear()
+        unstable = self._find_unstable()
+        raise CombinationalLoopError(self.now, self.max_settle, unstable)
+
+    def _finish_discovery(self) -> None:
+        """Classify processes and build the per-signal fanout map."""
+        changed_list = self._changed
+        for p in self._procs:
+            if p.always:
+                continue
+            if not p.reads:
+                if p.writes:
+                    # Real outputs but no visible inputs: the process reads
+                    # hidden Python state and must run exhaustively.
+                    p.always = True
+                else:
+                    # Touched nothing across every discovery pass — a no-op
+                    # placeholder (passive RAM/ROM components register these
+                    # to stay valid stand-alone designs).  Never schedule it.
+                    p.inert = True
+            elif any(s._pending is not changed_list for s in p.reads):
+                # Reads signals this simulator does not manage (another
+                # design's nets, free-standing test signals): their changes
+                # would never reach our queue, so run exhaustively.
+                p.always = True
+            else:
+                self._register_fanout(p)
+        self._always = [p for p in self._procs if p.always]
+        tracked = [p for p in self._procs if not p.always and not p.inert]
+        self._rank_procs(tracked)
+        stats = self.kernel_stats
+        stats.always_procs = len(self._always)
+        stats.tracked_procs = len(tracked)
+        self._needs_discovery = False
+
+    def _rank_procs(self, tracked: list[_Proc]) -> None:
+        """Assign topological depths over the writer→reader proc graph.
+
+        Evaluating queued procs in rank order lets a change propagate down a
+        combinational chain in one sweep (each proc runs after its upstream
+        writers), instead of one delta iteration per chain link.  Cycles in
+        the graph (mutual ready/valid feedback) saturate at the rank cap and
+        simply take extra sweeps, exactly like the unranked scheduler.
+        Ranks are a performance hint only — correctness comes from running
+        to fixpoint — so they are not recomputed when a read set grows.
+        """
+        writers: dict = {}
+        for p in tracked:
+            for s in p.writes:
+                writers.setdefault(s, []).append(p)
+        n = len(tracked)
+        for p in tracked:
+            p.rank = 0
+        for _ in range(n):
+            moved = False
+            for p in tracked:
+                r = 0
+                for s in p.reads:
+                    for w in writers.get(s, ()):
+                        if w is not p and w.rank >= r:
+                            r = w.rank + 1
+                if r > n:
+                    r = n
+                if r != p.rank:
+                    p.rank = r
+                    moved = True
+            if not moved:
+                break
+        depth = max((p.rank for p in tracked), default=0)
+        self._buckets = [[] for _ in range(depth + 1)]
+        self._npend = 0
+
+    def _register_fanout(self, p: _Proc) -> None:
+        for sig in p.reads:
+            fanout = sig._fanout
+            if p not in fanout:
+                fanout.append(p)
+
+    def _make_dynamic(self, p: _Proc) -> None:
+        """Fallback: pin a proven-dynamic process to every settle iteration."""
+        p.always = True
+        p.queued = True  # permanently; drain skips queued procs
+        for sig in p.reads:
+            if p in sig._fanout:
+                sig._fanout.remove(p)
+        self._always.append(p)
+        stats = self.kernel_stats
+        stats.dynamic_fallbacks += 1
+        stats.always_procs += 1
+        stats.tracked_procs -= 1
+
+    def _grew(self, p: _Proc) -> None:
+        """A scheduled run read signals outside the recorded set."""
+        p.growths += 1
+        if p.growths > DYNAMIC_GROWTH_LIMIT:
+            self._make_dynamic(p)
+        else:
+            self._register_fanout(p)
+
+    def _settle_event(self) -> int:
+        """Event-driven settle: re-run only the fanout of changed signals.
+
+        Queued processes are evaluated in topological rank order (writers
+        before readers), so one sweep normally reaches the fixpoint; only
+        feedback (a later-rank process waking an earlier rank) or hidden
+        state changed by an always-run process forces another sweep.
+        """
+        stats = self.kernel_stats
+        changed = self._changed
+        buckets = self._buckets
+        npend = self._npend
+        if changed:
+            for sig in changed:
+                for p in sig._fanout:
+                    if not p.queued:
+                        p.queued = True
+                        buckets[p.rank].append(p)
+                        npend += 1
+            changed.clear()
+        always = self._always
+        if not npend and not always:
+            stats.quiescent_settles += 1
+            return 0
+        tracker = CHANGES
+        iterations = 0
+        try:
+            while npend or (always and (iterations == 0 or tracker.dirty)):
+                iterations += 1
+                if iterations > self.max_settle:
+                    self._npend = npend
+                    self._needs_discovery = True  # leave a recoverable scheduler
+                    _signal_mod._READS = None  # probe runs must not pollute read sets
+                    unstable = self._find_unstable()
+                    raise CombinationalLoopError(self.now, self.max_settle, unstable)
+                if npend > stats.peak_queue_depth:
+                    stats.peak_queue_depth = npend
+                tracker.dirty = False
+                ran = 0
+                for bucket in buckets:
+                    # Consume only the procs queued when the sweep reached
+                    # this bucket.  A proc that re-queues itself (same-rank
+                    # feedback, or a self-loop toggling its own input) lands
+                    # beyond `limit` and waits for the next outer iteration —
+                    # otherwise a zero-delay oscillation would spin inside
+                    # this drain forever without tripping the iteration bound.
+                    i = 0
+                    limit = len(bucket)
+                    while i < limit:
+                        p = bucket[i]
+                        i += 1
+                        npend -= 1
+                        if p.always:
+                            continue  # reclassified dynamic while queued
+                        p.queued = False
+                        ran += 1
+                        reads = p.reads
+                        before = len(reads)
+                        _signal_mod._READS = reads
+                        p.fn()
+                        if len(reads) != before:
+                            _signal_mod._READS = None
+                            self._grew(p)
+                        if changed:
+                            for sig in changed:
+                                for q in sig._fanout:
+                                    if not q.queued:
+                                        q.queued = True
+                                        buckets[q.rank].append(q)
+                                        npend += 1
+                            changed.clear()
+                    del bucket[:limit]
+                stats.activations += ran
+                _signal_mod._READS = None
+                if always:
+                    for p in always:
+                        p.fn()
+                    stats.always_runs += len(always)
+                    if changed:
+                        for sig in changed:
+                            for q in sig._fanout:
+                                if not q.queued:
+                                    q.queued = True
+                                    buckets[q.rank].append(q)
+                                    npend += 1
+                        changed.clear()
+        finally:
+            _signal_mod._READS = None
+            self._npend = npend
+        stats.settle_iterations += iterations
+        return iterations
+
     def _find_unstable(self) -> list[str]:
-        """Best-effort identification of oscillating signals for diagnostics."""
-        before = {s.name: s.value for s in self.top.all_signals()}
+        """Best-effort identification of oscillating signals for diagnostics.
+
+        Snapshots every signal *by identity* (hierarchical names need not be
+        unique across odd hierarchies), probes with one extra combinational
+        pass, and restores the pre-probe values so the diagnostic itself
+        does not corrupt the state a debugger will inspect.
+        """
+        before = [(s, s._value) for s in self.top.all_signals()]
+        pending_before = list(self._changed)
         for proc in self._comb:
             proc()
-        return [s.name for s in self.top.all_signals() if before[s.name] != s.value]
+        unstable = [s.name for s, v in before if s._value != v]
+        for s, v in before:
+            s._value = v
+        # Drop the probe's change notifications; keep whatever was pending.
+        self._changed[:] = pending_before
+        return unstable
+
+    # -- edge phase ------------------------------------------------------------
 
     def _edge(self) -> None:
         for proc in self._seq:
             proc()
-        for reg in self._regs:
-            reg.commit()
+        # Only registers that were actually staged this cycle need a commit;
+        # Reg.stage enrols each register in _staged_regs on first staging.
+        staged = self._staged_regs
+        if staged:
+            for reg in staged:
+                reg.commit()
+            staged.clear()
 
     # -- public stepping API ---------------------------------------------------
 
     def step(self, cycles: int = 1) -> None:
         """Advance the design by ``cycles`` full clock cycles."""
-        for _ in range(cycles):
-            self.settle()
-            self._edge()
-            self.now += 1
-            for obs in self._observers:
-                obs(self.now)
+        observers = self._observers
+        if observers:
+            for _ in range(cycles):
+                self.settle()
+                self._edge()
+                self.now += 1
+                for obs in observers:
+                    obs(self.now)
+        else:
+            for _ in range(cycles):
+                self.settle()
+                self._edge()
+                self.now += 1
 
     def run_until(self, predicate: Callable[[], bool], max_cycles: int = 100_000) -> int:
         """Step until ``predicate()`` holds (evaluated on settled state).
@@ -110,6 +544,11 @@ class Simulator:
         Returns the number of cycles consumed.  Raises ``SimulationError``
         when the bound is exceeded — the standard way tests detect protocol
         deadlocks (e.g. a functional unit that never raises ``idle``).
+
+        The settle after each step brings the combinational state up to
+        date for the predicate; with the event scheduler the subsequent
+        settle inside :meth:`step` then finds an empty queue and is a
+        no-op re-check, so the historical double-settle costs nothing.
         """
         start = self.now
         self.settle()
@@ -124,14 +563,23 @@ class Simulator:
         return self.now - start
 
     def reset(self) -> None:
-        """Drive the whole design to its reset state (asynchronous reset)."""
+        """Drive the whole design to its reset state (asynchronous reset).
+
+        Signal values change wholesale here (including register resets that
+        bypass change notification), so the event scheduler schedules a
+        full rediscovery settle rather than trusting its queue.
+        """
         for sig in self.top.all_signals():
             if isinstance(sig, Reg):
                 sig.reset_state()
             else:
                 sig.force(sig.reset)
+        self._staged_regs.clear()  # reset_state dropped every staged value
         for hook in self._resets:
             hook()
+        if self.scheduler == "event":
+            self._needs_discovery = True
+            self._changed.clear()
         self.settle()
 
     # -- stats -----------------------------------------------------------------

@@ -29,6 +29,10 @@ class Tracer:
         for sig in self.signals:
             self.history[sig.name].append(sig.value)
 
+    def detach(self) -> None:
+        """Stop sampling; restores the simulator's no-observer fast path."""
+        self.sim.remove_observer(self._sample)
+
     def series(self, signal: Signal) -> list[Any]:
         """Full recorded history of one signal."""
         return self.history[signal.name]

@@ -44,8 +44,11 @@ class VcdWriter:
         self.sim = sim
         self.stream = stream
         self.clock_period_ns = clock_period_ns
-        self._ids = {s.name: _identifier(i) for i, s in enumerate(self.signals)}
-        self._last: dict[str, int] = {}
+        # keyed by signal identity: hierarchical names need not be unique
+        # across hand-built test hierarchies, and identity keys skip string
+        # hashing in the per-cycle sampling loop
+        self._ids = {id(s): _identifier(i) for i, s in enumerate(self.signals)}
+        self._last: dict[int, int] = {}
         self._write_header(timescale)
         self._dump_initial()
         sim.add_observer(self._sample)
@@ -57,18 +60,18 @@ class VcdWriter:
         w(f"$timescale {timescale} $end\n")
         w("$scope module top $end\n")
         for sig in self.signals:
-            ident = self._ids[sig.name]
+            ident = self._ids[id(sig)]
             name = sig.name.replace(" ", "_")
             w(f"$var wire {sig.width} {ident} {name} $end\n")
         w("$upscope $end\n$enddefinitions $end\n")
 
     def _emit(self, sig: Signal) -> None:
-        ident = self._ids[sig.name]
+        ident = self._ids[id(sig)]
         if sig.width == 1:
             self.stream.write(f"{sig.value & 1}{ident}\n")
         else:
             self.stream.write(f"b{sig.value:b} {ident}\n")
-        self._last[sig.name] = sig.value
+        self._last[id(sig)] = sig.value
 
     def _dump_initial(self) -> None:
         self.stream.write("#0\n$dumpvars\n")
@@ -77,12 +80,17 @@ class VcdWriter:
         self.stream.write("$end\n")
 
     def _sample(self, cycle: int) -> None:
-        changed = [s for s in self.signals if s.value != self._last.get(s.name)]
+        last = self._last
+        changed = [s for s in self.signals if s.value != last.get(id(s))]
         if not changed:
             return
         self.stream.write(f"#{cycle * self.clock_period_ns}\n")
         for sig in changed:
             self._emit(sig)
+
+    def detach(self) -> None:
+        """Stop sampling; restores the simulator's no-observer fast path."""
+        self.sim.remove_observer(self._sample)
 
 
 def trace_to_string(sim: Simulator, signals: Iterable[Signal], cycles: int) -> str:

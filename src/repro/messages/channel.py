@@ -68,32 +68,41 @@ class DelayLine(Component):
         self.spec = spec
         self.inp = Stream(self, "in", 32)
         self.out = Stream(self, "out", 32)
-        self._cycle = self.reg("cycle", 64, 0)
-        self._next_accept = self.reg("next_accept", 64, 0)
-        # In-flight words as (deliver_cycle, word) tuples, oldest first.
+        # Rate limiting and latency are tracked as countdowns rather than
+        # absolute cycle numbers: a free-running wall-clock register would
+        # change every cycle, keeping the link's combinational fanout awake
+        # in the event-driven scheduler even when the link is idle.  With
+        # countdowns, an empty idle link holds perfectly still.
+        self._cooldown = self.reg("cooldown", 32, 0)
+        # In-flight words as (remaining_cycles, word) tuples, oldest first.
         self._flight = self.reg("flight", None, reset=())
 
         @self.comb
         def _drive() -> None:
-            now = self._cycle.value
             flight = self._flight.value
-            deliverable = bool(flight) and flight[0][0] <= now
+            deliverable = bool(flight) and flight[0][0] <= 0
             self.out.valid.set(1 if deliverable else 0)
             if deliverable:
                 self.out.payload.set(flight[0][1])
-            self.inp.ready.set(1 if now >= self._next_accept.value else 0)
+            self.inp.ready.set(1 if self._cooldown.value == 0 else 0)
 
         @self.seq
         def _tick() -> None:
-            now = self._cycle.value
             flight = self._flight.value
             if self.out.fires():
                 flight = flight[1:]
+            if flight:
+                # age every in-flight word by this edge (clamped at 0 so a
+                # back-pressured head word eventually holds still)
+                flight = tuple((r - 1 if r > 0 else 0, w) for r, w in flight)
+            cooldown = self._cooldown.value
+            if cooldown:
+                self._cooldown.nxt = cooldown - 1
             if self.inp.fires():
-                flight = flight + ((now + self.spec.latency_cycles, self.inp.payload.value),)
-                self._next_accept.nxt = now + self.spec.cycles_per_word
+                # this edge counts as the first of the latency/spacing windows
+                flight = flight + ((self.spec.latency_cycles - 1, self.inp.payload.value),)
+                self._cooldown.nxt = self.spec.cycles_per_word - 1
             self._flight.nxt = flight
-            self._cycle.nxt = now + 1
 
     @property
     def in_flight(self) -> int:

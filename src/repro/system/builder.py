@@ -41,6 +41,16 @@ class SystemBuilder:
         self._upstream: Optional[ChannelSpec] = None
         self._registry: Optional[UnitRegistry] = None
         self._unit_codes: Optional[Sequence[int]] = None
+        self._scheduler: str = "event"
+
+    def with_scheduler(self, scheduler: str) -> "SystemBuilder":
+        """Select the settle scheduler (``"event"`` or ``"exhaustive"``).
+
+        Both are cycle-exact; the exhaustive reference kernel exists as the
+        equivalence oracle and microbenchmark baseline.
+        """
+        self._scheduler = scheduler
+        return self
 
     def with_config(self, **kwargs) -> "SystemBuilder":
         """Override framework generics (word_bits, n_regs, …)."""
@@ -84,7 +94,7 @@ class SystemBuilder:
             unit_codes=self._unit_codes,
             upstream_channel=self._upstream,
         )
-        sim = Simulator(soc)
+        sim = Simulator(soc, scheduler=self._scheduler)
         sim.reset()
         return BuiltSystem(soc=soc, sim=sim)
 
@@ -94,9 +104,10 @@ def build_system(
     channel: ChannelSpec = INTEGRATED,
     registry: Optional[UnitRegistry] = None,
     unit_codes: Optional[Sequence[int]] = None,
+    scheduler: str = "event",
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults."""
-    builder = SystemBuilder(config).with_channel(channel)
+    builder = SystemBuilder(config).with_channel(channel).with_scheduler(scheduler)
     if registry is not None:
         builder.with_registry(registry)
     if unit_codes is not None:

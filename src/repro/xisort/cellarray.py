@@ -63,7 +63,10 @@ class VectorCellArray(Component, CellArrayPorts):
         self._make_ports(self, word_bits)
         self._init_state()
 
-        @self.comb
+        # always=True: this process reads the NumPy cell-state arrays, which
+        # the scheduler's Signal read-tracking cannot see; it must re-run on
+        # every settle iteration (the arrays change at each applied command).
+        @self.comb(always=True)
         def _tree_outputs() -> None:
             sel = self.sel
             count = self.tree.count(sel)

@@ -24,7 +24,7 @@ class StreamHarness(Component):
         self.received: list[int] = []
         self.consumer_ready = True
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.first.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:
@@ -94,7 +94,7 @@ class ArbiterHarness(Component):
         self.prio = False
         self.grants: list[int] = []
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             for i, r in enumerate(self.req_pattern):
                 self.arb.requests[i].set(r)

@@ -13,7 +13,7 @@ class FifoHarness(Component):
         self.received: list[int] = []
         self.drain = True
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.fifo.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:

@@ -20,7 +20,7 @@ class LineHarness(Component):
         self.to_send: list[int] = []
         self.received: list[tuple[int, int]] = []  # (cycle, word)
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.line.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:

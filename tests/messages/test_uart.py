@@ -16,7 +16,7 @@ class UartPair(Component):
         self.to_send: list[int] = []
         self.received: list[int] = []
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.rx.line.set(self.tx.line.value)
             self.tx.inp.valid.set(1 if self.to_send else 0)

@@ -19,7 +19,7 @@ class NoisyPair(Component):
         self.glitch_cycles: set[int] = set()
         self.cycle = 0
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             line = self.tx.line.value
             if self.cycle in self.glitch_cycles:

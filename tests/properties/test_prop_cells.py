@@ -99,7 +99,7 @@ class _Dual(Component):
         self.struct = StructuralCellArray("struct", n_cells, 32, parent=self)
         self.script = []
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             cmd, b, ld, ll, lu = (
                 self.script[0] if self.script else (CellCmd.NOP, 0, 0, 0, 0)

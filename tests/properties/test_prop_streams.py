@@ -26,7 +26,7 @@ class _Harness(Component):
         self.received: list[int] = []
         self.cursor = 0
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             i = min(self.cursor, len(self.src) - 1)
             offering = bool(self.items) and self.src[i]

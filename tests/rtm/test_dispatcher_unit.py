@@ -45,7 +45,7 @@ class DispatchHarness(Component):
         self.exec_ready = True
         self.ack_results = True
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.decoder.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:

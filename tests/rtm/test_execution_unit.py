@@ -19,7 +19,7 @@ class ExecHarness(Component):
         self.msg_ready = True
         self.prio_grant = True
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.exe.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:

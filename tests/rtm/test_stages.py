@@ -24,7 +24,7 @@ class BufferHarness(Component):
         self.msgs = []
         self.halted = False
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.buf.inp.valid.set(1 if self.words else 0)
             if self.words:
@@ -88,7 +88,7 @@ class SerializerHarness(Component):
         self.to_send = []
         self.words: list[int] = []
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             self.ser.inp.valid.set(1 if self.to_send else 0)
             if self.to_send:

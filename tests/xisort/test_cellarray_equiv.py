@@ -22,7 +22,7 @@ class DualHarness(Component):
         self.struct = StructuralCellArray("struct", n_cells, 32, parent=self)
         self.script = []  # (cmd, broadcast, load_data, load_lower, load_upper)
 
-        @self.comb
+        @self.comb(always=True)
         def _drive():
             if self.script:
                 cmd, bcast, ld, ll, lu = self.script[0]
