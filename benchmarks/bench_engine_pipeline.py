@@ -1,0 +1,147 @@
+"""Experiment E1 — host-engine pipelining: in-flight window vs round trips.
+
+The seed's host API was strictly stop-and-wait: every GET blocked until its
+data record came back, so a batch of dependent-free computations paid one
+full link round trip each.  The host engine overlaps those round trips up
+to its in-flight window.  This benchmark measures the effect in simulated
+coprocessor cycles for a dependent-free compute batch across the link
+spectrum, asserting identical results at every window.
+
+Expected physics — windowing hides *latency*, never manufactures bandwidth:
+
+* **serial-bridge** is latency-dominated (768-cycle pipe, 12 cycles/word):
+  a window >= 4 must cut the compute batch cost by >= 2x.
+* **integrated** has almost no latency to hide (2 cycles) — a compute
+  batch there is bound by its 10 downstream words/call, so the sweep shows
+  only a modest gain.  The round-trip-dominated workload on that link is a
+  *read* batch (2 words each way), where windowing again yields >= 2x.
+* **slow-prototype** is bandwidth-bound outright (256 cycles/word dwarfs
+  its 64-cycle latency): reported honestly at ~1x, not asserted as 2x.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import engine_counters_for, format_table
+from repro.config import FrameworkConfig
+from repro.host import Session
+from repro.isa import ArithOp
+from repro.messages import INTEGRATED, SLOW_PROTOTYPE, ChannelSpec
+from repro.system import build_system
+
+#: A 3 Mbaud USB-UART bridge class link at the 50 MHz coprocessor clock,
+#: with the same 64x tractability scaling the slow-prototype preset uses:
+#: high round-trip latency (USB frame scheduling) but decent streaming
+#: bandwidth — the latency-dominated corner of the serial spectrum, where
+#: request windowing pays off most.  Local to the benchmark: the preset
+#: inventory is part of the public API and pinned by the channel tests.
+SERIAL_BRIDGE = ChannelSpec("serial-bridge", latency_cycles=768, cycles_per_word=12)
+
+LINKS = {
+    "integrated": INTEGRATED,
+    "serial-bridge": SERIAL_BRIDGE,
+    "slow-prototype": SLOW_PROTOTYPE,
+}
+
+N_CALLS = 16
+WINDOWS = (1, 4, 8)
+# compute_async parks 3 registers per call until its result streams back,
+# so the register file must hold a whole batch: 3 * N_CALLS + slack.
+CONFIG = FrameworkConfig(n_regs=64)
+
+
+def _batch(channel: ChannelSpec, window: int):
+    """Run the dependent-free batch; returns (cycles, results, engine stats)."""
+    session = Session(build_system(CONFIG, channel=channel, window=window))
+    driver = session.driver
+    start = driver.cycles
+    with session.pipeline() as p:
+        futures = [p.compute(ArithOp.ADD, i, 1000 + i) for i in range(N_CALLS)]
+    cycles = driver.cycles - start
+    results = [f.result() for f in futures]
+    return cycles, results, engine_counters_for(driver)
+
+
+@pytest.mark.parametrize("link_name", list(LINKS))
+def test_e1_window_speedup(benchmark, link_name):
+    link = LINKS[link_name]
+
+    def run():
+        out = {w: _batch(link, w) for w in WINDOWS}
+        base_cycles, base_results, _ = out[1]
+        for w in WINDOWS[1:]:
+            assert out[w][1] == base_results, f"window={w} changed results"
+        return {w: base_cycles / out[w][0] for w in WINDOWS}
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    if link_name == "serial-bridge":
+        # latency-dominated: a window of 4 must at least halve the batch cost
+        assert speedup[4] >= 2.0, f"window=4 speedup {speedup[4]:.2f}"
+        assert speedup[8] >= speedup[4] * 0.9  # deeper window never hurts
+    else:
+        # bandwidth-bound (for this 10-words-per-call workload): identical
+        # results and a gain, however small, is the honest claim
+        assert speedup[4] >= 1.0
+
+
+def _read_batch(channel: ChannelSpec, window: int):
+    """GET-dominated workload: n pre-written registers read back in one batch."""
+    session = Session(build_system(CONFIG, channel=channel, window=window))
+    driver = session.driver
+    for reg in range(N_CALLS):
+        driver.write_reg(reg, 3 * reg + 1)
+    driver.run_until_quiet()
+    start = driver.cycles
+    with session.pipeline() as p:
+        futures = [p.read(reg) for reg in range(N_CALLS)]
+    return driver.cycles - start, [f.result() for f in futures]
+
+
+def test_e1_integrated_read_overlap(benchmark):
+    """Round trips overlap on the integrated link too, once the workload is
+    round-trip-dominated: a pure read batch is 2 words each way around the
+    full link + RTM latency, and windowing collapses it >= 2x."""
+
+    def run():
+        out = {w: _read_batch(INTEGRATED, w) for w in WINDOWS}
+        base_cycles, base_results = out[1]
+        assert base_results == [3 * reg + 1 for reg in range(N_CALLS)]
+        for w in WINDOWS[1:]:
+            assert out[w][1] == base_results
+        return {w: base_cycles / out[w][0] for w in WINDOWS}
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speedup[4] >= 2.0, f"window=4 read speedup {speedup[4]:.2f}"
+
+
+def test_e1_report(benchmark):
+    def build():
+        rows = []
+        for name, link in LINKS.items():
+            cycles = {}
+            for w in WINDOWS:
+                c, results, stats = _batch(link, w)
+                assert results == [1000 + 2 * i for i in range(N_CALLS)]
+                cycles[w] = (c, stats)
+            base = cycles[1][0]
+            for w in WINDOWS:
+                c, stats = cycles[w]
+                rows.append([
+                    name, w, c, round(base / c, 2),
+                    stats["in_flight_highwater"], stats["window_stalls"],
+                ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "E1: host-engine window sweep "
+        f"({N_CALLS} dependent-free computes, cycles incl. drain)",
+        format_table(
+            ["link", "window", "cycles", "speedup", "in-flight hw", "win stalls"],
+            rows,
+            title="windowing hides round-trip latency; bandwidth-bound links "
+                  "(slow-prototype) see little",
+        ),
+    )
+    by_key = {(r[0], r[1]): r[3] for r in rows}
+    assert by_key[("serial-bridge", 4)] >= 2.0

@@ -21,7 +21,13 @@ from .area import (
     area_tree,
     area_xisort_unit,
 )
-from .counters import CounterReport, collect_counters, counters_for, kernel_counters_for
+from .counters import (
+    CounterReport,
+    collect_counters,
+    counters_for,
+    engine_counters_for,
+    kernel_counters_for,
+)
 from .inventory import ComponentStats, inventory, inventory_table, stats_for
 from .clock import (
     DEFAULT_CLOCKS,
@@ -74,6 +80,7 @@ __all__ = [
     "stats_for",
     "collect_counters",
     "counters_for",
+    "engine_counters_for",
     "kernel_counters_for",
     "DEFAULT_CLOCKS",
     "INTEGRATED_LINK",

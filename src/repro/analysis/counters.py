@@ -29,6 +29,9 @@ class CounterReport:
     #: settle-scheduler counters (``Simulator.kernel_stats.as_dict()``);
     #: empty when the report was built without a simulator in hand
     kernel: dict = field(default_factory=dict)
+    #: host-engine counters (``HostEngine.stats.as_dict()``); empty when the
+    #: report was built without a driver in hand
+    engine: dict = field(default_factory=dict)
 
     @property
     def dispatch_rate(self) -> float:
@@ -63,6 +66,14 @@ class CounterReport:
         return format_table(["kernel counter", "value"], rows,
                             title="settle scheduler (Simulator.kernel_stats)")
 
+    def engine_table(self) -> str:
+        """Host-engine counters as a table (empty string when absent)."""
+        if not self.engine:
+            return ""
+        rows = [[name.replace("_", " "), value] for name, value in self.engine.items()]
+        return format_table(["engine counter", "value"], rows,
+                            title="host engine (HostEngine.stats)")
+
     @property
     def settle_activations_per_cycle(self) -> float:
         """Scheduled comb executions per cycle — the event kernel's work rate."""
@@ -88,14 +99,27 @@ def collect_counters(soc) -> CounterReport:
     )
 
 
-def counters_for(system) -> CounterReport:
-    """Counter snapshot for a BuiltSystem/BuiltMultiHostSystem."""
+def counters_for(system, driver=None) -> CounterReport:
+    """Counter snapshot for a BuiltSystem/BuiltMultiHostSystem.
+
+    Pass the :class:`repro.host.CoprocessorDriver` in use to fold its host
+    engine's counters (in-flight high-water, queue depth, window stalls)
+    into the report.
+    """
     report = collect_counters(system.soc)
     report.cycles = system.sim.now
     report.kernel = system.sim.kernel_stats.as_dict()
+    if driver is not None:
+        report.engine = engine_counters_for(driver)
     return report
 
 
 def kernel_counters_for(sim) -> dict:
     """Settle-scheduler counter snapshot for a bare :class:`Simulator`."""
     return sim.kernel_stats.as_dict()
+
+
+def engine_counters_for(driver) -> dict:
+    """Host-engine counter snapshot for a driver (or a bare HostEngine)."""
+    engine = getattr(driver, "engine", driver)
+    return engine.stats.as_dict()

@@ -7,9 +7,16 @@ software baselines the benchmarks compare against.
 
 from .baselines import OpCounter, limbs_of, multiword_add, multiword_sub, value_of
 from .driver import CoprocessorDriver, CoprocessorError
+from .engine import (
+    DEFAULT_WINDOW,
+    EngineStats,
+    HostEngine,
+    HostFuture,
+    TagAllocator,
+)
 from .multidriver import HostCpuDriver, drivers_for
 from .program import collect_values, run_program
-from .session import OutOfRegisters, Session
+from .session import OutOfRegisters, Pipeline, Session
 
 __all__ = [
     "OpCounter",
@@ -19,10 +26,16 @@ __all__ = [
     "value_of",
     "CoprocessorDriver",
     "CoprocessorError",
+    "DEFAULT_WINDOW",
+    "EngineStats",
+    "HostEngine",
+    "HostFuture",
+    "TagAllocator",
     "HostCpuDriver",
     "drivers_for",
     "collect_values",
     "run_program",
     "OutOfRegisters",
+    "Pipeline",
     "Session",
 ]

@@ -7,6 +7,15 @@ to the processor" (§II).  The driver frames messages onto the simulated
 channel, advances the simulation (standing in for wall-clock time passing
 on the host), and deframes responses.
 
+Since the engine refactor the driver is a thin synchronous facade over
+:class:`repro.host.engine.HostEngine`: every blocking call is a tracked
+submission followed by ``Future.result()``, and the asynchronous variants
+(``read_reg_async``/``read_flags_async``/``halt_async``) expose the
+futures directly.  Responses are correlated to requests by the GET/GETF
+tag through the engine's completion router, so interleaved responses of
+other types stay queued in ``inbox`` instead of being dropped or raising
+spuriously.
+
 Every driver call accounts its cost in *coprocessor clock cycles* via the
 underlying simulator — the currency all benchmarks report.
 """
@@ -17,11 +26,9 @@ from typing import Iterable, Optional
 
 from ..hdl.errors import SimulationError
 from ..isa.encoding import Instruction, encode
-from ..messages.framing import Deframer, Framer
 from ..messages.types import (
     DataRecord,
     Exec,
-    ExceptionReport,
     FlagVector,
     Halted,
     Message,
@@ -30,14 +37,40 @@ from ..messages.types import (
     WriteReg,
 )
 from ..system.builder import BuiltSystem
+from .engine import DEFAULT_WINDOW, CoprocessorError, HostEngine, HostFuture
+
+__all__ = ["CoprocessorDriver", "CoprocessorError"]
+
+#: Extra idle cycles `run_until_quiet` demands beyond the channel latency
+#: before declaring the system quiet.  The `busy` probe unions per-stage
+#: occupancy registers that update at clock edges, so a word handed off at
+#: edge N can be invisible for the one settle in which the producer has
+#: already dropped it and the consumer has not yet committed it; two spare
+#: cycles cover that handoff blind spot on both directions.
+QUIET_HANDOFF_MARGIN = 2
 
 
-class CoprocessorError(RuntimeError):
-    """The coprocessor reported an exception message."""
+def quiet_hysteresis(link) -> int:
+    """Idle-streak bound for quiescence detection, derived from the link.
 
-    def __init__(self, report: ExceptionReport):
-        self.report = report
-        super().__init__(f"coprocessor exception: code={report.code} info={report.info}")
+    A word is out of the `busy` probe's sight for at most the channel's
+    pipeline latency (the delay line holds it visibly, but the downstream
+    consumer's occupancy only registers ``latency_cycles`` after
+    acceptance on the slowest direction), plus the one-cycle register
+    handoff margin at each end.  Pumping that many consecutive idle cycles
+    therefore guarantees nothing is silently in flight.
+
+    Abstract links expose that latency as a :class:`ChannelSpec`; physical
+    link models (e.g. the UART pair) expose an effective word time instead,
+    which bounds how long one word can sit inside the shift registers.
+    """
+    spec = getattr(link, "spec", None)
+    if spec is not None:
+        upstream = getattr(link, "upstream_spec", spec)
+        latency = max(spec.latency_cycles, upstream.latency_cycles)
+    else:
+        latency = getattr(link, "cycles_per_word", 1)
+    return latency + QUIET_HANDOFF_MARGIN
 
 
 class CoprocessorDriver:
@@ -48,6 +81,8 @@ class CoprocessorDriver:
         system: BuiltSystem,
         raise_on_exception: bool = True,
         host_port=None,
+        window: Optional[int] = None,
+        tags: Optional[Iterable[int]] = None,
     ):
         self.system = system
         self.soc = system.soc
@@ -56,12 +91,19 @@ class CoprocessorDriver:
         #: the HostPort this driver speaks through (multi-CPU systems have
         #: several, one per CPU — paper Fig. 1.1)
         self.host = host_port if host_port is not None else system.soc.host
-        cfg = system.config
-        self._framer = Framer(cfg.data_words)
-        self._deframer = Deframer(cfg.data_words)
-        #: responses received from the coprocessor, oldest first
-        self.inbox: list[Message] = []
-        self.exceptions: list[ExceptionReport] = []
+        if window is None:
+            window = getattr(system, "engine_window", None) or DEFAULT_WINDOW
+        self.engine = HostEngine(
+            system,
+            self.host,
+            window=window,
+            tags=tags,
+            raise_on_exception=raise_on_exception,
+        )
+        #: responses that matched no pending request, oldest first
+        self.inbox = self.engine.inbox
+        self.exceptions = self.engine.exceptions
+        self._quiet_streak = quiet_hysteresis(system.soc.link)
 
     # -- low level ---------------------------------------------------------------
 
@@ -72,46 +114,36 @@ class CoprocessorDriver:
 
     def send(self, msg: Message) -> None:
         """Frame and enqueue one message toward the coprocessor."""
-        self.host.send_words(self._framer.frame(msg))
+        self.engine.submit_send((msg,))
 
     def send_all(self, msgs: Iterable[Message]) -> None:
-        for m in msgs:
-            self.send(m)
+        """Queue several messages; they serialise as one framing batch."""
+        self.engine.submit_send(msgs)
 
     def pump(self, cycles: int = 1) -> None:
         """Advance the simulation, draining any arrived response words."""
-        for _ in range(cycles):
-            self.sim.step()
-            self._drain()
-
-    def _drain(self) -> None:
-        while True:
-            word = self.host.recv_word()
-            if word is None:
-                return
-            msg = self._deframer.push(word)
-            if msg is not None:
-                if isinstance(msg, ExceptionReport):
-                    self.exceptions.append(msg)
-                    if self.raise_on_exception:
-                        raise CoprocessorError(msg)
-                self.inbox.append(msg)
+        self.engine.pump(cycles)
 
     def run_until_quiet(self, max_cycles: int = 1_000_000) -> int:
         """Pump until the whole system is drained; returns cycles consumed."""
         start = self.sim.now
         idle_streak = 0
-        while idle_streak < 4:  # a few cycles of hysteresis for edge cases
+        while idle_streak < self._quiet_streak:
             if self.sim.now - start >= max_cycles:
                 raise SimulationError(
                     f"system did not go quiet within {max_cycles} cycles"
                 )
             self.pump()
-            idle_streak = idle_streak + 1 if not self.soc.busy else 0
+            busy = self.soc.busy or not self.engine.idle
+            idle_streak = idle_streak + 1 if not busy else 0
         return self.sim.now - start
 
     def wait_for(self, count: int = 1, max_cycles: int = 1_000_000) -> list[Message]:
-        """Pump until ``count`` responses are available; pops and returns them."""
+        """Pump until ``count`` responses are available; pops and returns them.
+
+        Operates on the unmatched-response ``inbox`` — the home of replies
+        to requests issued through the raw ``execute`` path.
+        """
         start = self.sim.now
         while len(self.inbox) < count:
             if self.sim.now - start >= max_cycles:
@@ -120,18 +152,17 @@ class CoprocessorDriver:
                     f"{max_cycles} cycles"
                 )
             self.pump()
-        out, self.inbox = self.inbox[:count], self.inbox[count:]
+        out, self.inbox[:] = self.inbox[:count], self.inbox[count:]
         return out
 
     # -- message-level convenience ----------------------------------------------
 
     def execute(self, instr: Instruction) -> None:
-        """Send one instruction for execution (no waiting)."""
+        """Send one instruction for execution (no waiting, no tracking)."""
         self.send(Exec(encode(instr)))
 
     def execute_all(self, instrs: Iterable[Instruction]) -> None:
-        for i in instrs:
-            self.execute(i)
+        self.send_all(Exec(encode(i)) for i in instrs)
 
     def write_reg(self, reg: int, value: int) -> None:
         self.send(WriteReg(reg, value & self.system.config.word_mask))
@@ -142,37 +173,70 @@ class CoprocessorDriver:
     def reset_message(self) -> None:
         self.send(Reset())
 
-    def read_reg(self, reg: int, tag: int = 0, max_cycles: int = 1_000_000) -> int:
+    # -- asynchronous submission --------------------------------------------------
+
+    def read_reg_async(self, reg: int, tag: Optional[int] = None) -> HostFuture:
+        """GET a register; the future resolves to its integer value."""
+        from ..isa import instructions as ins
+
+        return self.engine.submit_tracked(
+            lambda t: (Exec(encode(ins.get(reg, t))),),
+            DataRecord,
+            tag=tag,
+            transform=lambda msg: msg.value,
+        )
+
+    def read_flags_async(self, flag_reg: int, tag: Optional[int] = None) -> HostFuture:
+        """GETF a flag register; the future resolves to the flag vector."""
+        from ..isa import instructions as ins
+
+        return self.engine.submit_tracked(
+            lambda t: (Exec(encode(ins.getf(flag_reg, t))),),
+            FlagVector,
+            tag=tag,
+            transform=lambda msg: msg.value,
+        )
+
+    def halt_async(self) -> HostFuture:
+        """Send HALT; the future resolves on the acknowledgement."""
+        from ..isa import instructions as ins
+
+        halt = Exec(encode(ins.halt()))
+        return self.engine.submit_tracked(
+            lambda _t: (halt,), Halted, needs_tag=False
+        )
+
+    # -- synchronous convenience (futures resolved inline) -----------------------
+
+    def read_reg(self, reg: int, tag: Optional[int] = None,
+                 max_cycles: int = 1_000_000) -> int:
         """GET a register and wait for its data record."""
-        from ..isa import instructions as ins
+        return self.read_reg_async(reg, tag).result(max_cycles)
 
-        self.execute(ins.get(reg, tag))
-        msg = self._expect(DataRecord, max_cycles)
-        if msg.tag != tag:
-            raise SimulationError(f"data record tag mismatch: sent {tag}, got {msg.tag}")
-        return msg.value
-
-    def read_flags(self, flag_reg: int, tag: int = 0, max_cycles: int = 1_000_000) -> int:
+    def read_flags(self, flag_reg: int, tag: Optional[int] = None,
+                   max_cycles: int = 1_000_000) -> int:
         """GETF a flag register and wait for its flag vector."""
-        from ..isa import instructions as ins
-
-        self.execute(ins.getf(flag_reg, tag))
-        msg = self._expect(FlagVector, max_cycles)
-        if msg.tag != tag:
-            raise SimulationError(f"flag vector tag mismatch: sent {tag}, got {msg.tag}")
-        return msg.value
+        return self.read_flags_async(flag_reg, tag).result(max_cycles)
 
     def halt_and_wait(self, max_cycles: int = 1_000_000) -> None:
         """Send HALT and wait for the acknowledgement."""
-        from ..isa import instructions as ins
-
-        self.execute(ins.halt())
-        self._expect(Halted, max_cycles)
+        self.halt_async().result(max_cycles)
 
     def _expect(self, msg_type: type, max_cycles: int) -> Message:
-        (msg,) = self.wait_for(1, max_cycles)
-        if not isinstance(msg, msg_type):
-            raise SimulationError(
-                f"expected {msg_type.__name__}, received {type(msg).__name__}: {msg!r}"
-            )
-        return msg
+        """Pop the oldest inbox message of ``msg_type``, pumping until one
+        arrives.  Responses of other types stay queued (and tag-tracked
+        requests are routed by the engine before ever reaching the inbox),
+        so an interleaved stream cannot be dropped or raise spuriously."""
+        start = self.sim.now
+        while True:
+            for i, msg in enumerate(self.inbox):
+                if isinstance(msg, msg_type):
+                    del self.inbox[i]
+                    return msg
+            if self.sim.now - start >= max_cycles:
+                others = [type(m).__name__ for m in self.inbox]
+                raise SimulationError(
+                    f"expected {msg_type.__name__} within {max_cycles} cycles; "
+                    f"inbox holds {others or 'nothing'}"
+                )
+            self.pump()

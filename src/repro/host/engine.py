@@ -1,0 +1,465 @@
+"""Asynchronous host engine: futures, tag routing, in-flight windowing.
+
+The paper's host "sends one or more packets of data to the controller on
+the FPGA ... and [the controller] returns the final results" (§II) — the
+RTM pipeline and lock manager are explicitly built so that *many*
+instructions can be in flight while the result stream stays in order.
+This module gives the host software the matching shape:
+
+* :class:`HostFuture` — a handle for one outstanding request.  ``result()``
+  pumps the simulation (the stand-in for host wall-clock time) until the
+  coprocessor's response arrives.
+* :class:`TagAllocator` — a round-robin allocator over the GET/GETF tag
+  field.  A tag stays owned while its request is in flight, so responses
+  are always attributable; released tags go to the back of the queue, so
+  the whole tag space is cycled before any value repeats.
+* :class:`HostEngine` — the submission queue, in-flight window and
+  completion router.  Tracked submissions (GET/GETF/HALT) past the window
+  queue *host-side* instead of overrunning the coprocessor's message
+  buffer; queued messages are framed in one batch per pump, not one
+  channel push per message.
+
+The synchronous driver API (:class:`repro.host.driver.CoprocessorDriver`)
+is re-expressed as ``submit(...).result()`` on top of this engine, and the
+session layer adds ``compute_async``/``read_async`` and ``pipeline()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..hdl.errors import SimulationError
+from ..messages.framing import Deframer, Framer
+from ..messages.types import (
+    DataRecord,
+    ExceptionReport,
+    FlagVector,
+    Halted,
+    Message,
+)
+
+#: Default in-flight window: tracked requests the engine keeps outstanding
+#: before queueing further submissions host-side.  Deep enough to cover the
+#: round-trip latency of every link preset at typical request sizes, small
+#: enough that a runaway submitter cannot flood the message buffer.
+DEFAULT_WINDOW = 8
+
+#: The GET/GETF tag travels in the instruction's 8-bit variety field, so a
+#: single-host driver has 256 distinct tag values to juggle.
+TAG_SPACE = range(256)
+
+
+class CoprocessorError(RuntimeError):
+    """The coprocessor reported an exception message."""
+
+    def __init__(self, report: ExceptionReport):
+        self.report = report
+        super().__init__(f"coprocessor exception: code={report.code} info={report.info}")
+
+
+class HostFuture:
+    """One outstanding request's completion handle.
+
+    Futures are resolved by the engine's completion router when the
+    correlated response message arrives; ``result()``/``wait()`` advance
+    the simulation until then.  An untracked submission (a write, a plain
+    EXEC) resolves as soon as its words are framed onto the channel.
+    """
+
+    __slots__ = ("_engine", "_done", "_value", "_error", "_transform",
+                 "_callbacks", "tag", "_owns_tag")
+
+    def __init__(self, engine: "HostEngine",
+                 transform: Optional[Callable[[Message], object]] = None):
+        self._engine = engine
+        self._done = False
+        self._value: object = None
+        self._error: Optional[BaseException] = None
+        self._transform = transform
+        self._callbacks: list[Callable[["HostFuture"], None]] = []
+        #: the response tag this future is registered under (None when the
+        #: request is untracked or carries no tag, e.g. HALT)
+        self.tag: Optional[int] = None
+        self._owns_tag = False
+
+    # -- inspection ---------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._done
+
+    def exception(self) -> Optional[BaseException]:
+        """The failure, if the future completed with one (non-blocking)."""
+        return self._error
+
+    # -- blocking access ----------------------------------------------------------
+
+    def wait(self, max_cycles: int = 1_000_000) -> "HostFuture":
+        """Pump the simulation until this future completes; returns self."""
+        self._engine.wait(self, max_cycles)
+        return self
+
+    def result(self, max_cycles: int = 1_000_000):
+        """Wait for completion and return the response (or raise its error)."""
+        self.wait(max_cycles)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    # -- completion ---------------------------------------------------------------
+
+    def add_done_callback(self, fn: Callable[["HostFuture"], None]) -> None:
+        """Run ``fn(future)`` on completion (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _resolve(self, msg: Optional[Message]) -> None:
+        self._value = self._transform(msg) if self._transform is not None else msg
+        self._finish()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._finish()
+
+    def _finish(self) -> None:
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class TagAllocator:
+    """Round-robin allocator over a fixed set of response-tag values.
+
+    ``acquire`` hands out the least-recently-released free tag and
+    ``release`` appends to the back of the free queue, so the allocator
+    walks the whole tag space before reusing any value — maximising the
+    distance between two in-flight uses of the same tag.  ``acquire``
+    returns ``None`` on exhaustion; the engine treats that as backpressure
+    (the submission stays queued host-side), never as an error.
+    """
+
+    def __init__(self, tags: Iterable[int] = TAG_SPACE):
+        ordered = list(dict.fromkeys(tags))
+        if not ordered:
+            raise ValueError("tag space must not be empty")
+        self.capacity = len(ordered)
+        self._free: deque[int] = deque(ordered)
+        self._in_use: set[int] = set()
+
+    def acquire(self) -> Optional[int]:
+        if not self._free:
+            return None
+        tag = self._free.popleft()
+        self._in_use.add(tag)
+        return tag
+
+    def release(self, tag: int) -> None:
+        if tag in self._in_use:
+            self._in_use.remove(tag)
+            self._free.append(tag)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> frozenset:
+        return frozenset(self._in_use)
+
+
+@dataclass
+class EngineStats:
+    """Host-engine observability counters (``repro.analysis`` folds these in)."""
+
+    submitted: int = 0            # total submissions accepted
+    completed: int = 0            # tracked futures resolved with a response
+    failed: int = 0               # tracked futures failed (exception report)
+    messages_framed: int = 0      # messages serialised onto the channel
+    words_sent: int = 0           # channel words pushed to the host port
+    batches: int = 0              # send_words calls (framing batches)
+    window_stalls: int = 0        # submissions that waited on the window
+    tag_stalls: int = 0           # submissions that waited on tag exhaustion
+    unmatched_to_inbox: int = 0   # responses with no pending future
+    in_flight_highwater: int = 0  # max tracked requests outstanding at once
+    queue_highwater: int = 0      # max host-side submission-queue depth
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "messages_framed": self.messages_framed,
+            "words_sent": self.words_sent,
+            "batches": self.batches,
+            "window_stalls": self.window_stalls,
+            "tag_stalls": self.tag_stalls,
+            "unmatched_to_inbox": self.unmatched_to_inbox,
+            "in_flight_highwater": self.in_flight_highwater,
+            "queue_highwater": self.queue_highwater,
+        }
+
+
+@dataclass
+class _Submission:
+    """One queued request: messages to frame plus optional completion tracking."""
+
+    #: builds the messages to frame; receives the allocated tag (None for
+    #: untracked or tag-less requests)
+    build: Callable[[Optional[int]], Sequence[Message]]
+    future: HostFuture
+    #: response type to route back (DataRecord/FlagVector/Halted); None for
+    #: fire-and-forget submissions, which complete at framing time
+    route_key: Optional[type] = None
+    #: caller-chosen tag; None with needs_tag means allocate at flush time
+    tag: Optional[int] = None
+    needs_tag: bool = False
+    stall_counted: bool = False
+
+
+class HostEngine:
+    """Submission queue → tag allocator → completion router for one host port.
+
+    The engine serialises queued messages in batches (one channel push per
+    flush, not per message), keeps at most ``window`` tracked requests in
+    flight, and correlates every inbound ``DataRecord``/``FlagVector`` to
+    its future by tag — out-of-order consumers on top of an in-order wire.
+    Responses nobody registered for (flood GETs issued through the raw
+    ``execute`` path, broadcast HALT acks on a shared bus) fall through to
+    ``inbox``, preserving the classic ``wait_for`` flows.
+    """
+
+    def __init__(
+        self,
+        system,
+        host_port,
+        *,
+        window: int = DEFAULT_WINDOW,
+        tags: Optional[Iterable[int]] = None,
+        raise_on_exception: bool = True,
+    ):
+        if window < 1:
+            raise ValueError("in-flight window must be at least 1")
+        self.system = system
+        self.sim = system.sim
+        self.soc = system.soc
+        self.host = host_port
+        self.window = window
+        self.raise_on_exception = raise_on_exception
+        cfg = system.config
+        self.framer = Framer(cfg.data_words)
+        self.deframer = Deframer(cfg.data_words)
+        self.tags = TagAllocator(tags if tags is not None else TAG_SPACE)
+        self.stats = EngineStats()
+        #: responses that matched no pending future, oldest first
+        self.inbox: list[Message] = []
+        #: every exception report received, in arrival order
+        self.exceptions: list[ExceptionReport] = []
+        self._queue: deque[_Submission] = deque()
+        #: (response type, tag) → futures awaiting it, oldest first
+        self._pending: dict[tuple[type, Optional[int]], deque[HostFuture]] = {}
+        self._in_flight = 0
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit_send(self, msgs: Iterable[Message]) -> HostFuture:
+        """Queue fire-and-forget messages; the future resolves once framed."""
+        batch = tuple(msgs)
+        future = HostFuture(self)
+        self._enqueue(_Submission(build=lambda _tag: batch, future=future))
+        return future
+
+    def submit_tracked(
+        self,
+        build: Callable[[Optional[int]], Sequence[Message]],
+        route_key: type,
+        tag: Optional[int] = None,
+        needs_tag: bool = True,
+        transform: Optional[Callable[[Message], object]] = None,
+    ) -> HostFuture:
+        """Queue a response-expecting request.
+
+        ``build(tag)`` produces the outbound messages once the request is
+        actually released to the channel — tag allocation is deferred to
+        that moment, so tag exhaustion stalls the queue instead of failing
+        the submission.
+        """
+        future = HostFuture(self, transform=transform)
+        self._enqueue(_Submission(
+            build=build, future=future, route_key=route_key,
+            tag=tag, needs_tag=needs_tag and tag is None,
+        ))
+        return future
+
+    def _enqueue(self, sub: _Submission) -> None:
+        self._queue.append(sub)
+        self.stats.submitted += 1
+        self.stats.queue_highwater = max(self.stats.queue_highwater, len(self._queue))
+        self.flush()
+
+    # -- framing / windowing ------------------------------------------------------
+
+    def flush(self) -> int:
+        """Release queued submissions up to the window; returns words sent.
+
+        All releasable messages are framed into one word batch and pushed
+        with a single ``send_words`` call — the channel still paces words
+        at link rate, but the host pays one queue update per flush instead
+        of one per message.
+        """
+        if not self._queue:
+            return 0
+        words: list[int] = []
+        framed = 0
+        while self._queue:
+            sub = self._queue[0]
+            tag = sub.tag
+            if sub.route_key is not None:
+                if self._in_flight >= self.window:
+                    if not sub.stall_counted:
+                        self.stats.window_stalls += 1
+                        sub.stall_counted = True
+                    break
+                if sub.needs_tag:
+                    tag = self.tags.acquire()
+                    if tag is None:
+                        if not sub.stall_counted:
+                            self.stats.tag_stalls += 1
+                            sub.stall_counted = True
+                        break
+            for msg in sub.build(tag):
+                words.extend(self.framer.frame(msg))
+                framed += 1
+            self._queue.popleft()
+            if sub.route_key is not None:
+                self._register(sub.future, sub.route_key, tag, sub.needs_tag)
+            else:
+                sub.future._resolve(None)
+        if words:
+            self.host.send_words(words)
+            self.stats.batches += 1
+            self.stats.messages_framed += framed
+            self.stats.words_sent += len(words)
+        return len(words)
+
+    def _register(self, future: HostFuture, route_key: type,
+                  tag: Optional[int], owns_tag: bool) -> None:
+        future.tag = tag
+        future._owns_tag = owns_tag
+        key = (route_key, tag if route_key is not Halted else None)
+        self._pending.setdefault(key, deque()).append(future)
+        self._in_flight += 1
+        self.stats.in_flight_highwater = max(
+            self.stats.in_flight_highwater, self._in_flight
+        )
+
+    # -- completion routing -------------------------------------------------------
+
+    def _complete(self, key: tuple[type, Optional[int]], future: HostFuture) -> None:
+        q = self._pending[key]
+        q.popleft()
+        if not q:
+            del self._pending[key]
+        self._in_flight -= 1
+        if future._owns_tag and future.tag is not None:
+            self.tags.release(future.tag)
+
+    def route(self, msg: Message) -> None:
+        """Deliver one inbound message to its future, or to the inbox."""
+        if isinstance(msg, ExceptionReport):
+            self._route_exception(msg)
+            return
+        if isinstance(msg, (DataRecord, FlagVector)):
+            key: tuple[type, Optional[int]] = (type(msg), msg.tag)
+        elif isinstance(msg, Halted):
+            key = (Halted, None)
+        else:
+            key = (type(msg), None)
+        q = self._pending.get(key)
+        if q:
+            future = q[0]
+            self._complete(key, future)
+            self.stats.completed += 1
+            future._resolve(msg)
+        else:
+            self.inbox.append(msg)
+            self.stats.unmatched_to_inbox += 1
+
+    def _route_exception(self, report: ExceptionReport) -> None:
+        """Exception reports carry no tag, so they cannot be attributed to
+        one request: every future already released to the wire is failed
+        (their responses may never come), while still-queued submissions
+        stay queued — they have not reached the coprocessor yet, so the
+        engine remains usable after the error."""
+        self.exceptions.append(report)
+        error = CoprocessorError(report)
+        pending, self._pending = self._pending, {}
+        self._in_flight = 0
+        for q in pending.values():
+            for future in q:
+                if future._owns_tag and future.tag is not None:
+                    self.tags.release(future.tag)
+                self.stats.failed += 1
+                future._fail(error)
+        if self.raise_on_exception:
+            raise error
+        self.inbox.append(report)
+
+    # -- simulation pumping -------------------------------------------------------
+
+    def pump(self, cycles: int = 1) -> None:
+        """Advance the simulation, draining responses and refilling the window."""
+        for _ in range(cycles):
+            self.flush()
+            self.sim.step()
+            self.drain_words()
+        self.flush()  # completions may have opened the window
+
+    def drain_words(self) -> None:
+        """Deframe every word the host port has received and route it."""
+        while True:
+            word = self.host.recv_word()
+            if word is None:
+                return
+            msg = self.deframer.push(word)
+            if msg is not None:
+                self.route(msg)
+
+    def wait(self, future: HostFuture, max_cycles: int = 1_000_000) -> None:
+        """Pump until ``future`` completes (raises SimulationError on timeout)."""
+        if future.done():
+            return
+        self.flush()
+        start = self.sim.now
+        while not future.done():
+            if self.sim.now - start >= max_cycles:
+                raise SimulationError(
+                    f"request did not complete within {max_cycles} cycles "
+                    f"({self._in_flight} in flight, {len(self._queue)} queued)"
+                )
+            self.pump()
+
+    def wait_all(self, futures: Iterable[HostFuture],
+                 max_cycles: int = 1_000_000) -> list:
+        """Wait for every future; returns their results in order."""
+        return [f.result(max_cycles) for f in futures]
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Tracked requests released to the wire and not yet completed."""
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Submissions still waiting host-side (window or tag backpressure)."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued host-side and nothing is in flight."""
+        return not self._queue and self._in_flight == 0

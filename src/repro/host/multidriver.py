@@ -2,8 +2,10 @@
 
 Each CPU gets its own :class:`HostCpuDriver`, which is a normal
 :class:`CoprocessorDriver` speaking through that CPU's port of the shared
-bus, with the bus's tag namespace applied automatically so responses are
-routed back to the issuing CPU.
+bus.  The bus routes responses back to the issuing CPU by the top bits of
+the GET/GETF tag, so each driver's engine is confined to its CPU's slice
+of the tag namespace: the tag allocator can only ever hand out tags the
+bus will route home.
 
 Register-file partitioning between CPUs is a software convention, exactly
 as it would be on a real shared coprocessor; use disjoint register ranges
@@ -11,6 +13,8 @@ as it would be on a real shared coprocessor; use disjoint register ranges
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ..messages.multihost import TAG_SEQ_MASK, host_tag
 from ..system.multihost import BuiltMultiHostSystem
@@ -25,6 +29,7 @@ class HostCpuDriver(CoprocessorDriver):
         system: BuiltMultiHostSystem,
         host_id: int,
         raise_on_exception: bool = True,
+        window: Optional[int] = None,
     ):
         if not 0 <= host_id < system.soc.bus.n_hosts:
             raise ValueError(f"host id {host_id} out of range")
@@ -32,25 +37,10 @@ class HostCpuDriver(CoprocessorDriver):
             system,
             raise_on_exception=raise_on_exception,
             host_port=system.soc.bus.hosts[host_id],
+            window=window,
+            tags=[host_tag(host_id, seq) for seq in range(TAG_SEQ_MASK + 1)],
         )
         self.host_id = host_id
-        self._seq = 0
-
-    def _next_tag(self) -> int:
-        self._seq = (self._seq + 1) & TAG_SEQ_MASK
-        return host_tag(self.host_id, self._seq)
-
-    def read_reg(self, reg: int, tag: int | None = None,
-                 max_cycles: int = 1_000_000) -> int:
-        if tag is None:
-            tag = self._next_tag()
-        return super().read_reg(reg, tag, max_cycles)
-
-    def read_flags(self, flag_reg: int, tag: int | None = None,
-                   max_cycles: int = 1_000_000) -> int:
-        if tag is None:
-            tag = self._next_tag()
-        return super().read_flags(flag_reg, tag, max_cycles)
 
 
 def drivers_for(system: BuiltMultiHostSystem, raise_on_exception: bool = True):

@@ -20,6 +20,7 @@ from ..isa import instructions as ins
 from ..isa.opcodes import FLAG_CARRY, ArithOp, LogicOp, Opcode
 from ..system.builder import BuiltSystem, build_system
 from .driver import CoprocessorDriver
+from .engine import HostFuture
 
 
 class OutOfRegisters(RuntimeError):
@@ -147,6 +148,63 @@ class Session:
     def read_carry(self, flag_reg: int) -> int:
         return self.driver.read_flags(flag_reg) & FLAG_CARRY
 
+    # -- asynchronous operations (the host engine's futures) --------------------------
+
+    def read_async(self, reg: int) -> HostFuture:
+        """GET a register without blocking; resolves to its integer value."""
+        return self.driver.read_reg_async(reg)
+
+    def _alloc_async(self) -> int:
+        """Claim a register, throttling on in-flight async work.
+
+        Each in-flight ``compute_async`` parks three registers until its
+        result streams back, so the register file is a windowed resource
+        just like tags: when it runs dry, pump the engine until a
+        completion callback frees one instead of raising.  Raises only
+        when nothing is in flight — a genuinely over-committed file.
+        """
+        engine = self.driver.engine
+        while True:
+            try:
+                return self.alloc()
+            except OutOfRegisters:
+                if engine.idle:
+                    raise
+                self.driver.pump()
+
+    def compute_async(self, op: ArithOp | LogicOp, x: int, y: int = 0) -> HostFuture:
+        """`compute` without the wait: operands load, the op issues, and the
+        result GET is tracked by the engine.  The operand/result registers
+        are freed automatically when the future completes, so a windowed
+        batch recycles registers as results stream back; a batch larger
+        than the register file self-throttles instead of raising."""
+        ra = self._alloc_async()
+        self.write(ra, x)
+        rb = self._alloc_async()
+        self.write(rb, y)
+        rd = self._alloc_async()
+        if isinstance(op, ArithOp):
+            self.arith(op, ra, rb, dst=rd)
+        else:
+            self.logic(op, ra, rb, dst=rd)
+        future = self.driver.read_reg_async(rd)
+        future.add_done_callback(lambda _f: self.free(ra, rb, rd))
+        return future
+
+    @contextmanager
+    def pipeline(self) -> Iterator["Pipeline"]:
+        """Batch scope that defers every wait until exit.
+
+        Inside the block, ``p.compute``/``p.read`` mirror the synchronous
+        calls but return futures immediately; requests overlap on the link
+        up to the engine's in-flight window.  On clean exit all issued
+        futures are waited (so every ``.result()`` afterwards is instant);
+        if the block raises, nothing is waited.
+        """
+        p = Pipeline(self)
+        yield p
+        p.wait()
+
     # -- multi-word arithmetic (thesis §3.2.2 carry chains) ---------------------------
 
     def write_wide(self, value: int, limbs: int) -> list[int]:
@@ -215,3 +273,44 @@ class Session:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+
+
+class Pipeline:
+    """A deferred-wait batch over one session (see :meth:`Session.pipeline`).
+
+    Tracks every future issued through it so the context manager can wait
+    them all at exit; futures remain usable outside the block (they are
+    resolved by then).
+    """
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.futures: list[HostFuture] = []
+
+    def _track(self, future: HostFuture) -> HostFuture:
+        self.futures.append(future)
+        return future
+
+    def compute(self, op: ArithOp | LogicOp, x: int, y: int = 0) -> HostFuture:
+        """Non-blocking :meth:`Session.compute`; resolves to the result value."""
+        return self._track(self.session.compute_async(op, x, y))
+
+    def read(self, reg: int) -> HostFuture:
+        """Non-blocking :meth:`Session.read`."""
+        return self._track(self.session.read_async(reg))
+
+    def read_flags(self, flag_reg: int) -> HostFuture:
+        """Non-blocking flag-vector readback."""
+        return self._track(self.session.driver.read_flags_async(flag_reg))
+
+    def wait(self, max_cycles: int = 1_000_000) -> None:
+        """Pump until every tracked future has completed."""
+        for future in self.futures:
+            future.wait(max_cycles)
+        for future in self.futures:
+            if future.exception() is not None:
+                raise future.exception()
+
+    def results(self, max_cycles: int = 1_000_000) -> list:
+        """Results of every tracked future, in issue order."""
+        return [f.result(max_cycles) for f in self.futures]

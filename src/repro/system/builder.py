@@ -26,6 +26,9 @@ class BuiltSystem:
 
     soc: CoprocessorSystem
     sim: Simulator
+    #: default in-flight window for host engines opened on this system
+    #: (None → the engine's own DEFAULT_WINDOW)
+    engine_window: Optional[int] = None
 
     @property
     def config(self) -> FrameworkConfig:
@@ -42,6 +45,19 @@ class SystemBuilder:
         self._registry: Optional[UnitRegistry] = None
         self._unit_codes: Optional[Sequence[int]] = None
         self._scheduler: str = "event"
+        self._engine_window: Optional[int] = None
+
+    def with_engine(self, window: int) -> "SystemBuilder":
+        """Set the default host-engine in-flight window for this system.
+
+        Drivers opened on the built system inherit it unless they pass
+        their own ``window`` — the deployment-level knob for how deep the
+        host may pipeline requests into the link.
+        """
+        if window < 1:
+            raise ValueError("engine window must be at least 1")
+        self._engine_window = window
+        return self
 
     def with_scheduler(self, scheduler: str) -> "SystemBuilder":
         """Select the settle scheduler (``"event"`` or ``"exhaustive"``).
@@ -96,7 +112,7 @@ class SystemBuilder:
         )
         sim = Simulator(soc, scheduler=self._scheduler)
         sim.reset()
-        return BuiltSystem(soc=soc, sim=sim)
+        return BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
 
 
 def build_system(
@@ -105,6 +121,7 @@ def build_system(
     registry: Optional[UnitRegistry] = None,
     unit_codes: Optional[Sequence[int]] = None,
     scheduler: str = "event",
+    window: Optional[int] = None,
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults."""
     builder = SystemBuilder(config).with_channel(channel).with_scheduler(scheduler)
@@ -112,4 +129,6 @@ def build_system(
         builder.with_registry(registry)
     if unit_codes is not None:
         builder.with_units(unit_codes)
+    if window is not None:
+        builder.with_engine(window)
     return builder.build()

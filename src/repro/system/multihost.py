@@ -82,6 +82,9 @@ class BuiltMultiHostSystem:
 
     soc: MultiHostCoprocessorSystem
     sim: Simulator
+    #: default in-flight window for the per-CPU host engines (None → the
+    #: engine's own DEFAULT_WINDOW); each CPU's window is independent
+    engine_window: Optional[int] = None
 
     @property
     def config(self) -> FrameworkConfig:
@@ -94,6 +97,7 @@ def build_multihost_system(
     channel: ChannelSpec = INTEGRATED,
     registry: Optional[UnitRegistry] = None,
     unit_codes: Optional[Sequence[int]] = None,
+    window: Optional[int] = None,
 ) -> BuiltMultiHostSystem:
     cfg = config if config is not None else FrameworkConfig()
     soc = MultiHostCoprocessorSystem(
@@ -102,4 +106,4 @@ def build_multihost_system(
     )
     sim = Simulator(soc)
     sim.reset()
-    return BuiltMultiHostSystem(soc=soc, sim=sim)
+    return BuiltMultiHostSystem(soc=soc, sim=sim, engine_window=window)
