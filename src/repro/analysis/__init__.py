@@ -27,6 +27,7 @@ from .counters import (
     counters_for,
     engine_counters_for,
     kernel_counters_for,
+    link_counters_for,
 )
 from .inventory import ComponentStats, inventory, inventory_table, stats_for
 from .clock import (
@@ -82,6 +83,7 @@ __all__ = [
     "counters_for",
     "engine_counters_for",
     "kernel_counters_for",
+    "link_counters_for",
     "DEFAULT_CLOCKS",
     "INTEGRATED_LINK",
     "PCIE_CLASS_LINK",

@@ -32,6 +32,10 @@ class CounterReport:
     #: host-engine counters (``HostEngine.stats.as_dict()``); empty when the
     #: report was built without a driver in hand
     engine: dict = field(default_factory=dict)
+    #: link-integrity counters: per-direction fault-injection stats plus the
+    #: coprocessor-side reliability receiver's counters; empty on a clean,
+    #: plain-framing system
+    link: dict = field(default_factory=dict)
 
     @property
     def dispatch_rate(self) -> float:
@@ -74,6 +78,17 @@ class CounterReport:
         return format_table(["engine counter", "value"], rows,
                             title="host engine (HostEngine.stats)")
 
+    def link_table(self) -> str:
+        """Link fault/reliability counters as a table (empty when absent)."""
+        if not self.link:
+            return ""
+        rows = []
+        for section, counters in self.link.items():
+            for name, value in counters.items():
+                rows.append([f"{section}: {name.replace('_', ' ')}", value])
+        return format_table(["link counter", "value"], rows,
+                            title="link integrity (faults + reliability)")
+
     @property
     def settle_activations_per_cycle(self) -> float:
         """Scheduled comb executions per cycle — the event kernel's work rate."""
@@ -109,6 +124,7 @@ def counters_for(system, driver=None) -> CounterReport:
     report = collect_counters(system.soc)
     report.cycles = system.sim.now
     report.kernel = system.sim.kernel_stats.as_dict()
+    report.link = link_counters_for(system)
     if driver is not None:
         report.engine = engine_counters_for(driver)
     return report
@@ -123,3 +139,30 @@ def engine_counters_for(driver) -> dict:
     """Host-engine counter snapshot for a driver (or a bare HostEngine)."""
     engine = getattr(driver, "engine", driver)
     return engine.stats.as_dict()
+
+
+def link_counters_for(system) -> dict:
+    """Link fault-injection and reliability counters for a built system.
+
+    Sections (each a flat counter dict, present only when applicable):
+
+    * ``downstream_faults``/``upstream_faults`` — what the injected fault
+      schedule actually did to each direction's word stream,
+    * ``rtm_receiver`` — the coprocessor-side reliable deframer and NACK
+      counters (reliable-framing systems only).
+    """
+    soc = getattr(system, "soc", system)
+    counters: dict = {}
+    link = getattr(soc, "link", None)
+    for section, line in (
+        ("downstream_faults", getattr(link, "downstream", None)),
+        ("upstream_faults", getattr(link, "upstream", None)),
+    ):
+        stats = getattr(line, "fault_stats", None)
+        if stats is not None:
+            counters[section] = stats.as_dict()
+    rtm_stats = getattr(getattr(soc, "rtm", None), "msgbuffer", None)
+    rtm_stats = getattr(rtm_stats, "reliability_stats", None)
+    if rtm_stats:
+        counters["rtm_receiver"] = rtm_stats
+    return counters

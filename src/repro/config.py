@@ -32,6 +32,16 @@ class FrameworkConfig:
     #: Build the case-study units in their pipelined (performance-optimised)
     #: configuration instead of the area-optimised one.
     pipelined_units: bool = False
+    #: Speak the sequence-numbered, checksummed frame format of
+    #: :mod:`repro.messages.reliability` on both directions of the link.
+    #: Required for recovery from injected/real link faults; costs one
+    #: trailer word per frame.
+    reliable_framing: bool = False
+    #: Reliable mode only: cycles of channel silence after which a receiver
+    #: stuck mid-frame force-drops one buffered word, so a damaged trailing
+    #: frame cannot hold the resynchronisation scanner (and the quiescence
+    #: probe) hostage.  Must exceed the slowest link's word spacing.
+    resync_flush_cycles: int = 1024
 
     def __post_init__(self) -> None:
         if self.word_bits < 32 or self.word_bits % 32 != 0:
@@ -44,6 +54,8 @@ class FrameworkConfig:
             raise ValueError("n_flag_regs must be in [1, 256]")
         if not 1 <= self.flag_bits <= 32:
             raise ValueError("flag_bits must fit one channel word")
+        if self.resync_flush_cycles < 1:
+            raise ValueError("resync_flush_cycles must be positive")
 
     @property
     def data_words(self) -> int:

@@ -13,7 +13,9 @@ from .engine import (
     HostEngine,
     HostFuture,
     TagAllocator,
+    default_deadline_cycles,
 )
+from .errors import HostTimeoutError, LinkDownError
 from .multidriver import HostCpuDriver, drivers_for
 from .program import collect_values, run_program
 from .session import OutOfRegisters, Pipeline, Session
@@ -30,7 +32,10 @@ __all__ = [
     "EngineStats",
     "HostEngine",
     "HostFuture",
+    "HostTimeoutError",
+    "LinkDownError",
     "TagAllocator",
+    "default_deadline_cycles",
     "HostCpuDriver",
     "drivers_for",
     "collect_values",

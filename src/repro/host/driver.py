@@ -38,8 +38,14 @@ from ..messages.types import (
 )
 from ..system.builder import BuiltSystem
 from .engine import DEFAULT_WINDOW, CoprocessorError, HostEngine, HostFuture
+from .errors import HostTimeoutError, LinkDownError
 
-__all__ = ["CoprocessorDriver", "CoprocessorError"]
+__all__ = [
+    "CoprocessorDriver",
+    "CoprocessorError",
+    "HostTimeoutError",
+    "LinkDownError",
+]
 
 #: Extra idle cycles `run_until_quiet` demands beyond the channel latency
 #: before declaring the system quiet.  The `busy` probe unions per-stage
@@ -124,34 +130,74 @@ class CoprocessorDriver:
         """Advance the simulation, draining any arrived response words."""
         self.engine.pump(cycles)
 
-    def run_until_quiet(self, max_cycles: int = 1_000_000) -> int:
-        """Pump until the whole system is drained; returns cycles consumed."""
+    def run_until_quiet(self, max_cycles: int = 1_000_000,
+                        deadline_cycles: Optional[int] = None) -> int:
+        """Pump until the whole system is drained; returns cycles consumed.
+
+        ``deadline_cycles`` bounds how long the system may go with no
+        observable progress (words moving, instructions retiring,
+        completions) before a descriptive :class:`HostTimeoutError` — or
+        :class:`LinkDownError`, if the reliable layer has declared the link
+        dead — is raised instead of idling out the full ``max_cycles``
+        budget.  None → a link-derived default; ≤0 → disabled.
+        """
         start = self.sim.now
         idle_streak = 0
+        deadline = self.engine.resolve_deadline(deadline_cycles)
+        signature = self.engine.progress_signature()
+        last_progress = start
         while idle_streak < self._quiet_streak:
-            if self.sim.now - start >= max_cycles:
+            now = self.sim.now
+            if now - start >= max_cycles:
                 raise SimulationError(
                     f"system did not go quiet within {max_cycles} cycles"
+                )
+            if deadline is not None and now - last_progress >= deadline:
+                raise self.engine.timeout_error(
+                    f"system stayed busy with no progress for {deadline} "
+                    f"cycles ({self.engine.in_flight} in flight, "
+                    f"{self.engine.queued} queued)"
                 )
             self.pump()
             busy = self.soc.busy or not self.engine.idle
             idle_streak = idle_streak + 1 if not busy else 0
+            current = self.engine.progress_signature()
+            if current != signature:
+                signature = current
+                last_progress = self.sim.now
         return self.sim.now - start
 
-    def wait_for(self, count: int = 1, max_cycles: int = 1_000_000) -> list[Message]:
+    def wait_for(self, count: int = 1, max_cycles: int = 1_000_000,
+                 deadline_cycles: Optional[int] = None) -> list[Message]:
         """Pump until ``count`` responses are available; pops and returns them.
 
         Operates on the unmatched-response ``inbox`` — the home of replies
-        to requests issued through the raw ``execute`` path.
+        to requests issued through the raw ``execute`` path.  Raises
+        :class:`HostTimeoutError` (or :class:`LinkDownError`) once
+        ``deadline_cycles`` pass without observable progress, so a dead
+        link fails fast; None → a link-derived default, ≤0 → disabled.
         """
         start = self.sim.now
+        deadline = self.engine.resolve_deadline(deadline_cycles)
+        signature = self.engine.progress_signature()
+        last_progress = start
         while len(self.inbox) < count:
-            if self.sim.now - start >= max_cycles:
+            now = self.sim.now
+            if now - start >= max_cycles:
                 raise SimulationError(
                     f"expected {count} responses, got {len(self.inbox)} after "
                     f"{max_cycles} cycles"
                 )
+            if deadline is not None and now - last_progress >= deadline:
+                raise self.engine.timeout_error(
+                    f"expected {count} responses, got {len(self.inbox)} after "
+                    f"{deadline} cycles without progress"
+                )
             self.pump()
+            current = self.engine.progress_signature()
+            if current != signature:
+                signature = current
+                last_progress = self.sim.now
         out, self.inbox[:] = self.inbox[:count], self.inbox[count:]
         return out
 

@@ -32,6 +32,13 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from ..hdl.errors import SimulationError
 from ..messages.framing import Deframer, Framer
+from ..messages.reliability import (
+    SEQ_MASK,
+    ReliableDeframer,
+    ReliableFramer,
+    parse_nack_info,
+    seq_before,
+)
 from ..messages.types import (
     DataRecord,
     ExceptionReport,
@@ -39,6 +46,7 @@ from ..messages.types import (
     Halted,
     Message,
 )
+from .errors import HostTimeoutError, LinkDownError
 
 #: Default in-flight window: tracked requests the engine keeps outstanding
 #: before queueing further submissions host-side.  Deep enough to cover the
@@ -49,6 +57,40 @@ DEFAULT_WINDOW = 8
 #: The GET/GETF tag travels in the instruction's 8-bit variety field, so a
 #: single-host driver has 256 distinct tag values to juggle.
 TAG_SPACE = range(256)
+
+#: Retransmission budget before the reliable layer declares the link dead.
+DEFAULT_MAX_RETRIES = 4
+
+#: Consecutive request deadline expiries before the engine degrades the
+#: in-flight window to stop-and-wait, and clean (no-retransmit) completions
+#: required to restore the configured window.
+DEGRADE_AFTER = 2
+RESTORE_AFTER = 8
+
+#: Replay-buffer cap, in frames.  Exceeding it drops the oldest frame from
+#: the retransmission record (counted in ``stats.replay_truncated``) —
+#: recovery of those frames is no longer possible, so workloads should
+#: interleave tracked reads with long write bursts.
+DEFAULT_REPLAY_LIMIT = 4096
+
+
+def default_deadline_cycles(link, data_words: int = 1, window: int = DEFAULT_WINDOW) -> int:
+    """Per-request retransmission deadline derived from the link timing.
+
+    Covers two full round trips plus draining ``window`` maximum-size
+    frames in both directions at the slower direction's word rate, plus a
+    fixed processing allowance — generous enough that a healthy link never
+    triggers a spurious retransmission, tight enough that a dead link is
+    declared down in simulated milliseconds, not seconds.
+    """
+    spec = getattr(link, "spec", None)
+    if spec is None:
+        return 50_000
+    up = getattr(link, "upstream_spec", spec)
+    rtt = 2 * (spec.latency_cycles + up.latency_cycles)
+    words_per_frame = 2 + data_words  # header + payload + trailer
+    cpw = max(spec.cycles_per_word, up.cycles_per_word)
+    return rtt + 4 * window * words_per_frame * cpw + 1024
 
 
 class CoprocessorError(RuntimeError):
@@ -95,14 +137,16 @@ class HostFuture:
 
     # -- blocking access ----------------------------------------------------------
 
-    def wait(self, max_cycles: int = 1_000_000) -> "HostFuture":
+    def wait(self, max_cycles: int = 1_000_000,
+             deadline_cycles: Optional[int] = None) -> "HostFuture":
         """Pump the simulation until this future completes; returns self."""
-        self._engine.wait(self, max_cycles)
+        self._engine.wait(self, max_cycles, deadline_cycles)
         return self
 
-    def result(self, max_cycles: int = 1_000_000):
+    def result(self, max_cycles: int = 1_000_000,
+               deadline_cycles: Optional[int] = None):
         """Wait for completion and return the response (or raise its error)."""
-        self.wait(max_cycles)
+        self.wait(max_cycles, deadline_cycles)
         if self._error is not None:
             raise self._error
         return self._value
@@ -186,6 +230,17 @@ class EngineStats:
     unmatched_to_inbox: int = 0   # responses with no pending future
     in_flight_highwater: int = 0  # max tracked requests outstanding at once
     queue_highwater: int = 0      # max host-side submission-queue depth
+    # -- reliable-mode recovery counters (all zero when reliability is off) --
+    retransmits: int = 0          # replay-buffer retransmissions issued
+    retransmitted_words: int = 0  # channel words re-sent across them
+    nacks: int = 0                # NACK reports received from the coprocessor
+    deadline_expiries: int = 0    # per-request deadlines that lapsed
+    link_down_failures: int = 0   # futures failed by a LinkDownError
+    stale_responses: int = 0      # expected duplicate responses discarded
+    response_gaps: int = 0        # upstream frames lost (sequence gaps)
+    rx_resyncs: int = 0           # host-side deframer resynchronisations
+    degrade_entries: int = 0      # times the window degraded to stop-and-wait
+    replay_truncated: int = 0     # frames evicted from a full replay buffer
 
     def as_dict(self) -> dict:
         return {
@@ -200,7 +255,35 @@ class EngineStats:
             "unmatched_to_inbox": self.unmatched_to_inbox,
             "in_flight_highwater": self.in_flight_highwater,
             "queue_highwater": self.queue_highwater,
+            "retransmits": self.retransmits,
+            "retransmitted_words": self.retransmitted_words,
+            "nacks": self.nacks,
+            "deadline_expiries": self.deadline_expiries,
+            "link_down_failures": self.link_down_failures,
+            "stale_responses": self.stale_responses,
+            "response_gaps": self.response_gaps,
+            "rx_resyncs": self.rx_resyncs,
+            "degrade_entries": self.degrade_entries,
+            "replay_truncated": self.replay_truncated,
         }
+
+
+@dataclass
+class _Record:
+    """Reliable-mode delivery tracking for one in-flight tracked request."""
+
+    key: tuple
+    #: sequence number of the request's last frame; its response implicitly
+    #: acknowledges every frame up to and including this one (in-order wire)
+    last_seq: int
+    deadline_at: int
+    #: deadline-driven retransmission rounds — the retry *budget*.  Only
+    #: silent expiries count; NACK-driven retransmissions prove the link is
+    #: alive and do not burn budget.
+    attempts: int = 0
+    #: times this record's frames were re-sent for any reason (bounds the
+    #: stale duplicate responses to expect after completion)
+    resends: int = 0
 
 
 @dataclass
@@ -240,6 +323,9 @@ class HostEngine:
         window: int = DEFAULT_WINDOW,
         tags: Optional[Iterable[int]] = None,
         raise_on_exception: bool = True,
+        deadline_cycles: Optional[int] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        replay_limit: int = DEFAULT_REPLAY_LIMIT,
     ):
         if window < 1:
             raise ValueError("in-flight window must be at least 1")
@@ -250,8 +336,13 @@ class HostEngine:
         self.window = window
         self.raise_on_exception = raise_on_exception
         cfg = system.config
-        self.framer = Framer(cfg.data_words)
-        self.deframer = Deframer(cfg.data_words)
+        self.reliable = cfg.reliable_framing
+        if self.reliable:
+            self.framer: Framer = ReliableFramer(cfg.data_words)
+            self.deframer = ReliableDeframer(cfg.data_words, strict_order=False)
+        else:
+            self.framer = Framer(cfg.data_words)
+            self.deframer = Deframer(cfg.data_words)
         self.tags = TagAllocator(tags if tags is not None else TAG_SPACE)
         self.stats = EngineStats()
         #: responses that matched no pending future, oldest first
@@ -262,6 +353,38 @@ class HostEngine:
         #: (response type, tag) → futures awaiting it, oldest first
         self._pending: dict[tuple[type, Optional[int]], deque[HostFuture]] = {}
         self._in_flight = 0
+        # -- reliable-mode recovery state --
+        link = getattr(self.soc, "link", None)
+        if deadline_cycles is None:
+            deadline_cycles = default_deadline_cycles(link, cfg.data_words, window)
+        #: base per-request deadline before the first retransmission
+        self.deadline_cycles = deadline_cycles
+        self.max_retries = max_retries
+        self.replay_limit = replay_limit
+        #: True once the retransmission budget has been exhausted
+        self.link_down = False
+        #: True while the engine runs stop-and-wait (window of 1)
+        self.degraded = False
+        spec = getattr(link, "spec", None)
+        up = getattr(link, "upstream_spec", spec)
+        self._cpw = max(
+            getattr(spec, "cycles_per_word", 1), getattr(up, "cycles_per_word", 1)
+        )
+        self._resync_flush_cycles = cfg.resync_flush_cycles
+        #: unacknowledged frames, oldest first, as (seq, words) pairs
+        self._replay: deque[tuple[int, tuple[int, ...]]] = deque()
+        self._records: dict[HostFuture, _Record] = {}
+        #: (type, tag) → count of stale duplicate responses still expected
+        self._dup_guard: dict[tuple, int] = {}
+        self._words_received = 0
+        self._last_rx_at = 0
+        self._last_nack: Optional[tuple] = None
+        self._last_nack_at = -1
+        self._consec_timeouts = 0
+        self._clean_completions = 0
+        #: default no-progress deadline for wait()/run_until_quiet (cycles)
+        hysteresis = getattr(spec, "latency_cycles", 1) + self._cpw
+        self.default_progress_deadline = max(50_000, 64 * hysteresis)
 
     # -- submission ---------------------------------------------------------------
 
@@ -295,8 +418,16 @@ class HostEngine:
         return future
 
     def _enqueue(self, sub: _Submission) -> None:
-        self._queue.append(sub)
         self.stats.submitted += 1
+        if self.link_down:
+            # the link was declared dead; nothing new can be delivered
+            self.stats.link_down_failures += 1
+            sub.future._fail(LinkDownError(
+                "link is down (retransmission budget exhausted); "
+                "submission rejected"
+            ))
+            return
+        self._queue.append(sub)
         self.stats.queue_highwater = max(self.stats.queue_highwater, len(self._queue))
         self.flush()
 
@@ -318,7 +449,7 @@ class HostEngine:
             sub = self._queue[0]
             tag = sub.tag
             if sub.route_key is not None:
-                if self._in_flight >= self.window:
+                if self._in_flight >= self.effective_window:
                     if not sub.stall_counted:
                         self.stats.window_stalls += 1
                         sub.stall_counted = True
@@ -331,11 +462,20 @@ class HostEngine:
                             sub.stall_counted = True
                         break
             for msg in sub.build(tag):
-                words.extend(self.framer.frame(msg))
+                frame = self.framer.frame(msg)
+                if self.reliable:
+                    self._log_frame(self.framer.last_seq, frame)
+                words.extend(frame)
                 framed += 1
             self._queue.popleft()
             if sub.route_key is not None:
-                self._register(sub.future, sub.route_key, tag, sub.needs_tag)
+                key = self._register(sub.future, sub.route_key, tag, sub.needs_tag)
+                if self.reliable:
+                    self._records[sub.future] = _Record(
+                        key=key,
+                        last_seq=self.framer.last_seq,
+                        deadline_at=self.sim.now + self.deadline_cycles,
+                    )
             else:
                 sub.future._resolve(None)
         if words:
@@ -346,15 +486,19 @@ class HostEngine:
         return len(words)
 
     def _register(self, future: HostFuture, route_key: type,
-                  tag: Optional[int], owns_tag: bool) -> None:
+                  tag: Optional[int], owns_tag: bool) -> tuple:
         future.tag = tag
         future._owns_tag = owns_tag
         key = (route_key, tag if route_key is not Halted else None)
+        # A fresh request reclaims its routing key from any stale-duplicate
+        # guard so new responses route to it, not to the discard count.
+        self._dup_guard.pop(key, None)
         self._pending.setdefault(key, deque()).append(future)
         self._in_flight += 1
         self.stats.in_flight_highwater = max(
             self.stats.in_flight_highwater, self._in_flight
         )
+        return key
 
     # -- completion routing -------------------------------------------------------
 
@@ -366,6 +510,19 @@ class HostEngine:
         self._in_flight -= 1
         if future._owns_tag and future.tag is not None:
             self.tags.release(future.tag)
+        record = self._records.pop(future, None)
+        if record is not None:
+            # The response implicitly acknowledges every frame up to the
+            # request's last one (the wire delivers in order).
+            self._prune_replay_before((record.last_seq + 1) & SEQ_MASK)
+            if record.resends:
+                # retransmitted requests may produce extra (re-executed)
+                # responses; arm the guard so they are discarded silently
+                guard = self._dup_guard.get(key, 0)
+                self._dup_guard[key] = guard + record.resends
+            else:
+                self._note_clean_completion()
+            self._consec_timeouts = 0  # any completion proves liveness
 
     def route(self, msg: Message) -> None:
         """Deliver one inbound message to its future, or to the inbox."""
@@ -378,6 +535,16 @@ class HostEngine:
             key = (Halted, None)
         else:
             key = (type(msg), None)
+        guard = self._dup_guard.get(key, 0)
+        if guard:
+            # a re-executed duplicate response for an already-resolved
+            # request — consume it instead of polluting the inbox
+            if guard > 1:
+                self._dup_guard[key] = guard - 1
+            else:
+                del self._dup_guard[key]
+            self.stats.stale_responses += 1
+            return
         q = self._pending.get(key)
         if q:
             future = q[0]
@@ -393,11 +560,21 @@ class HostEngine:
         one request: every future already released to the wire is failed
         (their responses may never come), while still-queued submissions
         stay queued — they have not reached the coprocessor yet, so the
-        engine remains usable after the error."""
+        engine remains usable after the error.
+
+        In reliable mode, BAD_MESSAGE reports with NACK-shaped info are the
+        coprocessor's retransmission requests — protocol traffic, not
+        application errors — and never fail futures or raise."""
+        if self.reliable:
+            nack = parse_nack_info(report.info)
+            if nack is not None:
+                self._handle_nack(*nack)
+                return
         self.exceptions.append(report)
         error = CoprocessorError(report)
         pending, self._pending = self._pending, {}
         self._in_flight = 0
+        self._records.clear()
         for q in pending.values():
             for future in q:
                 if future._owns_tag and future.tag is not None:
@@ -408,6 +585,122 @@ class HostEngine:
             raise error
         self.inbox.append(report)
 
+    # -- reliable-mode recovery ---------------------------------------------------
+
+    def _log_frame(self, seq: int, frame: Sequence[int]) -> None:
+        self._replay.append((seq, tuple(frame)))
+        while len(self._replay) > self.replay_limit:
+            self._replay.popleft()
+            self.stats.replay_truncated += 1
+
+    def _prune_replay_before(self, expected: int) -> None:
+        """Drop replay frames with sequence numbers before ``expected``
+        (they are acknowledged — implicitly or by a NACK's cursor)."""
+        replay = self._replay
+        while replay and seq_before(replay[0][0], expected):
+            replay.popleft()
+
+    def _handle_nack(self, expected: Optional[int], no_baseline: bool) -> None:
+        self.stats.nacks += 1
+        if self.link_down:
+            return
+        if expected is not None and not no_baseline:
+            # everything before the receiver's cursor was delivered
+            self._prune_replay_before(expected)
+        # Rate limit: in-flight words at NACK time can trigger several
+        # identical NACKs before the first retransmission lands; one
+        # retransmission per (cursor, round-trip window) is enough.
+        now = self.sim.now
+        marker = (expected, no_baseline)
+        if (
+            marker == self._last_nack
+            and now - self._last_nack_at < self._retransmit_drain_cycles()
+        ):
+            return
+        self._last_nack = marker
+        self._last_nack_at = now
+        self._retransmit()
+
+    def _retransmit_drain_cycles(self) -> int:
+        return max(1, sum(len(f) for _s, f in self._replay) * self._cpw)
+
+    def _retransmit(self) -> None:
+        words: list[int] = []
+        for _seq, frame in self._replay:
+            words.extend(frame)
+        drain = max(1, len(words)) * self._cpw
+        now = self.sim.now
+        for record in self._records.values():
+            record.resends += 1
+            # exponential backoff in the deadline-round count, plus time to
+            # drain the replayed words through the slower direction
+            backoff = self.deadline_cycles * (1 << record.attempts)
+            record.deadline_at = now + drain + backoff
+        if not words:
+            return
+        self.host.send_words(words)
+        self.stats.retransmits += 1
+        self.stats.retransmitted_words += len(words)
+        self.stats.words_sent += len(words)
+
+    def _check_deadlines(self) -> None:
+        if not self.reliable or self.link_down or not self._records:
+            return
+        now = self.sim.now
+        due = [r for r in self._records.values() if now >= r.deadline_at]
+        if not due:
+            return
+        if any(r.attempts >= self.max_retries for r in due):
+            self._declare_link_down()
+            return
+        for record in due:
+            record.attempts += 1
+        self.stats.deadline_expiries += len(due)
+        self._note_timeout()
+        self._retransmit()
+
+    def _declare_link_down(self) -> None:
+        self.link_down = True
+        outstanding = self._in_flight + len(self._queue)
+        error = LinkDownError(
+            f"link declared down: no response after {self.max_retries} "
+            f"retransmissions ({outstanding} requests outstanding, "
+            f"{self.stats.retransmits} retransmits, "
+            f"{self.stats.nacks} NACKs seen)"
+        )
+        pending, self._pending = self._pending, {}
+        queue, self._queue = self._queue, deque()
+        self._in_flight = 0
+        self._records.clear()
+        self._replay.clear()
+        for q in pending.values():
+            for future in q:
+                if future._owns_tag and future.tag is not None:
+                    self.tags.release(future.tag)
+                self.stats.failed += 1
+                self.stats.link_down_failures += 1
+                future._fail(error)
+        for sub in queue:
+            self.stats.link_down_failures += 1
+            sub.future._fail(error)
+
+    def _note_timeout(self) -> None:
+        self._consec_timeouts += 1
+        self._clean_completions = 0
+        if not self.degraded and self._consec_timeouts >= DEGRADE_AFTER:
+            # the link is lossy enough that pipelining multiplies the
+            # damage; fall back to stop-and-wait until it proves healthy
+            self.degraded = True
+            self.stats.degrade_entries += 1
+
+    def _note_clean_completion(self) -> None:
+        self._consec_timeouts = 0
+        if self.degraded:
+            self._clean_completions += 1
+            if self._clean_completions >= RESTORE_AFTER:
+                self.degraded = False
+                self._clean_completions = 0
+
     # -- simulation pumping -------------------------------------------------------
 
     def pump(self, cycles: int = 1) -> None:
@@ -416,31 +709,122 @@ class HostEngine:
             self.flush()
             self.sim.step()
             self.drain_words()
+            self._check_deadlines()
         self.flush()  # completions may have opened the window
 
     def drain_words(self) -> None:
         """Deframe every word the host port has received and route it."""
+        if not self.reliable:
+            while True:
+                word = self.host.recv_word()
+                if word is None:
+                    return
+                msg = self.deframer.push(word)
+                if msg is not None:
+                    self.route(msg)
+        received = False
         while True:
             word = self.host.recv_word()
             if word is None:
-                return
-            msg = self.deframer.push(word)
-            if msg is not None:
-                self.route(msg)
+                break
+            received = True
+            self._words_received += 1
+            self.deframer.push(word)
+        if received:
+            self._last_rx_at = self.sim.now
+        elif (
+            self.deframer.mid_frame
+            and self.sim.now - self._last_rx_at >= self._resync_flush_cycles
+        ):
+            # residual garbage from a damaged trailing frame: the burst is
+            # over, so nothing buffered can ever complete — flush it all
+            # (the rescan still salvages intact frames behind the garbage)
+            self.deframer.drop_all()
+            self._last_rx_at = self.sim.now
+        self._process_rx_events()
 
-    def wait(self, future: HostFuture, max_cycles: int = 1_000_000) -> None:
-        """Pump until ``future`` completes (raises SimulationError on timeout)."""
+    def _process_rx_events(self) -> None:
+        for event in self.deframer.take_events():
+            kind = event[0]
+            if kind in ("deliver", "duplicate"):
+                self.route(event[1])
+            elif kind == "gap":
+                # lost responses are recovered by request retransmission
+                # (the matching record's deadline), not by NACKing back
+                self.stats.response_gaps += 1
+            else:  # "resync"
+                self.stats.rx_resyncs += 1
+
+    def progress_signature(self) -> tuple:
+        """A cheap tuple that changes whenever the system observably moves.
+
+        Used by the no-progress deadlines in :meth:`wait` and the driver's
+        ``run_until_quiet``/``wait_for``: words moving in either direction,
+        completions, failures, retransmissions or retired instructions all
+        count as progress; a dead or wedged system holds the tuple still.
+        """
+        stats = self.stats
+        execution = getattr(getattr(self.soc, "rtm", None), "execution", None)
+        return (
+            stats.words_sent,
+            self._words_received,
+            self.host.tx_pending,
+            stats.completed,
+            stats.failed,
+            stats.retransmits,
+            getattr(execution, "retired", 0),
+        )
+
+    def timeout_error(self, message: str) -> HostTimeoutError:
+        """Timeout error of the right flavour for the engine's link state."""
+        if self.link_down:
+            return LinkDownError(f"{message} (link is down)")
+        return HostTimeoutError(message)
+
+    def resolve_deadline(self, deadline_cycles: Optional[int]) -> Optional[int]:
+        """Normalise a ``deadline_cycles`` argument (None → default, ≤0 → off)."""
+        if deadline_cycles is None:
+            return self.default_progress_deadline
+        if deadline_cycles <= 0:
+            return None
+        return deadline_cycles
+
+    def wait(self, future: HostFuture, max_cycles: int = 1_000_000,
+             deadline_cycles: Optional[int] = None) -> None:
+        """Pump until ``future`` completes.
+
+        Raises :class:`SimulationError` after ``max_cycles`` total, and the
+        more descriptive :class:`HostTimeoutError` (or
+        :class:`LinkDownError`) once ``deadline_cycles`` pass with no
+        observable progress anywhere in the system — so a dead link fails
+        fast instead of idling out the full budget.  ``deadline_cycles``:
+        None → a link-derived default, ≤0 → disabled.
+        """
         if future.done():
             return
         self.flush()
         start = self.sim.now
+        deadline = self.resolve_deadline(deadline_cycles)
+        signature = self.progress_signature()
+        last_progress = start
         while not future.done():
-            if self.sim.now - start >= max_cycles:
+            now = self.sim.now
+            if now - start >= max_cycles:
                 raise SimulationError(
                     f"request did not complete within {max_cycles} cycles "
                     f"({self._in_flight} in flight, {len(self._queue)} queued)"
                 )
+            if deadline is not None and now - last_progress >= deadline:
+                raise self.timeout_error(
+                    f"request made no progress for {deadline} cycles "
+                    f"({self._in_flight} in flight, {len(self._queue)} queued, "
+                    f"{self.stats.retransmits} retransmits)"
+                )
             self.pump()
+            current = self.progress_signature()
+            if current != signature:
+                signature = current
+                last_progress = self.sim.now
 
     def wait_all(self, futures: Iterable[HostFuture],
                  max_cycles: int = 1_000_000) -> list:
@@ -448,6 +832,12 @@ class HostEngine:
         return [f.result(max_cycles) for f in futures]
 
     # -- state --------------------------------------------------------------------
+
+    @property
+    def effective_window(self) -> int:
+        """The in-flight window currently honoured: the configured window,
+        or 1 (stop-and-wait) while the engine is degraded by a lossy link."""
+        return 1 if self.degraded else self.window
 
     @property
     def in_flight(self) -> int:

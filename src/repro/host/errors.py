@@ -1,0 +1,25 @@
+"""Host-side timeout and link-failure errors.
+
+Both derive from :class:`repro.hdl.errors.SimulationError`, so existing
+callers that guard pump loops with ``except SimulationError`` keep working;
+new code can catch the narrower types to distinguish "the coprocessor is
+slow or wedged" (:class:`HostTimeoutError`) from "the link retry budget is
+exhausted — the board fell off the bus" (:class:`LinkDownError`).
+"""
+
+from __future__ import annotations
+
+from ..hdl.errors import SimulationError
+
+
+class HostTimeoutError(SimulationError):
+    """A host-side deadline elapsed with no observable progress."""
+
+
+class LinkDownError(HostTimeoutError):
+    """The reliable link layer exhausted its retransmission budget.
+
+    Raised (or used to fail outstanding futures) once a request has been
+    retransmitted ``max_retries`` times without any acknowledging response —
+    the protocol's declaration that the physical link is dead.
+    """

@@ -16,16 +16,33 @@ from .channel import (
     DelayLine,
     Link,
 )
+from .faults import FaultSpec, FaultStats, FaultyLine
 from .framing import (
     Deframer,
     Framer,
     FramingError,
+    build_message,
+    expected_length,
     make_header,
     split_header,
+    validate_header,
     value_to_words,
     words_to_value,
 )
 from .multihost import SharedHostBus, host_tag, tag_owner
+from .reliability import (
+    NACK_NO_BASELINE,
+    TRAILER_MAGIC,
+    ReliabilityStats,
+    ReliableDeframer,
+    ReliableFramer,
+    crc16,
+    make_nack_info,
+    make_trailer,
+    parse_nack_info,
+    seq_before,
+    split_trailer,
+)
 from .transceiver import HostPort, Receiver, Transmitter
 from .uart import UartLink, UartRx, UartTx
 from .types import (
@@ -56,10 +73,27 @@ __all__ = [
     "Deframer",
     "Framer",
     "FramingError",
+    "build_message",
+    "expected_length",
     "make_header",
     "split_header",
+    "validate_header",
     "value_to_words",
     "words_to_value",
+    "FaultSpec",
+    "FaultStats",
+    "FaultyLine",
+    "NACK_NO_BASELINE",
+    "TRAILER_MAGIC",
+    "ReliabilityStats",
+    "ReliableDeframer",
+    "ReliableFramer",
+    "crc16",
+    "make_nack_info",
+    "make_trailer",
+    "parse_nack_info",
+    "seq_before",
+    "split_trailer",
     "SharedHostBus",
     "host_tag",
     "tag_owner",

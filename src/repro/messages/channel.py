@@ -80,11 +80,12 @@ class DelayLine(Component):
         @self.comb
         def _drive() -> None:
             flight = self._flight.value
-            deliverable = bool(flight) and flight[0][0] <= 0
+            deliverable = bool(flight) and flight[0][0] <= 0 and self._delivering()
             self.out.valid.set(1 if deliverable else 0)
             if deliverable:
                 self.out.payload.set(flight[0][1])
-            self.inp.ready.set(1 if self._cooldown.value == 0 else 0)
+            accepting = self._cooldown.value == 0 and self._accepting()
+            self.inp.ready.set(1 if accepting else 0)
 
         @self.seq
         def _tick() -> None:
@@ -100,9 +101,23 @@ class DelayLine(Component):
                 self._cooldown.nxt = cooldown - 1
             if self.inp.fires():
                 # this edge counts as the first of the latency/spacing windows
-                flight = flight + ((self.spec.latency_cycles - 1, self.inp.payload.value),)
+                flight = self._admit(flight, self.inp.payload.value)
                 self._cooldown.nxt = self.spec.cycles_per_word - 1
             self._flight.nxt = flight
+
+    # -- injection hooks (overridden by repro.messages.faults.FaultyLine) ---------
+
+    def _accepting(self) -> bool:
+        """Extra combinational gate on ``inp.ready`` (True on a healthy line)."""
+        return True
+
+    def _delivering(self) -> bool:
+        """Extra combinational gate on ``out.valid`` (True on a healthy line)."""
+        return True
+
+    def _admit(self, flight: tuple, word: int) -> tuple:
+        """Append an accepted word to the in-flight tuple (fault-free path)."""
+        return flight + ((self.spec.latency_cycles - 1, word),)
 
     @property
     def in_flight(self) -> int:
@@ -124,9 +139,19 @@ class Link(Component):
         spec: ChannelSpec,
         parent: Optional[Component] = None,
         upstream_spec: Optional[ChannelSpec] = None,
+        downstream_faults=None,
+        upstream_faults=None,
     ):
         super().__init__(name, parent)
         self.spec = spec
         self.upstream_spec = upstream_spec if upstream_spec is not None else spec
-        self.downstream = DelayLine("downstream", spec, parent=self)
-        self.upstream = DelayLine("upstream", self.upstream_spec, parent=self)
+
+        def _line(name: str, line_spec: ChannelSpec, faults):
+            if faults is None:
+                return DelayLine(name, line_spec, parent=self)
+            from .faults import FaultyLine  # deferred: faults imports this module
+
+            return FaultyLine(name, line_spec, faults, parent=self)
+
+        self.downstream = _line("downstream", spec, downstream_faults)
+        self.upstream = _line("upstream", self.upstream_spec, upstream_faults)

@@ -35,6 +35,68 @@ class FramingError(ValueError):
     """A message or word stream violated the framing rules."""
 
 
+def expected_length(msg_type: int, data_words: int) -> int:
+    """The exact payload word count a frame of ``msg_type`` must carry.
+
+    Every protocol message has a fixed payload length for a given register
+    word size, so header validation can be strict: EXEC instructions are
+    always 64-bit (2 words), register transfers carry ``data_words`` words,
+    flag/exception payloads are one word, RESET/HALTED are header-only.
+    """
+    if msg_type == MsgType.EXEC:
+        return 2
+    if msg_type in (MsgType.WRITE_REG, MsgType.DATA_RECORD):
+        return data_words
+    if msg_type in (MsgType.WRITE_FLAGS, MsgType.FLAG_VECTOR, MsgType.EXCEPTION):
+        return 1
+    if msg_type in (MsgType.RESET, MsgType.HALTED):
+        return 0
+    raise FramingError(f"unknown message type {msg_type:#x}")
+
+
+def validate_header(word: int, data_words: int) -> tuple[int, int, int]:
+    """Split and strictly validate a header word; returns (type, arg, length).
+
+    Raises :class:`FramingError` with a uniform message for every malformed
+    case: unknown message type, or a payload length that does not match the
+    type's fixed frame layout (both truncated and over-length declarations
+    are rejected here, before any payload word is consumed).
+    """
+    mtype, arg, length = split_header(int(word) & WORD_MASK)
+    if not any(mtype == t for t in MsgType):
+        raise FramingError(f"unknown message type {mtype:#x}")
+    expected = expected_length(mtype, data_words)
+    if length != expected:
+        raise FramingError(
+            f"{MsgType(mtype).name} frame length {length} invalid "
+            f"(expected {expected})"
+        )
+    return mtype, arg, length
+
+
+def build_message(mtype: int, arg: int, payload: list[int]) -> Message:
+    """Assemble a parsed frame (validated header + payload words) into a
+    :class:`Message`.  Shared by the plain and checksummed deframers."""
+    value = words_to_value(payload)
+    if mtype == MsgType.EXEC:
+        return Exec(value)
+    if mtype == MsgType.WRITE_REG:
+        return WriteReg(arg, value)
+    if mtype == MsgType.WRITE_FLAGS:
+        return WriteFlags(arg, value)
+    if mtype == MsgType.RESET:
+        return Reset()
+    if mtype == MsgType.DATA_RECORD:
+        return DataRecord(arg, value)
+    if mtype == MsgType.FLAG_VECTOR:
+        return FlagVector(arg, value)
+    if mtype == MsgType.EXCEPTION:
+        return ExceptionReport(arg, value)
+    if mtype == MsgType.HALTED:
+        return Halted()
+    raise FramingError(f"unknown message type {mtype:#x}")
+
+
 def make_header(msg_type: int, arg: int, length: int) -> int:
     if not 0 <= arg <= 0xFF:
         raise FramingError(f"header arg {arg} out of range")
@@ -131,14 +193,7 @@ class Deframer:
     def push(self, word: int) -> Optional[Message]:
         word = int(word) & WORD_MASK
         if self._header is None:
-            mtype, arg, length = split_header(word)
-            if not any(mtype == t for t in MsgType):
-                raise FramingError(f"unknown message type {mtype:#x}")
-            if length > self.max_length:
-                raise FramingError(
-                    f"frame length {length} exceeds the configured maximum "
-                    f"{self.max_length}"
-                )
+            mtype, arg, length = validate_header(word, self.data_words)
             self._header = (mtype, arg, length)
             self._payload = []
             if length == 0:
@@ -151,36 +206,35 @@ class Deframer:
 
     def _finish(self) -> Message:
         assert self._header is not None
-        mtype, arg, length = self._header
+        mtype, arg, _length = self._header
         payload = self._payload
         self._header = None
         self._payload = []
-        value = words_to_value(payload)
-        if mtype == MsgType.EXEC:
-            if length != 2:
-                raise FramingError(f"EXEC frame must carry 2 words, got {length}")
-            return Exec(value)
-        if mtype == MsgType.WRITE_REG:
-            return WriteReg(arg, value)
-        if mtype == MsgType.WRITE_FLAGS:
-            return WriteFlags(arg, value)
-        if mtype == MsgType.RESET:
-            return Reset()
-        if mtype == MsgType.DATA_RECORD:
-            return DataRecord(arg, value)
-        if mtype == MsgType.FLAG_VECTOR:
-            return FlagVector(arg, value)
-        if mtype == MsgType.EXCEPTION:
-            return ExceptionReport(arg, value)
-        if mtype == MsgType.HALTED:
-            return Halted()
-        raise FramingError(f"unknown message type {mtype:#x}")
+        return build_message(mtype, arg, payload)
 
     def push_all(self, words: Iterable[int]) -> Iterator[Message]:
         for w in words:
             msg = self.push(w)
             if msg is not None:
                 yield msg
+
+    def flush(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Raises :class:`FramingError` if a frame is truncated — a header was
+        received whose payload never completed.  The deframer state is
+        cleared either way, so the next word starts a fresh frame.
+        """
+        if self._header is None:
+            return
+        mtype, _arg, length = self._header
+        got = len(self._payload)
+        self._header = None
+        self._payload = []
+        raise FramingError(
+            f"truncated {MsgType(mtype).name} frame: got {got} of "
+            f"{length} payload words"
+        )
 
     @property
     def mid_frame(self) -> bool:

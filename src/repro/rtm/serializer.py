@@ -13,6 +13,7 @@ from typing import Optional
 from ..config import FrameworkConfig
 from ..hdl import Component, Stream
 from ..messages.framing import Framer
+from ..messages.reliability import ReliableFramer
 
 
 class MessageSerializer(Component):
@@ -21,7 +22,12 @@ class MessageSerializer(Component):
     def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
         super().__init__(name, parent)
         self.config = config
-        self._framer = Framer(config.data_words)
+        # In reliable mode, upstream frames carry the seq/CRC trailer so the
+        # host can detect corrupted or lost responses.
+        if config.reliable_framing:
+            self._framer = ReliableFramer(config.data_words)
+        else:
+            self._framer = Framer(config.data_words)
         #: from the encoder (Message payloads)
         self.inp = Stream(self, "in", None)
         #: to the transmitter (32-bit words)

@@ -17,6 +17,7 @@ from ..config import FrameworkConfig
 from ..fu.registry import UnitRegistry, default_registry
 from ..hdl import Simulator
 from ..messages.channel import INTEGRATED, ChannelSpec
+from ..messages.faults import FaultSpec
 from .soc import CoprocessorSystem
 
 
@@ -46,6 +47,8 @@ class SystemBuilder:
         self._unit_codes: Optional[Sequence[int]] = None
         self._scheduler: str = "event"
         self._engine_window: Optional[int] = None
+        self._downstream_faults: Optional[FaultSpec] = None
+        self._upstream_faults: Optional[FaultSpec] = None
 
     def with_engine(self, window: int) -> "SystemBuilder":
         """Set the default host-engine in-flight window for this system.
@@ -85,6 +88,30 @@ class SystemBuilder:
         self._upstream = upstream
         return self
 
+    def with_faults(
+        self,
+        downstream: Optional[FaultSpec],
+        upstream: Optional[FaultSpec] = None,
+    ) -> "SystemBuilder":
+        """Inject a deterministic fault schedule into the link.
+
+        ``downstream`` afflicts the host→coprocessor direction, ``upstream``
+        the reverse.  Pair with :meth:`with_reliability` unless the point is
+        to demonstrate undetected corruption.
+        """
+        self._downstream_faults = downstream
+        self._upstream_faults = upstream
+        return self
+
+    def with_reliability(self, resync_flush_cycles: Optional[int] = None) -> "SystemBuilder":
+        """Enable the checksummed, sequence-numbered frame format on both
+        directions (see :mod:`repro.messages.reliability`)."""
+        overrides = {"reliable_framing": True}
+        if resync_flush_cycles is not None:
+            overrides["resync_flush_cycles"] = resync_flush_cycles
+        self._config = self._config.with_(**overrides)
+        return self
+
     def with_registry(self, registry: UnitRegistry) -> "SystemBuilder":
         """Provide a custom functional-unit registry."""
         self._registry = registry
@@ -109,6 +136,8 @@ class SystemBuilder:
             registry=self._registry,
             unit_codes=self._unit_codes,
             upstream_channel=self._upstream,
+            downstream_faults=self._downstream_faults,
+            upstream_faults=self._upstream_faults,
         )
         sim = Simulator(soc, scheduler=self._scheduler)
         sim.reset()
@@ -122,8 +151,16 @@ def build_system(
     unit_codes: Optional[Sequence[int]] = None,
     scheduler: str = "event",
     window: Optional[int] = None,
+    faults: Optional[FaultSpec] = None,
+    upstream_faults: Optional[FaultSpec] = None,
+    reliable: bool = False,
 ) -> BuiltSystem:
-    """One-call system construction with sensible defaults."""
+    """One-call system construction with sensible defaults.
+
+    ``faults``/``upstream_faults`` inject a deterministic fault schedule
+    into the corresponding link direction; ``reliable=True`` turns on the
+    checksummed frame format that recovers from those faults.
+    """
     builder = SystemBuilder(config).with_channel(channel).with_scheduler(scheduler)
     if registry is not None:
         builder.with_registry(registry)
@@ -131,4 +168,8 @@ def build_system(
         builder.with_units(unit_codes)
     if window is not None:
         builder.with_engine(window)
+    if faults is not None or upstream_faults is not None:
+        builder.with_faults(faults, upstream_faults)
+    if reliable:
+        builder.with_reliability()
     return builder.build()

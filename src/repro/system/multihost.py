@@ -32,6 +32,14 @@ class MultiHostCoprocessorSystem(Component):
         name: str = "mhsoc",
     ):
         super().__init__(name)
+        if config.reliable_framing:
+            # The shared bus interleaves plain frames from several CPUs on
+            # one word stream; per-direction sequence numbering has no
+            # single sender to attribute to.
+            raise ValueError(
+                "reliable_framing is not supported on multi-host systems "
+                "(the shared host bus speaks plain framing)"
+            )
         self.config = config
         self.channel_spec = channel
         self.bus = SharedHostBus("bus", n_hosts, config.data_words, parent=self)
@@ -66,6 +74,7 @@ class MultiHostCoprocessorSystem(Component):
             or self.receiver.buffered
             or self.transmitter.buffered
             or rtm.msgbuffer.pending_message is not None
+            or rtm.msgbuffer.backlog
             or rtm.msgbuffer._deframer.mid_frame
             or rtm.decoder._full.value
             or rtm.dispatcher._full.value

@@ -34,12 +34,21 @@ class CoprocessorSystem(Component):
         unit_codes: Optional[Sequence[int]] = None,
         name: str = "soc",
         upstream_channel: Optional[ChannelSpec] = None,
+        downstream_faults=None,
+        upstream_faults=None,
     ):
         super().__init__(name)
         self.config = config
         self.channel_spec = channel
         self.host = HostPort("host", parent=self)
-        self.link = Link("link", channel, parent=self, upstream_spec=upstream_channel)
+        self.link = Link(
+            "link",
+            channel,
+            parent=self,
+            upstream_spec=upstream_channel,
+            downstream_faults=downstream_faults,
+            upstream_faults=upstream_faults,
+        )
         self.receiver = Receiver(
             "receiver", parent=self, depth=config.transceiver_fifo_depth
         )
@@ -72,6 +81,7 @@ class CoprocessorSystem(Component):
             or self.receiver.buffered
             or self.transmitter.buffered
             or rtm.msgbuffer.pending_message is not None
+            or rtm.msgbuffer.backlog
             or rtm.msgbuffer._deframer.mid_frame
             or rtm.decoder._full.value
             or rtm.dispatcher._full.value

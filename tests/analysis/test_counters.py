@@ -1,8 +1,9 @@
 """Unit tests for the performance-counter reporting."""
 
-from repro.analysis import counters_for
+from repro.analysis import counters_for, link_counters_for
 from repro.host import CoprocessorDriver
 from repro.isa import instructions as ins
+from repro.messages import FaultSpec
 from repro.system import build_system
 
 
@@ -70,3 +71,56 @@ class TestCounters:
         report = counters_for(system)
         assert report.stall_cycles > 0
         assert driver.soc.rtm.register_value(1) == 4
+
+
+def _lossy_system():
+    system = build_system(reliable=True,
+                          faults=FaultSpec(seed=13, drop_rate=0.02),
+                          upstream_faults=FaultSpec(seed=14, drop_rate=0.02))
+    driver = CoprocessorDriver(system)
+    for i in range(12):
+        driver.write_reg(1, i)
+        assert driver.read_reg(1) == i
+    driver.run_until_quiet()
+    return system, driver
+
+
+class TestLinkCounters:
+    def test_clean_plain_system_has_no_link_section(self):
+        system, _ = _loaded_system()
+        report = counters_for(system)
+        assert report.link == {}
+        assert report.link_table() == ""
+
+    def test_faulty_reliable_system_reports_all_sections(self):
+        system, _ = _lossy_system()
+        link = link_counters_for(system)
+        assert set(link) == {"downstream_faults", "upstream_faults",
+                             "rtm_receiver"}
+        for key in ("words_offered", "words_dropped", "bits_flipped",
+                    "words_duplicated", "dead"):
+            assert key in link["downstream_faults"]
+            assert key in link["upstream_faults"]
+        for key in ("frames_ok", "delivered", "crc_failures", "resyncs",
+                    "seq_gaps", "duplicates", "nacks_sent",
+                    "duplicates_discarded", "duplicates_reexecuted"):
+            assert key in link["rtm_receiver"]
+        assert link["downstream_faults"]["words_dropped"] > 0
+
+    def test_engine_recovery_counters_folded_in(self):
+        system, driver = _lossy_system()
+        report = counters_for(system, driver)
+        for key in ("retransmits", "retransmitted_words", "nacks",
+                    "deadline_expiries", "link_down_failures",
+                    "stale_responses", "response_gaps", "rx_resyncs",
+                    "degrade_entries", "replay_truncated"):
+            assert key in report.engine
+        assert report.engine["retransmits"] > 0
+
+    def test_link_table_renders(self):
+        system, driver = _lossy_system()
+        report = counters_for(system, driver)
+        text = report.link_table()
+        assert "link integrity" in text
+        assert "downstream_faults: words dropped" in text
+        assert "rtm_receiver: nacks sent" in text

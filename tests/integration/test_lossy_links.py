@@ -1,0 +1,95 @@
+"""End-to-end workloads over lossy links on every channel preset.
+
+The acceptance bar for the reliability layer: with 1% word drops and 1%
+bit-flips injected in both directions, the arithmetic and χ-sort workloads
+must complete with results identical to a fault-free run, visibly exercising
+the recovery machinery (nonzero retransmission counters) — and a link that
+dies outright must raise :class:`LinkDownError` instead of hanging.
+"""
+
+import pytest
+
+from repro.fu import default_registry
+from repro.host import CoprocessorDriver, LinkDownError, Session
+from repro.isa import Opcode, instructions as ins
+from repro.messages import FAST_BUS, INTEGRATED, SLOW_PROTOTYPE, FaultSpec
+from repro.system import build_system
+from repro.xisort import XiSortAccelerator, xisort_factory
+
+PRESETS = [
+    pytest.param(INTEGRATED, id="integrated"),
+    pytest.param(FAST_BUS, id="fast_bus"),
+    pytest.param(SLOW_PROTOTYPE, id="slow_prototype"),
+]
+
+
+def _lossy(channel, seed):
+    return dict(
+        channel=channel,
+        reliable=True,
+        faults=FaultSpec(seed=seed, drop_rate=0.01, flip_rate=0.01),
+        upstream_faults=FaultSpec(seed=seed + 1, drop_rate=0.01,
+                                  flip_rate=0.01),
+    )
+
+
+class TestArithOverLossyLinks:
+    @pytest.mark.parametrize("channel", PRESETS)
+    def test_results_identical_to_fault_free(self, channel):
+        drv = CoprocessorDriver(build_system(**_lossy(channel, seed=31)))
+        # fewer ops on the slow prototype link to bound wall time
+        n_ops = 8 if channel is SLOW_PROTOTYPE else 30
+        for i in range(n_ops):
+            drv.write_reg(1, i)
+            drv.write_reg(2, 1000 + i)
+            drv.execute(ins.add(3, 1, 2))
+            assert drv.read_reg(3) == 1000 + 2 * i
+        drv.run_until_quiet()
+        assert drv.engine.stats.retransmits > 0
+        link = drv.soc.link
+        assert (link.downstream.fault_stats.faults_injected
+                + link.upstream.fault_stats.faults_injected) > 0
+
+
+class TestXiSortOverLossyLinks:
+    @pytest.mark.parametrize("channel", PRESETS)
+    def test_sort_identical_to_fault_free(self, channel):
+        registry = default_registry()
+        registry.register(Opcode.XISORT, xisort_factory(n_cells=32))
+        session = Session(build_system(registry=registry,
+                                       **_lossy(channel, seed=47)))
+        accel = XiSortAccelerator(session)
+        if channel is SLOW_PROTOTYPE:
+            values = [83, 2, 57, 2, 91, 30]
+        else:
+            values = [830, 11, 427, 55, 999, 101, 3, 742, 55, 68,
+                      214, 906, 1, 333, 87, 500]
+        assert accel.sort(values) == sorted(values)
+        assert session.driver.engine.stats.retransmits > 0
+
+
+class TestDeadLinkWorkloads:
+    @pytest.mark.parametrize(
+        "channel",
+        [pytest.param(INTEGRATED, id="integrated"),
+         pytest.param(FAST_BUS, id="fast_bus")],
+    )
+    def test_dead_downstream_raises_link_down(self, channel):
+        drv = CoprocessorDriver(build_system(
+            channel=channel, reliable=True,
+            faults=FaultSpec(seed=7, dead_after_words=10),
+        ))
+        with pytest.raises(LinkDownError):
+            for i in range(6):
+                drv.write_reg(1, i)
+                assert drv.read_reg(1) == i
+
+    def test_dead_upstream_raises_link_down(self):
+        drv = CoprocessorDriver(build_system(
+            reliable=True,
+            upstream_faults=FaultSpec(seed=7, dead_after_words=6),
+        ))
+        with pytest.raises(LinkDownError):
+            for i in range(6):
+                drv.write_reg(1, i)
+                assert drv.read_reg(1) == i

@@ -1,0 +1,137 @@
+"""Unit tests for deterministic link-fault injection (FaultSpec / FaultyLine)."""
+
+import pytest
+
+from repro.hdl import Component, Simulator
+from repro.messages import FAST_BUS, INTEGRATED, ChannelSpec, FaultSpec, FaultyLine
+
+
+class FaultyHarness(Component):
+    def __init__(self, spec, faults):
+        super().__init__("fh")
+        self.line = FaultyLine("line", spec, faults, parent=self)
+        self.to_send: list[int] = []
+        self.received: list[int] = []
+
+        @self.comb(always=True)
+        def _drive():
+            self.line.inp.valid.set(1 if self.to_send else 0)
+            if self.to_send:
+                self.line.inp.payload.set(self.to_send[0])
+            self.line.out.ready.set(1)
+
+        @self.seq
+        def _tick():
+            if self.line.inp.fires():
+                self.to_send.pop(0)
+            if self.line.out.fires():
+                self.received.append(self.line.out.payload.value)
+
+
+def _run(spec, words, max_cycles=10_000, **fault_kwargs):
+    h = FaultyHarness(spec, FaultSpec(**fault_kwargs))
+    sim = Simulator(h)
+    sim.reset()
+    h.to_send = list(words)
+    sim.run_until(
+        lambda: h.line.dead or (not h.to_send and not h.line.in_flight),
+        max_cycles=max_cycles,
+    )
+    sim.step(5)  # settle any last delivery
+    return h, sim
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(drop_rate=0.6, flip_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultSpec(dead_after_words=-1)
+
+    def test_fate_is_deterministic(self):
+        spec = FaultSpec(seed=42, drop_rate=0.1, flip_rate=0.1, dup_rate=0.1)
+        fates = [spec.fate(i) for i in range(500)]
+        assert fates == [spec.fate(i) for i in range(500)]
+
+    def test_fate_independent_of_query_order(self):
+        spec = FaultSpec(seed=7, drop_rate=0.2)
+        baseline = FaultSpec(seed=7, drop_rate=0.2).fate(123)
+        spec.fate(4)
+        spec.fate(99)
+        assert spec.fate(123) == baseline
+
+    def test_rates_approximated(self):
+        spec = FaultSpec(seed=1, drop_rate=0.25)
+        drops = sum(1 for i in range(4000) if spec.fate(i)[0] == "drop")
+        assert 800 < drops < 1200  # 25% ± generous margin
+
+    def test_dead_threshold(self):
+        spec = FaultSpec(dead_after_words=3)
+        assert [spec.fate(i)[0] for i in range(5)] == ["ok", "ok", "ok", "dead", "dead"]
+
+    def test_any_faults(self):
+        assert not FaultSpec().any_faults
+        assert FaultSpec(drop_rate=0.1).any_faults
+        assert FaultSpec(dead_after_words=0).any_faults
+
+    def test_flip_xor_is_single_bit(self):
+        spec = FaultSpec(seed=5, flip_rate=1.0)
+        for i in range(100):
+            kind, xor = spec.fate(i)
+            assert kind == "flip"
+            assert bin(xor).count("1") == 1
+
+
+class TestFaultyLine:
+    def test_clean_spec_behaves_like_delayline(self):
+        words = [10, 20, 30, 40]
+        h, _ = _run(INTEGRATED, words)
+        assert h.received == words
+        assert h.line.fault_stats.faults_injected == 0
+
+    def test_all_drop(self):
+        h, _ = _run(INTEGRATED, [1, 2, 3], drop_rate=1.0)
+        assert h.received == []
+        assert h.line.fault_stats.words_dropped == 3
+
+    def test_all_flip_corrupts_every_word(self):
+        words = [0x1111, 0x2222, 0x3333]
+        h, _ = _run(INTEGRATED, words, seed=3, flip_rate=1.0)
+        spec = h.line.faults
+        assert h.received == [w ^ spec.fate(i)[1] for i, w in enumerate(words)]
+        assert h.line.fault_stats.bits_flipped == 3
+
+    def test_duplication(self):
+        h, _ = _run(INTEGRATED, [7, 8], seed=1, dup_rate=1.0)
+        assert h.received == [7, 7, 8, 8]
+        assert h.line.fault_stats.words_duplicated == 2
+
+    def test_dead_link_stops_accepting(self):
+        h, _ = _run(INTEGRATED, [1, 2, 3, 4], max_cycles=300, dead_after_words=2)
+        assert h.line.dead
+        assert not h.line.inp.ready.value
+        assert h.line.fault_stats.died_at_word == 2
+        assert h.line.fault_stats.words_offered == 2
+
+    def test_dead_link_freezes_inflight_words(self):
+        # the word crossing the death threshold (and anything still inside
+        # the pipe) is never delivered — the board fell off the bus
+        h, _ = _run(FAST_BUS, [1, 2, 3, 4], max_cycles=500, dead_after_words=3)
+        assert h.line.dead
+        assert 3 not in h.received and 4 not in h.received
+
+    def test_schedule_independent_of_timing(self):
+        # the same word stream at different pacing suffers identical fates
+        outs = []
+        for spacing in (INTEGRATED, ChannelSpec("gap", 2, 3)):
+            h, _ = _run(spacing, list(range(100, 140)), seed=9, drop_rate=0.3)
+            outs.append(h.received)
+        assert outs[0] == outs[1]
+
+    def test_reset_clears_stats(self):
+        h, sim = _run(INTEGRATED, [1, 2], drop_rate=1.0)
+        assert h.line.fault_stats.words_dropped == 2
+        sim.reset()
+        assert h.line.fault_stats.words_dropped == 0

@@ -1,0 +1,125 @@
+"""Unit tests for hardened deframing: uniform FramingError paths for
+malformed headers, truncated frames and over-length frames (robustness
+satellite of the reliability work)."""
+
+import pytest
+
+from repro.messages import (
+    DataRecord,
+    Deframer,
+    Exec,
+    Framer,
+    FramingError,
+    MsgType,
+    Reset,
+    WriteFlags,
+    WriteReg,
+    build_message,
+    expected_length,
+    make_header,
+    validate_header,
+)
+
+
+class TestExpectedLength:
+    def test_per_type_lengths(self):
+        assert expected_length(MsgType.EXEC, 1) == 2
+        assert expected_length(MsgType.WRITE_REG, 1) == 1
+        assert expected_length(MsgType.WRITE_REG, 4) == 4
+        assert expected_length(MsgType.WRITE_FLAGS, 1) == 1
+        assert expected_length(MsgType.RESET, 1) == 0
+        assert expected_length(MsgType.DATA_RECORD, 2) == 2
+        assert expected_length(MsgType.FLAG_VECTOR, 1) == 1
+        assert expected_length(MsgType.EXCEPTION, 1) == 1
+        assert expected_length(MsgType.HALTED, 1) == 0
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(FramingError, match="unknown message type"):
+            expected_length(0x77, 1)
+
+
+class TestValidateHeader:
+    def test_valid_header_splits(self):
+        h = make_header(MsgType.WRITE_REG, 5, 1)
+        assert validate_header(h, 1) == (MsgType.WRITE_REG, 5, 1)
+
+    def test_unknown_type_uniform_error(self):
+        with pytest.raises(FramingError, match="unknown message type 0xee"):
+            validate_header(make_header(0xEE, 0, 0), 1)
+
+    def test_wrong_length_uniform_error(self):
+        # a WRITE_REG header claiming 7 payload words on a 1-word config
+        h = make_header(MsgType.WRITE_REG, 5, 7)
+        with pytest.raises(FramingError, match="length 7 invalid"):
+            validate_header(h, 1)
+
+    def test_over_length_exec_rejected(self):
+        h = make_header(MsgType.EXEC, 0, 60_000)
+        with pytest.raises(FramingError, match="EXEC frame length 60000"):
+            validate_header(h, 1)
+
+    def test_zero_length_where_payload_required(self):
+        h = make_header(MsgType.EXEC, 0, 0)
+        with pytest.raises(FramingError, match="invalid"):
+            validate_header(h, 1)
+
+
+class TestBuildMessage:
+    def test_roundtrip_every_type(self):
+        framer = Framer()
+        for msg in (Exec(0x0102030405060708), WriteReg(2, 0xAB),
+                    WriteFlags(1, 0x3), Reset(), DataRecord(4, 0xCD)):
+            words = framer.frame(msg)
+            mtype, arg, length = validate_header(words[0], 1)
+            assert build_message(mtype, arg, words[1:]) == msg
+
+
+class TestHardenedDeframer:
+    def test_malformed_header_raises_eagerly(self):
+        d = Deframer()
+        with pytest.raises(FramingError, match="unknown message type"):
+            d.push(make_header(0x55, 0, 1))
+        # the deframer is clean again — a valid frame still parses
+        assert not d.mid_frame
+        words = Framer().frame(Reset())
+        assert d.push(words[0]) == Reset()
+
+    def test_over_length_header_raises_eagerly(self):
+        d = Deframer()
+        with pytest.raises(FramingError, match="invalid"):
+            d.push(make_header(MsgType.WRITE_REG, 1, 9))
+        assert not d.mid_frame
+
+    def test_wrong_length_for_type_rejected(self):
+        # length 2 is within the old max_length bound for data_words=1 (EXEC
+        # uses 2), but is wrong *for WRITE_REG* — strict per-type checking
+        d = Deframer(data_words=1)
+        with pytest.raises(FramingError, match="WRITE_REG frame length 2"):
+            d.push(make_header(MsgType.WRITE_REG, 1, 2))
+
+    def test_flush_mid_frame_raises_truncation(self):
+        d = Deframer()
+        words = Framer().frame(WriteReg(1, 0x99))
+        d.push(words[0])
+        assert d.mid_frame
+        with pytest.raises(FramingError, match="truncated WRITE_REG frame"):
+            d.flush()
+        # flush cleared the partial state
+        assert not d.mid_frame
+
+    def test_flush_idle_is_noop(self):
+        d = Deframer()
+        d.flush()  # nothing buffered: no error
+        assert not d.mid_frame
+
+    def test_interrupted_frame_then_valid_frame(self):
+        d = Deframer()
+        f = Framer()
+        partial = f.frame(Exec(0x1122334455667788))
+        d.push(partial[0])
+        d.push(partial[1])
+        with pytest.raises(FramingError):
+            d.flush()  # missing second payload word
+        good = f.frame(WriteReg(3, 7))
+        assert d.push(good[0]) is None
+        assert d.push(good[1]) == WriteReg(3, 7)

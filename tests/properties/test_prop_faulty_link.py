@@ -1,0 +1,134 @@
+"""Property: a faulty link may slow the system down or take it down, but it
+must never make it lie.
+
+Under any seeded fault schedule (drops, bit-flips, duplications at modest
+rates; sudden link death), every operation submitted through the reliable
+message layer either completes with exactly the fault-free reference result
+or raises a ``SimulationError`` subclass (``HostTimeoutError`` /
+``LinkDownError``).  Silent corruption — a read that returns the wrong
+value — is the one outcome that must be impossible.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.errors import SimulationError
+from repro.host import CoprocessorDriver
+from repro.isa import instructions as ins
+from repro.messages import FaultSpec
+from repro.system import build_system
+
+N_REGS = 8
+W = 32
+MASK = (1 << W) - 1
+
+REG = st.integers(0, N_REGS - 1)
+VAL = st.integers(0, MASK)
+
+# (op, *operands) tuples interpreted by both the driver and the model
+OPS = st.one_of(
+    st.tuples(st.just("write"), REG, VAL),
+    st.tuples(st.just("add"), REG, REG, REG),
+    st.tuples(st.just("xor"), REG, REG, REG),
+    st.tuples(st.just("read"), REG),
+)
+
+
+def _apply(drv, model, op):
+    kind = op[0]
+    if kind == "write":
+        _, reg, value = op
+        drv.write_reg(reg, value)
+        model[reg] = value
+    elif kind == "add":
+        _, dst, a, b = op
+        drv.execute(ins.add(dst, a, b))
+        model[dst] = (model[a] + model[b]) & MASK
+    elif kind == "xor":
+        _, dst, a, b = op
+        drv.execute(ins.xor(dst, a, b))
+        model[dst] = model[a] ^ model[b]
+    else:  # read
+        _, reg = op
+        assert drv.read_reg(reg) == model[reg]
+
+
+class TestCorrectOrRaises:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        drop=st.floats(0.0, 0.05),
+        flip=st.floats(0.0, 0.03),
+        up_drop=st.floats(0.0, 0.05),
+        program=st.lists(OPS, min_size=1, max_size=6),
+    )
+    def test_lossy_link_correct_or_raises(self, seed, drop, flip, up_drop,
+                                          program):
+        system = build_system(
+            reliable=True,
+            faults=FaultSpec(seed=seed, drop_rate=drop, flip_rate=flip),
+            upstream_faults=FaultSpec(seed=seed + 1, drop_rate=up_drop),
+        )
+        drv = CoprocessorDriver(system)
+        model = [0] * N_REGS
+        try:
+            for op in program:
+                _apply(drv, model, op)
+            # final architectural state agrees with the fault-free reference
+            for reg in range(N_REGS):
+                assert drv.read_reg(reg) == model[reg]
+        except SimulationError:
+            pass  # giving up loudly is always an acceptable outcome
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        dup=st.floats(0.0, 0.05),
+        up_flip=st.floats(0.0, 0.03),
+        program=st.lists(OPS, min_size=1, max_size=6),
+    )
+    def test_duplication_and_response_corruption(self, seed, dup, up_flip,
+                                                 program):
+        system = build_system(
+            reliable=True,
+            faults=FaultSpec(seed=seed, dup_rate=dup),
+            upstream_faults=FaultSpec(seed=seed + 1, flip_rate=up_flip),
+        )
+        drv = CoprocessorDriver(system)
+        model = [0] * N_REGS
+        try:
+            for op in program:
+                _apply(drv, model, op)
+            for reg in range(N_REGS):
+                assert drv.read_reg(reg) == model[reg]
+        except SimulationError:
+            pass
+
+
+class TestDeadLinkNeverHangs:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1), dead_after=st.integers(0, 12))
+    def test_downstream_death_raises(self, seed, dead_after):
+        drv = CoprocessorDriver(build_system(
+            reliable=True,
+            faults=FaultSpec(seed=seed, dead_after_words=dead_after),
+        ))
+        # enough traffic to guarantee crossing the death threshold; reads
+        # completed before the link dies must still be correct
+        with pytest.raises(SimulationError):
+            for i in range(4):
+                drv.write_reg(1, i)
+                assert drv.read_reg(1) == i
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1), dead_after=st.integers(0, 8))
+    def test_upstream_death_raises(self, seed, dead_after):
+        drv = CoprocessorDriver(build_system(
+            reliable=True,
+            upstream_faults=FaultSpec(seed=seed, dead_after_words=dead_after),
+        ))
+        with pytest.raises(SimulationError):
+            for i in range(4):
+                drv.write_reg(2, i)
+                assert drv.read_reg(2) == i
