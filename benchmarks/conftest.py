@@ -11,6 +11,17 @@ from __future__ import annotations
 _REPORTS: list[tuple[str, str]] = []
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: one measurement round per scenario — checks the "
+             "benchmark scripts still run end to end without paying for "
+             "statistically stable timings (used by the CI smoke job)",
+    )
+
+
 def report(title: str, text: str) -> None:
     """Register a formatted experiment table for the terminal summary."""
     _REPORTS.append((title, text))

@@ -27,13 +27,15 @@ def make_system(
     xisort_cells: int = 0,
     pipelined: bool = False,
     scheduler: str = "event",
+    wheel: bool = True,
 ) -> BuiltSystem:
     """Standard benchmark system: case-study units (+ optional ξ-sort)."""
     cfg = config if config is not None else FrameworkConfig(pipelined_units=pipelined)
     registry = default_registry(pipelined=cfg.pipelined_units)
     if xisort_cells:
         registry.register(Opcode.XISORT, xisort_factory(n_cells=xisort_cells))
-    return build_system(cfg, channel=channel, registry=registry, scheduler=scheduler)
+    return build_system(cfg, channel=channel, registry=registry,
+                        scheduler=scheduler, wheel=wheel)
 
 
 @dataclass

@@ -157,6 +157,13 @@ class MinimalFunctionalUnit(FunctionalUnit):
             elif self.rp.ack.value:
                 self._data_ready.nxt = 0
 
+        # Interacting with dispatch or the arbiter is always a real edge; a
+        # minimal unit with nothing pending has no horizon at all.
+        self.wheel(
+            lambda: 0 if (self.dp.dispatch.value or self._data_ready.value) else None,
+            lambda n: None,
+        )
+
 
 class FuState(IntEnum):
     """States of the area-optimised protocol FSM (thesis Fig. 2.18)."""
@@ -227,6 +234,22 @@ class AreaOptimizedFU(FunctionalUnit):
                     if not rest:
                         self._state.nxt = FuState.IDLE
 
+        self.wheel(self._wheel_horizon, self._wheel_skip)
+
+    def _wheel_horizon(self) -> Optional[int]:
+        state = self._state.value
+        if state == FuState.EXECUTE:
+            # every EXECUTE edge but the last only decrements the countdown
+            d = self._countdown.value - 1
+            return d if d > 0 else 0
+        if state == FuState.SEND:
+            return 0  # arbiter interaction: real edges
+        return 0 if self.dp.dispatch.value else None
+
+    def _wheel_skip(self, n: int) -> None:
+        if self._state.value == FuState.EXECUTE:
+            self._countdown.warp(self._countdown.value - n)
+
     def _finish(self, sample: DispatchSample) -> None:
         transfers = self.compute(sample).transfers(sample)
         if transfers:
@@ -278,6 +301,9 @@ class PipelinedFunctionalUnit(FunctionalUnit):
         @self.seq
         def _tick() -> None:
             flight = self._flight.value
+            if not (flight or self._results.value or self.dp.dispatch.value
+                    or self.rp.ack.value):
+                return  # empty pipeline: don't rebuild (or stage) anything
             results = list(self._results.value)
             slots = self._slots.value
             # Drain toward the arbiter.
@@ -303,6 +329,23 @@ class PipelinedFunctionalUnit(FunctionalUnit):
             self._flight.nxt = tuple(advanced)
             self._results.nxt = tuple(results)
             self._slots.nxt = slots
+
+        self.wheel(self._wheel_horizon, self._wheel_skip)
+
+    def _wheel_horizon(self) -> Optional[int]:
+        if self.dp.dispatch.value or self.rp.ack.value or self._results.value:
+            return 0  # dispatch/drain edges do real work
+        flight = self._flight.value
+        if flight:
+            # pure aging until the earliest in-flight op reaches its last stage
+            d = min(r for r, _ in flight) - 1
+            return d if d > 0 else 0
+        return None
+
+    def _wheel_skip(self, n: int) -> None:
+        flight = self._flight.value
+        if flight:
+            self._flight.warp(tuple((r - n, s) for r, s in flight))
 
     @property
     def in_flight(self) -> int:

@@ -216,3 +216,12 @@ class ProtocolMonitor(Component):
                     self._held = current
             else:
                 self._held = None
+
+        # Checking is only needed on edges where the watched protocol moves:
+        # a quiet port pair (no dispatch, nothing presented) has no horizon.
+        self.wheel(
+            lambda: 0 if (dispatch_port.dispatch.value
+                          or result_port.ready.value
+                          or result_port.ack.value) else None,
+            lambda n: None,
+        )

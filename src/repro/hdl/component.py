@@ -37,7 +37,12 @@ class Component:
         #: because they read state it cannot see (see :meth:`comb`)
         self.always_procs: list[Process] = []
         self.seq_procs: list[Process] = []
+        #: seq processes declared *pure* (``seq(fn, pure=True)``): eligible
+        #: for the scheduler's armed/dormant edge-phase split
+        self.pure_seq_procs: list[Process] = []
         self.reset_hooks: list[Process] = []
+        #: time-wheel (horizon, skip) hook pairs (see :meth:`wheel`)
+        self.wheel_hooks: list[tuple] = []
         if parent is not None:
             parent.children.append(self)
 
@@ -100,10 +105,51 @@ class Component:
             self.always_procs.append(fn)
         return fn
 
-    def seq(self, fn: Process) -> Process:
-        """Register (or decorate) a sequential (clock-edge) process."""
+    def seq(self, fn: Process = None, *, pure: bool = False) -> Process:
+        """Register (or decorate) a sequential (clock-edge) process.
+
+        ``pure=True`` declares that the process interacts with simulation
+        state **only** by reading signals and staging registers — no hidden
+        Python attributes are read or mutated across runs.  The event
+        scheduler may then put it to sleep after an edge on which it staged
+        nothing: its read set is tracked exactly like a combinational
+        process's, and any change to a signal it reads re-arms it before
+        the next edge.  A process with side effects (cycle counters,
+        ``port.take()``-style consumption, monitors) must stay at the
+        default ``pure=False``, which runs it on every edge — the reference
+        semantics.
+        """
+        if fn is None:
+            def _register(f: Process) -> Process:
+                return self.seq(f, pure=pure)
+            return _register
         self.seq_procs.append(fn)
+        if pure:
+            self.pure_seq_procs.append(fn)
         return fn
+
+    def wheel(self, horizon: Callable[[], Optional[int]],
+              skip: Callable[[int], None]) -> None:
+        """Register a time-wheel hook pair for cycle-skipping fast-forward.
+
+        ``horizon()`` is consulted on settled, quiescent state and returns
+        how many upcoming clock edges are guaranteed to be *pure aging* for
+        this component — edges on which its processes would change no
+        signal and perform no hidden work beyond counting — or ``None``
+        when the component is fully idle (no horizon at all).  Returning
+        ``0`` vetoes skipping (the next edge does real work).
+
+        ``skip(n)`` (``1 ≤ n ≤`` the returned horizon) performs the batch
+        aging those ``n`` edges would have done: advancing epochs, aging
+        countdowns, accumulating stall tallies.  It must never stage a
+        register or change an observable signal — the edge *after* the
+        skipped run is stepped normally and does the real work.
+
+        A component with a wheel hook keeps the simulator's fast-forward
+        path available even while its seq processes stay armed; components
+        without one simply block skipping whenever they are armed.
+        """
+        self.wheel_hooks.append((horizon, skip))
 
     def on_reset(self, fn: Process) -> Process:
         """Register a hook invoked by :meth:`Simulator.reset`."""

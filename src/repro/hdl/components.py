@@ -101,7 +101,7 @@ class PipeStage(Component):
             # Ready when empty, or when the held word leaves this cycle.
             self.inp.ready.set((not full) or (full and self.out.ready.value))
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             leaving = self.out.fires()
             arriving = self.inp.fires()
@@ -153,7 +153,7 @@ class RoundRobinArbiter(Component):
                     return
             self.grant_valid.set(0)
 
-        @self.seq
+        @self.seq(pure=True)
         def _advance() -> None:
             if self.grant_valid.value:
                 self._last.nxt = self.grant.value

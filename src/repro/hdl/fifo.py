@@ -45,7 +45,7 @@ class SyncFifo(Component):
                 self.out.payload.set(items[0])
             self.inp.ready.set(1 if n < self.depth else 0)
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             items = self._items.value
             popped = self.out.fires()

@@ -67,12 +67,19 @@ class _ChangeTracker:
     this frees combinational processes from having to report whether they
     changed anything.  A single shared flag is sufficient because the kernel
     is single-threaded and one simulator runs at a time per design.
+
+    ``stages`` counts every :meth:`Reg.stage` call (monotonic, never reset).
+    The edge scheduler snapshots it around each pure sequential process run:
+    an unchanged count proves the run staged nothing — including re-staging
+    a register another process already staged, which the per-cycle staged
+    list alone could not distinguish — so the process can be disarmed.
     """
 
-    __slots__ = ("dirty",)
+    __slots__ = ("dirty", "stages")
 
     def __init__(self) -> None:
         self.dirty = False
+        self.stages = 0
 
 
 CHANGES = _ChangeTracker()
@@ -97,7 +104,7 @@ class Signal:
     """
 
     __slots__ = ("name", "width", "_mask", "_value", "reset", "owner",
-                 "_pending", "_fanout")
+                 "_pending", "_fanout", "_seq_fanout")
 
     def __init__(self, name: str, width: Optional[int] = 1, reset: Any = 0):
         if width is not None:
@@ -116,6 +123,9 @@ class Signal:
         self._pending: Optional[list] = None
         #: combinational processes sensitive to this signal (scheduler-owned)
         self._fanout: list = []
+        #: dormancy-tracked sequential processes reading this signal; a
+        #: change re-arms them for the next clock edge (scheduler-owned)
+        self._seq_fanout: list = []
 
     # -- value access -------------------------------------------------------
 
@@ -163,10 +173,24 @@ class Signal:
             value = int(value) & self._mask
         if value != self._value:
             self._value = value
-            if self._pending is not None and self._fanout:
+            if self._pending is not None and (self._fanout or self._seq_fanout):
                 self._pending.append(self)
 
     # -- conveniences --------------------------------------------------------
+
+    def warp(self, value: Any) -> None:
+        """Update the value with **no** change notification.
+
+        Reserved for time-wheel ``skip`` hooks batch-aging counters that are
+        read only by the hook's own component: the caller guarantees every
+        reader already accounts for the jump, so waking fanout (or re-arming
+        dormant sequential readers) would only create spurious work.  Using
+        this on a signal with combinational readers outside the skipping
+        component breaks the settled fixpoint — don't.
+        """
+        if self._mask is not None:
+            value = int(value) & self._mask
+        self._value = value
 
     def bit(self, index: int) -> int:
         """Read a single bit of the current value."""
@@ -221,6 +245,7 @@ class Reg(Signal):
         if self._staged is _UNSET and self._stage_list is not None:
             self._stage_list.append(self)
         self._staged = value
+        CHANGES.stages += 1
 
     @property
     def nxt(self) -> Any:
@@ -239,9 +264,9 @@ class Reg(Signal):
         self._value = self._staged
         self._staged = _UNSET
         # Commit runs at the clock edge (no process mid-run), so the fanout
-        # map is complete: an empty fanout means no comb process has ever
+        # maps are complete: empty fanouts mean no tracked process has ever
         # read this register and the scheduler does not need to know.
-        if changed and self._pending is not None and self._fanout:
+        if changed and self._pending is not None and (self._fanout or self._seq_fanout):
             self._pending.append(self)
         return changed
 

@@ -52,6 +52,34 @@ Both schedulers produce bit-identical signal traces and cycle counts; the
 property suite (``tests/properties/test_prop_kernel_equiv.py``) pins this.
 :attr:`Simulator.kernel_stats` exposes activation/iteration/queue counters
 for benchmarks and CI perf logs (see :mod:`repro.analysis.counters`).
+
+Edge scheduling and the time wheel
+----------------------------------
+
+The edge phase gets the same treatment as the settle phase (event mode
+only; the exhaustive kernel keeps the reference run-everything loop):
+
+* **Armed/dormant split** — a sequential process declared *pure*
+  (``Component.seq(fn, pure=True)``) has its read set tracked exactly like
+  a combinational process.  After an edge on which it staged nothing it is
+  *disarmed* and not re-run; any change to a signal it reads (settle-phase
+  ``set``/``force`` or a register commit) re-arms it before the next edge.
+  Impure processes (hidden Python state, cycle counters) stay armed
+  forever — the reference semantics.
+
+* **Cycle-skipping time wheel** — components whose only pending activity
+  is a countdown register a ``(horizon, skip)`` hook pair via
+  :meth:`Component.wheel`.  When a multi-cycle :meth:`Simulator.step` finds
+  a quiescent settle, every armed sequential process belonging to a
+  wheeled component, and no per-cycle observer in the way, it jumps
+  ``now`` forward by ``min(horizons, cycles_remaining)`` and batch-ages
+  every hook in O(#hooks) instead of ticking edge by edge.  The jump lands
+  *on* the earliest horizon; the next edge is stepped normally and does
+  the real work, so cycle counts and traces are exactly those of the
+  unskipped run.  Any horizon of ``0`` (real work next edge), any armed
+  process without a wheel hook, or any plain observer vetoes the jump.
+  :meth:`Simulator.fast_forward_limit` exposes the same scan to host-side
+  pump loops so they can bound their stepping chunks.
 """
 
 from __future__ import annotations
@@ -83,7 +111,7 @@ class _Proc:
     """Scheduler bookkeeping for one combinational process."""
 
     __slots__ = ("fn", "reads", "writes", "queued", "always", "inert",
-                 "growths", "rank")
+                 "growths", "rank", "wheeled")
 
     def __init__(self, fn: Callable[[], None], always: bool = False):
         self.fn = fn
@@ -103,6 +131,30 @@ class _Proc:
         #: scheduler evaluates shallower ranks first so a value propagates
         #: through a combinational chain in a single sweep
         self.rank = 0
+        #: owning component has time-wheel hooks covering its hidden state
+        self.wheeled = False
+
+
+class _SeqProc:
+    """Scheduler bookkeeping for one sequential (clock-edge) process."""
+
+    __slots__ = ("fn", "reads", "armed", "pure", "wheeled", "unmanaged")
+
+    def __init__(self, fn: Callable[[], None], pure: bool, wheeled: bool):
+        self.fn = fn
+        #: union of every signal this process has ever read while armed
+        self.reads: set = set()
+        #: run on the next edge (dormant processes are skipped entirely)
+        self.armed = True
+        #: declared side-effect-free (``seq(fn, pure=True)``): eligible for
+        #: the armed/dormant split — impure processes never disarm
+        self.pure = pure
+        #: owning component registered wheel hooks, so this process staying
+        #: armed does not block the fast-forward path
+        self.wheeled = wheeled
+        #: reads signals outside this simulator's management; their changes
+        #: never reach our queue, so the process can never safely sleep
+        self.unmanaged = False
 
 
 @dataclass
@@ -130,6 +182,14 @@ class KernelStats:
     #: static (event-scheduled) vs always-run process counts, set at discovery
     tracked_procs: int = 0
     always_procs: int = 0
+    #: clock edges actually executed (skipped cycles excluded)
+    edge_calls: int = 0
+    #: sequential process executions across all executed edges
+    seq_runs: int = 0
+    #: cycles covered by time-wheel jumps instead of executed edges
+    skipped_cycles: int = 0
+    #: number of time-wheel jumps taken
+    wheel_jumps: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -144,6 +204,10 @@ class KernelStats:
             "dynamic_fallbacks": self.dynamic_fallbacks,
             "tracked_procs": self.tracked_procs,
             "always_procs": self.always_procs,
+            "edge_calls": self.edge_calls,
+            "seq_runs": self.seq_runs,
+            "skipped_cycles": self.skipped_cycles,
+            "wheel_jumps": self.wheel_jumps,
         }
 
 
@@ -160,6 +224,11 @@ class Simulator:
         ``"event"`` (default) for the dependency-tracked scheduler or
         ``"exhaustive"`` for the reference kernel.  Both are cycle-exact
         and produce identical traces.
+    wheel:
+        Enable the cycle-skipping time wheel (event mode only; the
+        exhaustive kernel always steps every cycle).  ``wheel=False``
+        forces edge-by-edge stepping while keeping the armed/dormant
+        split — used by the equivalence property suite.
 
     A design must be driven by at most one live simulator: elaboration
     claims every signal's change-notification hook for this instance.
@@ -170,21 +239,32 @@ class Simulator:
         top: Component,
         max_settle: int = MAX_SETTLE_ITERATIONS,
         scheduler: str = "event",
+        wheel: bool = True,
     ):
         if scheduler not in ("event", "exhaustive"):
             raise SimulationError(f"unknown scheduler {scheduler!r}")
         self.top = top
         self.max_settle = max_settle
         self.scheduler = scheduler
+        self.wheel = bool(wheel) and scheduler == "event"
         self.now = 0
         self._comb: list[Callable[[], None]] = []
         self._seq: list[Callable[[], None]] = []
         self._regs: list[Reg] = []
         self._resets: list[Callable[[], None]] = []
         self._observers: list[Callable[[int], None]] = []
+        #: per-observer compressed-idle callbacks (None = plain per-cycle
+        #: observer, which vetoes time-wheel jumps)
+        self._obs_onskip: list[Optional[Callable[[int, int], None]]] = []
+        self._plain_observers = 0
         #: scheduler state (event mode)
         self._procs: list[_Proc] = []
         self._always: list[_Proc] = []
+        self._seqprocs: list[_SeqProc] = []
+        #: (horizon, skip) hook pairs collected from the hierarchy
+        self._wheel_hooks: list[tuple] = []
+        #: every always/dynamic comb process belongs to a wheeled component
+        self._always_covered = True
         #: rank-indexed run queue: _buckets[r] holds queued procs of rank r
         self._buckets: list[list[_Proc]] = [[]]
         self._npend = 0
@@ -200,10 +280,19 @@ class Simulator:
         event = self.scheduler == "event"
         for comp in self.top.walk():
             always_fns = set(map(id, comp.always_procs))
+            wheeled = bool(comp.wheel_hooks)
             for fn in comp.comb_procs:
                 self._comb.append(fn)
-                self._procs.append(_Proc(fn, always=id(fn) in always_fns))
-            self._seq.extend(comp.seq_procs)
+                p = _Proc(fn, always=id(fn) in always_fns)
+                p.wheeled = wheeled
+                self._procs.append(p)
+            pure_fns = set(map(id, comp.pure_seq_procs))
+            for fn in comp.seq_procs:
+                self._seq.append(fn)
+                self._seqprocs.append(
+                    _SeqProc(fn, pure=id(fn) in pure_fns, wheeled=wheeled)
+                )
+            self._wheel_hooks.extend(comp.wheel_hooks)
             self._resets.extend(comp.reset_hooks)
             for sig in comp.signals:
                 if isinstance(sig, Reg):
@@ -214,21 +303,40 @@ class Simulator:
                 # simulator of this design may have left.
                 sig._pending = self._changed if event else None
                 sig._fanout = []
+                sig._seq_fanout = []
         if not self._comb and not self._seq:
             raise SimulationError(f"design {self.top.path!r} has no processes")
 
-    def add_observer(self, fn: Callable[[int], None]) -> None:
+    def add_observer(
+        self,
+        fn: Callable[[int], None],
+        *,
+        on_skip: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         """Register a callback invoked with the cycle number after each cycle.
 
         Used by tracers (see :mod:`repro.hdl.trace`) and test probes.
         ``step`` skips observer dispatch entirely while no observer is
         registered, so untraced runs pay nothing here.
+
+        A plain observer needs to see every cycle, so its presence forces
+        the time wheel off — which is what makes traced runs bit-identical
+        by construction.  An observer that can digest a compressed idle run
+        may instead pass ``on_skip``, called as ``on_skip(now, skipped)``
+        after a jump lands (``now`` is the post-jump cycle, ``skipped`` the
+        number of cycles covered); such observers keep fast-forward alive.
         """
         self._observers.append(fn)
+        self._obs_onskip.append(on_skip)
+        if on_skip is None:
+            self._plain_observers += 1
 
     def remove_observer(self, fn: Callable[[int], None]) -> None:
         """Detach a previously registered observer (restores the fast path)."""
-        self._observers.remove(fn)
+        idx = self._observers.index(fn)
+        self._observers.pop(idx)
+        if self._obs_onskip.pop(idx) is None:
+            self._plain_observers -= 1
 
     # -- settle phase ----------------------------------------------------------
 
@@ -330,6 +438,15 @@ class Simulator:
         stats = self.kernel_stats
         stats.always_procs = len(self._always)
         stats.tracked_procs = len(tracked)
+        # Fast-forward is only sound when every always-run process's hidden
+        # inputs are covered by its component's wheel hooks (the hooks veto
+        # the jump whenever that hidden state is about to change).
+        self._always_covered = all(p.wheeled for p in self._always)
+        # Discovery runs whenever values may have moved without change
+        # notifications (reset, recovery) — dormant edge processes cannot
+        # trust their read sets across that, so re-arm everything.
+        for sp in self._seqprocs:
+            sp.armed = True
         self._needs_discovery = False
 
     def _rank_procs(self, tracked: list[_Proc]) -> None:
@@ -383,6 +500,8 @@ class Simulator:
             if p in sig._fanout:
                 sig._fanout.remove(p)
         self._always.append(p)
+        if not p.wheeled:
+            self._always_covered = False
         stats = self.kernel_stats
         stats.dynamic_fallbacks += 1
         stats.always_procs += 1
@@ -415,6 +534,8 @@ class Simulator:
                         p.queued = True
                         buckets[p.rank].append(p)
                         npend += 1
+                for sp in sig._seq_fanout:
+                    sp.armed = True
             changed.clear()
         always = self._always
         if not npend and not always:
@@ -466,6 +587,8 @@ class Simulator:
                                         q.queued = True
                                         buckets[q.rank].append(q)
                                         npend += 1
+                                for sp in sig._seq_fanout:
+                                    sp.armed = True
                             changed.clear()
                     del bucket[:limit]
                 stats.activations += ran
@@ -481,6 +604,8 @@ class Simulator:
                                     q.queued = True
                                     buckets[q.rank].append(q)
                                     npend += 1
+                            for sp in sig._seq_fanout:
+                                sp.armed = True
                         changed.clear()
         finally:
             _signal_mod._READS = None
@@ -510,8 +635,40 @@ class Simulator:
     # -- edge phase ------------------------------------------------------------
 
     def _edge(self) -> None:
-        for proc in self._seq:
-            proc()
+        stats = self.kernel_stats
+        stats.edge_calls += 1
+        if self.scheduler == "event":
+            ran = 0
+            tracker = CHANGES
+            try:
+                for sp in self._seqprocs:
+                    if not sp.armed:
+                        continue
+                    ran += 1
+                    if sp.pure:
+                        reads = sp.reads
+                        nread = len(reads)
+                        nstage = tracker.stages
+                        _signal_mod._READS = reads
+                        sp.fn()
+                        _signal_mod._READS = None
+                        if len(reads) != nread:
+                            self._register_seq_fanout(sp)
+                        # A pure process that staged nothing this edge is a
+                        # guaranteed no-op until something it reads changes:
+                        # put it to sleep.  (Unmanaged readers can never
+                        # sleep — their wake-up would be lost.)
+                        if tracker.stages == nstage and not sp.unmanaged:
+                            sp.armed = False
+                    else:
+                        sp.fn()
+            finally:
+                _signal_mod._READS = None
+            stats.seq_runs += ran
+        else:
+            for proc in self._seq:
+                proc()
+            stats.seq_runs += len(self._seq)
         # Only registers that were actually staged this cycle need a commit;
         # Reg.stage enrols each register in _staged_regs on first staging.
         staged = self._staged_regs
@@ -520,10 +677,83 @@ class Simulator:
                 reg.commit()
             staged.clear()
 
+    def _register_seq_fanout(self, sp: _SeqProc) -> None:
+        """(Re)build the re-arm edges for a dormancy-tracked seq process."""
+        changed_list = self._changed
+        for sig in sp.reads:
+            if sig._pending is not changed_list:
+                sp.unmanaged = True
+                continue
+            fan = sig._seq_fanout
+            if sp not in fan:
+                fan.append(sp)
+
+    # -- time-wheel fast-forward -------------------------------------------------
+
+    def _skip_scan(self, limit: int) -> int:
+        """How many edges can be skipped, assuming settled quiescent state.
+
+        Returns 0 when any armed sequential process lacks wheel coverage,
+        any always-run combinational process does, or any horizon says the
+        next edge performs real work; otherwise the minimum horizon capped
+        at ``limit``.
+        """
+        if not self._always_covered:
+            return 0
+        for sp in self._seqprocs:
+            if sp.armed and not sp.wheeled:
+                return 0
+        n = limit
+        for horizon, _ in self._wheel_hooks:
+            h = horizon()
+            if h is not None and h < n:
+                if h <= 0:
+                    return 0
+                n = h
+        return n
+
+    def _skip_now(self, limit: int) -> int:
+        """Scan and, when possible, perform a jump of up to ``limit`` cycles.
+
+        The caller advances ``now`` by the returned count; every wheel hook
+        has batch-aged its counters by exactly that many edges.
+        """
+        n = self._skip_scan(limit)
+        if n:
+            for _, skip in self._wheel_hooks:
+                skip(n)
+        return n
+
+    def fast_forward_limit(self, max_cycles: int = 1 << 60) -> int:
+        """Upper bound on safely skippable cycles from the current state.
+
+        Settles the design, then runs the wheel's precondition scan without
+        performing a jump.  Returns 0 whenever fast-forward is unavailable
+        (wheel disabled, plain observers attached, non-event scheduler, or
+        real work pending on the next edge).  Host pump loops use this to
+        bound the stepping chunks they hand to :meth:`step`, keeping their
+        own per-chunk bookkeeping (deadline checks, drain polls) exact.
+        """
+        if not self.wheel or self._plain_observers:
+            return 0
+        self.settle()
+        if self._needs_discovery:
+            return 0
+        return self._skip_scan(max_cycles)
+
     # -- public stepping API ---------------------------------------------------
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the design by ``cycles`` full clock cycles."""
+        """Advance the design by ``cycles`` full clock cycles.
+
+        With the time wheel enabled (and no plain observer attached), runs
+        of provably idle cycles inside a multi-cycle step are covered by
+        O(#hooks) jumps instead of per-cycle edges; the result is
+        cycle-exact either way.
+        """
+        if cycles > 1 and self.wheel and not self._plain_observers:
+            self._step_wheel(cycles)
+            return
         observers = self._observers
         if observers:
             for _ in range(cycles):
@@ -537,6 +767,35 @@ class Simulator:
                 self.settle()
                 self._edge()
                 self.now += 1
+
+    def _step_wheel(self, cycles: int) -> None:
+        """Multi-cycle stepping with time-wheel jumps on quiescent stretches."""
+        observers = self._observers
+        stats = self.kernel_stats
+        remaining = cycles
+        while remaining:
+            quiet = self.settle() == 0
+            # Jumps are only attempted off a quiescent settle: a busy design
+            # fails the scan anyway, and this keeps the scan itself off the
+            # saturated-pipeline fast path.  remaining > 1 keeps the final
+            # cycle a real edge, exactly like an unwheeled run.
+            if quiet and remaining > 1:
+                n = self._skip_now(remaining - 1)
+                if n:
+                    self.now += n
+                    remaining -= n
+                    stats.skipped_cycles += n
+                    stats.wheel_jumps += 1
+                    if observers:
+                        for cb in self._obs_onskip:
+                            cb(self.now, n)
+                    continue
+            self._edge()
+            self.now += 1
+            remaining -= 1
+            if observers:
+                for obs in observers:
+                    obs(self.now)
 
     def run_until(self, predicate: Callable[[], bool], max_cycles: int = 100_000) -> int:
         """Step until ``predicate()`` holds (evaluated on settled state).

@@ -15,19 +15,38 @@ from .signal import Signal
 
 
 class Tracer:
-    """Records the value of selected signals once per clock cycle."""
+    """Records the value of selected signals once per clock cycle.
 
-    def __init__(self, sim: Simulator, signals: Sequence[Signal]):
+    A plain tracer forces per-cycle stepping (its observer vetoes
+    time-wheel fast-forward), which keeps the history dense and exact.
+    With ``compress_idle=True`` the tracer instead rides through wheel
+    jumps: skipped idle runs produce no per-cycle rows — they are recorded
+    as ``(end_cycle, skipped)`` entries in :attr:`skips` — so ``cycles``
+    may be sparse.  Traced values are exact across a recorded skip for any
+    signal the wheel does not silently age (architectural state, ports);
+    hidden batch-aged counters only show their value at sampled cycles.
+    """
+
+    def __init__(self, sim: Simulator, signals: Sequence[Signal],
+                 compress_idle: bool = False):
         self.sim = sim
         self.signals = list(signals)
         self.cycles: list[int] = []
         self.history: dict[str, list[Any]] = {s.name: [] for s in self.signals}
-        sim.add_observer(self._sample)
+        #: compressed idle runs as ``(end_cycle, skipped)`` pairs
+        self.skips: list[tuple[int, int]] = []
+        if compress_idle:
+            sim.add_observer(self._sample, on_skip=self._on_skip)
+        else:
+            sim.add_observer(self._sample)
 
     def _sample(self, cycle: int) -> None:
         self.cycles.append(cycle)
         for sig in self.signals:
             self.history[sig.name].append(sig.value)
+
+    def _on_skip(self, cycle: int, skipped: int) -> None:
+        self.skips.append((cycle, skipped))
 
     def detach(self) -> None:
         """Stop sampling; restores the simulator's no-observer fast path."""

@@ -29,7 +29,20 @@ def _identifier(index: int) -> str:
 
 
 class VcdWriter:
-    """Streams value changes of selected signals into a VCD file."""
+    """Streams value changes of selected signals into a VCD file.
+
+    By default the writer attaches as a *plain* per-cycle observer, which
+    (by design) vetoes time-wheel fast-forward: every cycle is executed and
+    sampled, so the dump is exact for every signal including hidden
+    wheel-aged counters.  Passing ``compress_idle=True`` attaches with a
+    compressed-idle callback instead, keeping fast-forward alive: skipped
+    runs emit nothing (a jump certifies the traced state held still), so
+    the dump stays bit-identical to a per-cycle run for any signal the
+    wheel does not silently age — i.e. architectural state, ports and
+    streams.  Hidden pacing counters (a UART bit phase, a link's idle
+    countdown) are batch-aged during jumps and would show stair-steps
+    instead of ramps; select signals explicitly when compressing.
+    """
 
     def __init__(
         self,
@@ -38,6 +51,7 @@ class VcdWriter:
         signals: Optional[Iterable[Signal]] = None,
         timescale: str = "1 ns",
         clock_period_ns: int = 20,
+        compress_idle: bool = False,
     ):
         picked = list(signals) if signals is not None else list(sim.top.all_signals())
         self.signals = [s for s in picked if s.width is not None]
@@ -51,7 +65,10 @@ class VcdWriter:
         self._last: dict[int, int] = {}
         self._write_header(timescale)
         self._dump_initial()
-        sim.add_observer(self._sample)
+        if compress_idle:
+            sim.add_observer(self._sample, on_skip=self._on_skip)
+        else:
+            sim.add_observer(self._sample)
 
     def _write_header(self, timescale: str) -> None:
         w = self.stream.write
@@ -87,6 +104,14 @@ class VcdWriter:
         self.stream.write(f"#{cycle * self.clock_period_ns}\n")
         for sig in changed:
             self._emit(sig)
+
+    def _on_skip(self, cycle: int, skipped: int) -> None:
+        """Compressed idle run: nothing to emit.
+
+        The jump's precondition is that no traced (non-warped) signal can
+        change across the skipped edges, and VCD encodes changes only, so
+        a silent idle run is exactly what a per-cycle sampler would write.
+        """
 
     def detach(self) -> None:
         """Stop sampling; restores the simulator's no-observer fast path."""

@@ -158,9 +158,29 @@ class CoprocessorDriver:
                     f"cycles ({self.engine.in_flight} in flight, "
                     f"{self.engine.queued} queued)"
                 )
-            self.pump()
+            # Chunked pumping.  A chunk only exceeds one cycle when the
+            # kernel certifies pure aging for its whole span, so the `busy`
+            # probe and the progress signature are frozen across its
+            # interior: every interior cycle observes `pre_busy`, and only
+            # the chunk's final (real-edge) cycle can observe something new.
+            # Bounding by the timeout slacks and — once idle — by the
+            # remaining quiet streak makes this loop exit or raise at
+            # exactly the cycle the one-cycle-at-a-time loop would.
+            bound = start + max_cycles - now
+            if deadline is not None:
+                bound = min(bound, last_progress + deadline - now)
+            pre_busy = self.soc.busy or not self.engine.idle
+            if not pre_busy:
+                bound = min(bound, self._quiet_streak - idle_streak)
+            n = self.engine._pump_chunk(max(1, bound))
+            self.engine.flush()
             busy = self.soc.busy or not self.engine.idle
-            idle_streak = idle_streak + 1 if not busy else 0
+            if busy:
+                idle_streak = 0
+            elif pre_busy:
+                idle_streak = 1  # only the final chunk cycle observed idle
+            else:
+                idle_streak += n
             current = self.engine.progress_signature()
             if current != signature:
                 signature = current
@@ -193,7 +213,14 @@ class CoprocessorDriver:
                     f"expected {count} responses, got {len(self.inbox)} after "
                     f"{deadline} cycles without progress"
                 )
-            self.pump()
+            # The inbox only grows when words arrive, and a multi-cycle
+            # chunk certifies none do before its final cycle — so bounding
+            # by the two timeout slacks preserves the exact exit cycle.
+            bound = start + max_cycles - now
+            if deadline is not None:
+                bound = min(bound, last_progress + deadline - now)
+            self.engine._pump_chunk(max(1, bound))
+            self.engine.flush()
             current = self.engine.progress_signature()
             if current != signature:
                 signature = current
@@ -285,4 +312,5 @@ class CoprocessorDriver:
                     f"expected {msg_type.__name__} within {max_cycles} cycles; "
                     f"inbox holds {others or 'nothing'}"
                 )
-            self.pump()
+            self.engine._pump_chunk(max(1, start + max_cycles - self.sim.now))
+            self.engine.flush()

@@ -703,13 +703,55 @@ class HostEngine:
 
     # -- simulation pumping -------------------------------------------------------
 
+    def _timer_slack(self) -> int:
+        """Cycles until the earliest *host-side* timer can possibly fire.
+
+        The cycle-skipping fast path must not jump past a retransmission
+        deadline or the host deframer's resync flush: both compare against
+        ``sim.now`` and must trigger on exactly the cycle they would have
+        in a cycle-by-cycle pump.
+        """
+        slack: Optional[int] = None
+        now = self.sim.now
+        if self.reliable:
+            for record in self._records.values():
+                d = record.deadline_at - now
+                if slack is None or d < slack:
+                    slack = d
+            if self.deframer.mid_frame:
+                d = self._resync_flush_cycles - (now - self._last_rx_at)
+                if slack is None or d < slack:
+                    slack = d
+        if slack is None:
+            return 1 << 60
+        return max(1, slack)
+
+    def _pump_chunk(self, bound: int) -> int:
+        """One pump iteration covering up to ``bound`` cycles; returns cycles run.
+
+        When the simulator certifies (via :meth:`Simulator.fast_forward_limit`)
+        that the next ``limit`` edges are pure aging, the whole stretch is
+        stepped in one call and the wheel compresses it — the host-side
+        drain/deadline work happens once at the end, which is equivalent
+        because nothing observable can move mid-stretch.  With the wheel off
+        (or anything active) this degenerates to the classic one-cycle pump.
+        """
+        self.flush()
+        n = 1
+        if bound > 1:
+            limit = self.sim.fast_forward_limit(bound)
+            if limit > 1:
+                n = max(1, min(bound, limit, self._timer_slack()))
+        self.sim.step(n)
+        self.drain_words()
+        self._check_deadlines()
+        return n
+
     def pump(self, cycles: int = 1) -> None:
         """Advance the simulation, draining responses and refilling the window."""
-        for _ in range(cycles):
-            self.flush()
-            self.sim.step()
-            self.drain_words()
-            self._check_deadlines()
+        remaining = cycles
+        while remaining > 0:
+            remaining -= self._pump_chunk(remaining)
         self.flush()  # completions may have opened the window
 
     def drain_words(self) -> None:
@@ -820,7 +862,14 @@ class HostEngine:
                     f"({self._in_flight} in flight, {len(self._queue)} queued, "
                     f"{self.stats.retransmits} retransmits)"
                 )
-            self.pump()
+            # Chunked pump: never jump past the budget or no-progress trigger
+            # points, so both raise at exactly the cycle the one-cycle loop
+            # would have raised at.
+            bound = start + max_cycles - now
+            if deadline is not None:
+                bound = min(bound, last_progress + deadline - now)
+            self._pump_chunk(max(1, bound))
+            self.flush()
             current = self.progress_signature()
             if current != signature:
                 signature = current

@@ -68,42 +68,96 @@ class DelayLine(Component):
         self.spec = spec
         self.inp = Stream(self, "in", 32)
         self.out = Stream(self, "out", 32)
-        # Rate limiting and latency are tracked as countdowns rather than
-        # absolute cycle numbers: a free-running wall-clock register would
-        # change every cycle, keeping the link's combinational fanout awake
-        # in the event-driven scheduler even when the link is idle.  With
-        # countdowns, an empty idle link holds perfectly still.
-        self._cooldown = self.reg("cooldown", 32, 0)
-        # In-flight words as (remaining_cycles, word) tuples, oldest first.
+        # Timing is tracked against a hidden *local epoch* that advances only
+        # while the line is active (words in flight, cooling, or accepting),
+        # so an idle line holds perfectly still for the event scheduler AND
+        # the epoch needs no aging when the time wheel skips idle cycles.
+        # In-flight words carry absolute (deliver_at_epoch, word) deadlines —
+        # O(1) per edge instead of rebuilding the tuple to age every word —
+        # and skip(n) is a single addition to the epoch.
+        self._epoch = 0
+        #: delivery deadline of the head word has passed (1-bit, committed at
+        #: the edge the head comes due, which is what keeps delivery timing
+        #: exactly that of the historical per-word countdowns)
+        self._head_due = self.reg("head_due", 1, 0)
+        #: rate limiting: set while accepted words must be spaced out
+        self._cool = self.reg("cool", 1, 0)
+        self._ready_at = 0  # epoch at which _cool clears (hidden, like _epoch)
+        # In-flight words as (deliver_at_epoch, word) tuples, oldest first.
         self._flight = self.reg("flight", None, reset=())
 
         @self.comb
         def _drive() -> None:
             flight = self._flight.value
-            deliverable = bool(flight) and flight[0][0] <= 0 and self._delivering()
+            deliverable = bool(flight) and bool(self._head_due.value) and self._delivering()
             self.out.valid.set(1 if deliverable else 0)
             if deliverable:
                 self.out.payload.set(flight[0][1])
-            accepting = self._cooldown.value == 0 and self._accepting()
+            accepting = self._cool.value == 0 and self._accepting()
             self.inp.ready.set(1 if accepting else 0)
 
         @self.seq
         def _tick() -> None:
             flight = self._flight.value
+            cool = self._cool.value
+            firing = self.inp.fires()
+            if not (flight or cool or firing):
+                return  # fully idle: epoch frozen, nothing to do
+            self._epoch += 1
+            epoch = self._epoch
+            touched = False
             if self.out.fires():
                 flight = flight[1:]
-            if flight:
-                # age every in-flight word by this edge (clamped at 0 so a
-                # back-pressured head word eventually holds still)
-                flight = tuple((r - 1 if r > 0 else 0, w) for r, w in flight)
-            cooldown = self._cooldown.value
-            if cooldown:
-                self._cooldown.nxt = cooldown - 1
-            if self.inp.fires():
+                touched = True
+            if firing:
                 # this edge counts as the first of the latency/spacing windows
                 flight = self._admit(flight, self.inp.payload.value)
-                self._cooldown.nxt = self.spec.cycles_per_word - 1
-            self._flight.nxt = flight
+                touched = True
+                if self.spec.cycles_per_word > 1:
+                    self._cool.nxt = 1
+                    self._ready_at = epoch + self.spec.cycles_per_word - 1
+            elif cool and epoch >= self._ready_at:
+                self._cool.nxt = 0
+            if touched:
+                self._flight.nxt = flight
+            due = 1 if (flight and epoch >= flight[0][0]) else 0
+            if due != self._head_due.value:
+                self._head_due.nxt = due
+
+        self.wheel(self._horizon, self._skip)
+
+        @self.on_reset
+        def _rewind() -> None:
+            self._epoch = 0
+            self._ready_at = 0
+
+    # -- time-wheel hooks ---------------------------------------------------------
+
+    def _horizon(self) -> Optional[int]:
+        """Cycles of guaranteed pure aging before the next observable edge."""
+        if (self.inp.valid.value and self.inp.ready.value) or (
+            self.out.valid.value and self.out.ready.value
+        ):
+            return 0  # a handshake completes next edge
+        horizon = None
+        flight = self._flight.value
+        if flight and not self._head_due.value and self._delivering():
+            d = flight[0][0] - self._epoch - 1
+            if d <= 0:
+                return 0  # head word comes due next edge
+            horizon = d
+        if self._cool.value:
+            d = self._ready_at - self._epoch - 1
+            if d <= 0:
+                return 0  # cooldown clears next edge
+            if horizon is None or d < horizon:
+                horizon = d
+        return horizon
+
+    def _skip(self, n: int) -> None:
+        """Batch-age ``n`` edges: the epoch advances iff the line is active."""
+        if self._flight.value or self._cool.value:
+            self._epoch += n
 
     # -- injection hooks (overridden by repro.messages.faults.FaultyLine) ---------
 
@@ -117,7 +171,7 @@ class DelayLine(Component):
 
     def _admit(self, flight: tuple, word: int) -> tuple:
         """Append an accepted word to the in-flight tuple (fault-free path)."""
-        return flight + ((self.spec.latency_cycles - 1, word),)
+        return flight + ((self._epoch + self.spec.latency_cycles - 1, word),)
 
     @property
     def in_flight(self) -> int:

@@ -166,7 +166,7 @@ class FaultyLine(DelayLine):
         if fate == "drop":
             stats.words_dropped += 1
             return flight
-        entry = (self.spec.latency_cycles - 1, word)
+        entry = (self._epoch + self.spec.latency_cycles - 1, word)
         if fate == "flip":
             stats.bits_flipped += 1
             entry = (entry[0], (word ^ xor) & 0xFFFF_FFFF)

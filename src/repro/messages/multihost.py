@@ -131,10 +131,18 @@ class SharedHostBus(Component):
                 host = self.hosts[host_idx]
                 host._rxq.nxt = host._rxq.nxt + (word,)
 
+        self.wheel(self._wheel_horizon, lambda n: None)
+
         @self.on_reset
         def _clear() -> None:
             self._deframer = Deframer(data_words)
             self._route_q.clear()
+
+    def _wheel_horizon(self) -> Optional[int]:
+        """Idle bus has no horizon; any traffic (or queued routing) vetoes."""
+        if self.tx.valid.value or self.rx.valid.value or self._route_q:
+            return 0
+        return None
 
     def _current_source_index(self) -> int:
         """Which host the combinational mux selected this cycle."""

@@ -83,12 +83,10 @@ class HostPort(Component):
                 self.tx.payload.set(txq[0])
             self.rx.ready.set(1)  # the host always drains
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
-            txq = self._txq.value
             if self.tx.fires():
-                txq = txq[1:]
-            self._txq.nxt = txq
+                self._txq.nxt = self._txq.value[1:]
             if self.rx.fires():
                 self._rxq.nxt = self._rxq.value + (self.rx.payload.value,)
 

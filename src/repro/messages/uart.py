@@ -47,7 +47,7 @@ class UartTx(Component):
             self.line.set(bits[0] if bits else 1)
             self.inp.ready.set(0 if bits else 1)
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             bits = self._bits.value
             if bits:
@@ -67,6 +67,23 @@ class UartTx(Component):
                     frame.append(1)                       # stop bit
                 self._bits.nxt = tuple(frame)
                 self._phase.nxt = 0
+
+        self.wheel(self._horizon, self._skip)
+
+    def _horizon(self) -> Optional[int]:
+        bits = self._bits.value
+        if bits:
+            # the line only moves when the phase counter wraps; everything
+            # before that edge is pure aging of _phase
+            d = self.divisor - 1 - self._phase.value
+            return d if d > 0 else 0
+        if self.inp.valid.value and self.inp.ready.value:
+            return 0  # a word is accepted next edge
+        return None
+
+    def _skip(self, n: int) -> None:
+        if self._bits.value:
+            self._phase.warp(self._phase.value + n)
 
     @property
     def busy(self) -> bool:
@@ -109,7 +126,7 @@ class UartRx(Component):
             self.out.valid.set(self._word_valid.value)
             self.out.payload.set(self._word.value)
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             if self._word_valid.value and self.out.ready.value:
                 self._word_valid.nxt = 0
@@ -121,10 +138,14 @@ class UartRx(Component):
                     self._bitno.nxt = 0
                     self._shift.nxt = 0
                     self._idle_run.nxt = 0
-                else:
+                elif self._idle_run.value < self.resync_idle:
                     # inter-word gap resynchronisation: a long idle line means
                     # the sender is between words; drop any byte-slipped
                     # partial word so the next frame starts a clean word.
+                    # The run counter saturates at the resync threshold: once
+                    # the flush has had its chance nothing observable depends
+                    # on the count, and a saturated counter stages nothing —
+                    # so a deep-idle receiver goes fully dormant.
                     run = self._idle_run.value + 1
                     self._idle_run.nxt = run
                     if run == self.resync_idle and self._bytes.value:
@@ -156,9 +177,38 @@ class UartRx(Component):
                 self._bitno.nxt = bitno + 1
             self._phase.nxt = phase
 
+        self.wheel(self._horizon, self._skip)
+
         @self.on_reset
         def _clear() -> None:
             pass
+
+    def _horizon(self) -> Optional[int]:
+        if self._word_valid.value and self.out.ready.value:
+            return 0  # handshake completes next edge
+        if self._state.value == self.RECEIVING:
+            # pure aging until the edge that samples the next bit centre
+            target = self.divisor // 2 + self._bitno.value * self.divisor
+            d = target - 1 - self._phase.value
+            return d if d > 0 else 0
+        if not self.line.value:
+            return 0  # start edge detected next cycle
+        run = self._idle_run.value
+        if run >= self.resync_idle:
+            return None  # saturated: nothing left to count
+        if self._bytes.value:
+            # the resync flush at the threshold is a real edge
+            d = self.resync_idle - 1 - run
+            return d if d > 0 else 0
+        return None  # counting toward an unobservable saturation
+
+    def _skip(self, n: int) -> None:
+        if self._state.value == self.RECEIVING:
+            self._phase.warp(self._phase.value + n)
+        elif self.line.value:
+            run = self._idle_run.value
+            if run < self.resync_idle:
+                self._idle_run.warp(min(self.resync_idle, run + n))
 
     def _accept_byte(self, byte: int) -> None:
         collected = self._bytes.nxt + (byte,)

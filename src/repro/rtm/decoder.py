@@ -110,7 +110,7 @@ class Decoder(Component):
                 self.out.payload.set(self._decode(self._msg.value))
             self.inp.ready.set((not full) or bool(self.out.ready.value))
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             if self.out.fires():
                 op = self.out.payload.value

@@ -126,6 +126,19 @@ class Dispatcher(Component):
             elif self._advancing.value:
                 self._full.nxt = 0
 
+        # The tick is impure (stall tallies must count real cycles), so the
+        # hook simply vetoes skipping whenever the stage holds or receives an
+        # op — an empty, starved dispatcher is the only skippable state, and
+        # skipping it ages nothing.
+        self.wheel(self._wheel_horizon, lambda n: None)
+
+    def _wheel_horizon(self) -> Optional[int]:
+        if self._full.value:
+            return 0
+        if self.inp.valid.value and self.inp.ready.value:
+            return 0
+        return None
+
     # -- unit dispatch ------------------------------------------------------------
 
     def _drive_unit_port(self, op: DecodedOp) -> None:

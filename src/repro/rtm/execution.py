@@ -62,7 +62,7 @@ class Execution(Component):
             # Accept a new op when empty or when the held op retires this cycle.
             self.inp.ready.set((not full) or self._retiring())
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             full = self._full.value
             op: Optional[ExecOp] = self._op.value if full else None

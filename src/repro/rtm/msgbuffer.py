@@ -93,7 +93,10 @@ class MessageBuffer(Component):
             ready = pending is None and len(self._backlog.value) < 4
             self.inp.ready.set(1 if ready else 0)
 
-        @self.seq
+        # Pure for the edge scheduler: the deframer/counter mutations happen
+        # only on runs that stage the idle timer, and nothing is staged on a
+        # fully quiet edge — so an idle buffer goes dormant.
+        @self.seq(pure=True)
         def _tick() -> None:
             pending = self._pending.value
             backlog = self._backlog.value
@@ -114,8 +117,12 @@ class MessageBuffer(Component):
             if pending is None and backlog:
                 pending = backlog[0]
                 backlog = backlog[1:]
-            self._pending.nxt = pending
-            self._backlog.nxt = backlog
+            if pending is not self._pending.value:
+                self._pending.nxt = pending
+            if backlog is not self._backlog.value:
+                self._backlog.nxt = backlog
+
+        self.wheel(self._horizon, self._skip)
 
         @self.on_reset
         def _clear() -> None:
@@ -124,6 +131,26 @@ class MessageBuffer(Component):
             self.nacks_sent = 0
             self.duplicates_discarded = 0
             self.duplicates_reexecuted = 0
+
+    # -- time-wheel hooks ---------------------------------------------------------
+
+    def _horizon(self) -> Optional[int]:
+        if self.inp.valid.value and self.inp.ready.value:
+            return 0  # a channel word lands next edge
+        pending = self._pending.value
+        if pending is not None and self.out.ready.value:
+            return 0  # decoder takes the pending message next edge
+        if pending is None and self._backlog.value:
+            return 0  # backlog promotes next edge
+        if self.reliable and self._deframer.mid_frame:
+            # pure aging of the idle timer until the flush threshold edge
+            d = self.config.resync_flush_cycles - 1 - self._idle.value
+            return d if d > 0 else 0
+        return None
+
+    def _skip(self, n: int) -> None:
+        if self.reliable and self._deframer.mid_frame:
+            self._idle.warp(self._idle.value + n)
 
     def _new_deframer(self):
         if self.reliable:

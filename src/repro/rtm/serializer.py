@@ -46,12 +46,16 @@ class MessageSerializer(Component):
             # serialiser stage).
             self.inp.ready.set(0 if words else 1)
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
+            popped = self.out.fires()
+            pushed = self.inp.fires()
+            if not (popped or pushed):
+                return  # shift register holds still: stage nothing, go dormant
             words = self._words.value
-            if self.out.fires():
+            if popped:
                 words = words[1:]
-            if self.inp.fires():
+            if pushed:
                 framed = tuple(self._framer.frame(self.inp.payload.value))
                 words = words + framed
                 self.messages_sent += 1

@@ -79,7 +79,11 @@ class WriteArbiter(Component):
                 self._grant.set(granted_idx)
             self._grant_valid.set(1 if granted_idx >= 0 else 0)
 
-        @self.seq
+        # Pure in the scheduler's sense: every effectful run stages at least
+        # one register (the rotation pointer, the RAM word via write(), or a
+        # lock mask via unlock()), so the hidden tallies and port.take() side
+        # effects always coincide with a staging run and dormancy is safe.
+        @self.seq(pure=True)
         def _commit() -> None:
             transfer: Optional[Transfer] = None
             if self._prio_granted.value:

@@ -46,6 +46,7 @@ class SystemBuilder:
         self._registry: Optional[UnitRegistry] = None
         self._unit_codes: Optional[Sequence[int]] = None
         self._scheduler: str = "event"
+        self._wheel: bool = True
         self._engine_window: Optional[int] = None
         self._downstream_faults: Optional[FaultSpec] = None
         self._upstream_faults: Optional[FaultSpec] = None
@@ -69,6 +70,18 @@ class SystemBuilder:
         equivalence oracle and microbenchmark baseline.
         """
         self._scheduler = scheduler
+        return self
+
+    def with_wheel(self, enabled: bool = True) -> "SystemBuilder":
+        """Enable or disable the cycle-skipping time wheel.
+
+        On by default (and cycle-exact either way — the wheel only jumps
+        when every armed process certifies pure aging); turning it off
+        forces every edge to execute, which the equivalence suites use to
+        cross-check the fast-forward path.  Ignored by the exhaustive
+        scheduler, which always steps every cycle.
+        """
+        self._wheel = bool(enabled)
         return self
 
     def with_config(self, **kwargs) -> "SystemBuilder":
@@ -139,7 +152,7 @@ class SystemBuilder:
             downstream_faults=self._downstream_faults,
             upstream_faults=self._upstream_faults,
         )
-        sim = Simulator(soc, scheduler=self._scheduler)
+        sim = Simulator(soc, scheduler=self._scheduler, wheel=self._wheel)
         sim.reset()
         return BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
 
@@ -154,14 +167,22 @@ def build_system(
     faults: Optional[FaultSpec] = None,
     upstream_faults: Optional[FaultSpec] = None,
     reliable: bool = False,
+    wheel: bool = True,
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults.
 
     ``faults``/``upstream_faults`` inject a deterministic fault schedule
     into the corresponding link direction; ``reliable=True`` turns on the
-    checksummed frame format that recovers from those faults.
+    checksummed frame format that recovers from those faults;
+    ``wheel=False`` disables the cycle-skipping time wheel (cycle-exact
+    either way — the off switch exists for equivalence cross-checks).
     """
-    builder = SystemBuilder(config).with_channel(channel).with_scheduler(scheduler)
+    builder = (
+        SystemBuilder(config)
+        .with_channel(channel)
+        .with_scheduler(scheduler)
+        .with_wheel(wheel)
+    )
     if registry is not None:
         builder.with_registry(registry)
     if unit_codes is not None:

@@ -98,6 +98,14 @@ class XiSortUnit(FunctionalUnit):
                     if not rest:
                         self._state.nxt = AdapterState.IDLE
 
+        # Any non-idle adapter state does real work every edge (the core's
+        # own processes track the sort); only a truly idle unit has no horizon.
+        self.wheel(
+            lambda: None if (self._state.value == AdapterState.IDLE
+                             and not self.dp.dispatch.value) else 0,
+            lambda n: None,
+        )
+
     def _build_transfers(self) -> tuple[Transfer, ...]:
         """Map the buffered core outputs onto write-arbiter transfers.
 

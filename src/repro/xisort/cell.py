@@ -159,11 +159,11 @@ class Cell(Component):
         self.prev_cell: Optional[Cell] = None
         self.is_first = False
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             cmd = CellCmd(self.cmd.value)
             shift_in = self.prev_cell._state.value if self.prev_cell is not None else None
-            self._state.nxt = cell_step(
+            ns = cell_step(
                 self._state.value,
                 cmd,
                 broadcast=self.broadcast.value,
@@ -173,6 +173,10 @@ class Cell(Component):
                 load_upper=self.load_upper.value,
                 is_first=self.is_first,
             )
+            # cell_step returns the same object for NOP, so an idle array's
+            # cells stage nothing and the whole column goes dormant.
+            if ns is not self._state.value:
+                self._state.nxt = ns
 
     @property
     def state(self) -> CellState:

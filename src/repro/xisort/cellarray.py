@@ -84,6 +84,15 @@ class VectorCellArray(Component, CellArrayPorts):
         def _apply() -> None:
             self._step(CellCmd(self.cmd.value))
 
+        # A NOP edge leaves the NumPy state untouched, so idle cycles are
+        # freely skippable; any real command vetoes.  This hook also keeps
+        # the always=True tree fold covered on the fast-forward path: the
+        # arrays cannot change while every skipped edge is a NOP.
+        self.wheel(
+            lambda: 0 if self.cmd.value != CellCmd.NOP else None,
+            lambda n: None,
+        )
+
         @self.on_reset
         def _reset() -> None:
             self._init_state()

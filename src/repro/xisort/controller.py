@@ -103,7 +103,7 @@ class XiSortController(Component):
             self._done_now.set(done)
             self.completed.set(done)
 
-        @self.seq
+        @self.seq(pure=True)
         def _tick() -> None:
             if self.running.value:
                 uinstr: MicroInstr = self.rom.read(self._pc.value)

@@ -73,6 +73,40 @@ class TestCounters:
         assert driver.soc.rtm.register_value(1) == 4
 
 
+class TestKernelCounters:
+    def test_edge_phase_counters_reported(self):
+        from repro.messages.channel import SLOW_PROTOTYPE
+
+        system = build_system(channel=SLOW_PROTOTYPE)
+        driver = CoprocessorDriver(system)
+        driver.write_reg(1, 7)
+        assert driver.read_reg(1) == 7
+        driver.run_until_quiet()
+        report = counters_for(system)
+        for key in ("edge_calls", "seq_runs", "skipped_cycles", "wheel_jumps"):
+            assert key in report.kernel
+        k = report.kernel
+        # every simulated cycle is either an executed edge or a skipped one
+        assert k["edge_calls"] + k["skipped_cycles"] == report.cycles
+        # the slow link leaves long certified-idle stretches: the wheel
+        # must have covered most of the run in a handful of jumps
+        assert k["skipped_cycles"] > k["edge_calls"]
+        assert 0 < k["wheel_jumps"] <= k["skipped_cycles"]
+        assert "skipped cycles" in report.kernel_table()
+
+    def test_wheel_off_executes_every_edge(self):
+        from repro.messages.channel import SLOW_PROTOTYPE
+
+        system = build_system(channel=SLOW_PROTOTYPE, wheel=False)
+        driver = CoprocessorDriver(system)
+        driver.write_reg(1, 7)
+        assert driver.read_reg(1) == 7
+        report = counters_for(system)
+        assert report.kernel["skipped_cycles"] == 0
+        assert report.kernel["wheel_jumps"] == 0
+        assert report.kernel["edge_calls"] == report.cycles
+
+
 def _lossy_system():
     system = build_system(reliable=True,
                           faults=FaultSpec(seed=13, drop_rate=0.02),
