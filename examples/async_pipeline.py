@@ -69,5 +69,10 @@ def main() -> None:
     print(counters_for(s.system, s.driver).engine_table())
 
 
+def build_for_lint():
+    """Design-rule-check target: the windowed serial-bridge system."""
+    return build_system(CONFIG, channel=SERIAL_BRIDGE, window=8, lint="off")
+
+
 if __name__ == "__main__":
     main()

@@ -112,5 +112,16 @@ def main() -> None:
     print("checksums agree ✓")
 
 
+def build_for_lint():
+    """Design-rule-check target: both custom CRC units on one coprocessor."""
+    return (
+        SystemBuilder()
+        .with_unit(CRC_AREA, lambda n, w, p: Crc32Unit(n, w, p))
+        .with_unit(CRC_PIPE, lambda n, w, p: Crc32PipelinedUnit(n, w, p))
+        .with_lint("off")
+        .build()
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -98,5 +98,10 @@ def main() -> None:
     waveform_dump()
 
 
+def build_for_lint():
+    """Design-rule-check target: the slowest link (deepest transceivers)."""
+    return build_system(channel=SLOW_PROTOTYPE, lint="off")
+
+
 if __name__ == "__main__":
     main()

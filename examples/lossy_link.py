@@ -75,5 +75,16 @@ def main() -> None:
         raise AssertionError("a dead link must raise LinkDownError")
 
 
+def build_for_lint():
+    """Design-rule-check target: reliable framing plus fault injectors."""
+    return build_system(
+        channel=FAST_BUS,
+        reliable=True,
+        faults=FaultSpec(seed=31, drop_rate=0.01, flip_rate=0.01),
+        upstream_faults=FaultSpec(seed=32, drop_rate=0.01, flip_rate=0.01),
+        lint="off",
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -81,5 +81,17 @@ def main() -> None:
     print(f"coprocessor cycles   : {d.cycles}")
 
 
+def build_for_lint():
+    """Design-rule-check target: the three-unit stateful composition."""
+    return (
+        SystemBuilder()
+        .with_config(n_regs=16)
+        .with_unit(HIST, histogram_factory(n_bins=2))
+        .with_unit(PRNG, prng_factory())
+        .with_lint("off")
+        .build()
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -45,5 +45,11 @@ def main() -> None:
         print("coprocessor cycles used:", s.driver.cycles)
 
 
+def build_for_lint():
+    """Design-rule-check target: the system this example runs against."""
+    config = FrameworkConfig(word_bits=32, n_regs=16, n_flag_regs=8)
+    return build_system(config, channel=INTEGRATED, lint="off")
+
+
 if __name__ == "__main__":
     main()

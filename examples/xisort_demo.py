@@ -77,5 +77,12 @@ def main() -> None:
     fixed_cycles_demo()
 
 
+def build_for_lint():
+    """Design-rule-check target: the coprocessor with the χ-sort unit."""
+    registry = default_registry()
+    registry.register(Opcode.XISORT, xisort_factory(n_cells=32))
+    return build_system(registry=registry, lint="off")
+
+
 if __name__ == "__main__":
     main()

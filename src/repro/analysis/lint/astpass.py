@@ -1,0 +1,1091 @@
+"""Static inspection of process functions — the lint engine's AST pass.
+
+The kernel discovers process sensitivity *dynamically* (read tracking during
+the discovery settle); that is exactly why a misdeclared contract is a
+Heisenbug: the scheduler can only see what a run actually did, never what a
+process *could* do.  This pass recovers the missing static view.  It works
+in two phases so that linting thousands of process instances stays cheap:
+
+1. **Summary** (cached per code object) — parse the process function's
+   source and reduce it to symbolic events: signal reads (``.value``,
+   ``.bit``/``.bits``, bare-signal truthiness), write sites (``.set``,
+   ``.stage``/``.nxt``, ``.force``, ``.warp``, ``Stream.drive``) each with
+   the *taint* (data + control dependencies) feeding it, hidden-attribute
+   loads and stores, nonlocal writes, and method calls.  Closures created
+   from the same ``def`` share one summary (every ``PipeStage._drive`` is
+   one entry).
+
+2. **Resolution** (per process instance) — evaluate each symbolic chain
+   against the function's actual closure/defaults/globals, turning
+   ``("self", "out", "valid")`` into the concrete
+   :class:`~repro.hdl.signal.Signal` object.  Bound-method calls resolve
+   through the *instance* (so subclass overrides like
+   ``FaultyLine._delivering`` are analysed, not the base method) and are
+   inlined to a small depth.
+
+Anything the pass cannot resolve is reported as *unknown*, never guessed:
+rules treat unknowns conservatively in the direction that avoids false
+positives, because a lint that cries wolf gets turned off.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins as _builtins
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from ...hdl.components import Stream
+from ...hdl.signal import Reg, Signal
+
+# -- symbolic model -----------------------------------------------------------
+#
+# A *chain* is a tuple of steps addressing an object from a root name:
+#   (("r", "self"), ("a", "out"), ("a", "valid"))   -> self.out.valid
+# Steps: ("r", name) root lookup, ("a", name) attribute, ("i", k) constant
+# subscript, ("e",) "every element" (dynamic subscript / loop variable),
+# ("c", func_chain) "result of calling func_chain" — resolvable only as far
+# as the callee's return annotation proves the result is not a Signal.
+Chain = tuple[tuple, ...]
+
+#: taint element: ("sig", chain) — potential signal read;
+#: ("call", chain, args_taint) — result of a method call
+Taint = frozenset
+
+#: expansion cap when an ("e",) step fans out over a container
+_MAX_ELEMENTS = 256
+
+#: maximum depth of bound-method inlining during resolution (process →
+#: helper → datapath function chains in the FU library reach depth 4)
+_MAX_INLINE_DEPTH = 5
+
+
+def _is_chain_step_pure(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Name, ast.Attribute, ast.Subscript))
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One symbolic signal-write site inside a process function."""
+
+    kind: str  # "set" | "stage" | "force" | "warp" | "drive"
+    target: Chain
+    taint: Taint
+    line: int
+    #: chain of the source signal when the written value is a *pure copy*
+    #: (``dst.set(src.value)`` / ``dst.nxt = src.value``) — the only shape
+    #: the width-mismatch rule inspects, because arithmetic and slicing are
+    #: deliberate re-widthing
+    src: Optional[Chain] = None
+
+
+@dataclass
+class FnSummary:
+    """Symbolic summary of one process function body (per code object)."""
+
+    reads: set = field(default_factory=set)  # chains read via .value/.bit/.bits
+    uses: set = field(default_factory=set)  # bare chains (signal iff resolves to one)
+    calls: set = field(default_factory=set)  # (chain, args_taint, arg_aliases)
+    writes: list = field(default_factory=list)  # [WriteSite]
+    attr_loads: set = field(default_factory=set)  # attribute chains loaded
+    attr_stores: set = field(default_factory=set)  # attribute chains stored/mutated
+    nonlocal_stores: set = field(default_factory=set)  # names rebound via closure
+    #: calls whose target could not be modelled (dynamic dispatch, etc.)
+    unknown_calls: bool = False
+    #: a signal read (.value/.nxt/.bit/.bits/.fires) through an expression
+    #: the chain model cannot address — the read set may be incomplete
+    opaque_reads: bool = False
+    #: a signal write (.set/.stage/...) through such an expression — the
+    #: write set may be incomplete
+    opaque_writes: bool = False
+    #: source unavailable / unparseable — summary is empty, not wrong
+    parse_failed: bool = False
+
+
+# methods whose invocation mutates their receiver (container mutators)
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+        "pop", "popleft", "popitem", "remove", "setdefault", "update",
+    }
+)
+
+# builtin-ish callables that only propagate their arguments' taint
+_PURE_CALLS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "dict", "divmod", "enumerate",
+        "float", "frozenset", "hex", "int", "isinstance", "len", "list",
+        "max", "min", "pow", "range", "repr", "reversed", "round", "set",
+        "sorted", "str", "sum", "tuple", "zip",
+    }
+)
+
+
+class _Scope:
+    """Local-variable state: alias chains and accumulated taint."""
+
+    __slots__ = ("alias", "taint")
+
+    def __init__(self, alias: Optional[Chain], taint: Taint):
+        self.alias = alias
+        self.taint = taint
+
+
+class _Analyzer:
+    """Single-pass symbolic walker over a process function body."""
+
+    def __init__(self, summary: FnSummary):
+        self.s = summary
+        self.env: dict[str, _Scope] = {}
+        self.cond_stack: list[Taint] = []
+        #: taint of every condition that guarded an early return/raise —
+        #: statements after such a branch are control-dependent on it
+        self.flow_taint: Taint = frozenset()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _chain_of(self, node: ast.AST) -> Optional[Chain]:
+        """Address chain of a pure attribute/subscript expression, or None."""
+        if isinstance(node, ast.Name):
+            local = self.env.get(node.id)
+            if local is not None:
+                return local.alias  # may be None: a computed local
+            return (("r", node.id),)
+        if isinstance(node, ast.Attribute):
+            base = self._chain_of(node.value)
+            if base is None:
+                return None
+            return base + (("a", node.attr),)
+        if isinstance(node, ast.Subscript):
+            base = self._chain_of(node.value)
+            if base is None:
+                return None
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+                return base + (("i", sl.value),)
+            self.taint_of(sl)  # a dynamic index is itself a read
+            return base + (("e",),)
+        return None
+
+    def _guards(self) -> Taint:
+        acc = self.flow_taint
+        for t in self.cond_stack:
+            acc = acc | t
+        return acc
+
+    def _write(self, kind: str, target: Optional[Chain], value_taint: Taint,
+               line: int, src: Optional[Chain] = None) -> None:
+        if target is None:
+            self.s.opaque_writes = True
+            return
+        self.s.writes.append(
+            WriteSite(kind=kind, target=target, taint=value_taint | self._guards(),
+                      line=line, src=src)
+        )
+
+    def _copy_src(self, value: Optional[ast.AST]) -> Optional[Chain]:
+        """Chain of ``src`` when ``value`` is exactly ``src.value``, else None."""
+        if not isinstance(value, ast.Attribute) or value.attr != "value":
+            return None
+        chain = self._chain_of(value)
+        if chain is None or chain[-1] != ("a", "value"):
+            return None
+        return chain[:-1]
+
+    # -- expression taint ----------------------------------------------------
+
+    def taint_of(self, node: Optional[ast.AST]) -> Taint:
+        """Taint of an expression; records reads/uses/calls as side effects."""
+        if node is None or isinstance(node, ast.Constant):
+            return frozenset()
+        if isinstance(node, ast.Name):
+            local = self.env.get(node.id)
+            if local is not None:
+                if local.alias is not None:
+                    self.s.uses.add(local.alias)
+                    return local.taint | frozenset({("sig", local.alias)})
+                return local.taint
+            chain: Chain = (("r", node.id),)
+            self.s.uses.add(chain)
+            return frozenset({("sig", chain)})
+        if isinstance(node, ast.Attribute):
+            chain2 = self._chain_of(node)
+            if chain2 is None:
+                if node.attr in ("value", "nxt"):
+                    # a .value read through an unaddressable expression may
+                    # be a signal read the model cannot attribute
+                    self.s.opaque_reads = True
+                return self.taint_of(node.value)
+            last = chain2[-1]
+            if last == ("a", "value"):
+                prefix = chain2[:-1]
+                self.s.reads.add(prefix)
+                return frozenset({("sig", prefix)})
+            if last == ("a", "nxt"):
+                # reading .nxt reads the register's staged/held value
+                prefix = chain2[:-1]
+                self.s.reads.add(prefix)
+                return frozenset({("sig", prefix)})
+            self.s.attr_loads.add(chain2)
+            self.s.uses.add(chain2)
+            return frozenset({("sig", chain2)})
+        if isinstance(node, ast.Subscript):
+            chain3 = self._chain_of(node)
+            if chain3 is None:
+                return self.taint_of(node.value) | self.taint_of(node.slice)
+            self.s.uses.add(chain3)
+            base_taint = self.taint_of(node.value)
+            return base_taint | frozenset({("sig", chain3)})
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, (ast.BinOp,)):
+            return self.taint_of(node.left) | self.taint_of(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand)
+        if isinstance(node, ast.BoolOp):
+            acc: Taint = frozenset()
+            for v in node.values:
+                acc |= self.taint_of(v)
+            return acc
+        if isinstance(node, ast.Compare):
+            # `x is None` / `x is not None` examines object *identity*: a
+            # bare signal mention there is wiring inspection, not a value
+            # read — counting it as a read manufactures phantom feedback
+            # (e.g. an ack driven under `if self.ack is not None:` would
+            # appear to depend on itself).
+            if all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+                acc = frozenset()
+                for o in [node.left, *node.comparators]:
+                    acc |= self._identity_operand_taint(o)
+                return acc
+            acc = self.taint_of(node.left)
+            for c in node.comparators:
+                acc |= self.taint_of(c)
+            return acc
+        if isinstance(node, ast.IfExp):
+            return (
+                self.taint_of(node.test)
+                | self.taint_of(node.body)
+                | self.taint_of(node.orelse)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            acc = frozenset()
+            for e in node.elts:
+                acc |= self.taint_of(e)
+            return acc
+        if isinstance(node, ast.Dict):
+            acc = frozenset()
+            for k in node.keys:
+                acc |= self.taint_of(k)
+            for v in node.values:
+                acc |= self.taint_of(v)
+            return acc
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension_taint(node.generators, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._comprehension_taint(node.generators, [node.key, node.value])
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.JoinedStr):
+            acc = frozenset()
+            for v in node.values:
+                acc |= self.taint_of(v)
+            return acc
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Slice):
+            return (
+                self.taint_of(node.lower)
+                | self.taint_of(node.upper)
+                | self.taint_of(node.step)
+            )
+        if isinstance(node, ast.Lambda):
+            return frozenset()  # deferred execution: out of scope
+        if isinstance(node, ast.NamedExpr):
+            t = self.taint_of(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = _Scope(None, t)
+            return t
+        # anything else: visit children generically for their reads
+        acc = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                acc |= self.taint_of(child)
+        return acc
+
+    def _identity_operand_taint(self, node: ast.AST) -> Taint:
+        """Taint of an ``is``/``is not`` operand: value taint propagates,
+        but a bare object mention is not a signal read."""
+        if isinstance(node, ast.Constant):
+            return frozenset()
+        if isinstance(node, ast.Name):
+            local = self.env.get(node.id)
+            return local.taint if local is not None else frozenset()
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain = self._chain_of(node)
+            if chain is not None:
+                if chain[-1] in (("a", "value"), ("a", "nxt")):
+                    prefix = chain[:-1]
+                    self.s.reads.add(prefix)  # an actual value, read then compared
+                    return frozenset({("sig", prefix)})
+                if chain[-1][0] == "a":
+                    self.s.attr_loads.add(chain)
+                return frozenset()
+        return self.taint_of(node)
+
+    def _comprehension_taint(self, generators, elts) -> Taint:
+        saved = dict(self.env)
+        acc: Taint = frozenset()
+        try:
+            for gen in generators:
+                it_taint = self.taint_of(gen.iter)
+                acc |= it_taint
+                self._bind_loop_target(gen.target, gen.iter, it_taint)
+                for cond in gen.ifs:
+                    acc |= self.taint_of(cond)
+            for e in elts:
+                acc |= self.taint_of(e)
+        finally:
+            self.env = saved
+        return acc
+
+    def _elements_alias(self, iter_node: ast.AST) -> Optional[Chain]:
+        chain = self._chain_of(iter_node)
+        if chain is None:
+            return None
+        return chain + (("e",),)
+
+    def _bind_loop_target(self, target: ast.AST, iter_node: ast.AST,
+                          it_taint: Taint) -> None:
+        """Bind a for/comprehension target, seeing through ``enumerate``,
+        ``dict.values()`` and ``dict.items()``."""
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "enumerate"
+            and iter_node.args
+            and isinstance(target, ast.Tuple)
+            and len(target.elts) == 2
+        ):
+            self._bind_target(target.elts[0], None, it_taint)
+            self._bind_target(target.elts[1],
+                              self._elements_alias(iter_node.args[0]), it_taint)
+            return
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and not iter_node.args
+        ):
+            recv = self._chain_of(iter_node.func.value)
+            if recv is not None:
+                # an ("e",) step over a dict resolves to its *values*
+                if iter_node.func.attr == "values":
+                    self._bind_target(target, recv + (("e",),), it_taint)
+                    return
+                if (
+                    iter_node.func.attr == "items"
+                    and isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2
+                ):
+                    self._bind_target(target.elts[0], None, it_taint)
+                    self._bind_target(target.elts[1], recv + (("e",),), it_taint)
+                    return
+        self._bind_target(target, self._elements_alias(iter_node), it_taint)
+
+    def _call_taint(self, node: ast.Call) -> Taint:
+        args_taint: Taint = frozenset()
+        for a in node.args:
+            args_taint |= self.taint_of(a)
+        for kw in node.keywords:
+            args_taint |= self.taint_of(kw.value)
+        func = node.func
+        chain = self._chain_of(func)
+        line = getattr(node, "lineno", 0)
+        if chain is None:
+            # A method call on a *computed local* (``new = list(items);
+            # new.pop(0)``) mutates a fresh object, not simulation state —
+            # unless the method name is a signal accessor, in which case a
+            # read/write may be hiding behind the computed expression.
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("set", "stage", "force", "warp", "drive"):
+                    self.s.opaque_writes = True
+                elif func.attr in ("bit", "bits", "fires"):
+                    self.s.opaque_reads = True
+                return args_taint | self.taint_of(func.value)
+            self.s.unknown_calls = True
+            return args_taint
+        if len(chain) == 1 and chain[0][0] == "r" and chain[0][1] in _PURE_CALLS:
+            return args_taint
+        last = chain[-1]
+        if last[0] == "a":
+            name = last[1]
+            prefix = chain[:-1]
+            if name in ("bit", "bits"):
+                self.s.reads.add(prefix)
+                return frozenset({("sig", prefix)}) | args_taint
+            if name in ("set", "stage", "force", "warp"):
+                src = None
+                if name in ("set", "stage") and len(node.args) == 1 \
+                        and not node.keywords:
+                    src = self._copy_src(node.args[0])
+                self._write({"stage": "stage"}.get(name, name), prefix,
+                            args_taint, line, src=src)
+                return frozenset()
+            if name == "drive":
+                self._write("drive", prefix, args_taint, line)
+                return frozenset()
+            if name in _MUTATORS:
+                self.s.attr_stores.add(prefix)
+                self.s.attr_loads.add(prefix)
+                return args_taint
+        # Positional-argument alias chains let resolution bind callee
+        # parameters to concrete objects ("pass the unit, not just its op").
+        arg_aliases = tuple(
+            self._chain_of(a) if _is_chain_step_pure(a) else None
+            for a in node.args
+        )
+        self.s.calls.add((chain, args_taint, arg_aliases))
+        return frozenset({("call", chain, args_taint)}) | args_taint
+
+    # -- statements ----------------------------------------------------------
+
+    def _bind_target(self, target: ast.AST, alias: Optional[Chain],
+                     taint: Taint, src: Optional[Chain] = None) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = _Scope(alias, taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for e in target.elts:
+                self._bind_target(e, None, taint)
+        elif isinstance(target, ast.Attribute):
+            chain = self._chain_of(target)
+            if chain is None:
+                if target.attr == "nxt":
+                    # a register stage through an unaddressable expression:
+                    # the write set may be incomplete
+                    self.s.opaque_writes = True
+                return
+            if chain[-1] == ("a", "nxt"):
+                self._write("stage", chain[:-1], taint,
+                            getattr(target, "lineno", 0), src=src)
+            else:
+                self.s.attr_stores.add(chain)
+        elif isinstance(target, ast.Subscript):
+            base = self._chain_of(target.value)
+            if base is not None:
+                self.s.attr_stores.add(base)
+            self.taint_of(target.slice)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None, taint)
+
+    def visit_body(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.taint_of(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            taint = self.taint_of(stmt.value)
+            src = self._copy_src(stmt.value)
+            alias = None
+            if _is_chain_step_pure(stmt.value):
+                alias = self._chain_of(stmt.value)
+                if alias is not None and alias[-1] in (("a", "value"), ("a", "nxt")):
+                    alias = None  # a *value*, not the signal object
+            elif isinstance(stmt.value, ast.Call):
+                # `result = helper(...)`: alias the local to the call result,
+                # so later `.value` accesses can be classified through the
+                # callee's return annotation instead of going opaque.
+                fchain = self._chain_of(stmt.value.func)
+                if fchain is not None:
+                    alias = (("c", fchain),)
+            for target in stmt.targets:
+                self._bind_target(target, alias, taint, src=src)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.taint_of(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                local = self.env.get(target.id)
+                if local is not None:
+                    local.taint = local.taint | taint
+                else:
+                    chain = (("r", target.id),)
+                    self.s.nonlocal_stores.add(target.id)
+                    self.s.uses.add(chain)
+            elif isinstance(target, ast.Attribute):
+                chain2 = self._chain_of(target)
+                if chain2 is not None:
+                    if chain2[-1] == ("a", "nxt"):
+                        self.s.reads.add(chain2[:-1])
+                        self._write("stage", chain2[:-1], taint,
+                                    getattr(target, "lineno", 0))
+                    else:
+                        self.s.attr_stores.add(chain2)
+                        self.s.attr_loads.add(chain2)
+                elif target.attr == "nxt":
+                    self.s.opaque_reads = True
+                    self.s.opaque_writes = True
+            elif isinstance(target, ast.Subscript):
+                base = self._chain_of(target.value)
+                if base is not None:
+                    self.s.attr_stores.add(base)
+                    self.s.attr_loads.add(base)
+                self.taint_of(target.slice)
+        elif isinstance(stmt, ast.AnnAssign):
+            taint = self.taint_of(stmt.value) if stmt.value else frozenset()
+            self._bind_target(stmt.target, None, taint)
+        elif isinstance(stmt, (ast.If,)):
+            test_taint = self.taint_of(stmt.test)
+            self.cond_stack.append(test_taint)
+            try:
+                self.visit_body(stmt.body)
+                self.visit_body(stmt.orelse)
+            finally:
+                self.cond_stack.pop()
+            if self._diverges(stmt.body) or self._diverges(stmt.orelse):
+                self.flow_taint = self.flow_taint | test_taint
+        elif isinstance(stmt, ast.While):
+            test_taint = self.taint_of(stmt.test)
+            self.cond_stack.append(test_taint)
+            try:
+                self.visit_body(stmt.body)
+                self.visit_body(stmt.orelse)
+            finally:
+                self.cond_stack.pop()
+        elif isinstance(stmt, ast.For):
+            it_taint = self.taint_of(stmt.iter)
+            self._bind_loop_target(stmt.target, stmt.iter, it_taint)
+            self.cond_stack.append(it_taint)
+            try:
+                self.visit_body(stmt.body)
+                self.visit_body(stmt.orelse)
+            finally:
+                self.cond_stack.pop()
+        elif isinstance(stmt, ast.Return):
+            self.taint_of(stmt.value)
+        elif isinstance(stmt, (ast.Raise,)):
+            if stmt.exc is not None:
+                self.taint_of(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.taint_of(stmt.test)
+            if stmt.msg is not None:
+                self.taint_of(stmt.msg)
+        elif isinstance(stmt, (ast.With,)):
+            for item in stmt.items:
+                self.taint_of(item.context_expr)
+            self.visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self.visit_body(handler.body)
+            self.visit_body(stmt.orelse)
+            self.visit_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Nonlocal, ast.Global)):
+            self.s.nonlocal_stores.update(stmt.names)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions execute later, if ever
+        elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Delete,
+                               ast.Import, ast.ImportFrom)):
+            pass
+        else:  # pragma: no cover - future statement kinds
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.taint_of(child)
+
+    @staticmethod
+    def _diverges(body) -> bool:
+        return any(isinstance(n, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+                   for n in body)
+
+
+# -- summary cache ------------------------------------------------------------
+
+_SUMMARY_CACHE: dict[types.CodeType, FnSummary] = {}
+
+
+def _find_def(tree: ast.AST, name: str, lineno: int):
+    """Locate the FunctionDef/Lambda a code object came from."""
+    best = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+        elif isinstance(node, ast.Lambda) and name == "<lambda>":
+            best = node
+    return best
+
+
+def summarize(fn: Callable[..., Any]) -> FnSummary:
+    """Symbolic summary of a process function (cached per code object)."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        s = FnSummary()
+        s.parse_failed = True
+        return s
+    cached = _SUMMARY_CACHE.get(code)
+    if cached is not None:
+        return cached
+    summary = FnSummary()
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(src)
+        node = _find_def(tree, code.co_name, code.co_firstlineno)
+        if node is None:
+            raise SyntaxError(f"no def {code.co_name!r} in extracted source")
+        analyzer = _Analyzer(summary)
+        if isinstance(node, ast.Lambda):
+            analyzer.taint_of(node.body)
+        else:
+            analyzer.visit_body(node.body)
+    except (OSError, SyntaxError, TypeError, ValueError):
+        summary = FnSummary()
+        summary.parse_failed = True
+    _SUMMARY_CACHE[code] = summary
+    return summary
+
+
+# -- resolution ---------------------------------------------------------------
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class ResolvedWrite:
+    """A write site with its target and dependencies as concrete signals."""
+
+    kind: str
+    targets: tuple  # Signal objects (an ("e",) target fans out)
+    deps: frozenset  # Signal objects the written value/control depends on
+    line: int
+    deps_unresolved: bool
+    #: concrete source signal of a pure ``dst.set(src.value)`` copy
+    src: Optional[Signal] = None
+
+
+@dataclass
+class ResolvedFn:
+    """Concrete (per-instance) view of one process function."""
+
+    signal_reads: set = field(default_factory=set)  # Signal objects
+    writes: list = field(default_factory=list)  # [ResolvedWrite]
+    #: (id(owner), attr) → (dotted source text, owner): hidden-attribute loads
+    hidden_loads: dict = field(default_factory=dict)
+    #: (id(owner), attr) → owner: attribute stores / container mutations
+    hidden_stores: dict = field(default_factory=dict)
+    nonlocal_stores: set = field(default_factory=set)
+    streams_fired: set = field(default_factory=set)  # Stream objects
+    unknown_calls: bool = False
+    #: some reads could not be attributed (read set may be incomplete)
+    opaque_reads: bool = False
+    #: some writes could not be attributed (write set may be incomplete)
+    opaque_writes: bool = False
+    parse_failed: bool = False
+
+    @property
+    def unresolved_chains(self) -> bool:
+        return self.opaque_reads or self.opaque_writes
+
+
+def _root_env(fn: Callable[..., Any]) -> dict[str, Any]:
+    """Name → object environment: closure cells, defaults, then globals."""
+    env: dict[str, Any] = {}
+    code = fn.__code__
+    env.update(getattr(fn, "__globals__", {}))
+    defaults = fn.__defaults__ or ()
+    if defaults:
+        argnames = code.co_varnames[: code.co_argcount]
+        for name, value in zip(argnames[-len(defaults):], defaults):
+            env[name] = value
+    closure = fn.__closure__ or ()
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            env[name] = cell.cell_contents
+        except ValueError:  # empty cell
+            pass
+    return env
+
+
+def _safe_getattr(obj: Any, name: str) -> Any:
+    try:
+        return getattr(obj, name, _MISSING)
+    except Exception:
+        return _MISSING
+
+
+#: placeholder for "some value proven (by annotation) not to be a Signal"
+_NONSIG = object()
+
+_RETURN_CLASS_CACHE: dict[Any, Optional[type]] = {}
+
+
+def _return_class(fn: Any) -> Optional[type]:
+    """The concrete class ``fn`` is annotated to return, if provable."""
+    key = getattr(fn, "__func__", fn)
+    try:
+        return _RETURN_CLASS_CACHE[key]
+    except (KeyError, TypeError):
+        pass
+    cls: Optional[type] = None
+    try:
+        import typing
+
+        hints = typing.get_type_hints(key)
+        r = hints.get("return")
+        if not isinstance(r, type) and typing.get_origin(r) is typing.Union:
+            # unwrap Optional[X] — the None arm only ever fails attribute
+            # steps, which already resolve conservatively
+            args = [a for a in typing.get_args(r) if a is not type(None)]
+            if len(args) == 1:
+                r = args[0]
+        if isinstance(r, type):
+            cls = r
+    except Exception:
+        cls = None
+    try:
+        _RETURN_CLASS_CACHE[key] = cls
+    except TypeError:
+        pass
+    return cls
+
+
+def _resolve_chain(chain: Chain, env: dict[str, Any]) -> Optional[list]:
+    """Resolve a chain to the list of objects it can address, or None."""
+    if not chain:
+        return None
+    objs: list[Any] = []
+    first = chain[0]
+    if first[0] == "c":
+        # call-result root: resolvable only to the *class* of the result —
+        # enough to rule a `.value` access in or out as a signal read
+        fns = _resolve_chain(first[1], env)
+        if fns is None:
+            return None
+        for f in fns:
+            cls = _return_class(f)
+            if cls is None or issubclass(cls, (Signal, Stream)):
+                return None
+            objs.append(_NONSIG)
+    elif first[0] != "r":
+        return None
+    elif first[1] in env:
+        objs = [env[first[1]]]
+    elif hasattr(_builtins, first[1]):
+        # `__globals__` doesn't list builtins; ValueError & co live here
+        objs = [getattr(_builtins, first[1])]
+    else:
+        return None
+    for step in chain[1:]:
+        nxt: list[Any] = []
+        for obj in objs:
+            if step[0] == "a":
+                val = _safe_getattr(obj, step[1])
+                if val is _MISSING:
+                    return None
+                nxt.append(val)
+            elif step[0] == "i":
+                try:
+                    nxt.append(obj[step[1]])
+                except Exception:
+                    return None
+            else:  # ("e",) — every element
+                if isinstance(obj, (list, tuple)):
+                    items = list(obj)
+                elif isinstance(obj, dict):
+                    items = list(obj.values())
+                else:
+                    return None
+                if len(items) > _MAX_ELEMENTS:
+                    return None
+                nxt.extend(items)
+        objs = nxt
+    return objs
+
+
+class _Resolver:
+    """Applies a symbolic summary to one concrete function instance."""
+
+    def __init__(self) -> None:
+        self.out = ResolvedFn()
+        self._seen: set = set()
+
+    def run(self, fn: Callable[..., Any], depth: int = 0,
+            bindings: Optional[dict] = None) -> ResolvedFn:
+        summary = summarize(fn)
+        if summary.parse_failed:
+            self.out.parse_failed = True
+            return self.out
+        key = (
+            fn.__code__,
+            id(getattr(fn, "__self__", None)),
+            tuple(sorted((n, id(v)) for n, v in (bindings or {}).items())),
+        )
+        if key in self._seen:
+            return self.out
+        self._seen.add(key)
+        env = _root_env(fn)
+        bound_self = getattr(fn, "__self__", None)
+        if bound_self is not None:
+            env["self"] = bound_self  # the receiver always wins over globals
+        if bindings:
+            env.update(bindings)  # caller-resolved arguments (inlining)
+        out = self.out
+        if summary.unknown_calls:
+            out.unknown_calls = True
+        if summary.opaque_reads:
+            out.opaque_reads = True
+        if summary.opaque_writes:
+            out.opaque_writes = True
+        out.nonlocal_stores.update(summary.nonlocal_stores)
+
+        for chain in summary.reads:
+            objs = _resolve_chain(chain, env)
+            if objs is None:
+                out.opaque_reads = True
+                continue
+            for obj in objs:
+                if isinstance(obj, Signal):
+                    out.signal_reads.add(obj)
+
+        for chain in summary.uses:
+            objs = _resolve_chain(chain, env)
+            if objs is None:
+                continue  # bare-use of an unresolvable name: not evidence
+            for obj in objs:
+                if isinstance(obj, Signal):
+                    out.signal_reads.add(obj)
+
+        for chain in summary.attr_loads:
+            if len(chain) < 2 or chain[-1][0] != "a":
+                continue
+            objs = _resolve_chain(chain[:-1], env)
+            if objs is None:
+                continue
+            attr = chain[-1][1]
+            for owner in objs:
+                val = _safe_getattr(owner, attr)
+                if isinstance(val, (Signal, Stream)) or callable(val):
+                    continue
+                out.hidden_loads[(id(owner), attr)] = (_chain_text(chain), owner)
+
+        for chain in summary.attr_stores:
+            if len(chain) < 2:
+                continue  # hidden-state rules need positive evidence only
+            attr = chain[-1][1] if chain[-1][0] == "a" else "[]"
+            prefix = chain[:-1] if chain[-1][0] == "a" else chain
+            objs = _resolve_chain(prefix, env)
+            if objs is None:
+                continue
+            for owner in objs:
+                val = _safe_getattr(owner, attr) if attr != "[]" else _MISSING
+                if isinstance(val, (Signal,)):
+                    continue  # rebinding a Signal attribute is its own problem
+                out.hidden_stores[(id(owner), attr)] = owner
+
+        for site in summary.writes:
+            self._resolve_write(site, env, depth)
+
+        for chain, args_taint, arg_aliases in summary.calls:
+            self._resolve_call(chain, args_taint, arg_aliases, env, depth)
+        return self.out
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _resolve_write(self, site: WriteSite, env: dict[str, Any],
+                       depth: int) -> None:
+        out = self.out
+        targets = _resolve_chain(site.target, env)
+        if targets is None:
+            out.opaque_writes = True
+            return
+        deps, unresolved = self._taint_signals(site.taint, env, depth)
+        if site.kind == "drive":
+            sig_targets: list[Signal] = []
+            for obj in targets:
+                if isinstance(obj, Stream):
+                    sig_targets.extend((obj.valid, obj.payload))
+            targets = sig_targets
+        else:
+            targets = [t for t in targets if isinstance(t, Signal)]
+        if not targets:
+            return
+        src_sig = None
+        if site.src is not None:
+            src_objs = _resolve_chain(site.src, env)
+            if src_objs and len(src_objs) == 1 and isinstance(src_objs[0], Signal):
+                src_sig = src_objs[0]
+        out.writes.append(
+            ResolvedWrite(
+                kind="set" if site.kind == "drive" else site.kind,
+                targets=tuple(targets),
+                deps=frozenset(deps),
+                line=site.line,
+                deps_unresolved=unresolved,
+                src=src_sig,
+            )
+        )
+
+    def _resolve_call(self, chain: Chain, args_taint: Taint,
+                      arg_aliases: tuple, env: dict[str, Any],
+                      depth: int) -> None:
+        out = self.out
+        objs = _resolve_chain(chain, env)
+        if objs is None:
+            # A method missing on a *resolved* receiver marks a dead branch
+            # for this instance (mode-gated code, e.g. reliable-only paths):
+            # were the call live it would raise AttributeError, not act.
+            if len(chain) >= 2 and chain[-1][0] == "a":
+                owners = _resolve_chain(chain[:-1], env)
+                if owners is not None and all(
+                    _safe_getattr(o, chain[-1][1]) is _MISSING for o in owners
+                ):
+                    return
+            out.unknown_calls = True
+            return
+        for obj in objs:
+            if obj is None:
+                continue  # guarded-call pattern: `if self._hook is not None: ...`
+            if isinstance(obj, types.MethodType):
+                owner = obj.__self__
+                if isinstance(owner, Stream) and obj.__name__ == "fires":
+                    out.streams_fired.add(owner)
+                    out.signal_reads.add(owner.valid)
+                    out.signal_reads.add(owner.ready)
+                    continue
+                self._inline(obj, arg_aliases, env, depth)
+            elif isinstance(obj, (types.FunctionType,)):
+                self._inline(obj, arg_aliases, env, depth)
+            elif isinstance(obj, type) or isinstance(obj, types.BuiltinFunctionType):
+                # constructors (dataclasses, exceptions) and builtin/container
+                # methods neither read nor write simulation signals
+                continue
+            else:
+                out.unknown_calls = True
+
+    def _inline(self, obj: Any, arg_aliases: tuple, env: dict[str, Any],
+                depth: int) -> None:
+        if depth >= _MAX_INLINE_DEPTH:
+            self.out.unknown_calls = True
+            return
+        for bindings in self._param_bindings(obj, arg_aliases, env):
+            self.run(obj, depth + 1, bindings=bindings)
+
+    @staticmethod
+    def _param_bindings(obj: Any, arg_aliases: tuple,
+                        env: dict[str, Any]) -> list:
+        """Caller-side argument bindings for inlining ``obj``.
+
+        Each positional argument whose *alias chain* resolves in the caller's
+        environment is bound to the callee's parameter name, so chains rooted
+        at that parameter resolve inside the callee.  A single multi-valued
+        argument (e.g. a loop variable over ``self.units``) fans out into one
+        binding set per candidate object, capped small.
+        """
+        fn = obj.__func__ if isinstance(obj, types.MethodType) else obj
+        code = getattr(fn, "__code__", None)
+        if code is None or not arg_aliases:
+            return [None]
+        params = list(code.co_varnames[: code.co_argcount])
+        if isinstance(obj, types.MethodType) and params:
+            params = params[1:]  # `self` comes from the bound receiver
+        combos: list[dict] = [{}]
+        for name, alias in zip(params, arg_aliases):
+            if alias is None:
+                continue
+            cands = _resolve_chain(alias, env)
+            if not cands:
+                continue
+            if len(cands) == 1:
+                for c in combos:
+                    c[name] = cands[0]
+            elif len(cands) <= 16 and len(combos) == 1:
+                combos = [dict(combos[0], **{name: cand}) for cand in cands]
+            # a second fan-out (or a huge one) stays unbound: the callee
+            # falls back to its own environment, possibly going opaque
+        return combos or [None]
+
+    def _taint_signals(self, taint: Taint, env: dict[str, Any],
+                       depth: int) -> tuple[set, bool]:
+        """Expand taint elements to the concrete signals they may read."""
+        deps: set = set()
+        unresolved = False
+        for elem in taint:
+            if elem[0] == "sig":
+                objs = _resolve_chain(elem[1], env)
+                if objs is None:
+                    unresolved = True
+                    continue
+                for obj in objs:
+                    if isinstance(obj, Signal):
+                        deps.add(obj)
+            elif elem[0] == "call":
+                _, chain, args = elem
+                objs = _resolve_chain(chain, env)
+                if objs is None:
+                    unresolved = True
+                    continue
+                for obj in objs:
+                    if isinstance(obj, types.MethodType) and \
+                            isinstance(obj.__self__, Stream) and obj.__name__ == "fires":
+                        deps.add(obj.__self__.valid)
+                        deps.add(obj.__self__.ready)
+                    elif isinstance(obj, (types.MethodType, types.FunctionType)) \
+                            and depth < _MAX_INLINE_DEPTH:
+                        sub = _Resolver()
+                        sub_res = sub.run(obj, depth + 1)
+                        deps.update(sub_res.signal_reads)
+                        if sub_res.unresolved_chains or sub_res.unknown_calls:
+                            unresolved = True
+                    else:
+                        unresolved = True
+                arg_deps, arg_unres = self._taint_signals(args, env, depth)
+                deps.update(arg_deps)
+                unresolved = unresolved or arg_unres
+        return deps, unresolved
+
+
+def _chain_text(chain: Chain) -> str:
+    parts: list[str] = []
+    for step in chain:
+        if step[0] == "r":
+            parts.append(step[1])
+        elif step[0] == "a":
+            parts.append(f".{step[1]}")
+        elif step[0] == "i":
+            parts.append(f"[{step[1]}]")
+        elif step[0] == "c":
+            parts.append(f"{_chain_text(step[1])}()")
+        else:
+            parts.append("[*]")
+    return "".join(parts)
+
+
+def resolve(fn: Callable[..., Any]) -> ResolvedFn:
+    """Summarize + resolve one process function against its live closure.
+
+    The inline depth covers helper-method bodies (``self._delivering()``
+    resolves through the *instance*, so subclass overrides are analysed).
+    Reads discovered through inlined callees merge into the caller's view.
+    """
+    from ...hdl import signal as _signal_mod
+
+    with _signal_mod.tracking(None, None):
+        return _Resolver().run(fn)
+
+
+def is_reg(sig: Signal) -> bool:
+    """True for clocked registers (edges through them break comb cycles)."""
+    return isinstance(sig, Reg)
+
+
+__all__ = [
+    "Chain",
+    "FnSummary",
+    "ResolvedFn",
+    "ResolvedWrite",
+    "WriteSite",
+    "resolve",
+    "summarize",
+]

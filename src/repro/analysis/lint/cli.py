@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro.analysis.lint``.
+
+Targets are either **channel preset names** (``integrated``, ``fast-bus``,
+``slow-prototype`` — each builds the full coprocessor system on that link)
+or **paths to Python files** exposing a ``build_for_lint()`` function that
+returns something lintable (a component tree, a built system, or a
+simulator).  ``--all`` expands to every preset plus every example shipped
+in ``examples/``.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` severity
+(default ``error``), 1 when one does, 2 on usage errors.  ``--json``
+switches the report to a machine-readable rendering for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .diagnostics import LintReport, Severity
+from .engine import Linter, all_rules, iter_rule_catalog
+
+_SEVERITIES = {s.value: s for s in Severity}
+
+
+def _build_preset(name: str) -> Any:
+    from ...messages.channel import PRESETS
+    from ...system.builder import build_system
+
+    spec = PRESETS[name]
+    # lint="off": the CLI is the lint pass; double-running would also make
+    # a failing design impossible to build and report on.
+    return build_system(channel=spec, lint="off")
+
+
+def _load_example(path: Path) -> Any:
+    spec = importlib.util.spec_from_file_location(
+        f"_lint_target_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    builder = getattr(module, "build_for_lint", None)
+    if builder is None:
+        raise SystemExit(
+            f"{path} has no build_for_lint() — lintable example modules "
+            "expose one returning a component tree or built system"
+        )
+    return builder()
+
+
+def _examples_dir() -> Optional[Path]:
+    # repo layout: src/repro/analysis/lint/cli.py → repo root is parents[4]
+    root = Path(__file__).resolve().parents[4]
+    cand = root / "examples"
+    return cand if cand.is_dir() else None
+
+
+def _expand_targets(args: argparse.Namespace) -> List[Tuple[str, Any]]:
+    from ...messages.channel import PRESETS
+
+    names: List[str] = list(args.targets)
+    if args.all:
+        names.extend(sorted(PRESETS))
+        ex_dir = _examples_dir()
+        if ex_dir is not None:
+            names.extend(
+                str(p) for p in sorted(ex_dir.glob("*.py"))
+                if p.name != "__init__.py"
+            )
+    if not names:
+        names = sorted(PRESETS)
+    targets: List[Tuple[str, Any]] = []
+    for name in names:
+        if name in PRESETS:
+            targets.append((name, ("preset", name)))
+        else:
+            path = Path(name)
+            if not path.exists():
+                known = ", ".join(sorted(PRESETS))
+                raise SystemExit(
+                    f"unknown target {name!r}: not a preset ({known}) and "
+                    "not a file"
+                )
+            targets.append((str(path), ("file", path)))
+    return targets
+
+
+def _lint_one(kind_arg: Tuple[str, Any], linter: Linter) -> LintReport:
+    kind, arg = kind_arg
+    if kind == "preset":
+        built = _build_preset(arg)
+        return linter.lint(built.soc, sim=built.sim)
+    return linter.lint(_load_example(arg))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Elaboration-time design-rule checker for the "
+                    "component graph and kernel contracts.",
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help="channel preset names and/or paths to modules exposing "
+             "build_for_lint()",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="lint every channel preset and every shipped example",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON (one object, reports keyed by target)",
+    )
+    parser.add_argument(
+        "--min-severity", choices=sorted(_SEVERITIES), default="info",
+        help="hide findings below this severity in the text report",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("warning", "error", "never"), default="error",
+        help="exit non-zero when a finding at/above this severity exists "
+             "(default: error)",
+    )
+    parser.add_argument(
+        "--no-probe", action="store_true",
+        help="pure-static mode: never execute combinational processes",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rid, severity, title in iter_rule_catalog():
+            print(f"{rid:28s} {severity.value:8s} {title}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in all_rules()]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    linter = Linter(rule_ids, probe=not args.no_probe)
+    reports: List[Tuple[str, LintReport]] = []
+    for label, kind_arg in _expand_targets(args):
+        reports.append((label, _lint_one(kind_arg, linter)))
+
+    if args.as_json:
+        payload = {
+            "targets": {label: rep.as_dict() for label, rep in reports},
+            "summary": {
+                "errors": sum(len(r.errors) for _, r in reports),
+                "warnings": sum(len(r.warnings) for _, r in reports),
+                "suppressed": sum(len(r.suppressed) for _, r in reports),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        min_sev = _SEVERITIES[args.min_severity]
+        for label, rep in reports:
+            print(f"== {label} ==")
+            print(rep.format(min_sev))
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    failed = any(rep.at_least(threshold) for _, rep in reports)
+    return 1 if failed else 0

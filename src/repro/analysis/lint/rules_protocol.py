@@ -1,0 +1,117 @@
+"""Protocol rules: valid/ready handshake discipline over Stream bundles.
+
+Every stream in the framework (FIFOs, pipe stages, arbiters, host ports)
+carries the same contract: a word transfers exactly when ``valid & ready``
+in the same cycle.  A producer that raises ``valid`` without ever sampling
+``ready`` overruns slow consumers; a consumer that raises ``ready`` without
+ever sampling ``valid`` latches garbage on idle cycles.  Both bugs simulate
+fine against well-behaved peers and then corrupt data the first time
+backpressure or starvation actually happens — which is exactly when the
+fault-injection layer (PR 3) starts exercising retry paths.
+
+The rules work on the stream registry each component declares
+(:class:`~repro.hdl.components.Stream` self-registers) plus the per-process
+read/write evidence from the model layer.  Opaque processes (unresolved
+calls / unreadable source) disable the check for the streams they touch —
+silence over speculation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo
+
+
+def _stream_evidence(design: DesignInfo):
+    """Per-stream driver/reader process sets, with an opacity flag.
+
+    Returns ``[(stream, valid_writers, ready_readers, ready_writers,
+    valid_readers, opaque)]``.  ``opaque`` is True when any process
+    touching the stream could not be fully analysed — both rules then skip
+    the stream.
+    """
+    out = []
+    for stream in design.streams:
+        valid_writers = {id(r): r for r, _ in design.drivers_of(stream.valid)}
+        ready_writers = {id(r): r for r, _ in design.drivers_of(stream.ready)}
+        valid_readers = {id(r): r for r in design.readers_of(stream.valid)}
+        ready_readers = {id(r): r for r in design.readers_of(stream.ready)}
+        touching = (
+            list(valid_writers.values()) + list(ready_writers.values())
+            + list(valid_readers.values()) + list(ready_readers.values())
+        )
+        opaque = any(rec.opaque for rec in touching)
+        out.append((stream, valid_writers, ready_readers, ready_writers,
+                    valid_readers, opaque))
+    return out
+
+
+@register_rule
+class ValidNoReadyRule(Rule):
+    """A stream's ``valid`` is driven but its ``ready`` is never sampled.
+
+    The producer pushes words blind: whenever the consumer stalls, the word
+    on the bus that cycle is silently replaced.  The framework's blocking
+    primitives (FIFO full, arbiter grant) all express themselves through
+    ``ready`` — ignoring it means they cannot push back.
+    """
+
+    id = "protocol.valid-no-ready"
+    severity = Severity.ERROR
+    title = "stream drives valid without ever sampling ready"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        if not design.read_closed:
+            return  # "never samples ready" needs every read attributed
+        for (stream, valid_writers, ready_readers, _rw, _vr,
+             opaque) in _stream_evidence(design):
+            if opaque or not valid_writers or ready_readers:
+                continue
+            drivers = sorted(r.label for r in valid_writers.values())
+            yield self.diag(
+                stream.comp.path,
+                f"stream {stream.name!r}: valid driven by "
+                f"{', '.join(drivers)} but no process ever reads ready — "
+                "words are lost the moment the consumer applies backpressure",
+                signal=stream.valid.name,
+                hint="gate the transfer on stream.fires() (valid & ready) "
+                     "and hold the word while ready is low",
+            )
+
+
+@register_rule
+class ReadyNoValidRule(Rule):
+    """A stream's ``ready`` is driven but its ``valid`` is never sampled.
+
+    The consumer accepts unconditionally: on cycles where no word is
+    offered it latches whatever stale payload sits on the bus.  Warning
+    rather than error — an always-ready sink that *also* qualifies its
+    payload use by ``valid`` elsewhere is a common and sound idiom, but
+    one this evidence cannot distinguish from the broken variant when the
+    valid read lives outside the design.
+    """
+
+    id = "protocol.ready-no-valid"
+    severity = Severity.WARNING
+    title = "stream drives ready without ever sampling valid"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        if not design.read_closed:
+            return  # "never samples valid" needs every read attributed
+        for (stream, _vw, _rr, ready_writers, valid_readers,
+             opaque) in _stream_evidence(design):
+            if opaque or not ready_writers or valid_readers:
+                continue
+            drivers = sorted(r.label for r in ready_writers.values())
+            yield self.diag(
+                stream.comp.path,
+                f"stream {stream.name!r}: ready driven by "
+                f"{', '.join(drivers)} but no process ever reads valid — "
+                "the consumer cannot tell a word from idle bus noise",
+                signal=stream.ready.name,
+                hint="qualify consumption with stream.fires(), or suppress "
+                     "if valid is checked host-side",
+            )

@@ -1,0 +1,83 @@
+"""Pytest-facing lint helpers.
+
+``assert_lint_clean`` is the one-liner test suites drop into a fixture or a
+dedicated test to pin a design's rule cleanliness::
+
+    from repro.analysis.lint.testing import assert_lint_clean
+
+    def test_my_block_is_clean():
+        assert_lint_clean(build_my_block())
+
+A failing assertion renders the full report (not just the first finding),
+because a design rarely breaks one rule at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .diagnostics import LintReport, Severity
+from .engine import Linter
+
+
+def lint_report(
+    target: Any,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    sim: Optional[Any] = None,
+) -> LintReport:
+    """Lint ``target`` and return the report (assert-free variant)."""
+    return Linter(rules).lint(target, sim=sim)
+
+
+def assert_lint_clean(
+    target: Any,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    max_severity: Severity = Severity.INFO,
+    sim: Optional[Any] = None,
+) -> LintReport:
+    """Assert ``target`` has no diagnostics above ``max_severity``.
+
+    The default tolerates nothing above INFO — i.e. warnings fail the
+    test.  Returns the report so callers can additionally assert on
+    suppressions or notes.
+    """
+    report = lint_report(target, rules=rules, sim=sim)
+    worst = report.worst
+    if worst is not None and worst.rank > max_severity.rank:
+        raise AssertionError(
+            f"design {report.design!r} is not lint-clean "
+            f"(worst severity {worst.value!r}, allowed {max_severity.value!r}):\n"
+            + report.format()
+        )
+    return report
+
+
+def assert_rule_fires(
+    target: Any,
+    rule_id: str,
+    *,
+    signal: Optional[str] = None,
+    sim: Optional[Any] = None,
+) -> LintReport:
+    """Assert that linting ``target`` raises ``rule_id`` (fixture pinning).
+
+    ``signal`` additionally requires one of the rule's findings to anchor
+    on that signal name (full hierarchical name, or a suffix of it).
+    """
+    report = Linter().lint(target, sim=sim)
+    hits = [d for d in report.diagnostics if d.rule_id == rule_id]
+    if not hits:
+        raise AssertionError(
+            f"expected rule {rule_id!r} to fire on {report.design!r}; got:\n"
+            + report.format()
+        )
+    if signal is not None:
+        if not any(d.signal and (d.signal == signal or d.signal.endswith(signal))
+                   for d in hits):
+            raise AssertionError(
+                f"rule {rule_id!r} fired but not on signal {signal!r}:\n"
+                + report.format()
+            )
+    return report

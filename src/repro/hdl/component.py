@@ -32,6 +32,12 @@ class Component:
         self.parent = parent
         self.children: list[Component] = []
         self.signals: list[Signal] = []
+        #: valid/ready/payload bundles declared on this component (filled in
+        #: by :class:`~repro.hdl.components.Stream`; the lint protocol rules
+        #: audit handshake discipline over this registry)
+        self.streams: list = []
+        #: design-rule suppressions declared via :meth:`lint_suppress`
+        self.lint_suppressions: list[tuple] = []
         self.comb_procs: list[Process] = []
         #: comb processes the scheduler must run on every settle iteration
         #: because they read state it cannot see (see :meth:`comb`)
@@ -155,6 +161,31 @@ class Component:
         """Register a hook invoked by :meth:`Simulator.reset`."""
         self.reset_hooks.append(fn)
         return fn
+
+    def lint_suppress(
+        self,
+        rule_id: str,
+        reason: str,
+        *,
+        signal: Optional[str] = None,
+        subtree: bool = False,
+    ) -> None:
+        """Suppress a design-rule diagnostic on this component.
+
+        ``rule_id`` is the lint rule to silence (see
+        :mod:`repro.analysis.lint`), ``reason`` a mandatory human
+        explanation recorded in lint reports.  ``signal`` narrows the
+        suppression to one signal (its unqualified name as declared, e.g.
+        ``"out_valid"``); ``subtree=True`` extends it to every descendant
+        component — use for wrappers whose children share one justified
+        exemption.  Suppressions are deliberate, reviewable waivers: the
+        lint engine counts them in its report rather than hiding them.
+        """
+        if not reason or not reason.strip():
+            raise ElaborationError(
+                f"lint_suppress({rule_id!r}) on {self.path!r} needs a non-empty reason"
+            )
+        self.lint_suppressions.append((rule_id, reason, signal, bool(subtree)))
 
     # -- traversal -----------------------------------------------------------------
 

@@ -34,9 +34,13 @@ class Stream:
 
     def __init__(self, comp: Component, name: str, width: Optional[int] = None):
         self.name = f"{comp.path}.{name}"
+        #: component this bundle was declared on (lint protocol rules walk
+        #: the per-component stream registry this constructor fills in)
+        self.comp = comp
         self.valid: Signal = comp.signal(f"{name}_valid", 1)
         self.ready: Signal = comp.signal(f"{name}_ready", 1)
         self.payload: Signal = comp.signal(f"{name}_payload", width)
+        comp.streams.append(self)
 
     def fires(self) -> bool:
         """True when a transfer happens at the coming clock edge."""

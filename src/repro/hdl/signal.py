@@ -52,12 +52,40 @@ _UNSET = object()
 #: (see ``Simulator``'s discovery/tracked execution paths).
 _READS: Optional[set] = None
 
-#: When non-None, every :meth:`Signal.set` call (changing or not) adds the
-#: signal to this set.  Only active during the discovery settle, where it
-#: separates genuinely inert processes (no reads, no writes — the no-op
-#: placeholders passive components register) from processes with hidden
-#: inputs (no reads, but real outputs), which must fall back to always-run.
+#: When non-None, every :meth:`Signal.set` call (changing or not) and every
+#: :meth:`Reg.stage` call adds the signal to this set.  Active during the
+#: discovery settle, where it separates genuinely inert processes (no reads,
+#: no writes — the no-op placeholders passive components register) from
+#: processes with hidden inputs (no reads, but real outputs), which must
+#: fall back to always-run; and during the lint probe pass, which uses it to
+#: attribute drivers to processes (see :mod:`repro.analysis.lint`).
 _WRITES: Optional[set] = None
+
+
+class tracking:
+    """Context manager installing read/write tracking sets on this module.
+
+    The simulator's discovery pass manipulates :data:`_READS`/:data:`_WRITES`
+    inline for speed; out-of-kernel instrumentation (the lint engine's probe
+    pass) uses this wrapper instead so nesting inside a live simulator —
+    whose own hooks must be restored exactly — stays correct.
+    """
+
+    def __init__(self, reads: Optional[set] = None, writes: Optional[set] = None):
+        self._reads = reads
+        self._writes = writes
+        self._saved: tuple = ()
+
+    def __enter__(self) -> "tracking":
+        global _READS, _WRITES
+        self._saved = (_READS, _WRITES, CHANGES.dirty)
+        _READS = self._reads
+        _WRITES = self._writes
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        global _READS, _WRITES
+        _READS, _WRITES, CHANGES.dirty = self._saved
 
 
 class _ChangeTracker:
@@ -242,6 +270,8 @@ class Reg(Signal):
         """Stage ``value`` to be committed at the coming clock edge."""
         if self._mask is not None:
             value = int(value) & self._mask
+        if _WRITES is not None:
+            _WRITES.add(self)
         if self._staged is _UNSET and self._stage_list is not None:
             self._stage_list.append(self)
         self._staged = value

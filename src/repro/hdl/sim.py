@@ -847,3 +847,43 @@ class Simulator:
     def process_counts(self) -> tuple[int, int]:
         """(combinational, sequential) process counts — used by area tests."""
         return len(self._comb), len(self._seq)
+
+    # -- introspection (lint subsystem) ----------------------------------------
+
+    def discovered_dependencies(self) -> dict:
+        """Scheduler-discovered per-process dependency sets (read-only).
+
+        Returns ``{"comb": [...], "seq": [...], "discovered": bool}`` where
+        each combinational entry carries the process function, its recorded
+        read/write signal sets and its classification (``always``/``inert``),
+        and each sequential entry its function, read set and ``pure``/
+        ``wheeled`` flags.  ``discovered`` is False while no discovery settle
+        has run yet (freshly elaborated or reset-pending), in which case the
+        sets are empty or stale.
+
+        This is the ground truth the event kernel actually schedules from;
+        :mod:`repro.analysis.lint` unions it with its static AST pass so
+        diagnostics never contradict the running scheduler.  The returned
+        sets are copies — mutating them cannot corrupt the kernel.
+        """
+        comb = [
+            {
+                "fn": p.fn,
+                "reads": frozenset(p.reads),
+                "writes": frozenset(p.writes),
+                "always": p.always,
+                "inert": p.inert,
+                "wheeled": p.wheeled,
+            }
+            for p in self._procs
+        ]
+        seq = [
+            {
+                "fn": sp.fn,
+                "reads": frozenset(sp.reads),
+                "pure": sp.pure,
+                "wheeled": sp.wheeled,
+            }
+            for sp in self._seqprocs
+        ]
+        return {"comb": comb, "seq": seq, "discovered": not self._needs_discovery}

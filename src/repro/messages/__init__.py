@@ -42,6 +42,7 @@ from .reliability import (
     parse_nack_info,
     seq_before,
     split_trailer,
+    trailer_crc,
 )
 from .transceiver import HostPort, Receiver, Transmitter
 from .uart import UartLink, UartRx, UartTx
@@ -94,6 +95,7 @@ __all__ = [
     "parse_nack_info",
     "seq_before",
     "split_trailer",
+    "trailer_crc",
     "SharedHostBus",
     "host_tag",
     "tag_owner",

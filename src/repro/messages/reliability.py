@@ -12,8 +12,11 @@ gains one *trailer* word::
 * ``seq`` is a per-direction 8-bit sequence number assigned at first
   transmission, so a receiver can tell a retransmitted duplicate from a
   fresh frame and detect wholesale frame loss.
-* ``crc16`` (CRC-16/CCITT-FALSE over the header and payload words, LSByte
-  first) detects corruption anywhere in the frame.
+* ``crc16`` (CRC-16/CCITT-FALSE over the header and payload words plus the
+  trailer's own magic/seq half-word, LSByte first) detects corruption
+  anywhere in the frame *including the sequence number* — an unprotected
+  seq byte would let a single bit flip renumber an intact frame and forge
+  Go-Back-N ordering.
 * ``MAGIC`` cheaply rejects most misalignments before the CRC runs.
 
 :class:`ReliableFramer` speaks this format on the transmit side;
@@ -78,9 +81,23 @@ def crc16(words: Iterable[int]) -> int:
     return crc
 
 
+def trailer_crc(seq: int, frame_words: Iterable[int]) -> int:
+    """CRC-16 over the frame words *and* the trailer's magic/seq half.
+
+    The sequence number must be inside the checksum: an unprotected seq
+    byte lets a single bit flip renumber an intact frame, which defeats
+    Go-Back-N entirely — the receiver delivers the renumbered frame as
+    in-order and later discards the genuinely-expected retransmission as
+    a duplicate (a silently lost write, found by the faulty-link property
+    suite).
+    """
+    head = (TRAILER_MAGIC << 24) | ((seq & SEQ_MASK) << 16)
+    return crc16(list(frame_words) + [head])
+
+
 def make_trailer(seq: int, frame_words: Iterable[int]) -> int:
     """Build the trailer word for a frame (header + payload words)."""
-    return (TRAILER_MAGIC << 24) | ((seq & SEQ_MASK) << 16) | crc16(frame_words)
+    return (TRAILER_MAGIC << 24) | ((seq & SEQ_MASK) << 16) | trailer_crc(seq, frame_words)
 
 
 def split_trailer(word: int) -> tuple[int, int, int]:
@@ -277,7 +294,7 @@ class ReliableDeframer:
                 return
             frame = [buf[i] for i in range(need)]
             magic, seq, crc = split_trailer(frame[-1])
-            if magic != TRAILER_MAGIC or crc != crc16(frame[:-1]):
+            if magic != TRAILER_MAGIC or crc != trailer_crc(seq, frame[:-1]):
                 self._drop_one(header_reject=False)
                 continue
             for _ in range(need):

@@ -179,6 +179,16 @@ class UartRx(Component):
 
         self.wheel(self._horizon, self._skip)
 
+        # Guard-coupled purity: framing_errors moves only on the stop-bit
+        # path (always stages _state RECEIVING→IDLE) and resyncs only on the
+        # flush path (always stages _idle_run and _bytes).
+        self.lint_suppress(
+            "contract.impure-pure-seq",
+            "framing_errors and resyncs increment only on frame-end / flush "
+            "paths, which always stage state or the byte buffer; quiet edges "
+            "are mutation-free",
+        )
+
         @self.on_reset
         def _clear() -> None:
             pass

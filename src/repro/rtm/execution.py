@@ -91,6 +91,14 @@ class Execution(Component):
             elif retiring:
                 self._full.nxt = 0
 
+        # Guard-coupled purity: `retired` moves only on retiring paths, which
+        # always stage _xfer_done/_full — a no-stage edge mutates nothing.
+        self.lint_suppress(
+            "contract.impure-pure-seq",
+            "retired increments only on retiring paths, which always stage; "
+            "quiet edges are mutation-free",
+        )
+
     def _retiring(self) -> bool:
         """Combinational view of whether the held op completes this cycle."""
         op: Optional[ExecOp] = self._op.value if self._full.value else None

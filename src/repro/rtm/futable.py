@@ -68,6 +68,11 @@ class FunctionalUnitTable:
         return self._entries.get(code)
 
     @property
+    def entries(self) -> dict[int, UnitEntry]:
+        """The opcode → entry rows (fixed after system assembly)."""
+        return self._entries
+
+    @property
     def units(self) -> tuple[FunctionalUnit, ...]:
         """Units in port order."""
         return tuple(e.unit for e in sorted(self._entries.values(), key=lambda e: e.port))

@@ -61,6 +61,14 @@ class MessageSerializer(Component):
                 self.messages_sent += 1
             self._words.nxt = words
 
+        # Guard-coupled purity: the early return above means the framer and
+        # messages_sent only move on runs that stage _words.
+        self.lint_suppress(
+            "contract.impure-pure-seq",
+            "framer state and messages_sent mutate only on fires() paths, "
+            "which always stage _words; quiet edges are mutation-free",
+        )
+
     @property
     def words_pending(self) -> int:
         return len(self._words.value)

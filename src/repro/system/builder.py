@@ -50,6 +50,21 @@ class SystemBuilder:
         self._engine_window: Optional[int] = None
         self._downstream_faults: Optional[FaultSpec] = None
         self._upstream_faults: Optional[FaultSpec] = None
+        self._lint: str = "warn"
+
+    def with_lint(self, mode: str) -> "SystemBuilder":
+        """Set the elaboration-time design-rule check posture.
+
+        ``"warn"`` (default) runs the lint engine over the freshly wired
+        system and prints any findings to stderr; ``"error"`` additionally
+        raises :class:`~repro.analysis.lint.LintFailure` when an
+        error-severity rule fires; ``"off"`` skips the check (mid-debug
+        builds of deliberately broken designs).
+        """
+        if mode not in ("off", "warn", "error"):
+            raise ValueError(f"lint mode must be off/warn/error, got {mode!r}")
+        self._lint = mode
+        return self
 
     def with_engine(self, window: int) -> "SystemBuilder":
         """Set the default host-engine in-flight window for this system.
@@ -154,7 +169,28 @@ class SystemBuilder:
         )
         sim = Simulator(soc, scheduler=self._scheduler, wheel=self._wheel)
         sim.reset()
-        return BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
+        built = BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
+        if self._lint != "off":
+            _run_lint(built, self._lint)
+        return built
+
+
+def _run_lint(built: BuiltSystem, mode: str) -> None:
+    """Design-rule check a freshly built system (see repro.analysis.lint).
+
+    Imported lazily: the lint package depends on the HDL layer, and pulling
+    it in at module import would cycle through ``repro.system``.
+    """
+    import sys
+
+    from ..analysis.lint import Linter, LintFailure, Severity
+
+    report = Linter().lint(built.soc, sim=built.sim)
+    if mode == "error" and report.errors:
+        raise LintFailure(report)
+    findings = report.at_least(Severity.WARNING)
+    if findings:
+        print(report.format(Severity.WARNING), file=sys.stderr)
 
 
 def build_system(
@@ -168,6 +204,7 @@ def build_system(
     upstream_faults: Optional[FaultSpec] = None,
     reliable: bool = False,
     wheel: bool = True,
+    lint: str = "warn",
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults.
 
@@ -175,13 +212,17 @@ def build_system(
     into the corresponding link direction; ``reliable=True`` turns on the
     checksummed frame format that recovers from those faults;
     ``wheel=False`` disables the cycle-skipping time wheel (cycle-exact
-    either way — the off switch exists for equivalence cross-checks).
+    either way — the off switch exists for equivalence cross-checks);
+    ``lint`` sets the design-rule check posture (``"warn"`` default,
+    ``"error"`` to raise on violations, ``"off"`` to skip — see
+    :mod:`repro.analysis.lint`).
     """
     builder = (
         SystemBuilder(config)
         .with_channel(channel)
         .with_scheduler(scheduler)
         .with_wheel(wheel)
+        .with_lint(lint)
     )
     if registry is not None:
         builder.with_registry(registry)

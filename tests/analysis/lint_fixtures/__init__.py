@@ -1,0 +1,11 @@
+"""Seeded-defect designs pinning the lint rule catalog.
+
+Each module builds one deliberately broken component and records the rule
+id its defect must raise (``EXPECTED_RULE``).  The suite in
+``tests/analysis/test_lint.py`` asserts every fixture fires its rule and
+that the shipped presets fire none — the false-negative and
+false-positive halves of the checker's contract.
+
+Every module also exposes ``build_for_lint()`` so the fixtures double as
+CLI targets: ``python -m repro.analysis.lint tests/analysis/lint_fixtures/<name>.py``.
+"""

@@ -1,0 +1,34 @@
+"""Seeded defect: a combinational loop through plain signals.
+
+Two settle processes feed each other: ``a`` is computed from ``b`` and
+``b`` from ``a``.  Neither kernel can reach a fixpoint — the exhaustive
+kernel oscillates to its iteration cap, the event kernel ping-pongs the
+two processes forever.  Real hardware would be a ring oscillator.
+"""
+
+from repro.hdl import Component
+
+EXPECTED_RULE = "graph.comb-loop"
+
+
+class RingOscillator(Component):
+    def __init__(self) -> None:
+        super().__init__("ring")
+        self.a = self.signal("a", 8, 0)
+        self.b = self.signal("b", 8, 0)
+
+        @self.comb
+        def _fwd() -> None:
+            self.a.set((self.b.value + 1) & 0xFF)
+
+        @self.comb
+        def _bwd() -> None:
+            self.b.set((self.a.value + 1) & 0xFF)
+
+
+def build() -> RingOscillator:
+    return RingOscillator()
+
+
+def build_for_lint() -> RingOscillator:
+    return build()

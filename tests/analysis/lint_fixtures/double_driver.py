@@ -1,0 +1,34 @@
+"""Seeded defect: one signal driven by two settle processes.
+
+Both processes ``set()`` the shared ``bus`` every pass, so the settled
+value depends on scheduler ordering — the classic multiple-driver short.
+(The staged-``nxt`` accumulation idiom the lock manager uses is the
+legitimate cousin; this fixture is the broken plain-signal variant.)
+"""
+
+from repro.hdl import Component
+
+EXPECTED_RULE = "graph.multi-driver"
+
+
+class BusContention(Component):
+    def __init__(self) -> None:
+        super().__init__("contention")
+        self.sel = self.signal("sel", 1, 0)
+        self.bus = self.signal("bus", 8, 0)
+
+        @self.comb
+        def _driver_a() -> None:
+            self.bus.set(0xAA)
+
+        @self.comb
+        def _driver_b() -> None:
+            self.bus.set(0x55 if self.sel.value else 0x5A)
+
+
+def build() -> BusContention:
+    return BusContention()
+
+
+def build_for_lint() -> BusContention:
+    return build()

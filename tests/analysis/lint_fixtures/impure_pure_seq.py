@@ -1,0 +1,36 @@
+"""Seeded defect: a ``seq(pure=True)`` process that isn't.
+
+The process stages a register only while counting down, but bumps the
+hidden ``ticks`` attribute on *every* edge.  Purity licenses the edge
+scheduler to disarm it after a no-stage edge — once the countdown hits
+zero the process goes dormant and the tally silently stops, while the
+exhaustive kernel keeps counting.  (The shipped components that look like
+this — serializer, decoder — only mutate on paths that also stage, and
+carry a commented suppression saying so.)
+"""
+
+from repro.hdl import Component
+
+EXPECTED_RULE = "contract.impure-pure-seq"
+
+
+class SleepyCounter(Component):
+    def __init__(self, start: int = 3) -> None:
+        super().__init__("sleepy")
+        self._remaining = self.reg("remaining", 8, start)
+        self.ticks = 0  # hidden per-edge tally, mutated even when dormant-eligible
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            self.ticks += 1
+            left = self._remaining.value
+            if left:
+                self._remaining.nxt = left - 1
+
+
+def build() -> SleepyCounter:
+    return SleepyCounter()
+
+
+def build_for_lint() -> SleepyCounter:
+    return build()

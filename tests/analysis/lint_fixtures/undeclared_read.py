@@ -1,0 +1,42 @@
+"""Seeded defect: a tracked comb process reads mutated hidden state.
+
+The settle process gates its output on ``self._mode`` — a plain Python
+attribute the edge process rewrites.  Sensitivity discovery only sees
+``Signal.value`` reads, so the event kernel never re-runs the comb when
+the mode flips: its output goes stale until some *tracked* input happens
+to change.  The exhaustive kernel, which re-runs everything, disagrees —
+this is the divergence the property suite reproduces.
+"""
+
+from repro.hdl import Component
+
+EXPECTED_RULE = "contract.hidden-comb-read"
+
+
+class ModalGate(Component):
+    def __init__(self) -> None:
+        super().__init__("modal")
+        self.inp = self.signal("inp", 8, 0)
+        self.out = self.signal("out", 8, 0)
+        self._step = self.reg("step", 8, 0)
+        self._mode = 0  # hidden: flips between pass-through and inversion
+
+        @self.comb
+        def _gate() -> None:
+            x = self.inp.value
+            self.out.set((x ^ 0xFF) if self._mode else x)
+
+        @self.seq
+        def _advance() -> None:
+            step = self._step.value
+            self._step.nxt = (step + 1) & 0xFF
+            if step % 4 == 3:
+                self._mode = 1 - self._mode
+
+
+def build() -> ModalGate:
+    return ModalGate()
+
+
+def build_for_lint() -> ModalGate:
+    return build()

@@ -1,0 +1,39 @@
+"""Seeded defect: a producer that drives ``valid`` but ignores ``ready``.
+
+The source offers a fresh word every cycle and advances unconditionally —
+no process ever samples ``out.ready``.  Against an always-ready consumer
+it simulates perfectly; the first time the consumer stalls, the word on
+the bus that cycle is replaced and lost.  Every blocking primitive in the
+framework (FIFO full, arbiter grant) expresses itself through ``ready``,
+so a blind producer cannot be backpressured.
+"""
+
+from repro.hdl import Component, Stream
+
+EXPECTED_RULE = "protocol.valid-no-ready"
+
+
+class BlindProducer(Component):
+    def __init__(self) -> None:
+        super().__init__("blind")
+        self.out = Stream(self, "out", 8)
+        self._count = self.reg("count", 8, 0)
+
+        @self.comb
+        def _offer() -> None:
+            self.out.valid.set(1)
+            self.out.payload.set(self._count.value)
+
+        @self.seq(pure=True)
+        def _advance() -> None:
+            # unconditional: the word is assumed taken whether or not the
+            # consumer was ready
+            self._count.nxt = (self._count.value + 1) & 0xFF
+
+
+def build() -> BlindProducer:
+    return BlindProducer()
+
+
+def build_for_lint() -> BlindProducer:
+    return build()

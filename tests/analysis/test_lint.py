@@ -1,0 +1,201 @@
+"""The design-rule checker's own contract, both halves.
+
+False negatives: every seeded-defect fixture must raise its pinned rule.
+False positives: the shipped presets must raise nothing (in *error-mode*
+terms: nothing at all — warnings included).  Plus the machinery around the
+rules: suppressions, the builder gate, the CLI, and report rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintFailure, Linter, all_rules, iter_rule_catalog
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.testing import (
+    assert_lint_clean,
+    assert_rule_fires,
+    lint_report,
+)
+from repro.fu import AreaOptimizedFU, FuComputation
+from repro.messages.channel import PRESETS
+from repro.system import SystemBuilder, build_system
+
+from tests.analysis.lint_fixtures import (
+    comb_loop,
+    double_driver,
+    impure_pure_seq,
+    undeclared_read,
+    valid_no_ready,
+)
+
+FIXTURES = [comb_loop, double_driver, undeclared_read, impure_pure_seq,
+            valid_no_ready]
+FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
+
+
+# -- false negatives: seeded defects must be caught ---------------------------
+
+
+@pytest.mark.parametrize("fixture", FIXTURES,
+                         ids=[f.__name__.rsplit(".", 1)[-1] for f in FIXTURES])
+def test_fixture_fires_pinned_rule(fixture):
+    assert_rule_fires(fixture.build(), fixture.EXPECTED_RULE)
+
+
+def test_comb_loop_names_the_cycle():
+    report = assert_rule_fires(comb_loop.build(), "graph.comb-loop")
+    (diag,) = [d for d in report.diagnostics if d.rule_id == "graph.comb-loop"]
+    assert "a" in diag.message.split() or "a ->" in diag.message
+    assert "b" in diag.message
+
+
+def test_double_driver_names_both_processes():
+    report = assert_rule_fires(double_driver.build(), "graph.multi-driver",
+                               signal="contention.bus")
+    (diag,) = [d for d in report.diagnostics
+               if d.rule_id == "graph.multi-driver"]
+    assert "_driver_a" in diag.message and "_driver_b" in diag.message
+
+
+def test_impure_pure_seq_names_hidden_attr():
+    report = assert_rule_fires(impure_pure_seq.build(),
+                               "contract.impure-pure-seq")
+    (diag,) = report.errors
+    assert "ticks" in diag.message
+
+
+# -- false positives: shipped designs must be silent --------------------------
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_presets_lint_clean(preset):
+    built = build_system(channel=PRESETS[preset], lint="off")
+    report = assert_lint_clean(built.soc, sim=built.sim)
+    # the guard-coupled purity idioms are suppressed, not invisible
+    assert report.suppressed, "expected the documented suppressions to count"
+
+
+def test_presets_are_fully_analyzable():
+    """No proc in the shipped SoC defeats the resolver — the closure-gated
+    rules (undriven-read, unread-drive, protocol.*) are live design-wide."""
+    from repro.analysis.lint import build_design
+
+    built = build_system(lint="off")
+    design = build_design(built.soc, sim=built.sim)
+    assert design.read_closed and design.write_closed, (
+        [(p.path, p.name) for p in design.procs if p.opaque]
+    )
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_suppression_silences_and_is_counted():
+    comp = impure_pure_seq.build()
+    comp.lint_suppress("contract.impure-pure-seq", "fixture: testing the knob")
+    report = lint_report(comp)
+    assert not any(d.rule_id == "contract.impure-pure-seq"
+                   for d in report.diagnostics)
+    assert any(s.rule_id == "contract.impure-pure-seq"
+               for s in report.suppressed)
+
+
+def test_suppression_is_rule_specific():
+    comp = impure_pure_seq.build()
+    comp.lint_suppress("graph.multi-driver", "fixture: wrong rule on purpose")
+    report = lint_report(comp)
+    assert any(d.rule_id == "contract.impure-pure-seq"
+               for d in report.diagnostics)
+
+
+# -- builder integration ------------------------------------------------------
+
+
+class _ContendingUnit(AreaOptimizedFU):
+    """A user unit with a seeded defect: a second driver for ``idle``."""
+
+    def __init__(self, name, word_bits, parent=None):
+        super().__init__(name, word_bits, parent)
+        self.comb(lambda: self.dp.idle.set(1))
+
+    def compute(self, s):
+        return FuComputation(data1=s.op_a)
+
+
+def test_build_system_lint_error_rejects_bad_unit():
+    builder = (
+        SystemBuilder()
+        .with_unit(0x20, lambda n, w, p: _ContendingUnit(n, w, p))
+        .with_lint("error")
+    )
+    with pytest.raises(LintFailure) as exc:
+        builder.build()
+    assert any(d.rule_id == "graph.multi-driver"
+               for d in exc.value.report.errors)
+
+
+def test_build_system_lint_error_accepts_clean_design():
+    build_system(lint="error")  # must not raise
+
+
+def test_with_lint_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        SystemBuilder().with_lint("loud")
+
+
+# -- engine / catalog ---------------------------------------------------------
+
+
+def test_rule_filtering():
+    report = Linter(["graph.multi-driver"]).lint(double_driver.build())
+    assert {d.rule_id for d in report.diagnostics} == {"graph.multi-driver"}
+
+
+def test_catalog_ids_are_unique_and_registered():
+    rows = list(iter_rule_catalog())
+    ids = [rid for rid, _sev, _title in rows]
+    assert len(ids) == len(set(ids))
+    assert set(ids) == set(all_rules())
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_flags_fixture_in_error_mode(capsys):
+    path = str(FIXTURE_DIR / "double_driver.py")
+    assert lint_main([path]) == 1
+    assert "graph.multi-driver" in capsys.readouterr().out
+
+
+def test_cli_fail_on_never(capsys):
+    path = str(FIXTURE_DIR / "double_driver.py")
+    assert lint_main([path, "--fail-on", "never"]) == 0
+
+
+def test_cli_json_report(capsys):
+    path = str(FIXTURE_DIR / "valid_no_ready.py")
+    assert lint_main([path, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (target_report,) = payload["targets"].values()
+    assert payload["summary"]["errors"] >= 1
+    assert any(d["rule"] == "protocol.valid-no-ready"
+               for d in target_report["diagnostics"])
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "graph.comb-loop" in out and "contract.impure-pure-seq" in out
+
+
+def test_cli_rejects_unknown_rule_id():
+    assert lint_main(["--rules", "graph.no-such-rule"]) == 2
+
+
+def test_cli_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        lint_main(["not-a-preset-and-not-a-file"])

@@ -19,6 +19,7 @@ from repro.messages import (
     parse_nack_info,
     seq_before,
     split_trailer,
+    trailer_crc,
 )
 
 MESSAGES = [Exec(0x0102_0304_0506_0708), WriteReg(3, 0xABCD), Reset(), Halted()]
@@ -41,7 +42,18 @@ class TestCrcAndTrailer:
         magic, seq, crc = split_trailer(t)
         assert magic == TRAILER_MAGIC
         assert seq == 0x7F
-        assert crc == crc16(frame)
+        assert crc == trailer_crc(0x7F, frame)
+
+    def test_crc_covers_the_seq_byte(self):
+        # A bit flip in the trailer's seq field must not yield another
+        # valid trailer — otherwise a fault can renumber an intact frame
+        # and forge Go-Back-N ordering.
+        frame = [0x01020003, 0xDEAD, 0xBEEF]
+        t = make_trailer(5, frame)
+        forged_seq = ((5 ^ 0x1) & 0xFF)
+        forged = (t & ~(0xFF << 16)) | (forged_seq << 16)
+        _, seq, crc = split_trailer(forged)
+        assert crc != trailer_crc(seq, frame)
 
     def test_seq_before_wraps(self):
         assert seq_before(0, 1)
@@ -69,7 +81,7 @@ class TestReliableFramer:
             magic, seq, crc = split_trailer(words[-1])
             assert magic == TRAILER_MAGIC
             assert seq == i == f.last_seq
-            assert crc == crc16(base)
+            assert crc == trailer_crc(i, base)
 
     def test_seq_wraps_at_256(self):
         f = ReliableFramer(start_seq=254)
