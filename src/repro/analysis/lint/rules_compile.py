@@ -1,0 +1,93 @@
+"""Compiled-backend coverage rules: which processes defeat the codegen?
+
+The compiled backend (:mod:`repro.hdl.compile`) shares its front end with
+this lint package: a process is specialized (translated or value-guarded)
+exactly when :func:`~repro.analysis.lint.astpass.closure_of` proves its
+dependence closure.  Anything unproven falls back to interpreted,
+run-every-sweep execution — always correct, but it erodes the backend's
+speedup one process at a time.  This rule family makes those fallbacks
+visible at elaboration time instead of leaving them buried in
+``KernelStats.fallback_procs``.
+
+Informational severity: a fallback is a performance observation, not a
+design error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...hdl.compile.frontend import guard_eligible
+from .astpass import closure_of
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo, ProcRecord
+
+
+def _fallback_reason(rec: ProcRecord) -> str:
+    """Why the compiler front end cannot value-guard this process."""
+    try:
+        closure = closure_of(rec.fn)
+    except Exception:
+        return "closure resolution failed"
+    if closure.parse_failed:
+        return "source unavailable to the AST pass"
+    if closure.unknown_calls:
+        return "calls the front end cannot see through"
+    if closure.opaque_reads:
+        return "reads the front end cannot enumerate"
+    if not guard_eligible(closure):
+        return "hidden inputs are mutable or late-bound (unpollable)"
+    return ""
+
+
+@register_rule
+class CompiledFallbackRule(Rule):
+    """A process the compiled backend must run unguarded on every sweep.
+
+    Combinational processes declared ``always=True`` — or whose read
+    closure the shared front end cannot prove — execute on every compiled
+    settle sweep, exactly like under the event kernel's exhaustive
+    fallback.  Impure sequential processes without a provable closure run
+    on every edge.  Each one caps the compiled backend's advantage on the
+    designs it appears in.
+    """
+
+    id = "compile.fallback"
+    severity = Severity.INFO
+    title = "process falls back to interpreted execution under backend=\"compiled\""
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        for rec in design.comb:
+            if rec.always:
+                yield self.diag(
+                    rec.comp.path,
+                    f"{rec.label} is declared always=True — the compiled "
+                    "backend runs it unguarded on every settle sweep",
+                    hint="vectorize the structure behind it "
+                         "(__compile_vector__) or carry its hidden inputs "
+                         "in Signals so the closure becomes provable",
+                )
+                continue
+            reason = _fallback_reason(rec)
+            if reason:
+                yield self.diag(
+                    rec.comp.path,
+                    f"{rec.label} cannot be value-guarded: {reason} — it "
+                    "runs on every compiled settle sweep",
+                    hint="keep process bodies to tracked Signal reads and "
+                         "immutable hidden attributes",
+                )
+        for rec in design.seq:
+            if rec.pure:
+                continue  # dynamic runtime tracking still applies
+            reason = _fallback_reason(rec)
+            if reason:
+                yield self.diag(
+                    rec.comp.path,
+                    f"{rec.label} is impure with an unprovable closure "
+                    f"({reason}) — the compiled backend runs it on every "
+                    "edge",
+                    hint="declare pure=True if it qualifies, or keep its "
+                         "inputs to tracked Signal reads",
+                )

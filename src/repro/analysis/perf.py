@@ -28,6 +28,7 @@ def make_system(
     pipelined: bool = False,
     scheduler: str = "event",
     wheel: bool = True,
+    backend: Optional[str] = None,
 ) -> BuiltSystem:
     """Standard benchmark system: case-study units (+ optional ξ-sort)."""
     cfg = config if config is not None else FrameworkConfig(pipelined_units=pipelined)
@@ -35,7 +36,7 @@ def make_system(
     if xisort_cells:
         registry.register(Opcode.XISORT, xisort_factory(n_cells=xisort_cells))
     return build_system(cfg, channel=channel, registry=registry,
-                        scheduler=scheduler, wheel=wheel)
+                        scheduler=scheduler, wheel=wheel, backend=backend)
 
 
 @dataclass

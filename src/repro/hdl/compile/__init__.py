@@ -1,0 +1,28 @@
+"""Graph-specialized codegen backend for the simulation kernel.
+
+``Simulator(top, backend="compiled")`` flattens the elaborated component
+graph into one specialized Python module — rank-ordered combinational
+evaluation with per-process value guards, a fused sequential/commit edge
+phase, and numpy-vectorized executors for SIMD-regular structures — then
+``exec``-compiles it once per system.  Processes whose dependence closure
+the compiler front end (:func:`repro.analysis.lint.astpass.closure_of`)
+cannot prove fall back to interpreted execution automatically, so the
+backend is always safe to select.
+
+Modules
+-------
+
+* :mod:`.frontend` — classification (translate / guard / fallback) and the
+  AST-to-source translator for the provable process subset;
+* :mod:`.codegen` — emits the specialized module source (settle sweep,
+  edge phase, wheel scan) and manages object hoisting;
+* :mod:`.vector` — vectorized executors for components publishing the
+  ``__compile_vector__`` hook (the ξ-sort cell arrays);
+* :mod:`.engine` — :class:`~repro.hdl.compile.engine.CompiledSimulator`,
+  the drop-in :class:`~repro.hdl.sim.Simulator` subclass driving the
+  generated module.
+"""
+
+from .engine import CompiledSimulator
+
+__all__ = ["CompiledSimulator"]

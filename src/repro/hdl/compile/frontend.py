@@ -1,0 +1,535 @@
+"""Compiler front end: closure-based classification and the AST translator.
+
+The front end decides, per process, which of three execution strategies
+the generated module uses:
+
+* **translated** — the body is rewritten into straight-line Python over
+  hoisted signal references (``_h3._value``) with inlined set/stage
+  semantics: no dict dispatch, no per-signal attribute chasing, no read
+  tracking.  Only a restricted statement/expression subset qualifies.
+* **guarded fallback** — the original function object is called, but only
+  when the value tuple of its *proven* read closure (signals plus benign
+  hidden attribute loads) changed since its last run.  Polling replaces
+  the event kernel's notification queue.
+* **unguarded** — the closure could not be proven (opaque reads, unknown
+  calls, mutable hidden state): the function runs on every sweep, exactly
+  like an ``always=True`` process under the event kernel.
+
+The dependence closures come from the lint AST pass
+(:func:`repro.analysis.lint.astpass.closure_of`) — one front end shared by
+static analysis and codegen, so a process lint can reason about is also a
+process the compiler can specialize.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+from typing import Any, Callable, Optional
+
+from ...analysis.lint.astpass import ProcClosure, _find_def, _root_env, closure_of
+from ..components import Stream
+from ..signal import Reg, Signal
+from ..signal import tracking as _signal_tracking
+
+__all__ = [
+    "ProcClosure",
+    "closure_of",
+    "guard_eligible",
+    "guard_reads",
+    "Translator",
+    "Untranslatable",
+]
+
+#: value types a guard tuple may capture by value: comparing the captured
+#: value with ``==`` detects every rebinding, because the object itself
+#: can never mutate in place
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def _immutable_value(value: Any) -> bool:
+    if isinstance(value, _SCALAR_TYPES):
+        return True
+    params = getattr(type(value), "__dataclass_params__", None)
+    return params is not None and bool(params.frozen)
+
+
+_MISSING = object()
+
+
+def _constant_load(owner: Any, value: Any) -> bool:
+    """True when ``owner.attr`` can never change for the design's lifetime.
+
+    An immutable *value* still changes if the attribute is rebound to a
+    different one — unless the owner forbids rebinding outright: enum
+    classes reject member reassignment, frozen dataclasses raise
+    ``FrozenInstanceError`` on ``setattr``.  Such loads are compile-time
+    constants and need no guard slot at all.
+    """
+    if isinstance(owner, type) and issubclass(owner, enum.Enum):
+        return True
+    params = getattr(type(owner), "__dataclass_params__", None)
+    return params is not None and bool(params.frozen)
+
+
+def _snap(x: Any) -> Any:
+    """O(1) rebinding probe for a hidden guard input: value or identity.
+
+    The reference semantics a guard must reproduce are the *event
+    kernel's*, and its dynamic sensitivity watches only the signals a
+    process actually read on its last run — never the hidden objects it
+    navigated through.  A guarded process additionally has a statically
+    complete read set (``read_complete``), so the only way its polled
+    signal set can go stale is the navigation path itself changing: the
+    attribute being rebound to a different object.  Identity catches
+    exactly that.  Interior mutation of the object is deliberately not
+    polled — the event kernel would not wake the process for it either,
+    and every program where that matters already diverges between the
+    event and exhaustive kernels, outside the framework's contract.
+    """
+    return x if isinstance(x, _SCALAR_TYPES) else id(x)
+
+
+def _computed_reads(owner: Any, attr: str) -> Optional[set]:
+    """Signals a computed attribute's getter reads, or None for stored attrs.
+
+    A load that resolves through a descriptor (``@property``) runs code on
+    every access, so polling it costs whatever the getter costs — and a
+    getter deriving purely from Python state (``component.path`` walking
+    the parent chain) can never wake an event-kernel process anyway, since
+    dynamic sensitivity only watches signals.  Sampling the getter once
+    under the read-tracking hook separates the two kinds: an empty set
+    means the load is invisible to the reference kernel and may be dropped
+    from the guard; a non-empty set means the getter derives from signal
+    state and must keep being polled by value.
+    """
+    if not isinstance(inspect.getattr_static(type(owner), attr, None),
+                      property):
+        return None
+    reads: set = set()
+    with _signal_tracking(reads=reads):
+        try:
+            getattr(owner, attr)
+        except Exception:
+            pass
+    return reads
+
+
+def _pollable_hidden(
+    closure: ProcClosure,
+) -> Optional[tuple[list[tuple[Any, str, str]], set]]:
+    """The hidden loads a guard must poll, or ``None`` when unguardable.
+
+    Returns ``(polled, wake)``: the (owner, attr, mode) loads the guard
+    tuple samples, plus the *wake signals* — signals read inside property
+    getters along the navigation path.  The AST pass cannot see through a
+    getter, so those signals are absent from ``closure.reads``; the event
+    kernel still subscribes to them (its read tracking is active while
+    the getter runs inside the process), so the wake-driven sweep must
+    treat them as guard inputs too.  The getter is assumed to read a
+    fixed signal set — the same static-closure contract ``read_complete``
+    already places on the process body itself.
+
+    Sieve over the closure's hidden attribute loads:
+
+    * attribute present, immutable, on a rebind-proof owner (see
+      :func:`_constant_load`) → a compile-time constant, dropped;
+    * attribute resolved through a property whose getter reads no signals
+      (see :func:`_computed_reads`) → invisible to the event kernel's
+      dynamic sensitivity, dropped — recomputed paths and unit tables
+      land here;
+    * attribute present and immutable → polled by value (``"value"``);
+    * attribute present and mutable → a stored reference, polled via
+      :func:`_snap` (``"snap"``) — port bundles and arbiter port lists
+      land here;
+    * attribute *missing* on a probe placeholder (``None`` or a bare
+      ``object``) → dropped: the AST pass resolves loads on locals that
+      are derived from tracked signal reads onto such placeholders, and
+      ``read_complete`` already proves their inputs are in the polled
+      signal set;
+    * a real owner whose attribute does not exist yet — late-bound
+      hidden state → ``None``: the load cannot even be sampled at
+      compile time, so the process cannot be value-guarded.
+    """
+    polled: list[tuple[Any, str, str]] = []
+    wake: set = set()
+    for (_oid, attr), (_text, owner) in closure.hidden_loads.items():
+        try:
+            value = getattr(owner, attr, _MISSING)
+        except Exception:
+            value = _MISSING
+        if value is _MISSING:
+            if owner is None or type(owner) is object:
+                continue
+            return None
+        getter_reads = _computed_reads(owner, attr)
+        if getter_reads is not None:
+            if not getter_reads:
+                continue
+            wake |= getter_reads
+        if _immutable_value(value):
+            if not _constant_load(owner, value):
+                polled.append((owner, attr, "value"))
+        else:
+            polled.append((owner, attr, "snap"))
+    return polled, wake
+
+
+def guard_eligible(closure: ProcClosure) -> bool:
+    """May the generated code skip this process on an unchanged read tuple?
+
+    Requires a complete read closure, and every hidden (non-signal)
+    attribute load to be pollable (see :func:`_pollable_hidden`) — a
+    deeply mutable hidden input (a dict, a numpy array) can change
+    without any polled snapshot comparing unequal, which would wrongly
+    keep the process asleep.
+    """
+    return closure.read_complete and _pollable_hidden(closure) is not None
+
+
+def guard_reads(
+    closure: ProcClosure,
+) -> tuple[list[Signal], list[tuple[Any, str, str]], list[Signal]]:
+    """The inputs of a guard: (signals, hidden loads, extra wake signals).
+
+    The first two lists form the polled value tuple; the third holds
+    signals read inside property getters on the navigation path (see
+    :func:`_pollable_hidden`) — they join the guard's wake set but not
+    its poll tuple, since the polled property value already reflects
+    them.  Deterministically ordered so generated source is stable.
+    """
+    polled, wake = _pollable_hidden(closure) or ([], set())
+    sigs = sorted(closure.reads, key=lambda s: (s.name, id(s)))
+    hidden = sorted(polled, key=lambda entry: (entry[1], id(entry[0])))
+    extra = sorted(wake - set(closure.reads), key=lambda s: (s.name, id(s)))
+    return sigs, hidden, extra
+
+
+# -- the translator -----------------------------------------------------------
+
+
+class Untranslatable(Exception):
+    """Raised (internally) when a body leaves the translatable subset."""
+
+
+class Translator:
+    """Rewrites one process body into specialized statement lines.
+
+    ``hoist`` is the codegen namespace allocator: ``hoist(obj)`` returns
+    the stable generated-module name bound to ``obj``.  Resolution of
+    attribute chains happens *now*, against the live elaborated design, so
+    the emitted code references hoisted objects directly.
+    """
+
+    def __init__(self, fn: Callable[[], None], closure: ProcClosure,
+                 hoist: Callable[[Any], str]):
+        self.fn = fn
+        self.closure = closure
+        self.hoist = hoist
+        self.env = _root_env(fn)
+        bound = getattr(fn, "__self__", None)
+        if bound is not None:
+            self.env["self"] = bound
+        self.locals: set[str] = set()
+
+    def translate(self) -> Optional[list[str]]:
+        """Translated body lines (unindented), or None when out of subset."""
+        c = self.closure
+        if not (c.read_complete and c.write_complete):
+            return None
+        if c.hidden_stores or c.nonlocal_stores:
+            return None
+        code = getattr(self.fn, "__code__", None)
+        if code is None or code.co_argcount:
+            return None
+        try:
+            src = textwrap.dedent(inspect.getsource(self.fn))
+            tree = ast.parse(src)
+            node = _find_def(tree, code.co_name, code.co_firstlineno)
+            if node is None or isinstance(node, ast.Lambda):
+                return None
+            lines: list[str] = []
+            for stmt in node.body:
+                lines.extend(self._tx_stmt(stmt))
+            return lines or ["pass"]
+        except Untranslatable:
+            return None
+        except (OSError, SyntaxError, TypeError, ValueError):
+            return None
+
+    # -- compile-time object resolution --------------------------------------
+
+    def _resolve(self, node: ast.AST) -> Any:
+        """Resolve a pure Name/Attribute/const-Subscript chain to an object."""
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                raise Untranslatable(node.id)
+            if node.id not in self.env:
+                raise Untranslatable(node.id)
+            return self.env[node.id]
+        if isinstance(node, ast.Attribute):
+            base = self._resolve(node.value)
+            try:
+                return getattr(base, node.attr)
+            except Exception as exc:
+                raise Untranslatable(str(exc)) from None
+        if isinstance(node, ast.Subscript):
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+                base = self._resolve(node.value)
+                try:
+                    return base[sl.value]
+                except Exception as exc:
+                    raise Untranslatable(str(exc)) from None
+        raise Untranslatable(ast.dump(node))
+
+    def _const_int(self, node: ast.AST) -> int:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return int(node.value)
+        raise Untranslatable("non-constant index")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _tx_expr(self, node: ast.AST, test: bool = False) -> str:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float, str, bool, type(None))):
+                return repr(node.value)
+            raise Untranslatable("constant kind")
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                return f"_L_{node.id}"
+            obj = self._resolve(node)
+            return self._tx_object(obj, test)
+        if isinstance(node, ast.Attribute):
+            return self._tx_attribute(node, test)
+        if isinstance(node, ast.Subscript):
+            obj = self._resolve(node)
+            return self._tx_object(obj, test)
+        if isinstance(node, ast.Call):
+            return self._tx_call(node, test)
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise Untranslatable("binop")
+            left = self._tx_expr(node.left)
+            right = self._tx_expr(node.right)
+            return f"({left} {op} {right})"
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:
+                raise Untranslatable("unaryop")
+            operand = self._tx_expr(node.operand, test=isinstance(node.op, ast.Not))
+            return f"({op} {operand})"
+        if isinstance(node, ast.BoolOp):
+            op = " and " if isinstance(node.op, ast.And) else " or "
+            return "(" + op.join(self._tx_expr(v, test) for v in node.values) + ")"
+        if isinstance(node, ast.Compare):
+            parts = [self._tx_expr(node.left)]
+            for cmp_op, comparator in zip(node.ops, node.comparators):
+                op = _CMPOPS.get(type(cmp_op))
+                if op is None:
+                    raise Untranslatable("compare op")
+                parts.append(op)
+                parts.append(self._tx_expr(comparator))
+            return "(" + " ".join(parts) + ")"
+        if isinstance(node, ast.IfExp):
+            t = self._tx_expr(node.test, test=True)
+            a = self._tx_expr(node.body, test)
+            b = self._tx_expr(node.orelse, test)
+            return f"({a} if {t} else {b})"
+        raise Untranslatable(type(node).__name__)
+
+    def _tx_object(self, obj: Any, test: bool) -> str:
+        """Emit a resolved object: scalar constants inline, signals by value."""
+        if isinstance(obj, Signal):
+            if not test:
+                raise Untranslatable("bare signal outside a truth context")
+            return f"{self.hoist(obj)}._value"
+        if isinstance(obj, bool) or obj is None:
+            return repr(obj)
+        if isinstance(obj, int):
+            return repr(int(obj))
+        if isinstance(obj, (float, str)):
+            return repr(obj)
+        raise Untranslatable("unresolvable object kind")
+
+    def _tx_attribute(self, node: ast.Attribute, test: bool) -> str:
+        attr = node.attr
+        if attr == "value":
+            sig = self._resolve(node.value)
+            if not isinstance(sig, Signal):
+                raise Untranslatable(".value on non-signal")
+            return f"{self.hoist(sig)}._value"
+        if attr == "nxt":
+            reg = self._resolve(node.value)
+            if not isinstance(reg, Reg):
+                raise Untranslatable(".nxt on non-reg")
+            h = self.hoist(reg)
+            return f"({h}._value if {h}._staged is _U else {h}._staged)"
+        obj = self._resolve(node)
+        if isinstance(obj, Signal):
+            return self._tx_object(obj, test)
+        if _immutable_value(obj) and not isinstance(obj, (Signal, Stream)):
+            # a hidden attribute load: emit a runtime load off the hoisted
+            # owner, so rebinding between cycles is observed (the guard
+            # tuple polls the same attribute)
+            owner = self._resolve(node.value)
+            return f"{self.hoist(owner)}.{attr}"
+        raise Untranslatable("attribute kind")
+
+    def _tx_call(self, node: ast.Call, test: bool) -> str:
+        if node.keywords:
+            raise Untranslatable("call keywords")
+        func = node.func
+        if isinstance(func, ast.Name):
+            fn = self._resolve(func)
+            if fn in (int, bool, abs, len, min, max) and len(node.args) >= 1:
+                args = ", ".join(self._tx_expr(a) for a in node.args)
+                return f"{fn.__name__}({args})"
+            raise Untranslatable("free call")
+        if not isinstance(func, ast.Attribute):
+            raise Untranslatable("call shape")
+        name = func.attr
+        if name == "bit" and len(node.args) == 1:
+            sig = self._resolve(func.value)
+            if not isinstance(sig, Signal):
+                raise Untranslatable(".bit on non-signal")
+            idx = self._const_int(node.args[0])
+            return f"(({self.hoist(sig)}._value >> {idx}) & 1)"
+        if name == "bits" and len(node.args) == 2:
+            sig = self._resolve(func.value)
+            if not isinstance(sig, Signal):
+                raise Untranslatable(".bits on non-signal")
+            hi = self._const_int(node.args[0])
+            lo = self._const_int(node.args[1])
+            mask = (1 << (hi - lo + 1)) - 1
+            return f"(({self.hoist(sig)}._value >> {lo}) & {mask})"
+        if name == "fires" and not node.args:
+            stream = self._resolve(func.value)
+            if not isinstance(stream, Stream):
+                raise Untranslatable(".fires on non-stream")
+            v = self.hoist(stream.valid)
+            r = self.hoist(stream.ready)
+            expr = f"({v}._value and {r}._value)"
+            return expr if test else f"bool{expr}"
+        raise Untranslatable(f"method call .{name}")
+
+    # -- statements -----------------------------------------------------------
+
+    def _store_signal(self, sig: Signal, expr: str) -> list[str]:
+        h = self.hoist(sig)
+        if sig._mask is not None:
+            load = f"_v = int({expr}) & {sig._mask}"
+        else:
+            load = f"_v = {expr}"
+        return [
+            load,
+            f"if _v != {h}._value:",
+            f"    {h}._value = _v",
+            "    _CH.dirty = True",
+            f"    _CHG.append({h})",
+        ]
+
+    def _stage_reg(self, reg: Reg, expr: str) -> list[str]:
+        h = self.hoist(reg)
+        if reg._mask is not None:
+            load = f"_v = int({expr}) & {reg._mask}"
+        else:
+            load = f"_v = {expr}"
+        return [
+            load,
+            f"if {h}._staged is _U:",
+            f"    _SL.append({h})",
+            f"{h}._staged = _v",
+            "_CH.stages += 1",
+        ]
+
+    def _tx_stmt(self, stmt: ast.stmt) -> list[str]:
+        if isinstance(stmt, ast.Pass):
+            return ["pass"]
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                raise Untranslatable("return with value")
+            return ["return"]
+        if isinstance(stmt, ast.Expr):
+            call = stmt.value
+            if isinstance(call, ast.Constant):
+                return []  # docstring
+            if not isinstance(call, ast.Call) or not isinstance(call.func, ast.Attribute):
+                raise Untranslatable("expression statement")
+            name = call.func.attr
+            if name == "set" and len(call.args) == 1 and not call.keywords:
+                sig = self._resolve(call.func.value)
+                if not isinstance(sig, Signal):
+                    raise Untranslatable(".set on non-signal")
+                return self._store_signal(sig, self._tx_expr(call.args[0]))
+            if name == "stage" and len(call.args) == 1 and not call.keywords:
+                reg = self._resolve(call.func.value)
+                if not isinstance(reg, Reg):
+                    raise Untranslatable(".stage on non-reg")
+                return self._stage_reg(reg, self._tx_expr(call.args[0]))
+            raise Untranslatable(f"statement call .{name}")
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise Untranslatable("chained assignment")
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                expr = self._tx_expr(stmt.value)
+                self.locals.add(target.id)
+                return [f"_L_{target.id} = {expr}"]
+            if isinstance(target, ast.Attribute) and target.attr == "nxt":
+                reg = self._resolve(target.value)
+                if not isinstance(reg, Reg):
+                    raise Untranslatable(".nxt on non-reg")
+                return self._stage_reg(reg, self._tx_expr(stmt.value))
+            raise Untranslatable("assignment target")
+        if isinstance(stmt, ast.AnnAssign):
+            if not isinstance(stmt.target, ast.Name) or stmt.value is None:
+                raise Untranslatable("annotated assignment")
+            expr = self._tx_expr(stmt.value)
+            self.locals.add(stmt.target.id)
+            return [f"_L_{stmt.target.id} = {expr}"]
+        if isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.target, ast.Name) \
+                    or stmt.target.id not in self.locals:
+                raise Untranslatable("augmented target")
+            op = _BINOPS.get(type(stmt.op))
+            if op is None:
+                raise Untranslatable("augmented op")
+            expr = self._tx_expr(stmt.value)
+            return [f"_L_{stmt.target.id} = _L_{stmt.target.id} {op} ({expr})"]
+        if isinstance(stmt, ast.If):
+            test = self._tx_expr(stmt.test, test=True)
+            lines = [f"if {test}:"]
+            body = []
+            for s in stmt.body:
+                body.extend(self._tx_stmt(s))
+            lines.extend("    " + line for line in (body or ["pass"]))
+            if stmt.orelse:
+                lines.append("else:")
+                orelse = []
+                for s in stmt.orelse:
+                    orelse.extend(self._tx_stmt(s))
+                lines.extend("    " + line for line in (orelse or ["pass"]))
+            return lines
+        raise Untranslatable(type(stmt).__name__)
+
+
+_BINOPS: dict[type, str] = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.FloorDiv: "//",
+    ast.Mod: "%", ast.LShift: "<<", ast.RShift: ">>",
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+}
+
+_UNARYOPS: dict[type, str] = {
+    ast.USub: "-", ast.UAdd: "+", ast.Invert: "~", ast.Not: "not",
+}
+
+_CMPOPS: dict[type, str] = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+

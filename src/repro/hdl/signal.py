@@ -193,15 +193,17 @@ class Signal:
 
         The owning simulator is still notified of the change so that an
         event-driven settle following the force re-evaluates the fanout.
-        Unlike :meth:`set`, force happens between cycles (never while a
-        process is mid-run), so the fanout map is complete and an empty
-        fanout safely means no combinational reader exists.
+        The notification is unconditional: the compiled backend never
+        populates fanout lists (its generated sweep polls value guards
+        instead), so it relies on every forced change landing in the
+        pending list; for the event kernel, draining a signal with an
+        empty fanout is a cheap no-op.
         """
         if self._mask is not None:
             value = int(value) & self._mask
         if value != self._value:
             self._value = value
-            if self._pending is not None and (self._fanout or self._seq_fanout):
+            if self._pending is not None:
                 self._pending.append(self)
 
     # -- conveniences --------------------------------------------------------
@@ -293,10 +295,10 @@ class Reg(Signal):
         changed = self._staged != self._value
         self._value = self._staged
         self._staged = _UNSET
-        # Commit runs at the clock edge (no process mid-run), so the fanout
-        # maps are complete: empty fanouts mean no tracked process has ever
-        # read this register and the scheduler does not need to know.
-        if changed and self._pending is not None and (self._fanout or self._seq_fanout):
+        # Notify unconditionally: the compiled backend keeps no fanout maps
+        # (its settle polls value guards off the pending list), and for the
+        # event kernel draining a fanout-less register is a cheap no-op.
+        if changed and self._pending is not None:
             self._pending.append(self)
         return changed
 

@@ -190,6 +190,16 @@ class KernelStats:
     skipped_cycles: int = 0
     #: number of time-wheel jumps taken
     wheel_jumps: int = 0
+    #: processes the codegen backend translated or value-guarded (compiled
+    #: backend only; 0 under the interpreted kernels)
+    compiled_procs: int = 0
+    #: processes the compiler front end could not prove a closure for —
+    #: they run unguarded on every compiled settle sweep
+    fallback_procs: int = 0
+    #: SIMD cells absorbed into vectorized executors (compiled backend)
+    vectorized_cells: int = 0
+    #: one-time codegen + exec cost, in milliseconds (compiled backend)
+    compile_ms: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -208,6 +218,10 @@ class KernelStats:
             "seq_runs": self.seq_runs,
             "skipped_cycles": self.skipped_cycles,
             "wheel_jumps": self.wheel_jumps,
+            "compiled_procs": self.compiled_procs,
+            "fallback_procs": self.fallback_procs,
+            "vectorized_cells": self.vectorized_cells,
+            "compile_ms": self.compile_ms,
         }
 
 
@@ -229,10 +243,33 @@ class Simulator:
         exhaustive kernel always steps every cycle).  ``wheel=False``
         forces edge-by-edge stepping while keeping the armed/dormant
         split — used by the equivalence property suite.
+    backend:
+        ``None`` keeps the ``scheduler`` choice.  ``"event"`` and
+        ``"exhaustive"`` are aliases for the corresponding scheduler.
+        ``"compiled"`` selects the codegen backend
+        (:mod:`repro.hdl.compile`): the elaborated graph is flattened
+        into specialized straight-line Python, with automatic per-process
+        fallback to interpreted execution where the compiler front end
+        cannot prove a closure.  All backends are cycle-exact and produce
+        identical traces.
 
     A design must be driven by at most one live simulator: elaboration
     claims every signal's change-notification hook for this instance.
     """
+
+    def __new__(
+        cls,
+        top: Optional[Component] = None,
+        max_settle: int = MAX_SETTLE_ITERATIONS,
+        scheduler: str = "event",
+        wheel: bool = True,
+        backend: Optional[str] = None,
+    ) -> "Simulator":
+        if cls is Simulator and backend == "compiled":
+            from .compile.engine import CompiledSimulator
+
+            return super().__new__(CompiledSimulator)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -240,9 +277,24 @@ class Simulator:
         max_settle: int = MAX_SETTLE_ITERATIONS,
         scheduler: str = "event",
         wheel: bool = True,
+        backend: Optional[str] = None,
     ):
+        if backend is not None:
+            if backend in ("event", "exhaustive"):
+                scheduler = backend
+            elif backend == "compiled":
+                # Only reachable when a subclass bypassed the __new__
+                # dispatch; CompiledSimulator never forwards this value.
+                raise SimulationError(
+                    "backend='compiled' is only available on Simulator itself"
+                )
+            else:
+                raise SimulationError(f"unknown backend {backend!r}")
         if scheduler not in ("event", "exhaustive"):
             raise SimulationError(f"unknown scheduler {scheduler!r}")
+        #: which engine executes this design ("event", "exhaustive" or
+        #: "compiled"); mirrors ``scheduler`` for the interpreted kernels
+        self.backend = scheduler
         self.top = top
         self.max_settle = max_settle
         self.scheduler = scheduler

@@ -46,6 +46,7 @@ class SystemBuilder:
         self._registry: Optional[UnitRegistry] = None
         self._unit_codes: Optional[Sequence[int]] = None
         self._scheduler: str = "event"
+        self._backend: Optional[str] = None
         self._wheel: bool = True
         self._engine_window: Optional[int] = None
         self._downstream_faults: Optional[FaultSpec] = None
@@ -85,6 +86,19 @@ class SystemBuilder:
         equivalence oracle and microbenchmark baseline.
         """
         self._scheduler = scheduler
+        return self
+
+    def with_backend(self, backend: Optional[str]) -> "SystemBuilder":
+        """Select the simulation backend for the built system.
+
+        ``None`` (default) keeps the :meth:`with_scheduler` choice;
+        ``"event"``/``"exhaustive"`` are aliases for the corresponding
+        scheduler; ``"compiled"`` selects the codegen backend
+        (:mod:`repro.hdl.compile`), which flattens the elaborated graph
+        into specialized straight-line Python.  Every backend is
+        cycle-exact and produces identical traces.
+        """
+        self._backend = backend
         return self
 
     def with_wheel(self, enabled: bool = True) -> "SystemBuilder":
@@ -167,7 +181,12 @@ class SystemBuilder:
             downstream_faults=self._downstream_faults,
             upstream_faults=self._upstream_faults,
         )
-        sim = Simulator(soc, scheduler=self._scheduler, wheel=self._wheel)
+        sim = Simulator(
+            soc,
+            scheduler=self._scheduler,
+            wheel=self._wheel,
+            backend=self._backend,
+        )
         sim.reset()
         built = BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
         if self._lint != "off":
@@ -205,6 +224,7 @@ def build_system(
     reliable: bool = False,
     wheel: bool = True,
     lint: str = "warn",
+    backend: Optional[str] = None,
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults.
 
@@ -215,12 +235,15 @@ def build_system(
     either way — the off switch exists for equivalence cross-checks);
     ``lint`` sets the design-rule check posture (``"warn"`` default,
     ``"error"`` to raise on violations, ``"off"`` to skip — see
-    :mod:`repro.analysis.lint`).
+    :mod:`repro.analysis.lint`); ``backend="compiled"`` selects the
+    codegen simulation backend (:mod:`repro.hdl.compile` — cycle-exact,
+    identical traces).
     """
     builder = (
         SystemBuilder(config)
         .with_channel(channel)
         .with_scheduler(scheduler)
+        .with_backend(backend)
         .with_wheel(wheel)
         .with_lint(lint)
     )

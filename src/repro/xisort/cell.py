@@ -158,6 +158,10 @@ class Cell(Component):
         self.load_upper = None
         self.prev_cell: Optional[Cell] = None
         self.is_first = False
+        #: set by a CellArrayExecutor to ``(executor, index)`` when the
+        #: compiled backend absorbs this cell into a vectorized column; the
+        #: per-cell register then goes stale and reads are redirected
+        self._vec = None
 
         @self.seq(pure=True)
         def _tick() -> None:
@@ -178,6 +182,11 @@ class Cell(Component):
             if ns is not self._state.value:
                 self._state.nxt = ns
 
+        self._tick_fn = _tick
+
     @property
     def state(self) -> CellState:
+        if self._vec is not None:
+            executor, index = self._vec
+            return executor.state_of(index)
         return self._state.value

@@ -14,6 +14,15 @@ Both expose the same port set:
 * tree outputs (paper Fig. 8): ``count``, ``leftmost_found``,
   ``leftmost_data``, ``leftmost_lower``, ``leftmost_upper``,
   ``selected_value``, ``selected_unique``.
+
+The SIMD state and per-command transition live in :class:`CellVectors` /
+:func:`apply_vector_command`, shared by three drivers: the interpreted
+``VectorCellArray`` process, and — under the compiled backend
+(:mod:`repro.hdl.compile`) — the :class:`CellArrayExecutor` published by
+*both* array implementations through ``__compile_vector__``.  For the
+structural array this replaces n per-cell interpreted processes with one
+array operation per cycle, which is what lets 10k+-cell structural arrays
+run at vector speed.
 """
 
 from __future__ import annotations
@@ -25,6 +34,111 @@ import numpy as np
 from ..hdl import Component
 from .cell import INTERVAL_BITS, SENTINEL, Cell, CellCmd, CellState
 from .tree import TreeNetwork
+
+
+class CellVectors:
+    """The five parallel state arrays of an n-cell SIMD column."""
+
+    __slots__ = ("n", "data", "lower", "upper", "sel", "saved")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.clear()
+
+    def clear(self) -> None:
+        """Every cell back to the empty (sentinel-interval) state."""
+        n = self.n
+        self.data = np.zeros(n, dtype=np.uint64)
+        self.lower = np.full(n, SENTINEL, dtype=np.uint32)
+        self.upper = np.full(n, SENTINEL, dtype=np.uint32)
+        self.sel = np.zeros(n, dtype=bool)
+        self.saved = np.zeros(n, dtype=bool)
+
+    def state_of(self, i: int) -> CellState:
+        return CellState(
+            data=int(self.data[i]),
+            lower=int(self.lower[i]),
+            upper=int(self.upper[i]),
+            selected=bool(self.sel[i]),
+            saved=bool(self.saved[i]),
+        )
+
+    def states(self) -> list[CellState]:
+        return [self.state_of(i) for i in range(self.n)]
+
+
+def apply_vector_command(
+    vec: CellVectors,
+    cmd: CellCmd,
+    broadcast: int,
+    load_data: int,
+    load_lower: int,
+    load_upper: int,
+) -> None:
+    """One broadcast command applied to all cells (vectorised ``cell_step``)."""
+    if cmd == CellCmd.NOP:
+        return
+    b = broadcast
+    bi = b & ((1 << INTERVAL_BITS) - 1)
+    if cmd == CellCmd.LOAD:
+        vec.data = np.roll(vec.data, 1)
+        vec.lower = np.roll(vec.lower, 1)
+        vec.upper = np.roll(vec.upper, 1)
+        vec.data[0] = load_data
+        vec.lower[0] = load_lower
+        vec.upper[0] = load_upper
+        vec.sel = np.zeros(vec.n, dtype=bool)
+        vec.saved = np.zeros(vec.n, dtype=bool)
+    elif cmd == CellCmd.CLEAR:
+        vec.clear()
+    elif cmd == CellCmd.SELECT_ALL:
+        vec.sel = np.ones(vec.n, dtype=bool)
+    elif cmd == CellCmd.SELECT_IMPRECISE:
+        vec.sel = vec.sel & (vec.lower != vec.upper)
+    elif cmd == CellCmd.MATCH_DATA_LT:
+        vec.sel = vec.sel & (vec.data < np.uint64(b))
+    elif cmd == CellCmd.MATCH_DATA_EQ:
+        vec.sel = vec.sel & (vec.data == np.uint64(b))
+    elif cmd == CellCmd.MATCH_DATA_GT:
+        vec.sel = vec.sel & (vec.data > np.uint64(b))
+    elif cmd == CellCmd.MATCH_LOWER_BOUND:
+        vec.sel = vec.sel & (vec.lower == bi)
+    elif cmd == CellCmd.MATCH_UPPER_BOUND:
+        vec.sel = vec.sel & (vec.upper == bi)
+    elif cmd == CellCmd.MATCH_LOWER_BOUND_I:
+        vec.sel = vec.sel & (vec.lower <= bi)
+    elif cmd == CellCmd.MATCH_UPPER_BOUND_I:
+        vec.sel = vec.sel & (vec.upper >= bi)
+    elif cmd == CellCmd.SET_LOWER_BOUND:
+        vec.lower = np.where(vec.sel, np.uint32(bi), vec.lower)
+    elif cmd == CellCmd.SET_UPPER_BOUND:
+        vec.upper = np.where(vec.sel, np.uint32(bi), vec.upper)
+    elif cmd == CellCmd.SET_BOUNDS:
+        vec.lower = np.where(vec.sel, np.uint32(bi), vec.lower)
+        vec.upper = np.where(vec.sel, np.uint32(bi), vec.upper)
+    elif cmd == CellCmd.LOAD_SELECTED:
+        vec.data = np.where(vec.sel, np.uint64(b), vec.data)
+    elif cmd == CellCmd.SAVE:
+        vec.saved = vec.sel.copy()
+    elif cmd == CellCmd.RESTORE:
+        vec.sel = vec.saved.copy()
+    else:  # pragma: no cover - enum exhaustive
+        raise ValueError(f"unknown cell command {cmd!r}")
+
+
+def fold_tree_outputs(vec: CellVectors, tree: TreeNetwork, ports) -> None:
+    """Drive the tree-output ports from the vector state (paper Fig. 8)."""
+    sel = vec.sel
+    count = tree.count(sel)
+    ports.count.set(count)
+    left = tree.leftmost(sel)
+    ports.leftmost_found.set(1 if left is not None else 0)
+    if left is not None:
+        ports.leftmost_data.set(int(vec.data[left]))
+        ports.leftmost_lower.set(int(vec.lower[left]))
+        ports.leftmost_upper.set(int(vec.upper[left]))
+    ports.selected_unique.set(1 if count == 1 else 0)
+    ports.selected_value.set(tree.selected_value(sel, vec.data))
 
 
 class CellArrayPorts:
@@ -47,6 +161,78 @@ class CellArrayPorts:
         self.selected_unique = comp.signal("selected_unique", 1, 0)
 
 
+class CellArrayExecutor:
+    """Compiled-backend vector executor for a cell array.
+
+    Implements the :class:`repro.hdl.compile.vector.VectorExecutor`
+    contract on top of the shared :class:`CellVectors` kernel.  The settle
+    side is dirty-guarded: the tree fold reruns only after an edge applied
+    a real command (or after reset), so the repeated sweeps of one settle
+    and the long NOP stretches between operations cost nothing.
+
+    For a structural array the constructor seeds the vectors from the
+    live per-cell register states and redirects every
+    :attr:`repro.xisort.cell.Cell.state` read through :meth:`state_of`,
+    keeping inspection (``states()``, equivalence oracles) exact while the
+    per-cell registers go stale.
+    """
+
+    def __init__(self, owner, vec: CellVectors, tree: TreeNetwork,
+                 absorbed, cells: Optional[list] = None):
+        self.owner = owner
+        self.vec = vec
+        self.tree = tree
+        self._absorbed = list(absorbed)
+        self.n_cells = vec.n
+        self._dirty = True
+        if cells is not None:
+            for i, cell in enumerate(cells):
+                st = cell._state.value
+                vec.data[i] = st.data
+                vec.lower[i] = st.lower
+                vec.upper[i] = st.upper
+                vec.sel[i] = st.selected
+                vec.saved[i] = st.saved
+                cell._vec = (self, i)
+
+    @property
+    def absorbed(self):
+        return self._absorbed
+
+    def settle(self) -> bool:
+        if not self._dirty:
+            return False
+        self._dirty = False
+        fold_tree_outputs(self.vec, self.tree, self.owner)
+        return True
+
+    def edge(self) -> bool:
+        o = self.owner
+        cmd = o.cmd._value
+        if cmd == CellCmd.NOP:
+            return False
+        apply_vector_command(
+            self.vec,
+            CellCmd(cmd),
+            o.broadcast._value,
+            o.load_data._value,
+            o.load_lower._value,
+            o.load_upper._value,
+        )
+        self._dirty = True
+        return True
+
+    def horizon(self):
+        return 0 if self.owner.cmd._value != CellCmd.NOP else None
+
+    def on_reset(self) -> None:
+        self.vec.clear()
+        self._dirty = True
+
+    def state_of(self, i: int) -> CellState:
+        return self.vec.state_of(i)
+
+
 class VectorCellArray(Component, CellArrayPorts):
     """All n cells as NumPy arrays; one seq process applies the command."""
 
@@ -61,28 +247,21 @@ class VectorCellArray(Component, CellArrayPorts):
         self.word_bits = word_bits
         self.tree = TreeNetwork(n_cells)
         self._make_ports(self, word_bits)
-        self._init_state()
+        self.vec = CellVectors(n_cells)
 
         # always=True: this process reads the NumPy cell-state arrays, which
         # the scheduler's Signal read-tracking cannot see; it must re-run on
         # every settle iteration (the arrays change at each applied command).
         @self.comb(always=True)
         def _tree_outputs() -> None:
-            sel = self.sel
-            count = self.tree.count(sel)
-            self.count.set(count)
-            left = self.tree.leftmost(sel)
-            self.leftmost_found.set(1 if left is not None else 0)
-            if left is not None:
-                self.leftmost_data.set(int(self.data[left]))
-                self.leftmost_lower.set(int(self.lower[left]))
-                self.leftmost_upper.set(int(self.upper[left]))
-            self.selected_unique.set(1 if count == 1 else 0)
-            self.selected_value.set(self.tree.selected_value(sel, self.data))
+            fold_tree_outputs(self.vec, self.tree, self)
 
         @self.seq
         def _apply() -> None:
             self._step(CellCmd(self.cmd.value))
+
+        self._tree_fn = _tree_outputs
+        self._apply_fn = _apply
 
         # A NOP edge leaves the NumPy state untouched, so idle cycles are
         # freely skippable; any real command vetoes.  This hook also keeps
@@ -95,89 +274,40 @@ class VectorCellArray(Component, CellArrayPorts):
 
         @self.on_reset
         def _reset() -> None:
-            self._init_state()
+            self.vec.clear()
 
-    def _init_state(self) -> None:
-        n = self.n_cells
-        self.data = np.zeros(n, dtype=np.uint64)
-        self.lower = np.full(n, SENTINEL, dtype=np.uint32)
-        self.upper = np.full(n, SENTINEL, dtype=np.uint32)
-        self.sel = np.zeros(n, dtype=bool)
-        self.saved = np.zeros(n, dtype=bool)
+    def __compile_vector__(self) -> CellArrayExecutor:
+        return CellArrayExecutor(
+            self, self.vec, self.tree, [self._tree_fn, self._apply_fn]
+        )
 
     # -- the SIMD step (vectorised cell_step) -------------------------------------
 
     def _step(self, cmd: CellCmd) -> None:
-        if cmd == CellCmd.NOP:
-            return
-        b = self.broadcast.value
-        bi = b & ((1 << INTERVAL_BITS) - 1)
-        if cmd == CellCmd.LOAD:
-            self.data = np.roll(self.data, 1)
-            self.lower = np.roll(self.lower, 1)
-            self.upper = np.roll(self.upper, 1)
-            self.data[0] = self.load_data.value
-            self.lower[0] = self.load_lower.value
-            self.upper[0] = self.load_upper.value
-            self.sel = np.zeros(self.n_cells, dtype=bool)
-            self.saved = np.zeros(self.n_cells, dtype=bool)
-        elif cmd == CellCmd.CLEAR:
-            self._init_state()
-        elif cmd == CellCmd.SELECT_ALL:
-            self.sel = np.ones(self.n_cells, dtype=bool)
-        elif cmd == CellCmd.SELECT_IMPRECISE:
-            self.sel = self.sel & (self.lower != self.upper)
-        elif cmd == CellCmd.MATCH_DATA_LT:
-            self.sel = self.sel & (self.data < np.uint64(b))
-        elif cmd == CellCmd.MATCH_DATA_EQ:
-            self.sel = self.sel & (self.data == np.uint64(b))
-        elif cmd == CellCmd.MATCH_DATA_GT:
-            self.sel = self.sel & (self.data > np.uint64(b))
-        elif cmd == CellCmd.MATCH_LOWER_BOUND:
-            self.sel = self.sel & (self.lower == bi)
-        elif cmd == CellCmd.MATCH_UPPER_BOUND:
-            self.sel = self.sel & (self.upper == bi)
-        elif cmd == CellCmd.MATCH_LOWER_BOUND_I:
-            self.sel = self.sel & (self.lower <= bi)
-        elif cmd == CellCmd.MATCH_UPPER_BOUND_I:
-            self.sel = self.sel & (self.upper >= bi)
-        elif cmd == CellCmd.SET_LOWER_BOUND:
-            self.lower = np.where(self.sel, np.uint32(bi), self.lower)
-        elif cmd == CellCmd.SET_UPPER_BOUND:
-            self.upper = np.where(self.sel, np.uint32(bi), self.upper)
-        elif cmd == CellCmd.SET_BOUNDS:
-            self.lower = np.where(self.sel, np.uint32(bi), self.lower)
-            self.upper = np.where(self.sel, np.uint32(bi), self.upper)
-        elif cmd == CellCmd.LOAD_SELECTED:
-            self.data = np.where(self.sel, np.uint64(b), self.data)
-        elif cmd == CellCmd.SAVE:
-            self.saved = self.sel.copy()
-        elif cmd == CellCmd.RESTORE:
-            self.sel = self.saved.copy()
-        else:  # pragma: no cover - enum exhaustive
-            raise ValueError(f"unknown cell command {cmd!r}")
+        apply_vector_command(
+            self.vec,
+            cmd,
+            self.broadcast.value,
+            self.load_data.value,
+            self.load_lower.value,
+            self.load_upper.value,
+        )
 
     # -- inspection ---------------------------------------------------------------
 
     def states(self) -> list[CellState]:
         """Snapshot as CellState objects (equivalence tests)."""
-        return [
-            CellState(
-                data=int(self.data[i]),
-                lower=int(self.lower[i]),
-                upper=int(self.upper[i]),
-                selected=bool(self.sel[i]),
-                saved=bool(self.saved[i]),
-            )
-            for i in range(self.n_cells)
-        ]
+        return self.vec.states()
 
 
 class StructuralCellArray(Component, CellArrayPorts):
     """One :class:`Cell` component per element plus a structural tree fold.
 
     Cycle-for-cycle equivalent to :class:`VectorCellArray`; used as the
-    oracle in property tests and for small faithful simulations.
+    oracle in property tests and for small faithful simulations.  Under
+    the compiled backend the whole column collapses into a
+    :class:`CellArrayExecutor` — same observable behaviour, array-speed
+    execution.
     """
 
     def __init__(self, name: str, n_cells: int, word_bits: int = 32,
@@ -218,6 +348,14 @@ class StructuralCellArray(Component, CellArrayPorts):
                 self.leftmost_upper.set(s.upper)
             self.selected_unique.set(1 if folded.count == 1 else 0)
             self.selected_value.set(folded.any_value)
+
+        self._tree_fn = _tree_outputs
+
+    def __compile_vector__(self) -> CellArrayExecutor:
+        absorbed = [self._tree_fn] + [c._tick_fn for c in self.cells]
+        return CellArrayExecutor(
+            self, CellVectors(self.n_cells), self.tree, absorbed, cells=self.cells
+        )
 
     def states(self) -> list[CellState]:
         return [c.state for c in self.cells]

@@ -90,9 +90,18 @@ class DirectXiSortMachine:
     machine's fixed-cycle behaviour from message/pipeline overhead.
     """
 
-    def __init__(self, n_cells: int, word_bits: int = 32, array_kind: ArrayKind = "vector"):
+    def __init__(
+        self,
+        n_cells: int,
+        word_bits: int = 32,
+        array_kind: ArrayKind = "vector",
+        backend: Optional[str] = None,
+        scheduler: str = "event",
+        wheel: bool = True,
+    ):
         self.core = XiSortCore("xicore", n_cells, word_bits, array_kind=array_kind)
-        self.sim = Simulator(self.core)
+        self.sim = Simulator(self.core, scheduler=scheduler, wheel=wheel,
+                             backend=backend)
         self.sim.reset()
 
     @property
