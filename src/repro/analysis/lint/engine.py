@@ -72,7 +72,13 @@ def register_rule(cls: type) -> type:
 
 def all_rules() -> dict[str, Rule]:
     """The full registry, importing the built-in rule modules on first use."""
-    from . import rules_compile, rules_contract, rules_graph, rules_protocol  # noqa: F401
+    from . import (  # noqa: F401
+        rules_compile,
+        rules_contract,
+        rules_futable,
+        rules_graph,
+        rules_protocol,
+    )
     return dict(RULES)
 
 

@@ -1,0 +1,178 @@
+"""Functional-unit-table rules: the decoder's routing data must be sane.
+
+The RTM routes every dispatched instruction through a
+:class:`~repro.rtm.futable.FunctionalUnitTable` — opcode → (unit, port,
+write profile).  :meth:`~repro.rtm.futable.FunctionalUnitTable.add`
+guards the common assembly path, but tables can also be built by hand
+(custom RTMs, unit-subset experiments, the smart-memory suite presets),
+and nothing downstream re-validates the rows: the decoder trusts the
+dict key, the scoreboard trusts ``entry.code``, the dispatcher trusts
+``entry.port`` and the lock manager trusts the write profile.  A row
+those four disagree about produces wrong-unit dispatch or phantom
+register locks that simulate plausibly until the colliding opcode is
+actually issued.
+
+The rules fire on evidence alone — every table reachable as a
+``futable`` attribute of a component in the design — and stay silent on
+anything they cannot inspect (under-approximation, like every rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...isa.opcodes import FIRST_UNIT_OPCODE
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo
+
+#: variety codes probed against each write profile — the full 8-bit space
+#: the decoder can present, so a profile must total-function over it
+_PROBE_VARIETIES = range(0x100)
+
+
+def _tables(design: DesignInfo):
+    """Every functional-unit table owned by a component in the design.
+
+    The RTM shares one table instance with its decoder and dispatcher;
+    each distinct table is attributed to the outermost component holding
+    it (components are listed top-down) and reported once.
+    """
+    from ...rtm.futable import FunctionalUnitTable
+
+    seen: set[int] = set()
+    for comp in design.components:
+        table = getattr(comp, "futable", None)
+        if isinstance(table, FunctionalUnitTable) and id(table) not in seen:
+            seen.add(id(table))
+            yield comp, table
+
+
+@register_rule
+class FutableRoutingRule(Rule):
+    """Table rows whose routing data is internally inconsistent.
+
+    Three defects, all of the "two subsystems index the same row
+    differently" shape:
+
+    * an entry keyed under one opcode but carrying another ``code`` — the
+      decoder routes by key, the scoreboard locks by code, so issuing
+      either opcode corrupts the other's in-flight state;
+    * two entries sharing a ``port`` index — the dispatcher forwards both
+      opcodes into the same unit's dispatch register;
+    * an opcode below ``FIRST_UNIT_OPCODE`` — shadowed by the system
+      instruction space, the row is unreachable (or worse, reachable on
+      decoders that check the unit table first).
+    """
+
+    id = "futable.duplicate-opcode"
+    severity = Severity.ERROR
+    title = "functional-unit table row aliases another opcode or port"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        for comp, table in _tables(design):
+            ports: dict[int, int] = {}
+            for key, entry in table.entries.items():
+                if entry.code != key:
+                    yield self.diag(
+                        comp.path,
+                        f"table row keyed {key:#04x} carries unit code "
+                        f"{entry.code:#04x} — the decoder routes by key but "
+                        "the scoreboard locks by code, so the two opcodes "
+                        "corrupt each other's in-flight state",
+                        hint="rebuild the row through FunctionalUnitTable.add",
+                    )
+                if not FIRST_UNIT_OPCODE <= key <= 0xFF:
+                    yield self.diag(
+                        comp.path,
+                        f"unit opcode {key:#04x} lies outside "
+                        f"[{FIRST_UNIT_OPCODE:#04x}, 0xff] — shadowed by the "
+                        "system instruction space, the unit is unreachable",
+                        hint="pick a code in the user-unit range",
+                    )
+                if entry.port in ports:
+                    yield self.diag(
+                        comp.path,
+                        f"opcodes {ports[entry.port]:#04x} and {key:#04x} "
+                        f"share dispatch port {entry.port} — both route into "
+                        "the same unit's dispatch register",
+                        hint="rebuild the table through FunctionalUnitTable.add,"
+                             " which assigns ports densely",
+                    )
+                else:
+                    ports[entry.port] = key
+
+
+@register_rule
+class FutableUnregisteredUnitRule(Rule):
+    """A table row points at a unit that is not part of the design.
+
+    The decoder will accept the opcode and the dispatcher will drive the
+    orphan's dispatch ports, but the unit's processes were never
+    elaborated into the simulated tree: the instruction is swallowed
+    whole — no result, no flag write, and a permanently locked
+    destination register.
+    """
+
+    id = "futable.unregistered-unit"
+    severity = Severity.ERROR
+    title = "functional-unit table routes to a unit outside the design"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        wired = {id(c) for c in design.components}
+        for comp, table in _tables(design):
+            for key, entry in table.entries.items():
+                if id(entry.unit) not in wired:
+                    yield self.diag(
+                        comp.path,
+                        f"opcode {key:#04x} routes to unit "
+                        f"{getattr(entry.unit, 'name', entry.unit)!r} which is "
+                        "not elaborated under the linted design — dispatches "
+                        "are swallowed and their destination registers lock "
+                        "forever",
+                        hint="parent the unit into the RTM (registry factories "
+                             "receive the parent) or drop the row",
+                    )
+
+
+@register_rule
+class FutableWriteProfileRule(Rule):
+    """A row's write profile is not a total function onto 3 booleans.
+
+    The lock manager calls ``write_profile(variety)`` at dispatch time to
+    decide which destinations to lock; a profile that raises or returns
+    the wrong shape takes down the dispatcher on the first instruction
+    with that variety.  Probed over the full 8-bit variety space the
+    decoder can present.
+    """
+
+    id = "futable.write-profile"
+    severity = Severity.ERROR
+    title = "functional-unit write profile is partial or malformed"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        for comp, table in _tables(design):
+            for key, entry in table.entries.items():
+                problem = self._probe(entry.write_profile)
+                if problem is not None:
+                    yield self.diag(
+                        comp.path,
+                        f"opcode {key:#04x}: write profile {problem} — the "
+                        "lock manager evaluates it for every dispatched "
+                        "variety",
+                        hint="return (writes_dst1, writes_dst2, writes_flags) "
+                             "booleans for all variety codes",
+                    )
+
+    @staticmethod
+    def _probe(profile) -> str | None:
+        for variety in _PROBE_VARIETIES:
+            try:
+                result = profile(variety)
+            except Exception as exc:
+                return f"raises {type(exc).__name__} on variety {variety:#04x}"
+            if not (isinstance(result, tuple) and len(result) == 3
+                    and all(isinstance(b, bool) for b in result)):
+                return (f"returns {result!r} for variety {variety:#04x} "
+                        "instead of a (dst1, dst2, flags) bool triple")
+        return None

@@ -66,3 +66,28 @@ def default_registry(pipelined: bool = False) -> UnitRegistry:
         reg.register(Opcode.ARITH, lambda n, w, p: ArithmeticUnit(n, w, p))
         reg.register(Opcode.LOGIC, lambda n, w, p: LogicUnit(n, w, p))
     return reg
+
+
+def smem_suite_registry(
+    pipelined: bool = False,
+    n_cells: int = 64,
+    array_kind: str = "vector",
+) -> UnitRegistry:
+    """The default registry plus every smart-memory unit.
+
+    Registers ξ-sort and the three kit machines (prefix scan, histogram,
+    string match) at their default opcodes, all sized ``n_cells``.
+    Imported lazily: the smart-memory packages depend on :mod:`repro.fu`,
+    so a module-level import would cycle.
+    """
+    from ..smem.histogram import hist_factory
+    from ..smem.match import match_factory
+    from ..smem.scan import scan_factory
+    from ..xisort.adapter import xisort_factory
+
+    reg = default_registry(pipelined)
+    reg.register(Opcode.XISORT, xisort_factory(n_cells, array_kind))
+    reg.register(Opcode.SCAN, scan_factory(n_cells, array_kind))
+    reg.register(Opcode.HISTO, hist_factory(n_cells, array_kind))
+    reg.register(Opcode.MATCH, match_factory(n_cells, array_kind))
+    return reg

@@ -39,6 +39,9 @@ class Opcode(IntEnum):
     ARITH = 0x10     # thesis Table 3.1 — "Function code: 16"
     LOGIC = 0x11     # thesis Table 3.2
     XISORT = 0x12    # stateful ξ-sort case study
+    SCAN = 0x13      # smart-memory prefix scan / reduce unit
+    HISTO = 0x14     # smart-memory histogram unit
+    MATCH = 0x15     # smart-memory streaming string-match unit
 
     @property
     def is_primitive(self) -> bool:

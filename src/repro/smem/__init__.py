@@ -1,0 +1,102 @@
+"""repro.smem — the smart-memory kit.
+
+The paper's ξ-sort unit is one instance of a reusable construction: an
+array of identical SIMD cells under a logarithmic fold tree, driven by a
+microcoded two-state controller and adapted into the framework's
+functional-unit protocol.  This package carries that construction once —
+the *kit* — so a new stateful functional unit is written as:
+
+1. a frozen per-cell state + pure step function, vectorised over the
+   column (:class:`VectorSmartArray`) and scalar per cell
+   (:class:`SmartCell` / :class:`StructuralSmartArray`);
+2. a fold of per-cell state onto output ports (:mod:`repro.smem.tree`);
+3. a microcode ROM over the kit's horizontal word
+   (:class:`MicroInstr`) plus a :class:`MicroController` subclass mapping
+   the array's fold-output atoms;
+4. a :class:`SmartMemoryUnit` subclass binding the core and its write
+   profile into the framework.
+
+The contract an implementer owes each layer is documented in
+:mod:`repro.smem.contract` and checked by :func:`verify_array_contract`;
+clients in-tree: ξ-sort (:mod:`repro.xisort`), prefix scan/reduce
+(:mod:`repro.smem.scan`), histogram (:mod:`repro.smem.histogram`) and
+streaming string match (:mod:`repro.smem.match`).
+"""
+
+from .adapter import AdapterState, SmartMemoryUnit
+from .array import (
+    SmartArrayExecutor,
+    SmartCell,
+    StructuralSmartArray,
+    VectorSmartArray,
+)
+from .contract import verify_array_contract
+from .controller import N_TEMPS, MicroController
+from .core import ArrayKind, DirectMachine, SmartMemoryCore
+from .microcode import (
+    HALF_BITS,
+    HALF_MASK,
+    INVALID_INSTR,
+    OP_A,
+    OP_B,
+    AluOp,
+    Atom,
+    MicroInstr,
+    format_microcode,
+    format_microinstr,
+    imm,
+    pack_halves,
+    t_,
+    unpack_halves,
+)
+from .histogram import DirectHistMachine, HistUnit, hist_factory
+from .match import DirectMatchMachine, MatchUnit, match_factory
+from .scan import DirectScanMachine, ScanUnit, scan_factory
+from .session import HistogramAccelerator, MatchAccelerator, ScanAccelerator
+from .tree import NodeValue, TreeNetwork, fold_reduce, tree_depth, tree_node_count
+
+__all__ = [
+    "DirectHistMachine",
+    "HistUnit",
+    "hist_factory",
+    "DirectMatchMachine",
+    "MatchUnit",
+    "match_factory",
+    "DirectScanMachine",
+    "ScanUnit",
+    "scan_factory",
+    "HistogramAccelerator",
+    "MatchAccelerator",
+    "ScanAccelerator",
+    "AdapterState",
+    "SmartMemoryUnit",
+    "SmartArrayExecutor",
+    "SmartCell",
+    "StructuralSmartArray",
+    "VectorSmartArray",
+    "verify_array_contract",
+    "N_TEMPS",
+    "MicroController",
+    "ArrayKind",
+    "DirectMachine",
+    "SmartMemoryCore",
+    "HALF_BITS",
+    "HALF_MASK",
+    "INVALID_INSTR",
+    "OP_A",
+    "OP_B",
+    "AluOp",
+    "Atom",
+    "MicroInstr",
+    "format_microcode",
+    "format_microinstr",
+    "imm",
+    "pack_halves",
+    "t_",
+    "unpack_halves",
+    "NodeValue",
+    "TreeNetwork",
+    "fold_reduce",
+    "tree_depth",
+    "tree_node_count",
+]

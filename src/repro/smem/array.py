@@ -1,0 +1,330 @@
+"""Generic smart-memory cell arrays: the SIMD substrate behind every kit FU.
+
+The paper's smart-memory construction — an array of identical cells that
+all execute one broadcast command per cycle, under a logarithmic fold tree
+that reduces per-cell state to a handful of output ports — is independent
+of *what* the cells store.  This module carries that construction once;
+ξ-sort, prefix scan, histogram and string match are clients.
+
+The cell contract
+-----------------
+
+An array implementer subclasses :class:`VectorSmartArray` (NumPy state,
+one process for the whole column — the production model) and/or
+:class:`StructuralSmartArray` (one :class:`SmartCell` component per
+element — the synthesis-faithful oracle) and provides:
+
+* **per-cell state + step function** — a frozen state dataclass plus a
+  pure transition: vectorised over the whole column
+  (:meth:`VectorSmartArray._apply_ports`) and scalar per cell
+  (:meth:`SmartCell._next_state`).  The scalar step must return the *same
+  object* when nothing changes, so idle columns go dormant under the event
+  kernel;
+* **array-level broadcast/collect** — command ports (``cmd`` plus whatever
+  broadcast/load buses the command set needs, declared in
+  :meth:`_declare_ports`) and the class attribute ``NOP_CMD`` (must encode
+  as 0) marking the do-nothing command;
+* **fold-tree reduction** — output ports driven combinationally from the
+  cell state (:meth:`VectorSmartArray._fold_vector` /
+  :meth:`StructuralSmartArray._fold_cells`), matching the associative-fold
+  semantics of :mod:`repro.smem.tree`;
+* **wheel-hook obligation** — satisfied here: a NOP edge provably leaves
+  the state untouched, so the base classes register a wheel hook that
+  certifies idle cycles as skippable and vetoes (horizon 0) whenever a
+  real command is on the bus.  Implementers whose NOP is not state-free
+  must not use this kit;
+* **__compile_vector__ obligation** — satisfied here: both base classes
+  publish a :class:`SmartArrayExecutor` that absorbs the column's
+  interpreted processes into per-cycle array operations under the compiled
+  backend (:mod:`repro.hdl.compile.vector`), including seeding from and
+  redirecting the live per-cell registers of a structural array.
+
+The vector-state object returned by :meth:`_make_vectors` must expose
+``n``, ``clear()`` and ``state_of(i)`` (see ξ-sort's ``CellVectors`` for
+the canonical shape).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component
+
+
+class SmartCell(Component):
+    """One cell of a structural smart-memory column.
+
+    Subclasses implement :meth:`_reset_state` and :meth:`_next_state`.
+    The owning array wires the shared command buses onto instance
+    attributes (``CELL_WIRES``) and sets ``prev_cell`` / ``is_first`` /
+    ``index`` / ``array`` — a cell may read its left neighbour's committed
+    state (systolic shifts) or fold over the whole column through
+    ``self.array`` (global SIMD semantics such as occupancy counts).
+    """
+
+    def __init__(self, name: str, word_bits: int, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        self.word_bits = word_bits
+        self._state = self.reg("state", None, reset=self._reset_state())
+        self.prev_cell: Optional["SmartCell"] = None
+        self.is_first = False
+        self.index = 0
+        self.array: Optional[Component] = None
+        #: set by a SmartArrayExecutor to ``(executor, index)`` when the
+        #: compiled backend absorbs this cell into a vectorized column; the
+        #: per-cell register then goes stale and reads are redirected
+        self._vec = None
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            ns = self._next_state()
+            # the step returns the same object when nothing changes, so an
+            # idle column's cells stage nothing and go dormant.
+            if ns is not self._state.value:
+                self._state.nxt = ns
+
+        self._tick_fn = _tick
+
+    def _reset_state(self):
+        raise NotImplementedError
+
+    def _next_state(self):
+        raise NotImplementedError
+
+    @property
+    def state(self):
+        if self._vec is not None:
+            executor, index = self._vec
+            return executor.state_of(index)
+        return self._state.value
+
+
+class SmartArrayExecutor:
+    """Compiled-backend vector executor for a smart-memory column.
+
+    Implements the :class:`repro.hdl.compile.vector.VectorExecutor`
+    contract on top of the owner array's vectorised state.  The settle
+    side is dirty-guarded: the fold reruns only after an edge applied a
+    real command (or after reset), so the repeated sweeps of one settle
+    and the long NOP stretches between operations cost nothing.
+
+    For a structural array the constructor seeds the vectors from the
+    live per-cell register states (via the owner's ``_seed_vectors``) and
+    redirects every :attr:`SmartCell.state` read through :meth:`state_of`,
+    keeping inspection exact while the per-cell registers go stale.
+    """
+
+    def __init__(self, owner, vec, absorbed, cells: Optional[list] = None):
+        self.owner = owner
+        self.vec = vec
+        self._absorbed = list(absorbed)
+        self.n_cells = vec.n
+        self._dirty = True
+        if cells is not None:
+            owner._seed_vectors(vec, cells)
+            for i, cell in enumerate(cells):
+                cell._vec = (self, i)
+
+    @property
+    def absorbed(self):
+        return self._absorbed
+
+    def settle(self) -> bool:
+        if not self._dirty:
+            return False
+        self._dirty = False
+        self.owner._fold_vector(self.vec)
+        return True
+
+    def edge(self) -> bool:
+        o = self.owner
+        if o.cmd._value == o.NOP_CMD:
+            return False
+        o._apply_raw(self.vec)
+        self._dirty = True
+        return True
+
+    def horizon(self):
+        return 0 if self.owner.cmd._value != self.owner.NOP_CMD else None
+
+    def on_reset(self) -> None:
+        self.vec.clear()
+        self._dirty = True
+
+    def state_of(self, i: int) -> object:
+        return self.vec.state_of(i)
+
+
+class VectorSmartArray(Component):
+    """All n cells as NumPy arrays; one seq process applies the command.
+
+    Subclasses provide ``NOP_CMD``, :meth:`_declare_ports`,
+    :meth:`_make_vectors`, :meth:`_fold_vector`, :meth:`_apply_ports` (the
+    interpreted step, reading command ports via ``.value``) and
+    :meth:`_apply_raw` (the executor step, reading settled ``._value``).
+    """
+
+    NOP_CMD: int = 0
+
+    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
+                 parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if n_cells < 1:
+            raise ValueError("cell array needs at least one cell")
+        self._validate(n_cells)
+        self.n_cells = n_cells
+        self.word_bits = word_bits
+        self._declare_ports()
+        self.vec = self._make_vectors(n_cells)
+
+        # always=True: this process reads the NumPy cell-state arrays, which
+        # the scheduler's Signal read-tracking cannot see; it must re-run on
+        # every settle iteration (the arrays change at each applied command).
+        @self.comb(always=True)
+        def _tree_outputs() -> None:
+            self._fold_vector(self.vec)
+
+        @self.seq
+        def _apply() -> None:
+            self._apply_ports(self.vec)
+
+        self._tree_fn = _tree_outputs
+        self._apply_fn = _apply
+
+        # A NOP edge leaves the NumPy state untouched, so idle cycles are
+        # freely skippable; any real command vetoes.  This hook also keeps
+        # the always=True tree fold covered on the fast-forward path: the
+        # arrays cannot change while every skipped edge is a NOP.
+        self.wheel(
+            lambda: 0 if self.cmd.value != self.NOP_CMD else None,
+            lambda n: None,
+        )
+
+        @self.on_reset
+        def _reset() -> None:
+            self.vec.clear()
+
+    def __compile_vector__(self) -> SmartArrayExecutor:
+        return self._make_executor()
+
+    # -- subclass obligations -------------------------------------------------------
+
+    def _validate(self, n_cells: int) -> None:
+        """Extra size constraints (e.g. ξ-sort's sentinel bound)."""
+
+    def _declare_ports(self) -> None:
+        raise NotImplementedError
+
+    def _make_vectors(self, n_cells: int) -> object:
+        raise NotImplementedError
+
+    def _fold_vector(self, vec) -> None:
+        raise NotImplementedError
+
+    def _apply_ports(self, vec) -> None:
+        raise NotImplementedError
+
+    def _apply_raw(self, vec) -> None:
+        raise NotImplementedError
+
+    def _make_executor(self) -> SmartArrayExecutor:
+        return SmartArrayExecutor(
+            self, self.vec, [self._tree_fn, self._apply_fn]
+        )
+
+    def _seed_vectors(self, vec, cells) -> None:
+        raise NotImplementedError
+
+    # -- inspection ---------------------------------------------------------------
+
+    def states(self) -> list:
+        """Snapshot as per-cell state objects (equivalence tests)."""
+        return self.vec.states()
+
+
+class StructuralSmartArray(Component):
+    """One :class:`SmartCell` component per element plus a structural fold.
+
+    Cycle-for-cycle equivalent to the matching :class:`VectorSmartArray`;
+    used as the oracle in property tests and for small faithful
+    simulations.  Under the compiled backend the whole column collapses
+    into a :class:`SmartArrayExecutor` — same observable behaviour,
+    array-speed execution.
+
+    Subclasses provide ``NOP_CMD``, ``CELL_CLASS``, ``CELL_WIRES`` (the
+    command-bus attribute names wired onto every cell),
+    :meth:`_declare_ports`, :meth:`_fold_cells` plus the vector-side
+    methods the executor needs (``_make_vectors``, ``_fold_vector``,
+    ``_apply_raw``, ``_seed_vectors``).
+    """
+
+    NOP_CMD: int = 0
+    CELL_CLASS: type = SmartCell
+    CELL_WIRES: tuple[str, ...] = ("cmd", "broadcast")
+
+    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
+                 parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        if n_cells < 1:
+            raise ValueError("cell array needs at least one cell")
+        self._validate(n_cells)
+        self.n_cells = n_cells
+        self.word_bits = word_bits
+        self._declare_ports()
+        self.cells: list[SmartCell] = self._make_cells()
+
+        @self.comb
+        def _tree_outputs() -> None:
+            self._fold_cells(self.cells)
+
+        self._tree_fn = _tree_outputs
+
+    def _make_cells(self) -> list[SmartCell]:
+        cells: list[SmartCell] = []
+        prev: Optional[SmartCell] = None
+        for i in range(self.n_cells):
+            cell = self.CELL_CLASS(f"cell{i}", self.word_bits, parent=self)
+            for wire in self.CELL_WIRES:
+                setattr(cell, wire, getattr(self, wire))
+            cell.prev_cell = prev
+            cell.is_first = i == 0
+            cell.index = i
+            cell.array = self
+            cells.append(cell)
+            prev = cell
+        return cells
+
+    def __compile_vector__(self) -> SmartArrayExecutor:
+        return self._make_executor()
+
+    def _make_executor(self) -> SmartArrayExecutor:
+        absorbed = [self._tree_fn] + [c._tick_fn for c in self.cells]
+        return SmartArrayExecutor(
+            self, self._make_vectors(self.n_cells), absorbed, cells=self.cells
+        )
+
+    # -- subclass obligations -------------------------------------------------------
+
+    def _validate(self, n_cells: int) -> None:
+        """Extra size constraints (none by default)."""
+
+    def _declare_ports(self) -> None:
+        raise NotImplementedError
+
+    def _fold_cells(self, cells) -> None:
+        raise NotImplementedError
+
+    def _make_vectors(self, n_cells: int) -> object:
+        raise NotImplementedError
+
+    def _fold_vector(self, vec) -> None:
+        raise NotImplementedError
+
+    def _apply_raw(self, vec) -> None:
+        raise NotImplementedError
+
+    def _seed_vectors(self, vec, cells) -> None:
+        raise NotImplementedError
+
+    def states(self) -> list:
+        return [c.state for c in self.cells]

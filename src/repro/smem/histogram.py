@@ -1,0 +1,358 @@
+"""Histogram — one smart-memory bin per cell, constant-cycle statistics.
+
+Each cell is one bin holding a saturating-free word counter; ``H_INC``
+bumps the addressed bin, ``H_SAMPLE`` bins a raw sample with the
+controller's ALU (an AND mask — exact modulo when the bin count is a
+power of two) before incrementing.  The fold tree keeps the aggregate
+view live: total mass, the (leftmost) peak bin and its height, and the
+number of non-empty bins are each one fixed-length microprogram away,
+where a software histogram would rescan all the bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import IntEnum
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..hdl import Component
+from .adapter import SmartMemoryUnit
+from .array import SmartCell, StructuralSmartArray, VectorSmartArray
+from .controller import MicroController
+from .core import ArrayKind, DirectMachine, SmartMemoryCore
+from .microcode import OP_A, AluOp, MicroInstr, imm, t_
+from .tree import TreeNetwork
+
+__all__ = [
+    "HistCmd", "HistCellState", "HistVectors", "HistCell",
+    "VectorHistArray", "StructuralHistArray", "HistController",
+    "HistCore", "DirectHistMachine", "HistUnit", "hist_factory",
+    "build_hist_microcode", "hist_write_profile",
+    "H_RESET", "H_INC", "H_SAMPLE", "H_READ", "H_TOTAL", "H_PEAK", "H_NNZ",
+    "H_FLAG_VALID",
+]
+
+
+class HistCmd(IntEnum):
+    """Command lines of the histogram cell."""
+
+    NOP = 0
+    CLEAR = 1         # all counters to zero
+    INC_AT = 2        # bin[broadcast] += 1
+    SELECT_INDEX = 3  # sel := (index == broadcast)
+
+
+@dataclass(frozen=True)
+class HistCellState:
+    """The persistent state of one bin cell."""
+
+    count: int = 0
+    selected: bool = False
+
+
+class HistVectors:
+    """The parallel state arrays of an n-bin histogram column."""
+
+    __slots__ = ("n", "count", "sel", "pos")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.pos = np.arange(n, dtype=np.uint32)
+        self.clear()
+
+    def clear(self) -> None:
+        self.count = np.zeros(self.n, dtype=np.uint64)
+        self.sel = np.zeros(self.n, dtype=bool)
+
+    def state_of(self, i: int) -> HistCellState:
+        return HistCellState(count=int(self.count[i]), selected=bool(self.sel[i]))
+
+    def states(self) -> list[HistCellState]:
+        return [self.state_of(i) for i in range(self.n)]
+
+
+def apply_hist_command(vec: HistVectors, cmd: HistCmd, broadcast: int,
+                       mask: int) -> None:
+    """One broadcast command applied to all bins (vectorised cell step)."""
+    if cmd == HistCmd.NOP:
+        return
+    if cmd == HistCmd.CLEAR:
+        vec.clear()
+    elif cmd == HistCmd.INC_AT:
+        hit = vec.pos == np.uint32(broadcast)
+        vec.count = np.where(
+            hit, (vec.count + np.uint64(1)) & np.uint64(mask), vec.count
+        )
+    elif cmd == HistCmd.SELECT_INDEX:
+        vec.sel = vec.pos == np.uint32(broadcast)
+    else:  # pragma: no cover - enum exhaustive
+        raise ValueError(f"unknown hist command {cmd!r}")
+
+
+class HistCell(SmartCell):
+    """Structural bin cell: the per-cell view of :func:`apply_hist_command`."""
+
+    def _reset_state(self) -> HistCellState:
+        return HistCellState()
+
+    def _next_state(self) -> HistCellState:
+        st = self._state.value
+        cmd = HistCmd(self.cmd.value)
+        if cmd == HistCmd.NOP:
+            return st
+        b = self.broadcast.value
+        if cmd == HistCmd.CLEAR:
+            return HistCellState() if st != HistCellState() else st
+        if cmd == HistCmd.INC_AT:
+            if self.index != b:
+                return st
+            mask = (1 << self.word_bits) - 1
+            return replace(st, count=(st.count + 1) & mask)
+        if cmd == HistCmd.SELECT_INDEX:
+            sel = self.index == b
+            return replace(st, selected=sel) if sel != st.selected else st
+        raise ValueError(f"unknown hist command {cmd!r}")
+
+
+class _HistArrayMixin:
+    """The histogram-specific kit hooks, shared by both array shapes."""
+
+    NOP_CMD = int(HistCmd.NOP)
+
+    def _declare_ports(self) -> None:
+        self.tree = TreeNetwork(self.n_cells)
+        self._mask = (1 << self.word_bits) - 1
+        # command side (driven by the controller)
+        self.cmd = self.signal("cmd", 8, HistCmd.NOP)
+        self.broadcast = self.signal("broadcast", self.word_bits, 0)
+        # fold-tree outputs
+        self.total = self.signal("total", self.word_bits, 0)
+        self.peak_index = self.signal("peak_index", 32, 0)
+        self.peak_count = self.signal("peak_count", self.word_bits, 0)
+        self.nonzero = self.signal("nonzero", 32, 0)
+        self.nonempty = self.signal("nonempty", 1, 0)
+        self.sel_found = self.signal("sel_found", 1, 0)
+        self.sel_value = self.signal("sel_value", self.word_bits, 0)
+
+    def _make_vectors(self, n_cells: int) -> HistVectors:
+        return HistVectors(n_cells)
+
+    def _fold_vector(self, vec: HistVectors) -> None:
+        counts = vec.count
+        total = int(np.sum(counts, dtype=np.uint64)) & self._mask
+        self.total.set(total)
+        # np.argmax is the leftmost maximum — the tree's tie-break order
+        peak = int(np.argmax(counts))
+        self.peak_index.set(peak)
+        self.peak_count.set(int(counts[peak]))
+        self.nonzero.set(int(np.count_nonzero(counts)))
+        self.nonempty.set(1 if total else 0)
+        left = self.tree.leftmost(vec.sel)
+        self.sel_found.set(1 if left is not None else 0)
+        self.sel_value.set(int(counts[left]) if left is not None else 0)
+
+    def _apply_raw(self, vec: HistVectors) -> None:
+        apply_hist_command(
+            vec, HistCmd(self.cmd._value), self.broadcast._value, self._mask
+        )
+
+    def _seed_vectors(self, vec: HistVectors, cells: list) -> None:
+        for i, cell in enumerate(cells):
+            st = cell._state.value
+            vec.count[i] = st.count
+            vec.sel[i] = st.selected
+
+
+class VectorHistArray(_HistArrayMixin, VectorSmartArray):
+    """All n bins as NumPy arrays; one seq process per command."""
+
+    def _apply_ports(self, vec: HistVectors) -> None:
+        apply_hist_command(
+            vec, HistCmd(self.cmd.value), self.broadcast.value, self._mask
+        )
+
+
+class StructuralHistArray(_HistArrayMixin, StructuralSmartArray):
+    """One :class:`HistCell` per bin — the equivalence oracle."""
+
+    CELL_CLASS = HistCell
+    CELL_WIRES = ("cmd", "broadcast")
+
+    def _fold_cells(self, cells: list[HistCell]) -> None:
+        states = [c.state for c in cells]
+        counts = [s.count for s in states]
+        mask = (1 << self.word_bits) - 1
+        total = sum(counts) & mask
+        self.total.set(total)
+        peak_count = max(counts)
+        peak = counts.index(peak_count)
+        self.peak_index.set(peak)
+        self.peak_count.set(peak_count)
+        self.nonzero.set(sum(1 for c in counts if c))
+        self.nonempty.set(1 if total else 0)
+        left = next((i for i, s in enumerate(states) if s.selected), None)
+        self.sel_found.set(1 if left is not None else 0)
+        self.sel_value.set(states[left].count if left is not None else 0)
+
+
+# ---------------------------------------------------------------------------
+# Microcode
+# ---------------------------------------------------------------------------
+
+#: variety codes of the histogram unit
+H_RESET = 0x01   # clear all bins
+H_INC = 0x02     # op_a = bin index (out-of-range indices hit no bin)
+H_SAMPLE = 0x03  # op_a = raw sample, binned by AND with (n_bins - 1)
+H_READ = 0x04    # op_a = bin index → dst1 = count, flags.valid = in range
+H_TOTAL = 0x05   # → dst1 = total mass, flags.valid = histogram non-empty
+H_PEAK = 0x06    # → dst1 = peak bin index, dst2 = its count, flags.valid
+H_NNZ = 0x07     # → dst1 = number of non-empty bins
+
+#: flag bit the unit raises when the queried quantity is meaningful
+H_FLAG_VALID = 0x01
+
+TOTAL = ("total",)
+PEAK_INDEX = ("peak_index",)
+PEAK_COUNT = ("peak_count",)
+NONZERO = ("nonzero",)
+NONEMPTY = ("nonempty",)
+SEL_FOUND = ("sel_found",)
+SEL_VALUE = ("sel_value",)
+
+
+def build_hist_microcode(n_bins: int) -> dict[int, tuple[MicroInstr, ...]]:
+    """The histogram ROM for one array size.
+
+    ``H_SAMPLE``'s bin mask is baked into the ROM as an immediate — the
+    microcode is built per instance, mirroring how a synthesised ROM is
+    parameterised by the generic ``n_bins``.  The mask is exact modulo for
+    power-of-two bin counts (the recommended configuration); otherwise it
+    is still a deterministic binning, just not value-order-preserving.
+    """
+    return {
+        H_RESET: (MicroInstr(cell_cmd=HistCmd.CLEAR, done=True),),
+        H_INC: (MicroInstr(cell_cmd=HistCmd.INC_AT, broadcast=OP_A, done=True),),
+        H_SAMPLE: (
+            MicroInstr(alu=(0, AluOp.AND, OP_A, imm(n_bins - 1))),
+            MicroInstr(cell_cmd=HistCmd.INC_AT, broadcast=t_(0), done=True),
+        ),
+        H_READ: (
+            MicroInstr(cell_cmd=HistCmd.SELECT_INDEX, broadcast=OP_A),
+            MicroInstr(emit=(("data1", SEL_VALUE), ("flags", SEL_FOUND)), done=True),
+        ),
+        H_TOTAL: (
+            MicroInstr(emit=(("data1", TOTAL), ("flags", NONEMPTY)), done=True),
+        ),
+        H_PEAK: (
+            MicroInstr(
+                emit=(("data1", PEAK_INDEX), ("data2", PEAK_COUNT),
+                      ("flags", NONEMPTY)),
+                done=True,
+            ),
+        ),
+        H_NNZ: (MicroInstr(emit=(("data1", NONZERO),), done=True),),
+    }
+
+
+def hist_write_profile(variety: int) -> tuple[bool, bool, bool]:
+    """Which destinations each histogram instruction writes (decoder table)."""
+    if variety == H_PEAK:
+        return True, True, True
+    if variety in (H_READ, H_TOTAL):
+        return True, False, True
+    if variety == H_NNZ:
+        return True, False, False
+    return False, False, False
+
+
+class HistController(MicroController):
+    """The kit FSM bound to the per-size histogram ROM and fold atoms."""
+
+    def __init__(self, name: str, array, word_bits: int = 32,
+                 parent: Optional[Component] = None):
+        super().__init__(name, array, build_hist_microcode(array.n_cells),
+                         word_bits, parent)
+
+    def _read_port_atom(self, atom) -> int:
+        kind = atom[0]
+        if kind == "total":
+            return self.array.total.value
+        if kind == "peak_index":
+            return self.array.peak_index.value
+        if kind == "peak_count":
+            return self.array.peak_count.value
+        if kind == "nonzero":
+            return self.array.nonzero.value
+        if kind == "nonempty":
+            return self.array.nonempty.value
+        if kind == "sel_found":
+            return self.array.sel_found.value
+        if kind == "sel_value":
+            return self.array.sel_value.value
+        # no super() here: the astpass inliner cannot resolve super() calls,
+        # and this method is process-reachable via _read_atom.
+        raise ValueError(f"unknown atom {atom!r}")
+
+
+class HistCore(SmartMemoryCore):
+    """Histogram controller + bin array."""
+
+    vector_array_class = VectorHistArray
+    structural_array_class = StructuralHistArray
+    controller_class = HistController
+
+
+class DirectHistMachine(DirectMachine):
+    """Drives a bare histogram core cycle-accurately, without the RTM."""
+
+    core_class = HistCore
+    core_name = "histcore"
+
+    def reset_bins(self) -> int:
+        return self.op(H_RESET)["cycles"]
+
+    def increment(self, bin_index: int) -> int:
+        return self.op(H_INC, bin_index)["cycles"]
+
+    def sample(self, value: int) -> int:
+        return self.op(H_SAMPLE, value)["cycles"]
+
+    def load(self, samples: Sequence[int]) -> int:
+        return sum(self.op(H_SAMPLE, v)["cycles"] for v in samples)
+
+    def read_bin(self, bin_index: int) -> Optional[int]:
+        out = self.op(H_READ, bin_index)
+        return out["data1"] if out["flags"] & H_FLAG_VALID else None
+
+    def total(self) -> int:
+        return self.op(H_TOTAL)["data1"]
+
+    def peak(self) -> Optional[tuple[int, int]]:
+        """(bin index, count) of the leftmost fullest bin, None when empty."""
+        out = self.op(H_PEAK)
+        if not out["flags"] & H_FLAG_VALID:
+            return None
+        return out["data1"], out["data2"]
+
+    def nonzero_bins(self) -> int:
+        return self.op(H_NNZ)["data1"]
+
+
+class HistUnit(SmartMemoryUnit):
+    """Histogram core wrapped in the framework's unit protocol."""
+
+    core_class = HistCore
+    write_profile = staticmethod(hist_write_profile)
+
+
+def hist_factory(
+    n_cells: int = 64, array_kind: ArrayKind = "vector"
+) -> Callable[..., HistUnit]:
+    """Unit-registry factory for a histogram unit of a given size."""
+
+    def make(name: str, word_bits: int, parent=None) -> HistUnit:
+        return HistUnit(name, word_bits, parent, n_cells=n_cells, array_kind=array_kind)
+
+    return make

@@ -171,6 +171,23 @@ class SystemBuilder:
         self._unit_codes = tuple(codes)
         return self
 
+    def with_smem_suite(
+        self, n_cells: int = 64, array_kind: str = "vector"
+    ) -> "SystemBuilder":
+        """Register the whole smart-memory suite on top of the defaults.
+
+        Adds ξ-sort, prefix scan, histogram and string match (see
+        :func:`repro.fu.registry.smem_suite_registry`) at their default
+        opcodes, each with an ``n_cells``-cell array of the given kind.
+        Replaces any registry configured so far.
+        """
+        from ..fu.registry import smem_suite_registry
+
+        self._registry = smem_suite_registry(
+            self._config.pipelined_units, n_cells, array_kind
+        )
+        return self
+
     def build(self) -> BuiltSystem:
         soc = CoprocessorSystem(
             self._config,

@@ -9,7 +9,8 @@ Three implementations share the same semantics:
 
 * :func:`cell_step` — the pure transition function (the oracle used by
   property tests);
-* :class:`Cell` — a structural component with the figure's register set;
+* :class:`Cell` — a structural component with the figure's register set,
+  riding the smart-memory kit's :class:`repro.smem.array.SmartCell`;
 * :class:`repro.xisort.cellarray.VectorCellArray` — the vectorised NumPy
   model used at scale (the HPC-Python hot path).
 
@@ -25,6 +26,7 @@ from enum import IntEnum
 from typing import Optional
 
 from ..hdl import Component
+from ..smem.array import SmartCell
 
 #: Width of an index-interval bound; also sets the sentinel.
 INTERVAL_BITS = 16
@@ -137,7 +139,7 @@ def cell_step(
     raise ValueError(f"unknown cell command {cmd!r}")
 
 
-class Cell(Component):
+class Cell(SmartCell):
     """Structural single cell: the Fig. 3.12 register set behind `cell_step`.
 
     Command/broadcast signals are shared across the array (SIMD); each cell
@@ -147,46 +149,27 @@ class Cell(Component):
     """
 
     def __init__(self, name: str, word_bits: int, parent: Optional[Component] = None):
-        super().__init__(name, parent)
-        self.word_bits = word_bits
-        self._state = self.reg("state", None, reset=CellState())
+        super().__init__(name, word_bits, parent)
         # Inputs are wired (assigned) by the owning array.
         self.cmd = None
         self.broadcast = None
         self.load_data = None
         self.load_lower = None
         self.load_upper = None
-        self.prev_cell: Optional[Cell] = None
-        self.is_first = False
-        #: set by a CellArrayExecutor to ``(executor, index)`` when the
-        #: compiled backend absorbs this cell into a vectorized column; the
-        #: per-cell register then goes stale and reads are redirected
-        self._vec = None
 
-        @self.seq(pure=True)
-        def _tick() -> None:
-            cmd = CellCmd(self.cmd.value)
-            shift_in = self.prev_cell._state.value if self.prev_cell is not None else None
-            ns = cell_step(
-                self._state.value,
-                cmd,
-                broadcast=self.broadcast.value,
-                shift_in=shift_in,
-                load_data=self.load_data.value,
-                load_lower=self.load_lower.value,
-                load_upper=self.load_upper.value,
-                is_first=self.is_first,
-            )
-            # cell_step returns the same object for NOP, so an idle array's
-            # cells stage nothing and the whole column goes dormant.
-            if ns is not self._state.value:
-                self._state.nxt = ns
+    def _reset_state(self) -> CellState:
+        return CellState()
 
-        self._tick_fn = _tick
-
-    @property
-    def state(self) -> CellState:
-        if self._vec is not None:
-            executor, index = self._vec
-            return executor.state_of(index)
-        return self._state.value
+    def _next_state(self) -> CellState:
+        cmd = CellCmd(self.cmd.value)
+        shift_in = self.prev_cell._state.value if self.prev_cell is not None else None
+        return cell_step(
+            self._state.value,
+            cmd,
+            broadcast=self.broadcast.value,
+            shift_in=shift_in,
+            load_data=self.load_data.value,
+            load_lower=self.load_lower.value,
+            load_upper=self.load_upper.value,
+            is_first=self.is_first,
+        )

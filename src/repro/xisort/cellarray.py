@@ -1,13 +1,13 @@
-"""Cell arrays: vectorised (NumPy) and structural implementations.
+"""ξ-sort cell arrays: vectorised (NumPy) and structural implementations.
 
-The vectorised array is the production model — one sequential process
-updates all n cells as NumPy arrays per cycle, following the domain
-guidance to vectorise the hot loop.  The structural array instantiates one
-:class:`repro.xisort.cell.Cell` component per element and is the
-equivalence oracle (and the faithful picture of the synthesised design) for
-small n.
+Both ride the smart-memory kit (:mod:`repro.smem.array`): the kit carries
+the SIMD column machinery — the one-process vector model, the per-cell
+structural oracle, the NOP wheel hook and the compiled-backend
+``__compile_vector__`` executor — while this module contributes what is
+ξ-sort-specific: the five state vectors, the command transition, the fold
+outputs and the port set.
 
-Both expose the same port set:
+Both arrays expose the same port set:
 
 * command inputs: ``cmd``, ``broadcast``, ``load_data``, ``load_lower``,
   ``load_upper`` (driven by the ξ-sort controller);
@@ -32,8 +32,9 @@ from typing import Optional
 import numpy as np
 
 from ..hdl import Component
+from ..smem.array import SmartArrayExecutor, StructuralSmartArray, VectorSmartArray
+from ..smem.tree import TreeNetwork, fold_reduce
 from .cell import INTERVAL_BITS, SENTINEL, Cell, CellCmd, CellState
-from .tree import TreeNetwork
 
 
 class CellVectors:
@@ -161,125 +162,62 @@ class CellArrayPorts:
         self.selected_unique = comp.signal("selected_unique", 1, 0)
 
 
-class CellArrayExecutor:
-    """Compiled-backend vector executor for a cell array.
-
-    Implements the :class:`repro.hdl.compile.vector.VectorExecutor`
-    contract on top of the shared :class:`CellVectors` kernel.  The settle
-    side is dirty-guarded: the tree fold reruns only after an edge applied
-    a real command (or after reset), so the repeated sweeps of one settle
-    and the long NOP stretches between operations cost nothing.
-
-    For a structural array the constructor seeds the vectors from the
-    live per-cell register states and redirects every
-    :attr:`repro.xisort.cell.Cell.state` read through :meth:`state_of`,
-    keeping inspection (``states()``, equivalence oracles) exact while the
-    per-cell registers go stale.
-    """
+class CellArrayExecutor(SmartArrayExecutor):
+    """The kit executor, keeping ξ-sort's historical ``tree`` slot/signature."""
 
     def __init__(self, owner, vec: CellVectors, tree: TreeNetwork,
                  absorbed, cells: Optional[list] = None):
-        self.owner = owner
-        self.vec = vec
         self.tree = tree
-        self._absorbed = list(absorbed)
-        self.n_cells = vec.n
-        self._dirty = True
-        if cells is not None:
-            for i, cell in enumerate(cells):
-                st = cell._state.value
-                vec.data[i] = st.data
-                vec.lower[i] = st.lower
-                vec.upper[i] = st.upper
-                vec.sel[i] = st.selected
-                vec.saved[i] = st.saved
-                cell._vec = (self, i)
-
-    @property
-    def absorbed(self):
-        return self._absorbed
-
-    def settle(self) -> bool:
-        if not self._dirty:
-            return False
-        self._dirty = False
-        fold_tree_outputs(self.vec, self.tree, self.owner)
-        return True
-
-    def edge(self) -> bool:
-        o = self.owner
-        cmd = o.cmd._value
-        if cmd == CellCmd.NOP:
-            return False
-        apply_vector_command(
-            self.vec,
-            CellCmd(cmd),
-            o.broadcast._value,
-            o.load_data._value,
-            o.load_lower._value,
-            o.load_upper._value,
-        )
-        self._dirty = True
-        return True
-
-    def horizon(self):
-        return 0 if self.owner.cmd._value != CellCmd.NOP else None
-
-    def on_reset(self) -> None:
-        self.vec.clear()
-        self._dirty = True
+        super().__init__(owner, vec, absorbed, cells=cells)
 
     def state_of(self, i: int) -> CellState:
         return self.vec.state_of(i)
 
 
-class VectorCellArray(Component, CellArrayPorts):
+class _XiArrayMixin(CellArrayPorts):
+    """The ξ-sort-specific kit hooks, shared by both array shapes."""
+
+    NOP_CMD = int(CellCmd.NOP)
+
+    def _declare_ports(self) -> None:
+        self.tree = TreeNetwork(self.n_cells)
+        self._make_ports(self, self.word_bits)
+
+    def _make_vectors(self, n_cells: int) -> CellVectors:
+        return CellVectors(n_cells)
+
+    def _fold_vector(self, vec: CellVectors) -> None:
+        fold_tree_outputs(vec, self.tree, self)
+
+    def _apply_raw(self, vec: CellVectors) -> None:
+        apply_vector_command(
+            vec,
+            CellCmd(self.cmd._value),
+            self.broadcast._value,
+            self.load_data._value,
+            self.load_lower._value,
+            self.load_upper._value,
+        )
+
+    def _seed_vectors(self, vec: CellVectors, cells: list) -> None:
+        for i, cell in enumerate(cells):
+            st = cell._state.value
+            vec.data[i] = st.data
+            vec.lower[i] = st.lower
+            vec.upper[i] = st.upper
+            vec.sel[i] = st.selected
+            vec.saved[i] = st.saved
+
+
+class VectorCellArray(_XiArrayMixin, VectorSmartArray):
     """All n cells as NumPy arrays; one seq process applies the command."""
 
-    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
-                 parent: Optional[Component] = None):
-        super().__init__(name, parent)
-        if n_cells < 1:
-            raise ValueError("cell array needs at least one cell")
+    def _validate(self, n_cells: int) -> None:
         if n_cells - 1 >= SENTINEL:
             raise ValueError(f"n_cells must stay below the sentinel index {SENTINEL:#x}")
-        self.n_cells = n_cells
-        self.word_bits = word_bits
-        self.tree = TreeNetwork(n_cells)
-        self._make_ports(self, word_bits)
-        self.vec = CellVectors(n_cells)
 
-        # always=True: this process reads the NumPy cell-state arrays, which
-        # the scheduler's Signal read-tracking cannot see; it must re-run on
-        # every settle iteration (the arrays change at each applied command).
-        @self.comb(always=True)
-        def _tree_outputs() -> None:
-            fold_tree_outputs(self.vec, self.tree, self)
-
-        @self.seq
-        def _apply() -> None:
-            self._step(CellCmd(self.cmd.value))
-
-        self._tree_fn = _tree_outputs
-        self._apply_fn = _apply
-
-        # A NOP edge leaves the NumPy state untouched, so idle cycles are
-        # freely skippable; any real command vetoes.  This hook also keeps
-        # the always=True tree fold covered on the fast-forward path: the
-        # arrays cannot change while every skipped edge is a NOP.
-        self.wheel(
-            lambda: 0 if self.cmd.value != CellCmd.NOP else None,
-            lambda n: None,
-        )
-
-        @self.on_reset
-        def _reset() -> None:
-            self.vec.clear()
-
-    def __compile_vector__(self) -> CellArrayExecutor:
-        return CellArrayExecutor(
-            self, self.vec, self.tree, [self._tree_fn, self._apply_fn]
-        )
+    def _apply_ports(self, vec: CellVectors) -> None:
+        self._step(CellCmd(self.cmd.value))
 
     # -- the SIMD step (vectorised cell_step) -------------------------------------
 
@@ -293,6 +231,11 @@ class VectorCellArray(Component, CellArrayPorts):
             self.load_upper.value,
         )
 
+    def _make_executor(self) -> CellArrayExecutor:
+        return CellArrayExecutor(
+            self, self.vec, self.tree, [self._tree_fn, self._apply_fn]
+        )
+
     # -- inspection ---------------------------------------------------------------
 
     def states(self) -> list[CellState]:
@@ -300,7 +243,7 @@ class VectorCellArray(Component, CellArrayPorts):
         return self.vec.states()
 
 
-class StructuralCellArray(Component, CellArrayPorts):
+class StructuralCellArray(_XiArrayMixin, StructuralSmartArray):
     """One :class:`Cell` component per element plus a structural tree fold.
 
     Cycle-for-cycle equivalent to :class:`VectorCellArray`; used as the
@@ -310,48 +253,23 @@ class StructuralCellArray(Component, CellArrayPorts):
     execution.
     """
 
-    def __init__(self, name: str, n_cells: int, word_bits: int = 32,
-                 parent: Optional[Component] = None):
-        super().__init__(name, parent)
-        if n_cells < 1:
-            raise ValueError("cell array needs at least one cell")
-        self.n_cells = n_cells
-        self.word_bits = word_bits
-        self.tree = TreeNetwork(n_cells)
-        self._make_ports(self, word_bits)
-        self.cells: list[Cell] = []
-        prev: Optional[Cell] = None
-        for i in range(n_cells):
-            cell = Cell(f"cell{i}", word_bits, parent=self)
-            cell.cmd = self.cmd
-            cell.broadcast = self.broadcast
-            cell.load_data = self.load_data
-            cell.load_lower = self.load_lower
-            cell.load_upper = self.load_upper
-            cell.prev_cell = prev
-            cell.is_first = i == 0
-            self.cells.append(cell)
-            prev = cell
+    CELL_CLASS = Cell
+    CELL_WIRES = ("cmd", "broadcast", "load_data", "load_lower", "load_upper")
 
-        @self.comb
-        def _tree_outputs() -> None:
-            from .tree import fold_reduce
+    def _fold_cells(self, cells: list[Cell]) -> None:
+        states = [c.state for c in cells]
+        folded = fold_reduce([s.selected for s in states], [s.data for s in states])
+        self.count.set(folded.count)
+        self.leftmost_found.set(1 if folded.leftmost is not None else 0)
+        if folded.leftmost is not None:
+            s = states[folded.leftmost]
+            self.leftmost_data.set(s.data)
+            self.leftmost_lower.set(s.lower)
+            self.leftmost_upper.set(s.upper)
+        self.selected_unique.set(1 if folded.count == 1 else 0)
+        self.selected_value.set(folded.any_value)
 
-            states = [c.state for c in self.cells]
-            folded = fold_reduce([s.selected for s in states], [s.data for s in states])
-            self.count.set(folded.count)
-            self.leftmost_found.set(1 if folded.leftmost is not None else 0)
-            if folded.leftmost is not None:
-                s = states[folded.leftmost]
-                self.leftmost_data.set(s.data)
-                self.leftmost_lower.set(s.lower)
-                self.leftmost_upper.set(s.upper)
-            self.selected_unique.set(1 if folded.count == 1 else 0)
-            self.selected_value.set(folded.any_value)
-
-        self._tree_fn = _tree_outputs
-
-    def __compile_vector__(self) -> CellArrayExecutor:
+    def _make_executor(self) -> CellArrayExecutor:
         absorbed = [self._tree_fn] + [c._tick_fn for c in self.cells]
         return CellArrayExecutor(
             self, CellVectors(self.n_cells), self.tree, absorbed, cells=self.cells

@@ -1,28 +1,30 @@
-"""The ξ-sort controller — the two-state FSM of thesis Fig. 3.10.
+"""The ξ-sort controller — the kit's two-state FSM plus ξ-sort's buses.
 
-"The controller is implemented as a simple finite state machine having only
-two states": *Idle* and *Run*.  A dispatch latches the operands and the
-microprogram entry point; in Run the controller executes one horizontal
-microinstruction per cycle — driving the cell-array command buses, its tiny
-ALU and the output staging registers — and returns to Idle on the
-program's ``done`` word, asserting ``completed`` for the adapter.
+The FSM, ROM flattening, ALU and controller-local atoms all live in
+:class:`repro.smem.controller.MicroController`; this subclass contributes
+what is ξ-sort-specific:
+
+* the three load buses (``load_data``/``load_lower``/``load_upper``) of
+  the shift-load command, driven alongside ``cmd``/``broadcast``;
+* the fold-tree output atoms of the ξ-sort cell array (``count``,
+  ``found``, ``left_data``, ``left_interval``, ``sel_value``,
+  ``sel_unique``).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..hdl import Component, Rom
-from .cell import INTERVAL_BITS, CellCmd
-from .cellarray import CellArrayPorts
-from .microcode import MICROCODE, AluOp, Atom, MicroInstr, pack_interval
+from ..hdl import Component
+from ..smem.controller import N_TEMPS, MicroController
+from .cell import CellCmd
+from .microcode import MICROCODE, Atom, MicroInstr, pack_interval
 
-#: number of temporary registers in the controller datapath
-N_TEMPS = 4
+__all__ = ["XiSortController", "N_TEMPS"]
 
 
-class XiSortController(Component):
-    """Executes microprograms against a cell array."""
+class XiSortController(MicroController):
+    """Executes the ξ-sort microprograms against a ξ-sort cell array."""
 
     def __init__(
         self,
@@ -31,119 +33,40 @@ class XiSortController(Component):
         word_bits: int = 32,
         parent: Optional[Component] = None,
     ):
-        super().__init__(name, parent)
-        self.array = array
-        self.word_bits = word_bits
-        self._mask = (1 << word_bits) - 1
+        super().__init__(name, array, MICROCODE, word_bits, parent)
 
-        # flatten the microcode ROM: variety → (base, length)
-        image: list[MicroInstr] = []
-        self._entry: dict[int, int] = {}
-        for variety, program in sorted(MICROCODE.items()):
-            self._entry[variety] = len(image)
-            image.extend(program)
-        # Invalid-variety handler: one cycle, zeroed outputs, done.  Keeps the
-        # unit from ever wedging on a bad variety code.
-        self._invalid_entry = len(image)
-        image.append(
-            MicroInstr(
-                emit=(("data1", ("imm", 0)), ("data2", ("imm", 0)), ("flags", ("imm", 0))),
-                done=True,
-            )
-        )
-        self.rom = Rom("urom", image, parent=self)
+    # -- array bus driving --------------------------------------------------------
 
-        # -- control interface (driven by the adapter) ---------------------------
-        self.start = self.signal("start", 1, 0)
-        self.variety = self.signal("variety", 8, 0)
-        self.op_a = self.signal("op_a", word_bits, 0)
-        self.op_b = self.signal("op_b", word_bits, 0)
-        #: Idle/Run state bit (Fig. 3.10); 0 = Idle
-        self.running = self.reg("running", 1, 0)
-        #: strobes for one cycle when a program finishes
-        self.completed = self.signal("completed", 1, 0)
-        # staged results
-        self.out_data1 = self.reg("out_data1", word_bits, 0)
-        self.out_data2 = self.reg("out_data2", word_bits, 0)
-        self.out_flags = self.reg("out_flags", 8, 0)
+    def _drive_command(self, uinstr: MicroInstr) -> None:
+        broadcast = 0
+        load_data = 0
+        load_lower = 0
+        load_upper = 0
+        if uinstr.broadcast is not None:
+            broadcast = self._read_atom(uinstr.broadcast)
+        if uinstr.load_data is not None:
+            load_data = self._read_atom(uinstr.load_data)
+        if uinstr.load_lower is not None:
+            load_lower = self._read_atom(uinstr.load_lower)
+        if uinstr.load_upper is not None:
+            load_upper = self._read_atom(uinstr.load_upper)
+        self.array.cmd.set(int(uinstr.cell_cmd))
+        self.array.broadcast.set(broadcast)
+        self.array.load_data.set(load_data)
+        self.array.load_lower.set(load_lower)
+        self.array.load_upper.set(load_upper)
 
-        # -- internal state ----------------------------------------------------------
-        self._pc = self.reg("pc", 16, 0)
-        self._op_a = self.reg("lat_op_a", word_bits, 0)
-        self._op_b = self.reg("lat_op_b", word_bits, 0)
-        self._temps = [self.reg(f"t{i}", word_bits, 0) for i in range(N_TEMPS)]
-        self._done_now = self.signal("done_now", 1, 0)
+    def _drive_idle(self) -> None:
+        self.array.cmd.set(int(CellCmd.NOP))
+        self.array.broadcast.set(0)
+        self.array.load_data.set(0)
+        self.array.load_lower.set(0)
+        self.array.load_upper.set(0)
 
-        @self.comb
-        def _drive() -> None:
-            running = self.running.value
-            cmd = CellCmd.NOP
-            broadcast = 0
-            load_data = 0
-            load_lower = 0
-            load_upper = 0
-            done = 0
-            if running:
-                uinstr: MicroInstr = self.rom.read(self._pc.value)
-                cmd = uinstr.cell_cmd
-                if uinstr.broadcast is not None:
-                    broadcast = self._read_atom(uinstr.broadcast)
-                if uinstr.load_data is not None:
-                    load_data = self._read_atom(uinstr.load_data)
-                if uinstr.load_lower is not None:
-                    load_lower = self._read_atom(uinstr.load_lower)
-                if uinstr.load_upper is not None:
-                    load_upper = self._read_atom(uinstr.load_upper)
-                done = 1 if uinstr.done else 0
-            self.array.cmd.set(int(cmd))
-            self.array.broadcast.set(broadcast)
-            self.array.load_data.set(load_data)
-            self.array.load_lower.set(load_lower)
-            self.array.load_upper.set(load_upper)
-            self._done_now.set(done)
-            self.completed.set(done)
+    # -- ξ-sort's fold-output atoms ----------------------------------------------
 
-        @self.seq(pure=True)
-        def _tick() -> None:
-            if self.running.value:
-                uinstr: MicroInstr = self.rom.read(self._pc.value)
-                if uinstr.alu is not None:
-                    dst, op, x_atom, y_atom = uinstr.alu
-                    self._temps[dst].nxt = self._alu(op, x_atom, y_atom)
-                for field_name, atom in uinstr.emit:
-                    value = self._read_atom(atom)
-                    if field_name == "data1":
-                        self.out_data1.nxt = value
-                    elif field_name == "data2":
-                        self.out_data2.nxt = value
-                    elif field_name == "flags":
-                        self.out_flags.nxt = value
-                    else:  # pragma: no cover - microcode is static
-                        raise ValueError(f"unknown emit field {field_name!r}")
-                if uinstr.done:
-                    self.running.nxt = 0
-                else:
-                    self._pc.nxt = self._pc.value + 1
-            elif self.start.value:
-                variety = self.variety.value
-                base = self._entry.get(variety, self._invalid_entry)
-                self._pc.nxt = base
-                self._op_a.nxt = self.op_a.value
-                self._op_b.nxt = self.op_b.value
-                self.running.nxt = 1
-
-    # -- atom / ALU evaluation ---------------------------------------------------------
-
-    def _read_atom(self, atom: Atom) -> int:
+    def _read_port_atom(self, atom: Atom) -> int:
         kind = atom[0]
-        if kind == "op_a":
-            return self._op_a.value
-        if kind == "op_b":
-            return self._op_b.value
-        if kind == "t":
-            return self._temps[atom[1]].value
-        if kind == "imm":
-            return atom[1]
         if kind == "count":
             return self.array.count.value
         if kind == "found":
@@ -158,25 +81,6 @@ class XiSortController(Component):
             return self.array.selected_value.value
         if kind == "sel_unique":
             return self.array.selected_unique.value
+        # no super() here: the astpass inliner cannot resolve super() calls,
+        # and this method is process-reachable via _read_atom.
         raise ValueError(f"unknown atom {atom!r}")
-
-    def _alu(self, op: str, x_atom: Atom, y_atom: Atom) -> int:
-        x = self._read_atom(x_atom)
-        y = self._read_atom(y_atom)
-        if op == AluOp.MOV:
-            result = x
-        elif op == AluOp.ADD:
-            result = x + y
-        elif op == AluOp.ADDP1:
-            result = x + y + 1
-        elif op == AluOp.ADDM1:
-            result = x + y - 1
-        elif op == AluOp.HI16:
-            result = (x >> INTERVAL_BITS) & ((1 << INTERVAL_BITS) - 1)
-        elif op == AluOp.LO16:
-            result = x & ((1 << INTERVAL_BITS) - 1)
-        elif op == AluOp.PACK:
-            result = pack_interval(x, y)
-        else:
-            raise ValueError(f"unknown ALU op {op!r}")
-        return result & self._mask

@@ -2,9 +2,11 @@
 
 Thesis §3.3.3: "The SIMD processor unit consists of a controller unit, a
 ROM storing microcode programs controlling the SIMD cells and an array of
-the actual SIMD cells."  :class:`XiSortCore` wires those three together and
-exposes the controller's start/variety/operand interface — the boundary the
-functional-unit adapter (thesis Fig. 3.13) attaches to.
+the actual SIMD cells."  :class:`XiSortCore` is the smart-memory kit's
+:class:`~repro.smem.core.SmartMemoryCore` instantiated with the ξ-sort
+array and controller; it exposes the controller's start/variety/operand
+interface — the boundary the functional-unit adapter (thesis Fig. 3.13)
+attaches to.
 
 The core can also be driven *directly* (without the coprocessor framework)
 via :class:`DirectXiSortMachine`, which is how the fixed-cycles-per-
@@ -13,9 +15,9 @@ operation benchmarks measure the machine in isolation.
 
 from __future__ import annotations
 
-from typing import Literal, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..hdl import Component, Simulator
+from ..smem.core import ArrayKind, DirectMachine, SmartMemoryCore
 from .cellarray import StructuralCellArray, VectorCellArray
 from .controller import XiSortController
 from .microcode import (
@@ -32,109 +34,26 @@ from .microcode import (
     unpack_interval,
 )
 
-ArrayKind = Literal["vector", "structural"]
+__all__ = ["ArrayKind", "XiSortCore", "DirectXiSortMachine"]
 
 
-class XiSortCore(Component):
+class XiSortCore(SmartMemoryCore):
     """Controller + cell array, ready to adapt into the framework."""
 
-    def __init__(
-        self,
-        name: str,
-        n_cells: int,
-        word_bits: int = 32,
-        array_kind: ArrayKind = "vector",
-        parent: Optional[Component] = None,
-    ):
-        super().__init__(name, parent)
-        self.n_cells = n_cells
-        self.word_bits = word_bits
-        if array_kind == "vector":
-            self.array = VectorCellArray("cells", n_cells, word_bits, parent=self)
-        elif array_kind == "structural":
-            self.array = StructuralCellArray("cells", n_cells, word_bits, parent=self)
-        else:
-            raise ValueError(f"unknown array kind {array_kind!r}")
-        self.controller = XiSortController("ctrl", self.array, word_bits, parent=self)
-
-    # convenient aliases to the controller interface
-    @property
-    def start(self):
-        return self.controller.start
-
-    @property
-    def variety(self):
-        return self.controller.variety
-
-    @property
-    def op_a(self):
-        return self.controller.op_a
-
-    @property
-    def op_b(self):
-        return self.controller.op_b
-
-    @property
-    def running(self):
-        return self.controller.running
-
-    @property
-    def completed(self):
-        return self.controller.completed
+    vector_array_class = VectorCellArray
+    structural_array_class = StructuralCellArray
+    controller_class = XiSortController
 
 
-class DirectXiSortMachine:
+class DirectXiSortMachine(DirectMachine):
     """Drives a bare ξ-sort core cycle-accurately, without the RTM.
 
     Used by unit tests and by the benchmarks that isolate the smart-memory
     machine's fixed-cycle behaviour from message/pipeline overhead.
     """
 
-    def __init__(
-        self,
-        n_cells: int,
-        word_bits: int = 32,
-        array_kind: ArrayKind = "vector",
-        backend: Optional[str] = None,
-        scheduler: str = "event",
-        wheel: bool = True,
-    ):
-        self.core = XiSortCore("xicore", n_cells, word_bits, array_kind=array_kind)
-        self.sim = Simulator(self.core, scheduler=scheduler, wheel=wheel,
-                             backend=backend)
-        self.sim.reset()
-
-    @property
-    def cycles(self) -> int:
-        return self.sim.now
-
-    def op(self, variety: int, op_a: int = 0, op_b: int = 0, max_cycles: int = 1000) -> dict:
-        """Run one microprogram to completion; returns outputs + cycle cost."""
-        core = self.core
-        start_cycle = self.sim.now
-        core.variety.force(variety)
-        core.op_a.force(op_a)
-        core.op_b.force(op_b)
-        core.start.force(1)
-        self.sim.step()  # the start edge
-        core.start.force(0)
-        # run until the done strobe
-        self.sim.settle()
-        guard = 0
-        while not core.completed.value:
-            self.sim.step()
-            self.sim.settle()
-            guard += 1
-            if guard > max_cycles:
-                raise RuntimeError(f"microprogram {variety:#x} did not complete")
-        self.sim.step()  # commit the done word (outputs latch here)
-        ctrl = core.controller
-        return {
-            "data1": ctrl.out_data1.value,
-            "data2": ctrl.out_data2.value,
-            "flags": ctrl.out_flags.value,
-            "cycles": self.sim.now - start_cycle,
-        }
+    core_class = XiSortCore
+    core_name = "xicore"
 
     # -- high-level operations ------------------------------------------------------
 

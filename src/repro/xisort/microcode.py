@@ -2,8 +2,9 @@
 
 "The SIMD processor unit consists of a controller unit, a ROM storing
 microcode programs controlling the SIMD cells and an array of the actual
-SIMD cells."  This module defines the microinstruction word and the
-microprograms; :mod:`repro.xisort.controller` executes them.
+SIMD cells."  This module defines the ξ-sort microprograms over the kit's
+horizontal microinstruction word (:mod:`repro.smem.microcode`);
+:mod:`repro.xisort.controller` executes them.
 
 The microinstruction is *horizontal*: one word may simultaneously drive a
 cell command, perform one small ALU operation on the controller's
@@ -14,15 +15,12 @@ number of cells, which is the source of the paper's headline property:
 CPU each operation requires an iteration that takes time proportional to
 the number of data elements."
 
-Operand *atoms* (sources for broadcasts, ALU inputs and outputs):
+Besides the kit's controller-local atoms (``op_a``/``op_b``/``t``/``imm``),
+ξ-sort contributes the fold-tree output atoms of its cell array:
 
 ========================  =====================================================
 atom                      meaning
 ========================  =====================================================
-``("op_a",)``             first operand delivered with the dispatch
-``("op_b",)``             second operand
-``("t", i)``              controller temporary register i (0..3)
-``("imm", k)``            constant k
 ``("count",)``            tree flag-count output
 ``("found",)``            tree leftmost-found output (0/1)
 ``("left_data",)``        data of the leftmost selected cell
@@ -34,13 +32,30 @@ atom                      meaning
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
-from ..isa.opcodes import Opcode
+from ..smem.microcode import (
+    OP_A,
+    OP_B,
+    AluOp,
+    Atom,
+    MicroInstr,
+    format_microinstr,
+    imm as _imm,
+    pack_halves,
+    t_ as _t,
+    unpack_halves,
+)
+from ..smem.microcode import format_microcode as _kit_format_microcode
 from .cell import INTERVAL_BITS, SENTINEL, CellCmd
 
-Atom = tuple
+__all__ = [
+    "Atom", "AluOp", "MicroInstr", "MICROCODE",
+    "XI_LOAD", "XI_SPLIT", "XI_FIND_PIVOT", "XI_READ_AT", "XI_STATUS",
+    "XI_RESET", "XI_FIND_PIVOT_AT", "XI_WRITE_AT", "XI_RANK", "XI_COUNT_EQ",
+    "XI_FLAG_FOUND", "pack_interval", "unpack_interval", "write_profile",
+    "program_length", "format_microinstr", "format_microcode",
+]
 
 #: variety codes of the ξ-sort unit (the unit's "instruction set")
 XI_LOAD = 0x01        # op_a = datum, op_b = n-1 (initial upper bound)
@@ -60,55 +75,13 @@ XI_FLAG_FOUND = 0x01
 
 def pack_interval(lower: int, upper: int) -> int:
     """⟨lower, upper⟩ → one word (lower in the high half)."""
-    return ((lower & SENTINEL) << INTERVAL_BITS) | (upper & SENTINEL)
+    return pack_halves(lower, upper)
 
 
 def unpack_interval(packed: int) -> tuple[int, int]:
-    return (packed >> INTERVAL_BITS) & SENTINEL, packed & SENTINEL
+    return unpack_halves(packed)
 
 
-class AluOp:
-    """Operations of the controller's tiny ALU."""
-
-    MOV = "mov"        # y ignored
-    ADD = "add"
-    ADDP1 = "addp1"    # x + y + 1 (adder with carry-in forced)
-    ADDM1 = "addm1"    # x + y - 1
-    HI16 = "hi16"      # upper interval half of x (y ignored)
-    LO16 = "lo16"      # lower interval half of x (y ignored)
-    PACK = "pack"      # pack_interval(x, y)
-
-
-@dataclass(frozen=True)
-class MicroInstr:
-    """One horizontal microcode word."""
-
-    #: cell command to drive this cycle (NOP = leave the array alone)
-    cell_cmd: CellCmd = CellCmd.NOP
-    #: broadcast source for the cell command
-    broadcast: Optional[Atom] = None
-    #: load-bus sources for CellCmd.LOAD
-    load_data: Optional[Atom] = None
-    load_lower: Optional[Atom] = None
-    load_upper: Optional[Atom] = None
-    #: ALU micro-operation: (dst_temp, op, x_atom, y_atom)
-    alu: Optional[tuple[int, str, Atom, Atom]] = None
-    #: staged outputs: mapping of "data1"|"data2"|"flags" → atom
-    emit: tuple[tuple[str, Atom], ...] = ()
-    #: last word of the program
-    done: bool = False
-
-
-def _t(i: int) -> Atom:
-    return ("t", i)
-
-
-def _imm(k: int) -> Atom:
-    return ("imm", k)
-
-
-OP_A: Atom = ("op_a",)
-OP_B: Atom = ("op_b",)
 COUNT: Atom = ("count",)
 FOUND: Atom = ("found",)
 LEFT_DATA: Atom = ("left_data",)
@@ -340,53 +313,9 @@ _VARIETY_NAMES = {
 }
 
 
-def _format_atom(atom: Optional[Atom]) -> str:
-    if atom is None:
-        return "-"
-    kind = atom[0]
-    if kind == "t":
-        return f"t{atom[1]}"
-    if kind == "imm":
-        return f"#{atom[1]:#x}" if atom[1] > 9 else f"#{atom[1]}"
-    return kind
-
-
-def format_microinstr(uinstr: MicroInstr) -> str:
-    """One microcode word as a readable line (ROM-listing style)."""
-    parts = []
-    if uinstr.cell_cmd != CellCmd.NOP:
-        cell = uinstr.cell_cmd.name
-        if uinstr.broadcast is not None:
-            cell += f" bcast={_format_atom(uinstr.broadcast)}"
-        if uinstr.cell_cmd == CellCmd.LOAD:
-            cell += (f" data={_format_atom(uinstr.load_data)}"
-                     f" lo={_format_atom(uinstr.load_lower)}"
-                     f" hi={_format_atom(uinstr.load_upper)}")
-        parts.append(cell)
-    if uinstr.alu is not None:
-        dst, op, x, y = uinstr.alu
-        parts.append(f"t{dst} := {op}({_format_atom(x)}, {_format_atom(y)})")
-    for field_name, atom in uinstr.emit:
-        parts.append(f"{field_name} ← {_format_atom(atom)}")
-    if uinstr.done:
-        parts.append("DONE")
-    return "; ".join(parts) if parts else "nop"
-
-
 def format_microcode(varieties: Optional[list[int]] = None) -> str:
-    """The whole ROM (or selected programs) as an annotated listing.
+    """The whole ξ-sort ROM (or selected programs) as an annotated listing.
 
     Debugging/documentation aid — the view a microcode author works from.
     """
-    picked = varieties if varieties is not None else sorted(MICROCODE)
-    lines: list[str] = []
-    for variety in picked:
-        prog = MICROCODE.get(variety)
-        if prog is None:
-            continue
-        name = _VARIETY_NAMES.get(variety, f"variety {variety:#x}")
-        lines.append(f"{name} ({variety:#04x}) — {len(prog)} cycles:")
-        for pc, uinstr in enumerate(prog):
-            lines.append(f"  {pc:>3}: {format_microinstr(uinstr)}")
-        lines.append("")
-    return "\n".join(lines).rstrip()
+    return _kit_format_microcode(MICROCODE, varieties, names=_VARIETY_NAMES)

@@ -1,0 +1,46 @@
+"""Seeded defect: a hand-assembled functional-unit table with bad rows.
+
+Bypasses :meth:`FunctionalUnitTable.add` (as a custom RTM assembling its
+own routing data can) and seeds every defect the ``futable.*`` family
+pins:
+
+* row keyed ``0x13`` carrying unit code ``0x12`` — decoder and
+  scoreboard disagree about which opcode is in flight;
+* the same row reuses dispatch port 0 — two opcodes drive one unit's
+  dispatch register;
+* the aliased row routes to an *orphan* unit never parented into the
+  component tree;
+* its write profile returns a 2-tuple, so the lock manager's
+  ``(dst1, dst2, flags)`` unpack blows up at dispatch time.
+"""
+
+from repro.fu.arith import ArithmeticUnit
+from repro.hdl import Component
+from repro.rtm.futable import FunctionalUnitTable, UnitEntry
+
+EXPECTED_RULE = "futable.duplicate-opcode"
+
+
+class HandWiredRtm(Component):
+    def __init__(self) -> None:
+        super().__init__("badrtm")
+        self.wired_unit = ArithmeticUnit("fu_12", 16, parent=self)
+        self.orphan_unit = ArithmeticUnit("orphan", 16)  # no parent: unwired
+
+        table = FunctionalUnitTable()
+        table.add(0x12, self.wired_unit, lambda v: (True, False, True))
+        # the seeded defects: key != code, port collision, orphan unit,
+        # malformed write profile
+        table.entries[0x13] = UnitEntry(
+            code=0x12, port=0, unit=self.orphan_unit,
+            write_profile=lambda v: (True, False),
+        )
+        self.futable = table
+
+
+def build() -> HandWiredRtm:
+    return HandWiredRtm()
+
+
+def build_for_lint() -> HandWiredRtm:
+    return build()

@@ -25,6 +25,7 @@ from repro.messages.channel import PRESETS
 from repro.system import SystemBuilder, build_system
 
 from tests.analysis.lint_fixtures import (
+    bad_futable,
     comb_loop,
     double_driver,
     impure_pure_seq,
@@ -33,7 +34,7 @@ from tests.analysis.lint_fixtures import (
 )
 
 FIXTURES = [comb_loop, double_driver, undeclared_read, impure_pure_seq,
-            valid_no_ready]
+            valid_no_ready, bad_futable]
 FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
 
 
@@ -66,6 +67,30 @@ def test_impure_pure_seq_names_hidden_attr():
                                "contract.impure-pure-seq")
     (diag,) = report.errors
     assert "ticks" in diag.message
+
+
+def test_bad_futable_fires_whole_family():
+    """One hand-built table seeds all three futable defect classes."""
+    report = lint_report(bad_futable.build())
+    fired = {d.rule_id for d in report.diagnostics}
+    assert {"futable.duplicate-opcode", "futable.unregistered-unit",
+            "futable.write-profile"} <= fired
+    alias = [d for d in report.diagnostics
+             if d.rule_id == "futable.duplicate-opcode"]
+    # the aliased row is reported for both key/code mismatch and port reuse
+    assert any("0x13" in d.message and "0x12" in d.message for d in alias)
+    assert any("port 0" in d.message for d in alias)
+
+
+def test_smem_suite_table_is_futable_clean():
+    """The suite preset assembles six units through the guarded path —
+    the new family must stay silent on it (zero false positives)."""
+    from repro.fu.registry import smem_suite_registry
+
+    built = build_system(registry=smem_suite_registry(n_cells=8), lint="off")
+    report = lint_report(built.soc, sim=built.sim)
+    assert not any(d.rule_id.startswith("futable.")
+                   for d in report.diagnostics)
 
 
 # -- false positives: shipped designs must be silent --------------------------

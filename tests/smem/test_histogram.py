@@ -1,0 +1,100 @@
+"""The histogram machine against a collections.Counter oracle."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smem.histogram import DirectHistMachine
+
+KINDS = ["vector", "structural"]
+N_BINS = 16
+
+samples = st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1),
+                   min_size=0, max_size=24)
+
+
+@pytest.fixture(params=KINDS)
+def machine(request):
+    return DirectHistMachine(N_BINS, array_kind=request.param)
+
+
+class TestHistogramBehaviour:
+    def test_empty_histogram(self, machine):
+        machine.reset_bins()
+        assert machine.total() == 0
+        assert machine.peak() is None
+        assert machine.nonzero_bins() == 0
+        assert machine.read_bin(0) == 0
+
+    def test_increment_and_read(self, machine):
+        machine.reset_bins()
+        machine.increment(3)
+        machine.increment(3)
+        machine.increment(7)
+        assert machine.read_bin(3) == 2
+        assert machine.read_bin(7) == 1
+        assert machine.read_bin(0) == 0
+        assert machine.total() == 3
+        assert machine.nonzero_bins() == 2
+
+    def test_out_of_range_reads_are_invalid(self, machine):
+        machine.reset_bins()
+        assert machine.read_bin(N_BINS) is None
+        assert machine.read_bin(999) is None
+
+    def test_out_of_range_increment_hits_no_bin(self, machine):
+        machine.reset_bins()
+        machine.increment(N_BINS + 2)
+        assert machine.total() == 0
+
+    def test_sample_bins_by_power_of_two_mask(self, machine):
+        machine.reset_bins()
+        # n_bins = 16 is a power of two, so AND-binning is exact modulo
+        machine.sample(5)
+        machine.sample(5 + N_BINS)
+        machine.sample(5 + 7 * N_BINS)
+        assert machine.read_bin(5) == 3
+
+    def test_peak_is_leftmost_on_ties(self, machine):
+        machine.reset_bins()
+        machine.load([9, 2, 9, 2])
+        assert machine.peak() == (2, 2)
+
+    def test_reset_clears(self, machine):
+        machine.load([1, 2, 3])
+        machine.reset_bins()
+        assert machine.total() == 0 and machine.peak() is None
+
+
+class TestHistogramOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(values=samples)
+    def test_matches_counter(self, values):
+        m = DirectHistMachine(N_BINS)
+        m.reset_bins()
+        m.load(values)
+        ref = Counter(v % N_BINS for v in values)
+        assert m.total() == len(values)
+        assert m.nonzero_bins() == len(ref)
+        for b in range(N_BINS):
+            assert m.read_bin(b) == ref.get(b, 0)
+        if values:
+            peak_bin, peak_count = m.peak()
+            assert peak_count == max(ref.values())
+            assert peak_bin == min(b for b, c in ref.items()
+                                   if c == peak_count)
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=samples)
+    def test_kinds_agree(self, values):
+        outcomes = set()
+        for kind in KINDS:
+            m = DirectHistMachine(N_BINS, array_kind=kind)
+            m.reset_bins()
+            m.load(values)
+            outcomes.add((m.total(), m.peak(), m.nonzero_bins(), m.cycles))
+        assert len(outcomes) == 1

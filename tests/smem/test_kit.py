@@ -1,0 +1,120 @@
+"""The smart-memory kit's own machinery: microcode word, controller FSM,
+contract checker, core plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smem import (
+    INVALID_INSTR,
+    AluOp,
+    MicroInstr,
+    format_microcode,
+    format_microinstr,
+    imm,
+    pack_halves,
+    t_,
+    unpack_halves,
+    verify_array_contract,
+)
+from repro.smem.core import DirectMachine
+from repro.smem.scan import (
+    SC_PUSH,
+    SC_TOTAL,
+    SCAN_MICROCODE,
+    DirectScanMachine,
+    ScanCore,
+)
+
+
+class TestMicrocodeWord:
+    def test_pack_unpack_roundtrip(self):
+        for lower, upper in [(0, 0), (1, 2), (0xFFFF, 0xFFFF), (12345, 54321)]:
+            assert unpack_halves(pack_halves(lower, upper)) == (lower, upper)
+
+    def test_pack_masks_to_half_width(self):
+        assert pack_halves(0x1FFFF, 0) == pack_halves(0xFFFF, 0)
+
+    def test_invalid_instr_is_terminal_and_zeroing(self):
+        assert INVALID_INSTR.done
+        # every output field is actively zeroed, none left stale
+        assert dict(INVALID_INSTR.emit) == {
+            "data1": imm(0), "data2": imm(0), "flags": imm(0)}
+        assert INVALID_INSTR.alu is None
+
+    def test_atom_helpers(self):
+        assert t_(2) == ("t", 2)
+        assert imm(7) == ("imm", 7)
+
+    def test_format_microinstr_mentions_fields(self):
+        instr = MicroInstr(cell_cmd=3, broadcast=("op_a",),
+                           alu=(0, AluOp.ADD, t_(0), imm(1)),
+                           emit=(("data1", t_(0)),), done=True)
+        text = format_microinstr(instr)
+        assert "DONE" in text and "data1" in text and "add" in text
+
+    def test_format_microcode_lists_every_variety(self):
+        listing = format_microcode(SCAN_MICROCODE)
+        for variety in SCAN_MICROCODE:
+            assert f"{variety:#04x}" in listing
+
+
+class TestControllerFsm:
+    def test_unknown_variety_completes_without_wedging(self):
+        m = DirectScanMachine(4)
+        m.load([5])
+        out = m.op(0xEE)  # not in the scan ROM
+        assert out["data1"] == 0 and out["flags"] == 0
+        # the machine still works afterwards
+        assert m.total() == 5
+
+    def test_completed_strobes_for_one_cycle(self):
+        m = DirectScanMachine(4)
+        m.op(SC_PUSH, op_a=9)
+        m.sim.settle()
+        assert not m.core.completed.value
+
+    def test_op_cycle_cost_is_program_length_plus_dispatch(self):
+        m = DirectScanMachine(4)
+        # one-word program: the start edge, then the word's commit edge
+        assert m.op(SC_TOTAL)["cycles"] == 2
+        # a two-word program (SELECT then emit) costs one more
+        from repro.smem.scan import SC_READ_AT
+        assert m.op(SC_READ_AT)["cycles"] == 3
+
+    def test_direct_machine_guard_trips_on_runaway(self):
+        from repro.smem.scan import SC_READ_AT
+
+        m = DirectScanMachine(4)
+        with pytest.raises(RuntimeError):
+            m.op(SC_READ_AT, max_cycles=0)  # 2-word program, 0-cycle budget
+
+
+class TestContractChecker:
+    @pytest.mark.parametrize("kind", ["vector", "structural"])
+    def test_clean_arrays_verify(self, kind):
+        m = DirectScanMachine(8, array_kind=kind, backend="compiled")
+        assert verify_array_contract(m.core.array) == []
+
+    def test_rejects_non_kit_objects(self):
+        class NotAnArray:
+            pass
+
+        problems = verify_array_contract(NotAnArray())
+        assert problems, "a non-kit object must fail the contract"
+
+
+class TestCorePlumbing:
+    def test_core_aliases_reach_the_controller(self):
+        core = ScanCore("c", 4)
+        assert core.start is core.controller.start
+        assert core.variety is core.controller.variety
+        assert core.completed is core.controller.completed
+
+    def test_bad_array_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScanCore("c", 4, array_kind="diagonal")
+
+    def test_direct_machine_requires_core_class(self):
+        with pytest.raises(TypeError):
+            DirectMachine(4)  # the base has no core_class bound

@@ -1,0 +1,96 @@
+"""The streaming string-match machine against a naive Python oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smem.match import DirectMatchMachine
+
+KINDS = ["vector", "structural"]
+
+
+def naive_ends(text: bytes, pattern: bytes) -> list[int]:
+    """End positions of every (overlapping) occurrence."""
+    if not pattern:
+        return []
+    return [i for i in range(len(pattern) - 1, len(text))
+            if text[i - len(pattern) + 1:i + 1] == pattern]
+
+
+small_alphabet = st.binary(min_size=0, max_size=24).map(
+    lambda b: bytes(x % 3 + ord("a") for x in b)
+)
+patterns = st.binary(min_size=1, max_size=4).map(
+    lambda b: bytes(x % 3 + ord("a") for x in b)
+)
+
+
+@pytest.fixture(params=KINDS)
+def machine(request):
+    return DirectMatchMachine(8, array_kind=request.param)
+
+
+class TestMatchBehaviour:
+    def test_overlapping_matches(self, machine):
+        machine.set_pattern(b"aba")
+        assert machine.feed(b"abababa") == [2, 4, 6]
+        assert machine.hits() == 3
+
+    def test_single_char_pattern(self, machine):
+        machine.set_pattern(b"a")
+        assert machine.feed(b"banana") == [1, 3, 5]
+
+    def test_no_match(self, machine):
+        machine.set_pattern(b"xyz")
+        assert machine.feed(b"aaaa") == []
+        assert machine.hits() == 0
+
+    def test_empty_pattern_never_matches(self, machine):
+        machine.reset_machine()
+        assert machine.pattern_length() == 0
+        assert machine.feed(b"abc") == []
+        assert machine.hits() == 0
+
+    def test_restart_keeps_pattern_clears_stream(self, machine):
+        machine.set_pattern(b"ab")
+        machine.feed(b"abab")
+        assert machine.hits() == 2
+        machine.restart()
+        assert machine.hits() == 0
+        assert machine.pattern_length() == 2
+        assert machine.feed(b"ab") == [1]
+
+    def test_read_pattern_back(self, machine):
+        machine.set_pattern(b"abc")
+        assert [machine.read_pattern_at(i) for i in range(3)] == [
+            ord("a"), ord("b"), ord("c")]
+        assert machine.read_pattern_at(3) is None
+
+    def test_state_does_not_leak_across_set_pattern(self, machine):
+        machine.set_pattern(b"aa")
+        machine.feed(b"aaa")
+        machine.set_pattern(b"ba")
+        assert machine.feed(b"aba") == [2]
+        assert machine.hits() == 1
+
+
+class TestMatchOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(text=small_alphabet, pattern=patterns)
+    def test_matches_naive_scan(self, text, pattern):
+        m = DirectMatchMachine(8)
+        m.set_pattern(pattern)
+        assert m.feed(text) == naive_ends(text, pattern)
+        assert m.hits() == len(naive_ends(text, pattern))
+
+    @settings(max_examples=10, deadline=None)
+    @given(text=small_alphabet, pattern=patterns)
+    def test_kinds_agree(self, text, pattern):
+        outcomes = set()
+        for kind in KINDS:
+            m = DirectMatchMachine(8, array_kind=kind)
+            m.set_pattern(pattern)
+            outcomes.add((tuple(m.feed(text)), m.hits(), m.cycles))
+        assert len(outcomes) == 1

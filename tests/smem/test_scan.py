@@ -1,0 +1,104 @@
+"""The prefix scan/reduce machine against a numpy oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smem.scan import DirectScanMachine
+
+KINDS = ["vector", "structural"]
+
+value_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=0, max_size=12
+)
+
+
+@pytest.fixture(params=KINDS)
+def machine(request):
+    return DirectScanMachine(16, array_kind=request.param)
+
+
+class TestScanBehaviour:
+    def test_empty_column_queries(self, machine):
+        machine.reset_column()
+        assert machine.count() == 0
+        assert machine.total() is None
+        assert machine.minimum() is None
+        assert machine.maximum() is None
+        assert machine.read_at(0) is None
+
+    def test_push_and_reductions(self, machine):
+        machine.reset_column()
+        machine.load([7, 3, 11, 3])
+        assert machine.count() == 4
+        assert machine.total() == 24
+        assert machine.minimum() == 3
+        assert machine.maximum() == 11
+
+    def test_prefix_sum_in_place(self, machine):
+        machine.reset_column()
+        machine.load([3, 1, 4, 1, 5])
+        assert machine.prefix_sum() == 14
+        assert [machine.read_at(i) for i in range(5)] == [3, 4, 8, 9, 14]
+
+    def test_prefix_sum_wraps_at_word_width(self, machine):
+        machine.reset_column()
+        machine.load([(1 << 32) - 1, 2])
+        assert machine.prefix_sum() == 1  # (2^32 - 1 + 2) mod 2^32
+        assert machine.read_at(1) == 1
+
+    def test_add_all_touches_only_occupied_cells(self, machine):
+        machine.reset_column()
+        machine.load([1, 2])
+        machine.add_all(10)
+        assert [machine.read_at(i) for i in range(3)] == [11, 12, None]
+
+    def test_read_past_count_is_invalid(self, machine):
+        machine.reset_column()
+        machine.load([5])
+        assert machine.read_at(1) is None
+        assert machine.read_at(15) is None
+        assert machine.read_at(99) is None
+
+    def test_push_beyond_capacity_is_dropped(self):
+        m = DirectScanMachine(4)
+        m.reset_column()
+        m.load([1, 2, 3, 4, 5])
+        assert m.count() == 4
+        assert m.total() == 10
+
+    def test_reset_clears(self, machine):
+        machine.load([9, 9])
+        machine.reset_column()
+        assert machine.count() == 0 and machine.total() is None
+
+
+class TestScanOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(values=value_lists)
+    def test_matches_numpy_cumsum(self, values):
+        m = DirectScanMachine(16)
+        m.reset_column()
+        m.load(values)
+        total = m.prefix_sum()
+        if values:
+            ref = np.cumsum(np.asarray(values, dtype=np.uint64)) & ((1 << 32) - 1)
+            assert total == int(ref[-1])
+            assert [m.read_at(i) for i in range(len(values))] == [int(x) for x in ref]
+        else:
+            assert total == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=value_lists)
+    def test_kinds_agree(self, values):
+        outcomes = set()
+        for kind in KINDS:
+            m = DirectScanMachine(16, array_kind=kind)
+            m.reset_column()
+            m.load(values)
+            outcomes.add((m.total(), m.minimum(), m.maximum(), m.count(),
+                          m.prefix_sum(), m.cycles))
+        assert len(outcomes) == 1
