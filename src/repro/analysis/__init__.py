@@ -28,6 +28,7 @@ from .counters import (
     engine_counters_for,
     kernel_counters_for,
     link_counters_for,
+    state_counters_for,
 )
 from .inventory import ComponentStats, inventory, inventory_table, stats_for
 from .clock import (
@@ -84,6 +85,7 @@ __all__ = [
     "engine_counters_for",
     "kernel_counters_for",
     "link_counters_for",
+    "state_counters_for",
     "DEFAULT_CLOCKS",
     "INTEGRATED_LINK",
     "PCIE_CLASS_LINK",

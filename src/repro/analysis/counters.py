@@ -36,6 +36,10 @@ class CounterReport:
     #: coprocessor-side reliability receiver's counters; empty on a clean,
     #: plain-framing system
     link: dict = field(default_factory=dict)
+    #: state-fault counters (``StateFaultPlan.stats.as_dict()``): upsets
+    #: injected/corrected, scrub activity, detection latency; empty on an
+    #: unprotected system
+    state: dict = field(default_factory=dict)
 
     @property
     def dispatch_rate(self) -> float:
@@ -89,6 +93,14 @@ class CounterReport:
         return format_table(["link counter", "value"], rows,
                             title="link integrity (faults + reliability)")
 
+    def state_table(self) -> str:
+        """State-fault counters as a table (empty string when absent)."""
+        if not self.state:
+            return ""
+        rows = [[name.replace("_", " "), value] for name, value in self.state.items()]
+        return format_table(["state counter", "value"], rows,
+                            title="state faults (StateFaultPlan.stats)")
+
     @property
     def settle_activations_per_cycle(self) -> float:
         """Scheduled comb executions per cycle — the event kernel's work rate."""
@@ -125,6 +137,7 @@ def counters_for(system, driver=None) -> CounterReport:
     report.cycles = system.sim.now
     report.kernel = system.sim.kernel_stats.as_dict()
     report.link = link_counters_for(system)
+    report.state = state_counters_for(system)
     if driver is not None:
         report.engine = engine_counters_for(driver)
     return report
@@ -139,6 +152,22 @@ def engine_counters_for(driver) -> dict:
     """Host-engine counter snapshot for a driver (or a bare HostEngine)."""
     engine = getattr(driver, "engine", driver)
     return engine.stats.as_dict()
+
+
+def state_counters_for(system) -> dict:
+    """State-fault domain counters for a built system (empty if unprotected).
+
+    The flat :class:`~repro.faults.StateFaultStats` dict: upsets injected
+    (single/double), inline-ECC corrections, uncorrectable detections,
+    scrubber visits/epochs, and detection-latency aggregates.  Host-side
+    recovery counters (checkpoints, rollbacks, replays) live in the engine
+    section — they are the host's doing, not the coprocessor's.
+    """
+    soc = getattr(system, "soc", system)
+    domain = getattr(soc, "state_domain", None)
+    if domain is None:
+        return {}
+    return domain.stats.as_dict()
 
 
 def link_counters_for(system) -> dict:

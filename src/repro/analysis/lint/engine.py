@@ -75,6 +75,7 @@ def all_rules() -> dict[str, Rule]:
     from . import (  # noqa: F401
         rules_compile,
         rules_contract,
+        rules_faults,
         rules_futable,
         rules_graph,
         rules_protocol,

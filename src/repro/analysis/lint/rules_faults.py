@@ -1,0 +1,97 @@
+"""State-fault rules: protection declared must be protection applied.
+
+A protected system (``state_faults=``/``state_protection=True``) carries a
+:class:`~repro.faults.mcu.MachineCheckUnit` and wires a guard onto every
+architectural state element — ECC shadows on the RAMs, the scoreboard
+check on the lock manager, golden-copy validation on the unit table, and
+the fold-tree ECC on smart-memory arrays.  The wiring is convention, not
+construction: a custom RTM (or a new functional unit added to a stock one)
+can instantiate the machine-check unit and still leave an element bare, at
+which point an upset in that element is *silently* wrong — the precise
+failure mode the whole fault stack exists to rule out.
+
+:class:`UnprotectedStateRule` pins the convention: **if** a design contains
+a machine-check unit, every guardable state element in it must actually
+hold a guard.  Unprotected systems (no MCU anywhere) are exempt — running
+without the fault stack is a legitimate configuration, not a defect.
+ROMs are exempt too: their contents are construction constants re-readable
+from the netlist, not mutable state an upset can linger in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo
+
+
+def _protection_domain(design: DesignInfo) -> bool:
+    """True when the design instantiated the machine-check stack."""
+    from ...faults.mcu import MachineCheckUnit
+
+    return any(isinstance(c, MachineCheckUnit) for c in design.components)
+
+
+def _bare_elements(design: DesignInfo):
+    """Every guardable state element with no guard attached.
+
+    Yields ``(owner_path, kind, element)`` triples.  Guardable means the
+    element exposes the ``_guard`` hook the fault stack wires into:
+    :class:`~repro.hdl.SyncRam`, :class:`~repro.rtm.lockmgr.LockManager`,
+    :class:`~repro.rtm.futable.FunctionalUnitTable` and both smart-memory
+    array implementations.
+    """
+    from ...hdl.memory import SyncRam
+    from ...rtm.futable import FunctionalUnitTable
+    from ...rtm.lockmgr import LockManager
+    from ...smem.array import StructuralSmartArray, VectorSmartArray
+
+    seen_tables: set[int] = set()
+    for comp in design.components:
+        if isinstance(comp, SyncRam) and comp._guard is None:
+            yield comp.path, "RAM", comp
+        elif isinstance(comp, LockManager) and comp._guard is None:
+            yield comp.path, "lock scoreboard", comp
+        elif isinstance(comp, (VectorSmartArray, StructuralSmartArray)):
+            if comp._guard is None:
+                yield comp.path, "smart-memory array", comp
+        table = getattr(comp, "futable", None)
+        if (
+            isinstance(table, FunctionalUnitTable)
+            and id(table) not in seen_tables
+        ):
+            seen_tables.add(id(table))
+            if table._guard is None:
+                yield comp.path, "unit-table config", table
+
+
+@register_rule
+class UnprotectedStateRule(Rule):
+    """State elements left outside a declared protection domain.
+
+    Fires once per bare element, attributed to the component owning it.
+    Under-approximates like every rule: a design with no machine-check
+    unit yields nothing, and only the four known-guardable element kinds
+    are examined.
+    """
+
+    id = "fault.unprotected_state"
+    severity = Severity.ERROR
+    title = "state element has no fault guard in a protected design"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        if not _protection_domain(design):
+            return
+        for path, kind, _elem in _bare_elements(design):
+            yield self.diag(
+                path,
+                f"{kind} at {path!r} has no fault guard, but the design "
+                "instantiates a machine-check unit — an upset here is "
+                "invisible to the ECC/scrub/machine-check stack and "
+                "silently corrupts results",
+                hint="wire a RamGuard/LockGuard/FutableGuard/ArrayGuard "
+                     "onto the element (the RTM does this for its own "
+                     "state when built with state protection)",
+            )

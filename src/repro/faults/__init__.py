@@ -1,0 +1,37 @@
+"""repro.faults — the state-fault domain: SEU injection, ECC/parity
+scrubbing, machine-check reporting and checkpoint/rollback support.
+
+Counterpart of the link-fault domain in :mod:`repro.messages.faults`:
+where that package corrupts words *between* host and coprocessor, this
+one corrupts the architectural state *inside* the coprocessor and builds
+the detection/reporting/recovery stack that keeps the system "correct or
+raises, never silently wrong" anyway.  See docs/ARCHITECTURE.md
+("The state-fault domain").
+"""
+
+from .checkpoint import Checkpoint, restore_state, snapshot_state
+from .guards import (
+    ArrayGuard,
+    FutableGuard,
+    LockGuard,
+    RamGuard,
+    StateFaultPlan,
+    StateScrubber,
+)
+from .mcu import MachineCheckUnit
+from .spec import StateFaultSpec, StateFaultStats
+
+__all__ = [
+    "ArrayGuard",
+    "Checkpoint",
+    "FutableGuard",
+    "LockGuard",
+    "MachineCheckUnit",
+    "RamGuard",
+    "StateFaultPlan",
+    "StateFaultSpec",
+    "StateFaultStats",
+    "StateScrubber",
+    "restore_state",
+    "snapshot_state",
+]

@@ -1,0 +1,65 @@
+"""Architectural-state checkpoints for host-driven rollback-replay.
+
+A checkpoint captures everything a quiescent coprocessor would need to
+resume as if freshly programmed: the register file, the flag file, the
+halt latch, and every smart-memory array's per-cell payload.  It is
+taken only at *quiescent* points — engine idle, coprocessor not busy,
+no latent taint — so locks are free, pipelines empty and FSMs parked,
+none of which therefore needs capturing.
+
+Restores go through the elements' backdoor load paths, which also
+resynchronise the ECC shadows (:meth:`Protected.on_load`), so a restore
+can never inherit a stale syndrome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _arrays(soc) -> dict:
+    """Every smart-memory array under the system, keyed by path."""
+    # Imported here, not at module level: the smem package pulls in the
+    # host/session layer, which imports the system builder, which imports
+    # this package — a cycle at import time but not at call time.
+    from ..smem.array import StructuralSmartArray, VectorSmartArray
+
+    found = {}
+    for comp in soc.walk():
+        if isinstance(comp, (VectorSmartArray, StructuralSmartArray)):
+            found[comp.path] = comp
+    return found
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One quiescent-point snapshot of the coprocessor's architectural state."""
+
+    regs: tuple
+    flags: tuple
+    halted: int
+    arrays: dict  # path → tuple of per-cell state objects (frozen dataclasses)
+    cycle: int = 0
+
+
+def snapshot_state(soc, cycle: int = 0) -> Checkpoint:
+    """Capture the architectural state of a quiescent coprocessor."""
+    rtm = soc.rtm
+    return Checkpoint(
+        regs=tuple(rtm.regfile.dump()),
+        flags=tuple(rtm.flagfile.dump()),
+        halted=1 if rtm.halted else 0,
+        arrays={path: tuple(arr.states()) for path, arr in _arrays(soc).items()},
+        cycle=cycle,
+    )
+
+
+def restore_state(soc, ckpt: Checkpoint) -> None:
+    """Load a checkpoint back into a freshly reset coprocessor."""
+    rtm = soc.rtm
+    rtm.regfile.load(ckpt.regs)
+    rtm.flagfile.load(ckpt.flags)
+    rtm.execution.halted.force(1 if ckpt.halted else 0)
+    arrays = _arrays(soc)
+    for path, states in ckpt.arrays.items():
+        arrays[path].load_states(list(states))

@@ -1,0 +1,107 @@
+"""Machine-check unit: latches uncorrectable state errors for the host.
+
+Guards raise into this unit when a double-bit upset is read back.  The
+unit latches the first report (element code, address, syndrome), asserts
+``pending`` — which freezes the dispatcher and the write arbiter's unit
+grants so no further architectural state is committed from possibly
+corrupt data — and asserts ``unreported`` until the execution stage has
+pushed one :class:`~repro.messages.types.MachineCheck` message onto the
+host stream.  The host then drives recovery (checkpoint rollback and
+replay, see :mod:`repro.host.engine`); a bare-simulator system simply
+wedges, which the property suite accepts as "raises, never silently
+wrong" via the host timeout.
+
+A soft ``Reset`` message clears the check *and* scrubs every guard back
+to its intended contents, so a reset after a fault can never replay a
+stale syndrome.  A hard simulator reset does the same through the
+``on_reset`` hook — but injection counters inside the guards survive
+both, so a rollback-replay draws fresh fates instead of re-tripping the
+same upset forever.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component
+
+
+class MachineCheckUnit(Component):
+    """Sticky first-error latch shared by every state guard."""
+
+    def __init__(self, name: str, parent: Optional[Component] = None):
+        super().__init__(name, parent)
+        #: a machine check is latched (gates dispatch / unit grants)
+        self._check = self.reg("check", 1, 0)
+        #: the latched check has not yet left on the host stream
+        self._unreported = self.reg("unreported", 1, 0)
+        #: (element code, address, syndrome) of the latched check
+        self._record: Optional[tuple] = None
+        self._guards: list = []
+        self.stats = None  # StateFaultStats, bound by the plan
+        # Passive: the regs are driven by force() from guard callbacks and
+        # read combinationally by the pipeline stages.
+        self.comb(lambda: None)
+
+        @self.on_reset
+        def _clear() -> None:
+            self._record = None
+            for guard in self._guards:
+                guard.clear()
+
+    # -- guard registry ---------------------------------------------------------
+
+    def register_guard(self, guard) -> int:
+        """Enroll a guard; returns its element code (the MachineCheck arg)."""
+        code = len(self._guards)
+        self._guards.append(guard)
+        return code
+
+    @property
+    def guards(self) -> list:
+        return list(self._guards)
+
+    def element_id(self, code: int) -> str:
+        if 0 <= code < len(self._guards):
+            return self._guards[code].element_id
+        return f"element#{code}"
+
+    # -- raise / report / clear ---------------------------------------------------
+
+    def raise_check(self, guard, address: int, syndrome: int) -> None:
+        """Latch an uncorrectable error (first reporter wins)."""
+        if self._check.value:
+            if self.stats is not None:
+                self.stats.checks_suppressed += 1
+            return
+        self._record = (guard.code, address & 0xFFFF, syndrome & 0xFFFF)
+        self._check.force(1)
+        self._unreported.force(1)
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._check.value)
+
+    @property
+    def unreported(self) -> bool:
+        return bool(self._unreported.value)
+
+    @property
+    def record(self) -> Optional[tuple]:
+        return self._record
+
+    def report_args(self) -> tuple:
+        """(element, address, syndrome) for the outbound MachineCheck."""
+        assert self._record is not None
+        return self._record
+
+    def mark_reported(self) -> None:
+        self._unreported.force(0)
+
+    def soft_clear(self) -> None:
+        """Reset-message path: scrub all state clean and drop the check."""
+        for guard in self._guards:
+            guard.scrub_all()
+        self._record = None
+        self._check.force(0)
+        self._unreported.force(0)

@@ -1,0 +1,182 @@
+"""Deterministic state-fault schedules for the coprocessor's fabric state.
+
+PR 3 made the host link a failure domain; this package does the same for
+the architectural state *inside* the coprocessor — register file, flag
+file, lock-manager scoreboard, smart-memory cell arrays and the
+functional-unit table — the elements a single-event upset corrupts in
+real FPGA fabric.
+
+:class:`StateFaultSpec` mirrors the link-side
+:class:`repro.messages.faults.FaultSpec` idiom: fates are a pure function
+of ``(seed, element, index)`` where ``index`` counts *operations on the
+element* (writes to a RAM, lock-manager updates, applied array commands),
+not cycles — so a schedule is pacing-independent and survives engine
+batching, window changes and backend swaps unchanged.  An explicit
+``schedule`` pins individual fates for targeted tests.
+
+:class:`StateFaultStats` accumulates what the guards actually did:
+injections, corrections, machine-checks raised, scrub activity, and the
+detection-latency distribution the reliability bench reports.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+#: Multiplier decorrelating per-index fate streams drawn from one seed
+#: (same constant as the link-fault injector, applied twice: once to mix
+#: the element id in, once per index).
+_SEED_STRIDE = 1_000_003
+
+#: Fates a scheduled entry may pin.
+_KINDS = ("ok", "flip", "double")
+
+
+@dataclass(frozen=True)
+class StateFaultSpec:
+    """A reproducible upset schedule for the protected state elements.
+
+    ``flip_rate`` is the per-operation probability of a single-bit upset
+    (correctable under the SECDED-style shadow), ``double_rate`` of a
+    double-bit upset (detectable, uncorrectable — raises a machine
+    check).  ``targets`` restricts injection to elements whose id starts
+    with one of the given prefixes (e.g. ``("rtm.regfile",)``); empty
+    means every protected element.  ``schedule`` pins individual fates as
+    ``(element_id, index, kind)`` triples and overrides the rates at
+    those points.
+    """
+
+    seed: int = 0
+    flip_rate: float = 0.0
+    double_rate: float = 0.0
+    targets: tuple = ()
+    schedule: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("flip_rate", "double_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+        if self.flip_rate + self.double_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        seen: set[tuple] = set()
+        for entry in self.schedule:
+            if not (isinstance(entry, tuple) and len(entry) == 3):
+                raise ValueError(
+                    f"schedule entries are (element_id, index, kind) triples, got {entry!r}"
+                )
+            element, index, kind = entry
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"schedule kind must be one of {_KINDS}, got {kind!r}"
+                )
+            key = (element, index)
+            if key in seen:
+                raise ValueError(
+                    f"schedule pins ({element!r}, {index}) more than once — "
+                    "overlapping entries would silently shadow each other"
+                )
+            seen.add(key)
+
+    @property
+    def any_faults(self) -> bool:
+        return self.flip_rate > 0 or self.double_rate > 0 or bool(self.schedule)
+
+    def targeted(self, element_id: str) -> bool:
+        """Whether rate-driven injection applies to ``element_id``."""
+        if not self.targets:
+            return True
+        return any(element_id.startswith(prefix) for prefix in self.targets)
+
+    def fate(self, element_id: str, index: int, width: int) -> tuple:
+        """Fate of the ``index``-th operation on ``element_id``.
+
+        Returns ``("ok",)``, ``("flip", bit)`` or ``("double", b1, b2)``
+        with distinct bit positions below ``width``.  Pure function of
+        (seed, element, index): the schedule is a property of the spec,
+        never of simulation timing.
+        """
+        rng = random.Random(
+            (self.seed * _SEED_STRIDE + zlib.crc32(element_id.encode()))
+            * _SEED_STRIDE
+            + index
+        )
+        kind = None
+        for element, idx, pinned in self.schedule:
+            if element == element_id and idx == index:
+                kind = pinned
+                break
+        if kind is None:
+            if not self.targeted(element_id):
+                return ("ok",)
+            u = rng.random()
+            if u < self.flip_rate:
+                kind = "flip"
+            elif u < self.flip_rate + self.double_rate:
+                kind = "double"
+            else:
+                kind = "ok"
+        if kind == "ok":
+            return ("ok",)
+        if width < 1:
+            return ("ok",)
+        if kind == "flip":
+            return ("flip", rng.randrange(width))
+        if width < 2:  # a 1-bit element cannot host a double upset
+            return ("flip", 0)
+        b1 = rng.randrange(width)
+        b2 = rng.randrange(width - 1)
+        if b2 >= b1:
+            b2 += 1
+        return ("double", b1, b2)
+
+
+@dataclass
+class StateFaultStats:
+    """What the state-fault domain actually did."""
+
+    injected_single: int = 0     # single-bit upsets injected
+    injected_double: int = 0     # double-bit upsets injected
+    corrected: int = 0           # single-bit errors repaired from the shadow
+    uncorrectable: int = 0       # double-bit errors handed to the machine-check unit
+    overwritten: int = 0         # upsets erased by a later write before any read saw them
+    detections: int = 0          # total mismatches noticed (corrected + uncorrectable)
+    scrub_visits: int = 0        # state slots actively scrubbed
+    scrub_epochs: int = 0        # scrubber cycles lived (stepped or wheel-aged)
+    checks_suppressed: int = 0   # machine-check raises while one was already pending
+    latency_total: int = 0       # Σ cycles from injection to detection (known-age faults)
+    latency_max: int = 0
+    latency_samples: int = 0
+
+    def record_latency(self, cycles: int) -> None:
+        self.latency_total += cycles
+        self.latency_samples += 1
+        if cycles > self.latency_max:
+            self.latency_max = cycles
+
+    @property
+    def faults_injected(self) -> int:
+        return self.injected_single + self.injected_double
+
+    @property
+    def latency_mean(self) -> float:
+        if not self.latency_samples:
+            return 0.0
+        return self.latency_total / self.latency_samples
+
+    def as_dict(self) -> dict:
+        return {
+            "injected_single": self.injected_single,
+            "injected_double": self.injected_double,
+            "corrected": self.corrected,
+            "uncorrectable": self.uncorrectable,
+            "overwritten": self.overwritten,
+            "detections": self.detections,
+            "scrub_visits": self.scrub_visits,
+            "scrub_epochs": self.scrub_epochs,
+            "checks_suppressed": self.checks_suppressed,
+            "detect_latency_mean": round(self.latency_mean, 2),
+            "detect_latency_max": self.latency_max,
+        }

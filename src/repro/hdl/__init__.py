@@ -18,7 +18,7 @@ from .errors import (
     WidthError,
 )
 from .fifo import SyncFifo
-from .memory import Rom, SyncRam
+from .memory import Protected, Rom, SyncRam
 from .signal import Reg, Signal, mask_for
 from .sim import DYNAMIC_GROWTH_LIMIT, MAX_SETTLE_ITERATIONS, KernelStats, Simulator
 from .trace import Tracer
@@ -37,6 +37,7 @@ __all__ = [
     "SimulationError",
     "WidthError",
     "SyncFifo",
+    "Protected",
     "Rom",
     "SyncRam",
     "Reg",

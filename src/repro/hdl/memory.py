@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 from .component import Component
 from .errors import SimulationError
-from .signal import mask_for
+from .signal import _UNSET, mask_for
 
 
 class SyncRam(Component):
@@ -44,6 +44,8 @@ class SyncRam(Component):
         self.width = width
         self._mask = mask_for(width)
         self._mem = self.reg("mem", None, reset=(0,) * words)
+        #: optional :class:`Protected` shadow attached by the fault domain
+        self._guard: Optional["Protected"] = None
         # A RAM is passive; register a no-op so a bare RAM is a valid design.
         self.comb(lambda: None)
 
@@ -51,14 +53,20 @@ class SyncRam(Component):
         """Combinational read of the previously latched contents."""
         if not 0 <= addr < self.words:
             raise SimulationError(f"{self.path}: read address {addr} out of range")
-        return self._mem.value[addr]
+        value = self._mem.value[addr]
+        if self._guard is not None:
+            return self._guard.on_read(addr, value)
+        return value
 
     def write(self, addr: int, value: int) -> None:
         """Stage a write for the coming clock edge (call from seq processes)."""
         if not 0 <= addr < self.words:
             raise SimulationError(f"{self.path}: write address {addr} out of range")
+        value = int(value) & self._mask
+        if self._guard is not None:
+            value = self._guard.on_write(addr, value) & self._mask
         mem = list(self._mem.nxt)
-        mem[addr] = int(value) & self._mask
+        mem[addr] = value
         self._mem.nxt = tuple(mem)
 
     def dump(self) -> tuple[int, ...]:
@@ -73,6 +81,169 @@ class SyncRam(Component):
         for i, v in enumerate(values):
             mem[i] = int(v) & self._mask
         self._mem.force(tuple(mem))
+        if self._guard is not None:
+            self._guard.on_load()
+
+
+def _syndrome(xor: int) -> int:
+    """Pack the (up to two) flipped bit positions into one 16-bit word."""
+    bits = [i for i in range(xor.bit_length()) if xor >> i & 1]
+    if not bits:
+        return 0
+    if len(bits) == 1:
+        return bits[0] & 0xFF
+    return ((bits[-1] & 0xFF) << 8) | (bits[0] & 0xFF)
+
+
+class Protected:
+    """SECDED-style shadow protection for one :class:`SyncRam`.
+
+    Models an ECC-protected block RAM without simulating check bits: a
+    shadow copy holds the *intended* contents, writes pass through
+    :meth:`fate` (the injection point), and every read compares stored
+    vs. intended.  A single-bit mismatch is corrected in place (the
+    read returns clean data, as ECC hardware would); a multi-bit
+    mismatch is reported through :meth:`report` and the corrupt word is
+    returned — downstream logic must refuse to act on it, which is what
+    the machine-check pipeline gating enforces.
+
+    This class is pure mechanism: :meth:`fate`, :meth:`report` and the
+    stats hooks are no-ops here and overridden by the fault domain
+    (:class:`repro.faults.guards.RamGuard`).  A bare ``Protected(ram)``
+    is a valid error-free shadow, which is what ``state_protection=True``
+    without a fault spec installs.
+    """
+
+    def __init__(self, ram: SyncRam):
+        self.ram = ram
+        ram._guard = self
+        self._shadow = list(ram._mem.value)
+        #: addr → injection timestamp (or None when age unknown)
+        self._taint: dict[int, Optional[int]] = {}
+        self._writes = 0
+
+    # -- overridables (the fault domain supplies these) ----------------------------
+
+    def fate(self, index: int, width: int) -> tuple:
+        """Fate of the ``index``-th write: ("ok",) | ("flip", b) | ("double", b1, b2)."""
+        return ("ok",)
+
+    def report(self, addr: int, syndrome: int) -> None:
+        """An uncorrectable error was read back (override: raise machine check)."""
+
+    def now(self) -> int:
+        """Current cycle, for detection-latency accounting."""
+        return 0
+
+    def _note_injected(self, double: bool) -> None:
+        pass
+
+    def _note_corrected(self, injected_at: Optional[int]) -> None:
+        pass
+
+    def _note_uncorrectable(self, injected_at: Optional[int]) -> None:
+        pass
+
+    def _note_overwritten(self) -> None:
+        pass
+
+    # -- SyncRam hooks -------------------------------------------------------------
+
+    def on_write(self, addr: int, value: int) -> int:
+        """Record the intended value, maybe corrupt the stored one."""
+        index = self._writes
+        self._writes = index + 1
+        if addr in self._taint:
+            # the upset is overwritten before anything read it
+            del self._taint[addr]
+            self._note_overwritten()
+        self._shadow[addr] = value
+        f = self.fate(index, self.ram.width)
+        if f[0] == "flip":
+            self._taint[addr] = self.now()
+            self._note_injected(False)
+            return value ^ (1 << f[1])
+        if f[0] == "double":
+            self._taint[addr] = self.now()
+            self._note_injected(True)
+            return value ^ (1 << f[1]) ^ (1 << f[2])
+        return value
+
+    def on_read(self, addr: int, value: int) -> int:
+        """Check a read against the shadow; correct or report."""
+        true = self._shadow[addr]
+        if value == true:
+            return value
+        return self._resolve(addr, value, true)
+
+    def on_load(self) -> None:
+        """Backdoor load: resynchronise the shadow, clearing any taint."""
+        self._shadow = list(self.ram._mem.value)
+        self._taint.clear()
+
+    # -- detection / repair ----------------------------------------------------------
+
+    def _resolve(self, addr: int, value: int, true: int) -> int:
+        xor = value ^ true
+        injected_at = self._taint.pop(addr, None)
+        if bin(xor).count("1") == 1:
+            self._repair(addr, true)
+            self._note_corrected(injected_at)
+            return true
+        self._note_uncorrectable(injected_at)
+        self.report(addr, _syndrome(xor))
+        return value
+
+    def _repair(self, addr: int, true: int) -> None:
+        mem = list(self.ram._mem.value)
+        mem[addr] = true
+        self.ram._mem.force(tuple(mem))
+
+    # -- scrubbing ---------------------------------------------------------------------
+
+    def slots(self) -> range:
+        """Addresses the background scrubber walks."""
+        return range(self.ram.words)
+
+    def scrub(self, addr: int) -> None:
+        """Scrub one word: detect and repair/report without a functional read.
+
+        Called from the scrubber's edge process; skipped while the
+        backing register has a staged write (the write wins anyway).
+        """
+        reg = self.ram._mem
+        if reg._staged is not _UNSET:
+            return
+        value = reg.value[addr]
+        if value != self._shadow[addr]:
+            self._resolve(addr, value, self._shadow[addr])
+
+    def scrub_all(self) -> None:
+        """Restore every corrupted word from the shadow (soft-clear path)."""
+        mem = list(self.ram._mem.value)
+        changed = False
+        for addr, true in enumerate(self._shadow):
+            if mem[addr] != true:
+                mem[addr] = true
+                changed = True
+        if changed:
+            self.ram._mem.force(tuple(mem))
+        self._taint.clear()
+
+    def clear(self) -> None:
+        """Hard reset: adopt the current (post-reset) contents as intended.
+
+        The write counter survives deliberately — after a rollback the
+        replayed operations must draw *fresh* fates, or the same upset
+        would re-inject and recovery could never converge.
+        """
+        self._shadow = list(self.ram._mem.value)
+        self._taint.clear()
+
+    @property
+    def tainted(self) -> bool:
+        """An injected upset is still latent (uncorrected, not overwritten)."""
+        return bool(self._taint)
 
 
 class Rom(Component):

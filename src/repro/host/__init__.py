@@ -15,7 +15,7 @@ from .engine import (
     TagAllocator,
     default_deadline_cycles,
 )
-from .errors import HostTimeoutError, LinkDownError
+from .errors import HostTimeoutError, LinkDownError, MachineCheckError
 from .multidriver import HostCpuDriver, drivers_for
 from .program import collect_values, run_program
 from .session import OutOfRegisters, Pipeline, Session
@@ -34,6 +34,7 @@ __all__ = [
     "HostFuture",
     "HostTimeoutError",
     "LinkDownError",
+    "MachineCheckError",
     "TagAllocator",
     "default_deadline_cycles",
     "HostCpuDriver",

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from ..faults.checkpoint import Checkpoint, restore_state, snapshot_state
 from ..hdl.errors import SimulationError
 from ..messages.framing import Deframer, Framer
 from ..messages.reliability import (
@@ -44,9 +45,10 @@ from ..messages.types import (
     ExceptionReport,
     FlagVector,
     Halted,
+    MachineCheck,
     Message,
 )
-from .errors import HostTimeoutError, LinkDownError
+from .errors import HostTimeoutError, LinkDownError, MachineCheckError
 
 #: Default in-flight window: tracked requests the engine keeps outstanding
 #: before queueing further submissions host-side.  Deep enough to cover the
@@ -241,6 +243,11 @@ class EngineStats:
     rx_resyncs: int = 0           # host-side deframer resynchronisations
     degrade_entries: int = 0      # times the window degraded to stop-and-wait
     replay_truncated: int = 0     # frames evicted from a full replay buffer
+    # -- state-fault recovery counters (zero without state protection) --
+    machine_checks: int = 0       # MachineCheck reports received
+    rollbacks: int = 0            # checkpoint restores performed
+    replayed: int = 0             # journaled submissions re-sent after rollback
+    checkpoints: int = 0          # quiescent-point snapshots taken
 
     def as_dict(self) -> dict:
         return {
@@ -265,6 +272,10 @@ class EngineStats:
             "rx_resyncs": self.rx_resyncs,
             "degrade_entries": self.degrade_entries,
             "replay_truncated": self.replay_truncated,
+            "machine_checks": self.machine_checks,
+            "rollbacks": self.rollbacks,
+            "replayed": self.replayed,
+            "checkpoints": self.checkpoints,
         }
 
 
@@ -385,6 +396,23 @@ class HostEngine:
         #: default no-progress deadline for wait()/run_until_quiet (cycles)
         hysteresis = getattr(spec, "latency_cycles", 1) + self._cpw
         self.default_progress_deadline = max(50_000, 64 * hysteresis)
+        # -- state-fault recovery (active only on protected systems) --
+        self._protected = getattr(self.soc, "state_domain", None) is not None
+        #: set once a machine check proved unrecoverable; poisons submissions
+        self.fatal_error: Optional[BaseException] = None
+        #: last quiescent-point snapshot (None until the first one is taken)
+        self._ckpt: Optional[Checkpoint] = None
+        #: submissions released to the wire since the last checkpoint, in
+        #: order: (messages, route_key, tag, future) — the rollback replay
+        self._journal: list[tuple] = []
+        #: a rollback happened since the last checkpoint: a second machine
+        #: check before re-quiescing is treated as unrecoverable
+        self._recovered_since_ckpt = False
+        #: bumped by every rollback so in-progress rx-event loops abandon
+        #: events deframed before the coprocessor was reset
+        self._rx_epoch = 0
+        if self._protected:
+            self._maybe_checkpoint()
 
     # -- submission ---------------------------------------------------------------
 
@@ -419,6 +447,10 @@ class HostEngine:
 
     def _enqueue(self, sub: _Submission) -> None:
         self.stats.submitted += 1
+        if self.fatal_error is not None:
+            # an unrecoverable machine check poisoned the coprocessor state
+            sub.future._fail(self.fatal_error)
+            return
         if self.link_down:
             # the link was declared dead; nothing new can be delivered
             self.stats.link_down_failures += 1
@@ -461,13 +493,18 @@ class HostEngine:
                             self.stats.tag_stalls += 1
                             sub.stall_counted = True
                         break
-            for msg in sub.build(tag):
+            built = tuple(sub.build(tag))
+            for msg in built:
                 frame = self.framer.frame(msg)
                 if self.reliable:
                     self._log_frame(self.framer.last_seq, frame)
                 words.extend(frame)
                 framed += 1
             self._queue.popleft()
+            if self._protected:
+                # rollback-replay journal: every released submission since
+                # the last quiescent checkpoint, tracked or not
+                self._journal.append((built, sub.route_key, tag, sub.future))
             if sub.route_key is not None:
                 key = self._register(sub.future, sub.route_key, tag, sub.needs_tag)
                 if self.reliable:
@@ -526,6 +563,9 @@ class HostEngine:
 
     def route(self, msg: Message) -> None:
         """Deliver one inbound message to its future, or to the inbox."""
+        if isinstance(msg, MachineCheck):
+            self._route_machine_check(msg)
+            return
         if isinstance(msg, ExceptionReport):
             self._route_exception(msg)
             return
@@ -584,6 +624,124 @@ class HostEngine:
         if self.raise_on_exception:
             raise error
         self.inbox.append(report)
+
+    # -- state-fault recovery (checkpoint / rollback / replay) --------------------
+
+    def _route_machine_check(self, msg: MachineCheck) -> None:
+        """An uncorrectable state upset: roll back and replay, or fail fast.
+
+        Recoverable when a clean checkpoint exists and no earlier rollback
+        is still replaying toward its next quiescent point; otherwise the
+        state cannot be trusted and every outstanding request fails with
+        :class:`MachineCheckError` — never a silently wrong result.
+        """
+        self.stats.machine_checks += 1
+        if self._ckpt is None or self._recovered_since_ckpt:
+            self._fail_unrecoverable(msg)
+            return
+        self._rollback(msg)
+
+    def _fail_unrecoverable(self, msg: MachineCheck) -> None:
+        element = getattr(self.soc, "mcu", None)
+        name = element.element_id(msg.element) if element is not None else str(msg.element)
+        error = MachineCheckError(
+            f"unrecoverable machine check from {name} "
+            f"(address={msg.address:#x}, syndrome={msg.syndrome:#06x}): "
+            + ("a second upset hit before the rollback re-quiesced"
+               if self._ckpt is not None else "no clean checkpoint to roll back to"),
+            element=msg.element, address=msg.address, syndrome=msg.syndrome,
+        )
+        self.fatal_error = error
+        pending, self._pending = self._pending, {}
+        queue, self._queue = self._queue, deque()
+        self._in_flight = 0
+        self._records.clear()
+        self._replay.clear()
+        self._journal.clear()
+        for q in pending.values():
+            for future in q:
+                if future._owns_tag and future.tag is not None:
+                    self.tags.release(future.tag)
+                self.stats.failed += 1
+                future._fail(error)
+        for sub in queue:
+            sub.future._fail(error)
+        if self.raise_on_exception:
+            raise error
+        self.inbox.append(msg)
+
+    def _rollback(self, msg: MachineCheck) -> None:
+        """Restore the last checkpoint and replay the journal after it.
+
+        The coprocessor is hard-reset (pipelines, channel and guard shadows
+        clear; injection counters inside the guards persist, so the replay
+        draws fresh fates instead of re-tripping the same upset), the
+        architectural state reloads from the snapshot, both framing domains
+        restart, and every journaled submission is re-sent in order.
+        Already-completed tracked requests arm the duplicate guard so their
+        re-executed responses are swallowed.
+        """
+        self.stats.rollbacks += 1
+        self._recovered_since_ckpt = True
+        self._rx_epoch += 1
+        self.sim.reset()
+        restore_state(self.soc, self._ckpt)
+        cfg = self.system.config
+        if self.reliable:
+            self.framer = ReliableFramer(cfg.data_words)
+            self.deframer = ReliableDeframer(cfg.data_words, strict_order=False)
+        else:
+            self.framer = Framer(cfg.data_words)
+            self.deframer = Deframer(cfg.data_words)
+        self._replay.clear()
+        self._dup_guard.clear()
+        self._records.clear()
+        self._last_nack = None
+        self._last_nack_at = -1
+        self._last_rx_at = self.sim.now
+        words: list[int] = []
+        framed = 0
+        now = self.sim.now
+        for built, route_key, tag, future in self._journal:
+            for m in built:
+                frame = self.framer.frame(m)
+                if self.reliable:
+                    self._log_frame(self.framer.last_seq, frame)
+                words.extend(frame)
+                framed += 1
+            if route_key is not None:
+                key = (route_key, tag if route_key is not Halted else None)
+                if future.done():
+                    self._dup_guard[key] = self._dup_guard.get(key, 0) + 1
+                elif self.reliable:
+                    self._records[future] = _Record(
+                        key=key,
+                        last_seq=self.framer.last_seq,
+                        deadline_at=now + self.deadline_cycles,
+                    )
+            self.stats.replayed += 1
+        if words:
+            self.host.send_words(words)
+            self.stats.batches += 1
+            self.stats.messages_framed += framed
+            self.stats.words_sent += len(words)
+
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot at a quiescent point: engine idle, coprocessor drained,
+        no latent taint, no pending check — locks free and pipelines empty,
+        so the architectural state alone captures the machine."""
+        if not self._protected or self.fatal_error is not None:
+            return
+        if not self.idle or self._ckpt is not None and not self._journal:
+            return
+        domain = self.soc.state_domain
+        mcu = self.soc.mcu
+        if mcu.pending or domain.tainted or self.soc.busy:
+            return
+        self._ckpt = snapshot_state(self.soc, cycle=self.sim.now)
+        self._journal.clear()
+        self._recovered_since_ckpt = False
+        self.stats.checkpoints += 1
 
     # -- reliable-mode recovery ---------------------------------------------------
 
@@ -745,6 +903,8 @@ class HostEngine:
         self.sim.step(n)
         self.drain_words()
         self._check_deadlines()
+        if self._protected:
+            self._maybe_checkpoint()
         return n
 
     def pump(self, cycles: int = 1) -> None:
@@ -786,7 +946,12 @@ class HostEngine:
         self._process_rx_events()
 
     def _process_rx_events(self) -> None:
+        epoch = self._rx_epoch
         for event in self.deframer.take_events():
+            if self._rx_epoch != epoch:
+                # a rollback replaced the deframer mid-loop; the remaining
+                # events were deframed against pre-reset state
+                return
             kind = event[0]
             if kind in ("deliver", "duplicate"):
                 self.route(event[1])

@@ -23,3 +23,21 @@ class LinkDownError(HostTimeoutError):
     retransmitted ``max_retries`` times without any acknowledging response —
     the protocol's declaration that the physical link is dead.
     """
+
+
+class MachineCheckError(SimulationError):
+    """An uncorrectable state upset could not be recovered by rollback.
+
+    The coprocessor reported a machine check (a double-bit upset in
+    architectural state) and the host engine either had no clean
+    checkpoint to roll back to, or took a second check before reaching a
+    new quiescent point — replaying further would risk committing results
+    computed from corrupt state, so the engine fails fast instead.
+    """
+
+    def __init__(self, message: str, element: int = 0, address: int = 0,
+                 syndrome: int = 0):
+        super().__init__(message)
+        self.element = element
+        self.address = address
+        self.syndrome = syndrome

@@ -56,6 +56,7 @@ from .types import (
     ExceptionReport,
     FlagVector,
     Halted,
+    MachineCheck,
     Message,
     MsgType,
     Reset,
@@ -114,6 +115,7 @@ __all__ = [
     "ExceptionReport",
     "FlagVector",
     "Halted",
+    "MachineCheck",
     "Message",
     "MsgType",
     "Reset",

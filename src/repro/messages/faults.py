@@ -40,6 +40,13 @@ class FaultSpec:
     line permanently once that many words have been offered: nothing is
     accepted or delivered afterwards, and words already in flight freeze —
     the board fell off the bus.
+
+    ``schedule`` pins individual word fates for targeted tests: a tuple of
+    ``(index, fate)`` or ``(index, fate, xor)`` entries, where ``fate`` is
+    one of ``"ok"``, ``"drop"``, ``"flip"``, ``"dup"``.  Scheduled entries
+    override the rates at those indices; each index may be pinned at most
+    once — overlapping entries would silently shadow each other, so they
+    are rejected outright.
     """
 
     seed: int = 0
@@ -47,6 +54,9 @@ class FaultSpec:
     flip_rate: float = 0.0
     dup_rate: float = 0.0
     dead_after_words: Optional[int] = None
+    schedule: tuple = ()
+
+    _FATES = ("ok", "drop", "flip", "dup")
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "flip_rate", "dup_rate"):
@@ -57,6 +67,24 @@ class FaultSpec:
             raise ValueError("fault rates must sum to at most 1")
         if self.dead_after_words is not None and self.dead_after_words < 0:
             raise ValueError("dead_after_words must be >= 0")
+        seen: set[int] = set()
+        for entry in self.schedule:
+            if not (isinstance(entry, tuple) and len(entry) in (2, 3)):
+                raise ValueError(
+                    "schedule entries are (index, fate) or (index, fate, xor) "
+                    f"tuples, got {entry!r}"
+                )
+            index, fate = entry[0], entry[1]
+            if not (isinstance(index, int) and index >= 0):
+                raise ValueError(f"schedule index must be a non-negative int, got {index!r}")
+            if fate not in self._FATES:
+                raise ValueError(f"schedule fate must be one of {self._FATES}, got {fate!r}")
+            if index in seen:
+                raise ValueError(
+                    f"schedule pins word {index} more than once — overlapping "
+                    "entries would silently shadow each other"
+                )
+            seen.add(index)
 
     @property
     def any_faults(self) -> bool:
@@ -65,6 +93,7 @@ class FaultSpec:
             or self.flip_rate > 0
             or self.dup_rate > 0
             or self.dead_after_words is not None
+            or any(entry[1] != "ok" for entry in self.schedule)
         )
 
     def fate(self, index: int) -> tuple[str, int]:
@@ -76,6 +105,13 @@ class FaultSpec:
         if self.dead_after_words is not None and index >= self.dead_after_words:
             return "dead", 0
         rng = random.Random(self.seed * _SEED_STRIDE + index)
+        for entry in self.schedule:
+            if entry[0] == index:
+                fate = entry[1]
+                if fate != "flip":
+                    return fate, 0
+                xor = entry[2] if len(entry) == 3 else 1 << rng.randrange(32)
+                return "flip", xor & 0xFFFF_FFFF
         u = rng.random()
         if u < self.drop_rate:
             return "drop", 0
@@ -95,6 +131,10 @@ class FaultStats:
     bits_flipped: int = 0
     words_duplicated: int = 0
     died_at_word: Optional[int] = None
+    #: words the sender presented after the line died — never accepted, so
+    #: invisible to words_offered; this is the sender-side loss a dead link
+    #: causes beyond the in-flight words it froze
+    stalled_after_death: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -103,6 +143,7 @@ class FaultStats:
             "bits_flipped": self.bits_flipped,
             "words_duplicated": self.words_duplicated,
             "dead": self.died_at_word is not None,
+            "stalled_after_death": self.stalled_after_death,
         }
 
     @property
@@ -132,10 +173,27 @@ class FaultyLine(DelayLine):
         # Dead-link latch: a register, so the combinational ready/valid
         # gates are properly tracked by the event-driven settle scheduler.
         self._dead = self.reg("dead", 1, 0)
+        # One count per word the sender presents against the dead line: the
+        # latch holds while `valid` stays up (a stalled sender re-presents
+        # the same word every cycle) and re-arms when valid drops, so the
+        # counter is per-word, not per-cycle — and therefore invariant
+        # under time-wheel fast-forward, which can only skip cycles on
+        # which the latch state would not change.
+        self._stall_counted = False
+
+        @self.seq
+        def _count_stalled() -> None:
+            if self._dead.value and self.inp.valid.value:
+                if not self._stall_counted:
+                    self._stall_counted = True
+                    self.fault_stats.stalled_after_death += 1
+            else:
+                self._stall_counted = False
 
         @self.on_reset
         def _clear() -> None:
             self.fault_stats = FaultStats()
+            self._stall_counted = False
 
     # -- DelayLine injection hooks -------------------------------------------------
 

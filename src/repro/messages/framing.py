@@ -21,6 +21,7 @@ from .types import (
     ExceptionReport,
     FlagVector,
     Halted,
+    MachineCheck,
     Message,
     MsgType,
     Reset,
@@ -47,7 +48,12 @@ def expected_length(msg_type: int, data_words: int) -> int:
         return 2
     if msg_type in (MsgType.WRITE_REG, MsgType.DATA_RECORD):
         return data_words
-    if msg_type in (MsgType.WRITE_FLAGS, MsgType.FLAG_VECTOR, MsgType.EXCEPTION):
+    if msg_type in (
+        MsgType.WRITE_FLAGS,
+        MsgType.FLAG_VECTOR,
+        MsgType.EXCEPTION,
+        MsgType.MACHINE_CHECK,
+    ):
         return 1
     if msg_type in (MsgType.RESET, MsgType.HALTED):
         return 0
@@ -94,6 +100,8 @@ def build_message(mtype: int, arg: int, payload: list[int]) -> Message:
         return ExceptionReport(arg, value)
     if mtype == MsgType.HALTED:
         return Halted()
+    if mtype == MsgType.MACHINE_CHECK:
+        return MachineCheck(arg, (value >> 16) & 0xFFFF, value & 0xFFFF)
     raise FramingError(f"unknown message type {mtype:#x}")
 
 
@@ -160,6 +168,9 @@ class Framer:
             return [make_header(MsgType.EXCEPTION, msg.code, 1), msg.info & WORD_MASK]
         if isinstance(msg, Halted):
             return [make_header(MsgType.HALTED, 0, 0)]
+        if isinstance(msg, MachineCheck):
+            return [make_header(MsgType.MACHINE_CHECK, msg.element & 0xFF, 1),
+                    ((msg.address & 0xFFFF) << 16) | (msg.syndrome & 0xFFFF)]
         raise FramingError(f"cannot frame message of type {type(msg).__name__}")
 
     def frame_all(self, msgs: Iterable[Message]) -> list[int]:

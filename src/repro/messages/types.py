@@ -27,6 +27,7 @@ class MsgType(IntEnum):
     FLAG_VECTOR = 0x82  # flag register contents requested by GETF
     EXCEPTION = 0x83    # decode/protocol error report
     HALTED = 0x84       # the RTM executed HALT
+    MACHINE_CHECK = 0x85  # uncorrectable state error (SEU) detected
 
 
 class ExceptionCode(IntEnum):
@@ -36,6 +37,7 @@ class ExceptionCode(IntEnum):
     BAD_REGISTER = 0x02     # register index out of the configured range
     BAD_MESSAGE = 0x03      # malformed frame from the host
     UNIT_ERROR = 0x04       # a functional unit signalled an error
+    MACHINE_CHECK = 0x05    # uncorrectable error in a protected state element
 
 
 @dataclass(frozen=True)
@@ -116,5 +118,21 @@ class Halted(Message):
     """Acknowledgement that the RTM reached HALT."""
 
 
+@dataclass(frozen=True)
+class MachineCheck(Message):
+    """An uncorrectable error in a protected state element.
+
+    ``element`` identifies the state element (the machine-check unit's
+    guard code), ``address`` the slot within it (register index, cell
+    index, lock space, opcode), ``syndrome`` the packed flipped-bit
+    positions.  The host's recovery engine rolls back to the last good
+    checkpoint on receipt; without one it fails fast.
+    """
+
+    element: int
+    address: int
+    syndrome: int = 0
+
+
 HOST_TO_COP = (Exec, WriteReg, WriteFlags, Reset)
-COP_TO_HOST = (DataRecord, FlagVector, ExceptionReport, Halted)
+COP_TO_HOST = (DataRecord, FlagVector, ExceptionReport, Halted, MachineCheck)

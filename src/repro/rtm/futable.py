@@ -47,6 +47,9 @@ class FunctionalUnitTable:
 
     def __init__(self) -> None:
         self._entries: dict[int, UnitEntry] = {}
+        #: optional config-bit guard (repro.faults.FutableGuard): every
+        #: consultation re-validates the rows against a golden copy first
+        self._guard = None
 
     def add(
         self,
@@ -65,16 +68,22 @@ class FunctionalUnitTable:
         return entry
 
     def lookup(self, code: int) -> Optional[UnitEntry]:
+        if self._guard is not None:
+            self._guard.on_access()
         return self._entries.get(code)
 
     @property
     def entries(self) -> dict[int, UnitEntry]:
         """The opcode → entry rows (fixed after system assembly)."""
+        if self._guard is not None:
+            self._guard.on_access()
         return self._entries
 
     @property
     def units(self) -> tuple[FunctionalUnit, ...]:
         """Units in port order."""
+        if self._guard is not None:
+            self._guard.on_access()
         return tuple(e.unit for e in sorted(self._entries.values(), key=lambda e: e.port))
 
     def __len__(self) -> int:

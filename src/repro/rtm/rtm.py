@@ -17,6 +17,16 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..config import FrameworkConfig
+from ..faults import (
+    ArrayGuard,
+    FutableGuard,
+    LockGuard,
+    MachineCheckUnit,
+    RamGuard,
+    StateFaultPlan,
+    StateFaultSpec,
+    StateScrubber,
+)
 from ..fu.base import FunctionalUnit
 from ..fu.registry import UnitRegistry, default_registry
 from ..hdl import Component
@@ -52,12 +62,25 @@ class RegisterTransferMachine(Component):
         config: FrameworkConfig,
         registry: Optional[UnitRegistry] = None,
         unit_codes: Optional[Sequence[int]] = None,
+        state_faults: Optional[StateFaultSpec] = None,
+        state_protection: bool = False,
         parent: Optional[Component] = None,
     ):
         super().__init__(name, parent)
         self.config = config
         registry = registry if registry is not None else default_registry(config.pipelined_units)
         codes = tuple(unit_codes) if unit_codes is not None else registry.codes()
+
+        # -- state-fault domain (spec → plan + machine-check unit) -------------
+        protected = state_protection or state_faults is not None
+        self.state_domain: Optional[StateFaultPlan] = (
+            StateFaultPlan(state_faults) if protected else None
+        )
+        self.mcu: Optional[MachineCheckUnit] = (
+            MachineCheckUnit("mcu", parent=self) if protected else None
+        )
+        if self.mcu is not None:
+            self.mcu.stats = self.state_domain.stats
 
         # -- state ------------------------------------------------------------
         self.regfile = RegisterFile("regfile", config, parent=self)
@@ -102,6 +125,23 @@ class RegisterTransferMachine(Component):
         _connect(self, self.dispatcher.out, self.execution.inp)
         _connect(self, self.execution.msg_out, self.encoder.inp)
         _connect(self, self.encoder.out, self.serializer.inp)
+
+        # -- state guards (after assembly: every protected element exists) -----
+        self.scrubber: Optional[StateScrubber] = None
+        if protected:
+            plan, mcu = self.state_domain, self.mcu
+            RamGuard("rtm.regfile", self.regfile.ram, plan, mcu)
+            RamGuard("rtm.flagfile", self.flagfile.ram, plan, mcu)
+            LockGuard("rtm.lockmgr", self.lockmgr, plan, mcu)
+            FutableGuard("rtm.futable", self.futable, plan, mcu)
+            for unit in self.units:
+                array = getattr(getattr(unit, "core", None), "array", None)
+                if array is not None:
+                    ArrayGuard(f"rtm.{unit.name}.array", array, plan, mcu)
+            self.scrubber = StateScrubber("scrubber", plan, mcu, parent=self)
+            self.dispatcher.mcu = mcu
+            self.execution.mcu = mcu
+            self.write_arbiter.mcu = mcu
 
         @self.comb
         def _halt_wire() -> None:

@@ -49,6 +49,12 @@ class WriteArbiter(Component):
         self.prio_valid = None
         self.prio_transfer = None
         self.prio_ack = None
+        #: machine-check unit (set by the RTM when state protection is on).
+        #: While a check is pending, round-robin grants freeze — no unit
+        #: result may commit into possibly-upset register state — but the
+        #: priority port stays live so the execution stage drains its held
+        #: op (whose data was read clean at dispatch time).
+        self.mcu = None
         self._last = self.reg("last", 8, 0)
         self._grant = self.signal("grant", 8, 0)
         self._grant_valid = self.signal("grant_valid", 1, 0)
@@ -61,8 +67,9 @@ class WriteArbiter(Component):
             # Compute the grant first, then drive every ack exactly once per
             # pass (a signal toggling within one pass would never settle).
             prio = bool(self.prio_valid is not None and self.prio_valid.value)
+            pending = self.mcu is not None and self.mcu.pending
             granted_idx = -1
-            if not prio and self._ports:
+            if not prio and not pending and self._ports:
                 n = len(self._ports)
                 start = (self._last.value + 1) % n
                 for off in range(n):

@@ -46,6 +46,7 @@ the canonical shape).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Optional
 
 from ..hdl import Component
@@ -120,6 +121,7 @@ class SmartArrayExecutor:
         self._absorbed = list(absorbed)
         self.n_cells = vec.n
         self._dirty = True
+        owner._vec_executor = self
         if cells is not None:
             owner._seed_vectors(vec, cells)
             for i, cell in enumerate(cells):
@@ -133,6 +135,9 @@ class SmartArrayExecutor:
         if not self._dirty:
             return False
         self._dirty = False
+        guard = self.owner._guard
+        if guard is not None:
+            guard.pre_fold()
         self.owner._fold_vector(self.vec)
         return True
 
@@ -141,6 +146,8 @@ class SmartArrayExecutor:
         if o.cmd._value == o.NOP_CMD:
             return False
         o._apply_raw(self.vec)
+        if o._guard is not None:
+            o._guard.after_apply()
         self._dirty = True
         return True
 
@@ -153,6 +160,30 @@ class SmartArrayExecutor:
 
     def state_of(self, i: int) -> object:
         return self.vec.state_of(i)
+
+
+def _suppress_guard_lint(array: Component) -> None:
+    """Declare the guard fold's documented contract-rule waivers.
+
+    The detection process attached by ``attach_guard`` repairs single-bit
+    upsets inline (``force()`` on cell payloads / the machine-check
+    latches) and reads the guard's hidden pending-upset state.  Both are
+    guard-coupled: the hidden state moves only alongside the tracked
+    ``guard_evt`` toggle staged by the same command edge that created it,
+    so every reader is re-run.  Declared here, once, where the coupling is
+    created.
+    """
+    array.lint_suppress(
+        "contract.force-in-proc",
+        "inline ECC on the fold path: a single-bit repair (or machine-check "
+        "latch) forces state the tracked guard_evt toggle already re-ran "
+        "readers for",
+    )
+    array.lint_suppress(
+        "contract.hidden-comb-read",
+        "the guard's pending-upset state changes only alongside the tracked "
+        "guard_evt register edge staged by the same command",
+    )
 
 
 class VectorSmartArray(Component):
@@ -174,6 +205,11 @@ class VectorSmartArray(Component):
         self._validate(n_cells)
         self.n_cells = n_cells
         self.word_bits = word_bits
+        #: optional repro.faults.ArrayGuard (see attach_guard)
+        self._guard = None
+        self._guard_procs: list = []
+        #: set by SmartArrayExecutor when the compiled backend owns the column
+        self._vec_executor: Optional["SmartArrayExecutor"] = None
         self._declare_ports()
         self.vec = self._make_vectors(n_cells)
 
@@ -187,6 +223,8 @@ class VectorSmartArray(Component):
         @self.seq
         def _apply() -> None:
             self._apply_ports(self.vec)
+            if self._guard is not None and self.cmd.value != self.NOP_CMD:
+                self._guard.after_apply()
 
         self._tree_fn = _tree_outputs
         self._apply_fn = _apply
@@ -229,17 +267,61 @@ class VectorSmartArray(Component):
 
     def _make_executor(self) -> SmartArrayExecutor:
         return SmartArrayExecutor(
-            self, self.vec, [self._tree_fn, self._apply_fn]
+            self, self.vec, [self._tree_fn, self._apply_fn] + self._guard_procs
         )
 
     def _seed_vectors(self, vec, cells) -> None:
         raise NotImplementedError
 
-    # -- inspection ---------------------------------------------------------------
+    # -- state-fault guard hookup ---------------------------------------------------
+
+    def attach_guard(self, guard) -> None:
+        """Wire a :class:`repro.faults.ArrayGuard` onto this column.
+
+        The guard's injection (``after_apply``) rides the existing apply
+        process; its detection (``pre_fold``) gets a dedicated comb process
+        woken by the guard's event register, so deferred upsets apply even
+        when the triggering command changed no other signal.  Both hooks are
+        absorbed by the compiled executor, which calls them directly.
+        """
+        if self._guard is not None:
+            raise RuntimeError(f"{self.path} already has a state guard")
+        self._guard = guard
+        guard.bind_evt(self.reg("guard_evt", 1, 0))
+
+        @self.comb
+        def _guard_fold() -> None:
+            guard.pre_fold()
+
+        self._guard_procs.append(_guard_fold)
+        _suppress_guard_lint(self)
+
+    # -- inspection / checkpointing -------------------------------------------------
 
     def states(self) -> list:
         """Snapshot as per-cell state objects (equivalence tests)."""
         return self.vec.states()
+
+    def state_at(self, i: int):
+        """One cell's committed state (the executor shares ``self.vec``)."""
+        return self.vec.state_of(i)
+
+    def load_states(self, states: list) -> None:
+        """Overwrite the whole column's state (checkpoint restore)."""
+        if len(states) != self.n_cells:
+            raise ValueError(
+                f"expected {self.n_cells} states, got {len(states)}"
+            )
+        fakes = [SimpleNamespace(_state=SimpleNamespace(value=s)) for s in states]
+        self._seed_vectors(self.vec, fakes)
+        if self._vec_executor is not None:
+            self._vec_executor._dirty = True
+
+    def poke_state(self, i: int, state) -> None:
+        """Replace one cell's state in place (uncorrectable-upset payload)."""
+        states = self.states()
+        states[i] = state
+        self.load_states(states)
 
 
 class StructuralSmartArray(Component):
@@ -270,6 +352,11 @@ class StructuralSmartArray(Component):
         self._validate(n_cells)
         self.n_cells = n_cells
         self.word_bits = word_bits
+        #: optional repro.faults.ArrayGuard (see attach_guard)
+        self._guard = None
+        self._guard_procs: list = []
+        #: set by SmartArrayExecutor when the compiled backend owns the column
+        self._vec_executor: Optional["SmartArrayExecutor"] = None
         self._declare_ports()
         self.cells: list[SmartCell] = self._make_cells()
 
@@ -298,10 +385,43 @@ class StructuralSmartArray(Component):
         return self._make_executor()
 
     def _make_executor(self) -> SmartArrayExecutor:
-        absorbed = [self._tree_fn] + [c._tick_fn for c in self.cells]
+        absorbed = (
+            [self._tree_fn] + [c._tick_fn for c in self.cells] + self._guard_procs
+        )
         return SmartArrayExecutor(
             self, self._make_vectors(self.n_cells), absorbed, cells=self.cells
         )
+
+    # -- state-fault guard hookup ---------------------------------------------------
+
+    def attach_guard(self, guard) -> None:
+        """Wire a :class:`repro.faults.ArrayGuard` onto this column.
+
+        The structural base has no array-level apply process, so the guard
+        gets its own seq process counting applied commands, plus the comb
+        detection process and a wheel veto mirroring the vector base's hook
+        (skipped stretches are all-NOP, where neither process does work).
+        """
+        if self._guard is not None:
+            raise RuntimeError(f"{self.path} already has a state guard")
+        self._guard = guard
+        guard.bind_evt(self.reg("guard_evt", 1, 0))
+
+        @self.comb
+        def _guard_fold() -> None:
+            guard.pre_fold()
+
+        @self.seq
+        def _guard_apply() -> None:
+            if self.cmd.value != self.NOP_CMD:
+                guard.after_apply()
+
+        self.wheel(
+            lambda: 0 if self.cmd.value != self.NOP_CMD else None,
+            lambda n: None,
+        )
+        self._guard_procs.extend([_guard_fold, _guard_apply])
+        _suppress_guard_lint(self)
 
     # -- subclass obligations -------------------------------------------------------
 
@@ -328,3 +448,28 @@ class StructuralSmartArray(Component):
 
     def states(self) -> list:
         return [c.state for c in self.cells]
+
+    def state_at(self, i: int):
+        return self.cells[i].state
+
+    def load_states(self, states: list) -> None:
+        """Overwrite the whole column's state (checkpoint restore)."""
+        if len(states) != self.n_cells:
+            raise ValueError(
+                f"expected {self.n_cells} states, got {len(states)}"
+            )
+        if self._vec_executor is not None:
+            fakes = [
+                SimpleNamespace(_state=SimpleNamespace(value=s)) for s in states
+            ]
+            self._seed_vectors(self._vec_executor.vec, fakes)
+            self._vec_executor._dirty = True
+        else:
+            for cell, s in zip(self.cells, states):
+                cell._state.force(s)
+
+    def poke_state(self, i: int, state) -> None:
+        """Replace one cell's state in place (uncorrectable-upset payload)."""
+        states = self.states()
+        states[i] = state
+        self.load_states(states)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..config import FrameworkConfig
+from ..faults import StateFaultSpec
 from ..fu.registry import UnitRegistry, default_registry
 from ..hdl import Simulator
 from ..messages.channel import INTEGRATED, ChannelSpec
@@ -51,6 +52,8 @@ class SystemBuilder:
         self._engine_window: Optional[int] = None
         self._downstream_faults: Optional[FaultSpec] = None
         self._upstream_faults: Optional[FaultSpec] = None
+        self._state_faults: Optional[StateFaultSpec] = None
+        self._state_protection: bool = False
         self._lint: str = "warn"
 
     def with_lint(self, mode: str) -> "SystemBuilder":
@@ -145,6 +148,27 @@ class SystemBuilder:
         self._upstream_faults = upstream
         return self
 
+    def with_state_faults(self, spec: Optional[StateFaultSpec]) -> "SystemBuilder":
+        """Inject a deterministic SEU schedule into the coprocessor's state.
+
+        Enables the whole protection stack (ECC shadows, scrubber,
+        machine-check unit) and flips bits in the register files, the lock
+        manager's scoreboard, the unit table's config bits and the
+        smart-memory cell payloads per the spec's seeded schedule.  Pair
+        with a reliable host engine for checkpoint/rollback recovery.
+        """
+        self._state_faults = spec
+        return self
+
+    def with_state_protection(self, enabled: bool = True) -> "SystemBuilder":
+        """Enable ECC/parity shadows + scrubbing without injecting faults.
+
+        The zero-fault baseline for measuring protection overhead; also
+        the posture a deployment would ship with.
+        """
+        self._state_protection = bool(enabled)
+        return self
+
     def with_reliability(self, resync_flush_cycles: Optional[int] = None) -> "SystemBuilder":
         """Enable the checksummed, sequence-numbered frame format on both
         directions (see :mod:`repro.messages.reliability`)."""
@@ -197,6 +221,8 @@ class SystemBuilder:
             upstream_channel=self._upstream,
             downstream_faults=self._downstream_faults,
             upstream_faults=self._upstream_faults,
+            state_faults=self._state_faults,
+            state_protection=self._state_protection,
         )
         sim = Simulator(
             soc,
@@ -205,6 +231,8 @@ class SystemBuilder:
             backend=self._backend,
         )
         sim.reset()
+        if soc.state_domain is not None:
+            soc.state_domain.bind_clock(lambda: sim.now)
         built = BuiltSystem(soc=soc, sim=sim, engine_window=self._engine_window)
         if self._lint != "off":
             _run_lint(built, self._lint)
@@ -238,6 +266,8 @@ def build_system(
     window: Optional[int] = None,
     faults: Optional[FaultSpec] = None,
     upstream_faults: Optional[FaultSpec] = None,
+    state_faults: Optional[StateFaultSpec] = None,
+    state_protection: bool = False,
     reliable: bool = False,
     wheel: bool = True,
     lint: str = "warn",
@@ -246,7 +276,11 @@ def build_system(
     """One-call system construction with sensible defaults.
 
     ``faults``/``upstream_faults`` inject a deterministic fault schedule
-    into the corresponding link direction; ``reliable=True`` turns on the
+    into the corresponding link direction; ``state_faults`` injects a
+    seeded SEU schedule into the coprocessor's architectural state (and
+    enables the ECC/scrub/machine-check stack); ``state_protection=True``
+    enables that stack without injection (overhead baseline);
+    ``reliable=True`` turns on the
     checksummed frame format that recovers from those faults;
     ``wheel=False`` disables the cycle-skipping time wheel (cycle-exact
     either way — the off switch exists for equivalence cross-checks);
@@ -272,6 +306,10 @@ def build_system(
         builder.with_engine(window)
     if faults is not None or upstream_faults is not None:
         builder.with_faults(faults, upstream_faults)
+    if state_faults is not None:
+        builder.with_state_faults(state_faults)
+    if state_protection:
+        builder.with_state_protection()
     if reliable:
         builder.with_reliability()
     return builder.build()

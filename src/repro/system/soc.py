@@ -36,6 +36,8 @@ class CoprocessorSystem(Component):
         upstream_channel: Optional[ChannelSpec] = None,
         downstream_faults=None,
         upstream_faults=None,
+        state_faults=None,
+        state_protection: bool = False,
     ):
         super().__init__(name)
         self.config = config
@@ -56,7 +58,9 @@ class CoprocessorSystem(Component):
             "transmitter", parent=self, depth=config.transceiver_fifo_depth
         )
         self.rtm = RegisterTransferMachine(
-            "rtm", config, registry=registry, unit_codes=unit_codes, parent=self
+            "rtm", config, registry=registry, unit_codes=unit_codes,
+            state_faults=state_faults, state_protection=state_protection,
+            parent=self,
         )
 
         # host → coprocessor path
@@ -67,6 +71,18 @@ class CoprocessorSystem(Component):
         _connect(self, self.rtm.words_out, self.transmitter.inp)
         _connect(self, self.transmitter.chan, self.link.upstream.inp)
         _connect(self, self.link.upstream.out, self.host.rx)
+
+    # -- state-fault domain accessors -------------------------------------------
+
+    @property
+    def state_domain(self):
+        """The RTM's :class:`~repro.faults.StateFaultPlan` (None unprotected)."""
+        return self.rtm.state_domain
+
+    @property
+    def mcu(self):
+        """The RTM's machine-check unit (None when unprotected)."""
+        return self.rtm.mcu
 
     # -- quiescence check (drivers use this to know when to stop pumping) --------
 

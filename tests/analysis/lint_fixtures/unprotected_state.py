@@ -1,0 +1,36 @@
+"""Seeded defect: a protection domain with one bare state element.
+
+Instantiates the machine-check unit and guards the register-file RAM the
+way a protected RTM would — but adds a second scratch RAM with no guard,
+the way a hand-extended design can.  An upset in the scratch RAM would be
+invisible to the ECC/scrub/machine-check stack, which is exactly the
+silent-corruption hole ``fault.unprotected_state`` pins shut.
+"""
+
+from repro.faults import MachineCheckUnit, RamGuard, StateFaultPlan
+from repro.hdl import Component, SyncRam
+
+EXPECTED_RULE = "fault.unprotected_state"
+
+
+class HalfProtectedRtm(Component):
+    def __init__(self) -> None:
+        super().__init__("halfrtm")
+        self.plan = StateFaultPlan()
+        self.mcu = MachineCheckUnit("mcu", parent=self)
+        self.mcu.stats = self.plan.stats
+
+        self.regfile = SyncRam("regfile", words=16, width=64, parent=self)
+        RamGuard("halfrtm.regfile", self.regfile, self.plan, self.mcu)
+
+        # the seeded defect: mutable state inside a protection domain with
+        # no guard wired onto it
+        self.scratch = SyncRam("scratch", words=8, width=64, parent=self)
+
+
+def build() -> HalfProtectedRtm:
+    return HalfProtectedRtm()
+
+
+def build_for_lint() -> HalfProtectedRtm:
+    return build()

@@ -30,11 +30,12 @@ from tests.analysis.lint_fixtures import (
     double_driver,
     impure_pure_seq,
     undeclared_read,
+    unprotected_state,
     valid_no_ready,
 )
 
 FIXTURES = [comb_loop, double_driver, undeclared_read, impure_pure_seq,
-            valid_no_ready, bad_futable]
+            valid_no_ready, bad_futable, unprotected_state]
 FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
 
 

@@ -1,0 +1,217 @@
+"""Guards, machine-check unit and checkpoints at the component level.
+
+The system-level acceptance story (identical-or-raises under seeded
+upsets) lives in ``test_recovery.py`` and the chaos property suite; this
+file pins each mechanism in isolation: the ECC shadow's correct/report
+split, the scoreboard guard, first-error-wins latching, the MachineCheck
+wire format, checkpoint snapshot/restore, and the reset paths that must
+leave no stale ECC or machine-check state behind.
+"""
+
+from repro.config import FrameworkConfig
+from repro.faults import (
+    Checkpoint,
+    LockGuard,
+    MachineCheckUnit,
+    RamGuard,
+    StateFaultPlan,
+    StateFaultSpec,
+    restore_state,
+    snapshot_state,
+)
+from repro.fu.protocol import WriteSpace
+from repro.hdl import Component, Simulator, SyncRam
+from repro.messages.framing import Deframer, Framer
+from repro.messages.types import MachineCheck
+from repro.rtm.lockmgr import LockManager
+
+
+class GuardHarness(Component):
+    """A RAM and a scoreboard, each guarded and wired to one MCU — the
+    same topology the RTM builds, minus the pipeline."""
+
+    def __init__(self, spec=None):
+        super().__init__("h")
+        self.plan = StateFaultPlan(spec)
+        self.mcu = MachineCheckUnit("mcu", parent=self)
+        self.mcu.stats = self.plan.stats
+        self.ram = SyncRam("ram", words=8, width=32, parent=self)
+        self.guard = RamGuard("h.ram", self.ram, self.plan, self.mcu)
+        self.lockmgr = LockManager("locks", FrameworkConfig(), parent=self)
+        self.lockguard = LockGuard("h.locks", self.lockmgr, self.plan, self.mcu)
+        self.write_plan: list[tuple[int, int]] = []  # one RAM write per cycle
+        self.lock_plan: list[tuple[WriteSpace, int]] = []  # one lock per cycle
+
+        @self.seq
+        def _tick() -> None:
+            if self.write_plan:
+                addr, value = self.write_plan.pop(0)
+                self.ram.write(addr, value)
+            if self.lock_plan:
+                space, reg = self.lock_plan.pop(0)
+                self.lockmgr.lock(space, reg)
+
+
+def _sim(h):
+    sim = Simulator(h)
+    sim.reset()
+    h.plan.bind_clock(lambda: sim.now)
+    return sim
+
+
+class TestRamGuard:
+    def test_single_flip_corrected_on_read(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.ram", 0, "flip"),)))
+        sim = _sim(h)
+        h.write_plan = [(3, 0xABCD)]
+        sim.step(2)
+        assert h.ram.read(3) == 0xABCD  # corrected, not the corrupted word
+        assert h.plan.stats.injected_single == 1
+        assert h.plan.stats.corrected == 1
+        assert not h.mcu.pending
+        # the stored word was repaired in place, not just masked on read
+        assert h.ram._mem.value[3] == 0xABCD
+
+    def test_double_raises_machine_check(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.ram", 0, "double"),)))
+        sim = _sim(h)
+        h.write_plan = [(3, 0xABCD)]
+        sim.step(2)
+        h.ram.read(3)
+        assert h.mcu.pending and h.mcu.unreported
+        code, address, syndrome = h.mcu.record
+        assert code == h.guard.code
+        assert address == 3
+        hi, lo = (syndrome >> 8) & 0xFF, syndrome & 0xFF
+        assert hi != lo and hi < 32 and lo < 32
+        assert h.plan.stats.uncorrectable == 1
+
+    def test_overwrite_before_read_counts_overwritten(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.ram", 0, "double"),)))
+        sim = _sim(h)
+        h.write_plan = [(3, 0xABCD), (3, 0x1234)]
+        sim.step(3)
+        assert h.ram.read(3) == 0x1234
+        assert h.plan.stats.overwritten == 1
+        assert not h.mcu.pending
+
+    def test_first_error_wins_suppressed_counted(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(
+            ("h.ram", 0, "double"), ("h.ram", 1, "double"),
+        )))
+        sim = _sim(h)
+        h.write_plan = [(1, 7), (2, 9)]
+        sim.step(3)
+        h.ram.read(1)
+        first = h.mcu.record
+        assert first is not None
+        h.ram.read(2)
+        assert h.mcu.record == first
+        assert h.plan.stats.checks_suppressed == 1
+
+
+class TestLockGuard:
+    def test_single_flip_repaired_at_query(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.locks", 0, "flip"),)))
+        sim = _sim(h)
+        h.lock_plan = [(WriteSpace.DATA, 2)]
+        sim.step(2)
+        assert h.lockmgr.is_locked(WriteSpace.DATA, 2)
+        assert h.plan.stats.corrected == 1
+        assert not h.mcu.pending
+        assert h.lockmgr._data_locks.value == h.lockguard._true[WriteSpace.DATA]
+
+    def test_double_raises_machine_check(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.locks", 0, "double"),)))
+        sim = _sim(h)
+        h.lock_plan = [(WriteSpace.DATA, 2)]
+        sim.step(2)
+        h.lockmgr.is_locked(WriteSpace.DATA, 0)
+        assert h.mcu.pending
+        assert h.plan.stats.uncorrectable == 1
+
+
+class TestResetPaths:
+    """Satellite regression: no reset path may leave stale ECC/scrub state
+    or a pending machine check behind."""
+
+    def _latched(self):
+        h = GuardHarness(StateFaultSpec(seed=1, schedule=(("h.ram", 0, "double"),)))
+        sim = _sim(h)
+        h.write_plan = [(3, 0xABCD)]
+        sim.step(2)
+        h.ram.read(3)
+        assert h.mcu.pending
+        return h, sim
+
+    def test_soft_clear_scrubs_and_drops_check(self):
+        h, sim = self._latched()
+        h.mcu.soft_clear()
+        assert not h.mcu.pending and not h.mcu.unreported
+        assert h.mcu.record is None
+        assert not h.guard.tainted and not h.plan.tainted
+        # the corrupt word was scrubbed back to the intended contents
+        assert h.ram.read(3) == 0xABCD
+        assert h.ram._mem.value[3] == 0xABCD
+
+    def test_hard_reset_clears_check_and_taint(self):
+        h, sim = self._latched()
+        sim.reset()
+        assert not h.mcu.pending and not h.mcu.unreported
+        assert h.mcu.record is None
+        assert not h.plan.tainted
+        # the shadow adopted the post-reset contents: reads are clean
+        assert h.ram.read(3) == 0
+
+    def test_injection_counters_survive_reset(self):
+        """Replay after rollback must draw fresh fates (see Protected.clear)."""
+        h, sim = self._latched()
+        writes_before = h.guard._writes
+        sim.reset()
+        assert h.guard._writes == writes_before
+        # the same logical write now draws the *next* fate, which is clean
+        h.write_plan = [(3, 0xABCD)]
+        sim.step(2)
+        assert h.ram.read(3) == 0xABCD
+        assert not h.mcu.pending
+
+
+class TestWireFormat:
+    def test_machine_check_roundtrip(self):
+        msg = MachineCheck(element=2, address=0x0003, syndrome=0x1D0A)
+        words = Framer().frame(msg)
+        deframer = Deframer()
+        out = []
+        for w in words:
+            m = deframer.push(w)
+            if m is not None:
+                out.append(m)
+        assert out == [msg]
+
+    def test_wire_packing(self):
+        words = Framer().frame(MachineCheck(element=2, address=0x0003,
+                                            syndrome=0x1D0A))
+        payload = words[-1]
+        assert payload == (0x0003 << 16) | 0x1D0A
+
+
+class TestCheckpoint:
+    def test_snapshot_restore_roundtrip(self):
+        from repro.host import CoprocessorDriver
+        from repro.isa import instructions as ins
+        from repro.system import build_system
+
+        built = build_system(state_protection=True, lint="off")
+        drv = CoprocessorDriver(built)
+        drv.write_reg(1, 111)
+        drv.write_reg(2, 222)
+        drv.execute(ins.add(3, 1, 2))
+        assert drv.read_reg(3) == 333
+        ckpt = snapshot_state(built.soc, cycle=built.sim.now)
+        assert isinstance(ckpt, Checkpoint)
+        # diverge, then roll back
+        drv.write_reg(3, 999)
+        assert drv.read_reg(3) == 999
+        built.sim.reset()
+        restore_state(built.soc, ckpt)
+        assert drv.read_reg(3) == 333

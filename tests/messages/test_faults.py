@@ -83,6 +83,29 @@ class TestFaultSpec:
             assert kind == "flip"
             assert bin(xor).count("1") == 1
 
+    def test_schedule_pins_fates(self):
+        spec = FaultSpec(seed=1, drop_rate=1.0, schedule=(
+            (0, "ok"), (2, "flip", 0x10), (3, "dup"),
+        ))
+        assert spec.fate(0) == ("ok", 0)
+        assert spec.fate(1) == ("drop", 0)  # unpinned indices follow rates
+        assert spec.fate(2) == ("flip", 0x10)
+        assert spec.fate(3) == ("dup", 0)
+
+    def test_schedule_duplicate_index_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            FaultSpec(schedule=((3, "drop"), (3, "flip", 1)))
+        # pinning the same index twice is the error, not repeated fates
+        assert FaultSpec(schedule=((3, "drop"), (4, "drop"))).any_faults
+
+    def test_schedule_entry_shape_rejected(self):
+        with pytest.raises(ValueError, match="tuples"):
+            FaultSpec(schedule=((3,),))
+        with pytest.raises(ValueError, match="fate"):
+            FaultSpec(schedule=((3, "explode"),))
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec(schedule=((-1, "drop"),))
+
 
 class TestFaultyLine:
     def test_clean_spec_behaves_like_delayline(self):
@@ -129,6 +152,19 @@ class TestFaultyLine:
             h, _ = _run(spacing, list(range(100, 140)), seed=9, drop_rate=0.3)
             outs.append(h.received)
         assert outs[0] == outs[1]
+
+    def test_stalled_after_death_counts_presented_words(self):
+        # the sender keeps presenting after the link dies: the counter sees
+        # each presented word once, however long the sender holds it up
+        h, sim = _run(INTEGRATED, [1, 2, 3, 4], max_cycles=300,
+                      dead_after_words=2)
+        assert h.line.dead
+        stalled = h.line.fault_stats.stalled_after_death
+        assert stalled >= 1
+        # more cycles with the same word still presented: per-word, not
+        # per-cycle — the count must not inflate
+        sim.step(20)
+        assert h.line.fault_stats.stalled_after_death == stalled
 
     def test_reset_clears_stats(self):
         h, sim = _run(INTEGRATED, [1, 2], drop_rate=1.0)
