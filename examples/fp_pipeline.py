@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Pipelined floating point + out-of-order issue, end to end.
+
+The latency story of PR 9 in one runnable file:
+
+1. build the coprocessor with the pipelined FP family (add/mul/FMA,
+   multi-cycle II=1 pipelines) — once in order, once with the renaming
+   issue engine,
+2. run the same two instruction streams on both — an *independent* fadd
+   burst (disjoint destinations, shared destination flag) and a
+   *dependency-chained* FMA accumulator loop,
+3. check both machines return bit-identical results, then compare the
+   simulated cycle counts and the per-cause stall counters.
+
+Run:  python examples/fp_pipeline.py
+"""
+
+import struct
+
+from repro import Session, build_system
+from repro.analysis import counters_for
+from repro.isa import instructions as ins
+
+N = 32
+
+
+def f32(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def to_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def run(ooo: bool):
+    with Session(system=build_system(ooo=ooo, fp_units=True)) as s:
+        a = s.put(f32(1.5))
+        b = s.put(f32(0.25))
+
+        # --- independent burst: N fadds over 8 rotating destinations ------
+        dsts = s.alloc_many(8)
+        for i in range(N):
+            s.driver.execute(ins.fadd(dsts[i % 8], a, b))
+        burst = [to_f32(s.read(d)) for d in dsts]
+        burst_cycles = s.driver.cycles
+
+        # --- dependency chain: acc := acc + a*b, N times ------------------
+        acc = s.put(f32(0.0))
+        for _ in range(N):
+            s.driver.execute(ins.fmadd(acc, a, b))
+        chain = to_f32(s.read(acc))
+        chain_cycles = s.driver.cycles - burst_cycles
+
+        counters = counters_for(s.system, s.driver)
+        return burst, chain, burst_cycles, chain_cycles, counters
+
+
+def main() -> None:
+    results = {}
+    for ooo in (False, True):
+        results[ooo] = run(ooo)
+
+    burst_io, chain_io, bc_io, cc_io, ctr_io = results[False]
+    burst_oo, chain_oo, bc_oo, cc_oo, ctr_oo = results[True]
+
+    assert burst_io == burst_oo == [1.75] * 8, "fadd burst result"
+    assert chain_io == chain_oo == N * 1.5 * 0.25, "fmadd chain result"
+    print(f"results identical on both machines: burst={burst_oo[0]}, "
+          f"chain={chain_oo}")
+    print()
+    print(f"independent burst  in-order {bc_io:5d} cycles | "
+          f"ooo {bc_oo:5d} cycles | speedup {bc_io / bc_oo:.2f}x")
+    print(f"dependency chain   in-order {cc_io:5d} cycles | "
+          f"ooo {cc_oo:5d} cycles | speedup {cc_io / cc_oo:.2f}x")
+    print()
+    print("why: the in-order machine serializes the burst on the shared")
+    print("destination flag (WAW); renaming gives each op a fresh physical")
+    print("flag register.  The chain is a true RAW dependency — no issue")
+    print("order can beat it.")
+    print()
+    print("in-order counters:")
+    print(ctr_io.issue_table())
+    print("ooo counters:")
+    print(ctr_oo.issue_table())
+
+
+def build_for_lint():
+    """Design-rule-check target: the system this example runs against."""
+    return build_system(ooo=True, fp_units=True, lint="off")
+
+
+if __name__ == "__main__":
+    main()

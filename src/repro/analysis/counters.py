@@ -40,6 +40,10 @@ class CounterReport:
     #: injected/corrected, scrub activity, detection latency; empty on an
     #: unprotected system
     state: dict = field(default_factory=dict)
+    #: issue-engine counters (``dispatcher.issue_stats()``): issue mode,
+    #: per-cause stall tallies, issue-queue occupancy; empty when the
+    #: report was built from a bare RTM without the dispatcher in hand
+    issue: dict = field(default_factory=dict)
 
     @property
     def dispatch_rate(self) -> float:
@@ -65,6 +69,23 @@ class CounterReport:
         for port, grants in sorted(self.grants_by_port.items()):
             rows.append([f"arbiter grants, port {port}", grants])
         return format_table(["counter", "value"], rows, title="framework counters")
+
+    @property
+    def ipc(self) -> float:
+        """Completed instructions (unit + execution-stage) per cycle."""
+        if not self.issue or not self.cycles or self.cycles < 0:
+            return 0.0
+        return self.issue.get("issued_total", 0) / self.cycles
+
+    def issue_table(self) -> str:
+        """Issue-engine counters as a table (empty string when absent)."""
+        if not self.issue:
+            return ""
+        rows = [[name.replace("_", " "), value] for name, value in self.issue.items()]
+        if self.cycles and self.cycles > 0:
+            rows.append(["instructions per cycle", f"{self.ipc:.3f}"])
+        return format_table(["issue counter", "value"], rows,
+                            title="issue engine (dispatcher.issue_stats)")
 
     def kernel_table(self) -> str:
         """Settle-scheduler counters as a table (empty string when absent)."""
@@ -123,6 +144,7 @@ def collect_counters(soc) -> CounterReport:
         messages_sent=rtm.serializer.messages_sent,
         grants_by_port=dict(rtm.write_arbiter.grants_by_port),
         locks_outstanding=rtm.lockmgr.locked_count,
+        issue=rtm.dispatcher.issue_stats(),
     )
 
 

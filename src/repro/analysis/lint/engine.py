@@ -78,6 +78,7 @@ def all_rules() -> dict[str, Rule]:
         rules_faults,
         rules_futable,
         rules_graph,
+        rules_issue,
         rules_protocol,
     )
     return dict(RULES)

@@ -1,0 +1,97 @@
+"""Issue-engine rules: renaming state protected, latency metadata honest.
+
+The out-of-order issue engine adds one architectural state element — the
+register-rename map — and one piece of static metadata the observability
+layer trusts: the per-unit ``latency`` column of the functional unit
+table.  Both have failure modes that are silent at run time:
+
+* a rename map inside a protection domain but without a
+  :class:`~repro.faults.guards.RenameGuard` lets an upset silently steer
+  every subsequent read of an architectural register to the wrong
+  physical register (the exact class of corruption the fault stack exists
+  to catch — see :mod:`.rules_faults` for the general form);
+* a table row whose ``latency`` disagrees with the unit's own
+  ``latency_cycles`` mis-reports every timing estimate built on the
+  table, without affecting functional results at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo
+from .rules_faults import _protection_domain
+
+
+@register_rule
+class UnprotectedRenameRule(Rule):
+    """A rename table left outside a declared protection domain.
+
+    Same convention as ``fault.unprotected_state``: designs with no
+    machine-check unit are exempt — running unprotected is a
+    configuration, not a defect.
+    """
+
+    id = "issue.unprotected-rename"
+    severity = Severity.ERROR
+    title = "rename table has no fault guard in a protected design"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        from ...rtm.rename import RenameTable
+
+        if not _protection_domain(design):
+            return
+        for comp in design.components:
+            if isinstance(comp, RenameTable) and comp._guard is None:
+                yield self.diag(
+                    comp.path,
+                    f"rename table at {comp.path!r} has no fault guard, but "
+                    "the design instantiates a machine-check unit — an upset "
+                    "in a map entry silently redirects every later read of "
+                    "that architectural register",
+                    hint="wire a RenameGuard onto the table (the RTM does "
+                         "this for its own rename map when built with state "
+                         "protection)",
+                )
+
+
+@register_rule
+class LatencyMismatchRule(Rule):
+    """Unit-table latency column out of sync with the unit it describes.
+
+    The table defaults the column from ``latency_cycles`` at registration,
+    so a mismatch means someone overrode one side and forgot the other —
+    timing reports and issue diagnostics built on the table then describe
+    a pipeline that doesn't exist.
+    """
+
+    id = "issue.latency-mismatch"
+    severity = Severity.WARNING
+    title = "functional-unit table latency disagrees with the unit"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        from ...rtm.futable import FunctionalUnitTable
+
+        seen: set[int] = set()
+        for comp in design.components:
+            table = getattr(comp, "futable", None)
+            if not isinstance(table, FunctionalUnitTable) or id(table) in seen:
+                continue
+            seen.add(id(table))
+            # `_entries`, not `entries`: rules must not trip the config
+            # guard's access-time validation.
+            for entry in table._entries.values():
+                actual = int(getattr(entry.unit, "latency_cycles", 1))
+                if entry.latency != actual:
+                    yield self.diag(
+                        comp.path,
+                        f"unit table row {entry.code:#04x} declares latency "
+                        f"{entry.latency} but {type(entry.unit).__name__} "
+                        f"reports latency_cycles={actual} — timing and "
+                        "issue diagnostics built on the table are wrong",
+                        hint="drop the explicit latency= override (the table "
+                             "defaults it from the unit) or fix the unit's "
+                             "latency_cycles",
+                    )

@@ -42,6 +42,19 @@ class FrameworkConfig:
     #: frame cannot hold the resynchronisation scanner (and the quiescence
     #: probe) hostage.  Must exceed the slowest link's word spacing.
     resync_flush_cycles: int = 1024
+    #: Build the out-of-order issue engine (register renaming + issue queue)
+    #: in place of the in-order dispatcher.  Off by default: the in-order
+    #: path is constructed exactly as before — cycle- and VCD-identical.
+    ooo: bool = False
+    #: Issue-queue depth of the out-of-order engine (ignored when ``ooo``
+    #: is off).  Also sizes the default physical register headroom.
+    ooo_window: int = 8
+    #: Physical data-register pool size for renaming (None → ``n_regs``
+    #: plus ``2 * ooo_window`` headroom, capped at 256).  Ignored in-order.
+    phys_regs: int | None = None
+    #: Physical flag-register pool size (None → ``n_flag_regs`` plus
+    #: ``2 * ooo_window`` headroom, capped at 256).  Ignored in-order.
+    phys_flag_regs: int | None = None
 
     def __post_init__(self) -> None:
         if self.word_bits < 32 or self.word_bits % 32 != 0:
@@ -56,6 +69,31 @@ class FrameworkConfig:
             raise ValueError("flag_bits must fit one channel word")
         if self.resync_flush_cycles < 1:
             raise ValueError("resync_flush_cycles must be positive")
+        if self.ooo_window < 1:
+            raise ValueError("ooo_window must be at least 1")
+        if self.phys_regs is not None and not (
+            self.n_regs <= self.phys_regs <= 256
+        ):
+            raise ValueError("phys_regs must lie in [n_regs, 256]")
+        if self.phys_flag_regs is not None and not (
+            self.n_flag_regs <= self.phys_flag_regs <= 256
+        ):
+            raise ValueError("phys_flag_regs must lie in [n_flag_regs, 256]")
+        if self.ooo:
+            # The rename accept gate needs room for one instruction's worst
+            # case (two data destinations, one flag destination); without the
+            # headroom the engine could stall forever waiting for a free
+            # physical register that cannot exist.
+            if self.data_pool_size < self.n_regs + 2:
+                raise ValueError(
+                    "ooo requires at least 2 spare physical data registers "
+                    "(raise phys_regs or lower n_regs)"
+                )
+            if self.flag_pool_size < self.n_flag_regs + 1:
+                raise ValueError(
+                    "ooo requires at least 1 spare physical flag register "
+                    "(raise phys_flag_regs or lower n_flag_regs)"
+                )
 
     @property
     def data_words(self) -> int:
@@ -65,6 +103,24 @@ class FrameworkConfig:
     @property
     def word_mask(self) -> int:
         return (1 << self.word_bits) - 1
+
+    @property
+    def data_pool_size(self) -> int:
+        """Physical data-register pool when renaming (== n_regs in-order)."""
+        if not self.ooo:
+            return self.n_regs
+        if self.phys_regs is not None:
+            return self.phys_regs
+        return min(256, self.n_regs + 2 * self.ooo_window)
+
+    @property
+    def flag_pool_size(self) -> int:
+        """Physical flag-register pool when renaming (== n_flag_regs in-order)."""
+        if not self.ooo:
+            return self.n_flag_regs
+        if self.phys_flag_regs is not None:
+            return self.phys_flag_regs
+        return min(256, self.n_flag_regs + 2 * self.ooo_window)
 
     def with_(self, **kwargs) -> "FrameworkConfig":
         """Return a modified copy (sweep helper)."""

@@ -15,6 +15,7 @@ from .guards import (
     FutableGuard,
     LockGuard,
     RamGuard,
+    RenameGuard,
     StateFaultPlan,
     StateScrubber,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "LockGuard",
     "MachineCheckUnit",
     "RamGuard",
+    "RenameGuard",
     "StateFaultPlan",
     "StateFaultSpec",
     "StateFaultStats",

@@ -43,11 +43,16 @@ class Checkpoint:
 
 
 def snapshot_state(soc, cycle: int = 0) -> Checkpoint:
-    """Capture the architectural state of a quiescent coprocessor."""
+    """Capture the architectural state of a quiescent coprocessor.
+
+    Under register renaming the *architectural* view is captured — each
+    architectural index read through the rename map — because a restore
+    lands on a freshly reset machine whose map is the identity.
+    """
     rtm = soc.rtm
     return Checkpoint(
-        regs=tuple(rtm.regfile.dump()),
-        flags=tuple(rtm.flagfile.dump()),
+        regs=tuple(rtm.arch_registers()),
+        flags=tuple(rtm.arch_flags()),
         halted=1 if rtm.halted else 0,
         arrays={path: tuple(arr.states()) for path, arr in _arrays(soc).items()},
         cycle=cycle,
@@ -57,8 +62,8 @@ def snapshot_state(soc, cycle: int = 0) -> Checkpoint:
 def restore_state(soc, ckpt: Checkpoint) -> None:
     """Load a checkpoint back into a freshly reset coprocessor."""
     rtm = soc.rtm
-    rtm.regfile.load(ckpt.regs)
-    rtm.flagfile.load(ckpt.flags)
+    rtm.load_arch_registers(ckpt.regs)
+    rtm.load_arch_flags(ckpt.flags)
     rtm.execution.halted.force(1 if ckpt.halted else 0)
     arrays = _arrays(soc)
     for path, states in ckpt.arrays.items():

@@ -182,8 +182,13 @@ class LockGuard:
         self._taint: dict[WriteSpace, int] = {}
 
     def _width(self, space: WriteSpace) -> int:
-        cfg = self.lockmgr.config
-        return cfg.n_regs if space is WriteSpace.DATA else cfg.n_flag_regs
+        # Tracked register counts, not the architectural config values —
+        # under renaming the scoreboard covers the physical pool.
+        return (
+            self.lockmgr.n_data
+            if space is WriteSpace.DATA
+            else self.lockmgr.n_flag
+        )
 
     def _reg(self, space: WriteSpace):
         return self.lockmgr._reg_for(space)
@@ -260,6 +265,123 @@ class LockGuard:
         self._true = {
             WriteSpace.DATA: self.lockmgr._data_locks.value,
             WriteSpace.FLAG: self.lockmgr._flag_locks.value,
+        }
+        self._taint.clear()
+
+    @property
+    def tainted(self) -> bool:
+        return bool(self._taint)
+
+
+class RenameGuard:
+    """Parity shadow over the rename table's architectural→physical map.
+
+    Fates are indexed by *rename allocations* (the operations that write
+    the map).  An upset flips bits in one staged map entry; every map
+    query — source rename, architectural backdoor, checkpoint capture —
+    compares the committed map against the intended shadow first.  A
+    single-bit deviation in one entry is repaired in place; anything
+    wider restores the intended map *and* raises a machine check, because
+    a corrupt physical index must never be allowed to steer a register
+    read (an out-of-range index would fault the machine, an in-range one
+    would silently read the wrong value — the exact failure the
+    identical-or-raises contract forbids).
+    """
+
+    _SPACES = (WriteSpace.DATA, WriteSpace.FLAG)
+
+    def __init__(self, element_id: str, rename, plan: StateFaultPlan, mcu: MachineCheckUnit):
+        self.element_id = element_id
+        self.rename = rename
+        self.plan = plan
+        self.mcu = mcu
+        self.code = mcu.register_guard(self)
+        plan.register(self)
+        rename._guard = self
+        self._ops = 0
+        self._true = {
+            space: rename._map[space].value for space in self._SPACES
+        }
+        self._taint: dict[WriteSpace, int] = {}
+
+    # -- update path (edge phase, called from RenameTable.allocate) -----------------
+
+    def on_rename(self, space: WriteSpace, arch: int, staged: tuple) -> tuple:
+        self._true[space] = staged
+        index = self._ops
+        self._ops = index + 1
+        f = self.plan.fate(self.element_id, index, 8)
+        if f[0] == "ok":
+            return staged
+        if f[0] == "double":
+            self.plan.stats.injected_double += 1
+        else:
+            self.plan.stats.injected_single += 1
+        self._taint.setdefault(space, self.plan.now())
+        corrupted = list(staged)
+        corrupted[arch] = (corrupted[arch] ^ _xor_of(f)) & 0xFF
+        return tuple(corrupted)
+
+    # -- query path (settle phase, called from every map read) ----------------------
+
+    def check(self) -> None:
+        for addr, space in enumerate(self._SPACES):
+            reg = self.rename._map[space]
+            value = reg.value
+            true = self._true[space]
+            if value == true:
+                continue
+            self._resolve(addr, space, reg, value, true)
+
+    def _resolve(self, addr, space, reg, value, true) -> None:
+        diffs = [i for i, (v, t) in enumerate(zip(value, true)) if v != t]
+        injected_at = self._taint.pop(space, None)
+        stats = self.plan.stats
+        # Always restore the intended map before anyone reads through it.
+        reg.force(true)
+        single = (
+            len(diffs) == 1
+            and bin(value[diffs[0]] ^ true[diffs[0]]).count("1") == 1
+        )
+        if single:
+            stats.corrected += 1
+            stats.detections += 1
+        else:
+            stats.uncorrectable += 1
+            stats.detections += 1
+            entry = diffs[0]
+            syndrome = ((entry & 0xFF) << 8) | (
+                (value[entry] ^ true[entry]) & 0xFF
+            )
+            self.mcu.raise_check(self, addr, syndrome)
+        if injected_at is not None:
+            stats.record_latency(max(0, self.plan.now() - injected_at))
+
+    # -- scrub / clear ----------------------------------------------------------------
+
+    def slots(self) -> tuple:
+        return (0, 1)
+
+    def scrub(self, slot: int) -> None:
+        space = self._SPACES[slot]
+        reg = self.rename._map[space]
+        if reg._staged is not _UNSET:
+            return
+        value = reg.value
+        true = self._true[space]
+        if value != true:
+            self._resolve(slot, space, reg, value, true)
+
+    def scrub_all(self) -> None:
+        for space in self._SPACES:
+            reg = self.rename._map[space]
+            if reg.value != self._true[space]:
+                reg.force(self._true[space])
+        self._taint.clear()
+
+    def clear(self) -> None:
+        self._true = {
+            space: self.rename._map[space].value for space in self._SPACES
         }
         self._taint.clear()
 

@@ -15,17 +15,19 @@ from .base import (
     MinimalFunctionalUnit,
     PipelinedFunctionalUnit,
 )
+from .fp import FpAdder, FpFma, FpMultiplier
 from .logic import LogicUnit, PipelinedLogicUnit, logic_datapath
 from .protocol import (
     DispatchPort,
     DispatchSample,
+    TernaryDispatchPort,
     ProtocolMonitor,
     ProtocolViolation,
     ResultPort,
     Transfer,
     WriteSpace,
 )
-from .registry import UnitRegistry, default_registry
+from .registry import UnitRegistry, default_registry, fp_registry
 from .stateful import (
     AssociativeMemoryUnit,
     HistogramUnit,
@@ -53,6 +55,7 @@ __all__ = [
     "logic_datapath",
     "DispatchPort",
     "DispatchSample",
+    "TernaryDispatchPort",
     "ProtocolMonitor",
     "ProtocolViolation",
     "ResultPort",
@@ -60,6 +63,10 @@ __all__ = [
     "WriteSpace",
     "UnitRegistry",
     "default_registry",
+    "fp_registry",
+    "FpAdder",
+    "FpFma",
+    "FpMultiplier",
     "AssociativeMemoryUnit",
     "HistogramUnit",
     "PrngUnit",

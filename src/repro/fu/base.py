@@ -75,6 +75,17 @@ class FunctionalUnit(Component):
 
     #: cycles from dispatch to result availability (timing model input)
     latency_cycles: int = 1
+    #: the dispatch-port bundle class to elaborate (units needing extra
+    #: operand buses — e.g. FMA's accumulator — override with a subclass)
+    dispatch_port_cls = DispatchPort
+    #: the unit reads its dst1 register as a third operand (``op_c``); the
+    #: decoder adds dst1 to the hazard sources and the dispatcher drives
+    #: ``op_c`` with its contents
+    reads_dst1: bool = False
+    #: the unit samples ``flag_in`` (the ADC/SBB carry chain); units that
+    #: ignore it clear this so the decoder omits src_flag from the hazard
+    #: sources — the read-profile counterpart of the write profile
+    reads_flag: bool = True
 
     def __init__(
         self,
@@ -85,7 +96,7 @@ class FunctionalUnit(Component):
     ):
         super().__init__(name, parent)
         self.word_bits = word_bits
-        self.dp = DispatchPort(self, "dp", word_bits, flag_bits)
+        self.dp = self.dispatch_port_cls(self, "dp", word_bits, flag_bits)
         self.rp = ResultPort(self, "rp", word_bits, flag_bits)
 
     def compute(self, sample: DispatchSample) -> FuComputation:
@@ -331,6 +342,15 @@ class PipelinedFunctionalUnit(FunctionalUnit):
             self._slots.nxt = slots
 
         self.wheel(self._wheel_horizon, self._wheel_skip)
+
+    @property
+    def busy(self) -> bool:
+        """Work in flight in the pipeline or result FIFO.
+
+        Distinct from ``idle``, which is an *acceptance* signal: an II=1
+        pipeline keeps ``idle`` high while operations drain through it.
+        """
+        return bool(self._slots.value)
 
     def _wheel_horizon(self) -> Optional[int]:
         if self.dp.dispatch.value or self.rp.ack.value or self._results.value:

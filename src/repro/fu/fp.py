@@ -1,0 +1,147 @@
+"""Pipelined floating-point functional units (add / mul / FMA).
+
+The latency workload that makes out-of-order issue pay: each unit is a
+:class:`~repro.fu.base.PipelinedFunctionalUnit` with a multi-cycle
+initiation-interval-1 pipeline, so a dependency-free instruction stream
+can keep one result per cycle in flight while a dependent stream pays
+the full pipeline depth per operation.
+
+Formats are selected per-operation through the existing variety field
+(multi-word values via the configurable register width):
+
+* ``FP_FMT64`` — operands and result are binary64 raw bit patterns
+  (requires ``word_bits >= 64``; on narrower machines the op completes
+  with a zero result and the ERROR flag, keeping the scoreboard sound);
+  clear = binary32 in the low word bits.
+* ``FP_NEGATE`` — the adder subtracts (``a - b``); the FMA negates the
+  product (``c - a*b``).
+
+The FMA unit reads its accumulator from ``dst1`` (the register it also
+writes), declared via ``reads_dst1`` + a :class:`TernaryDispatchPort`:
+the decoder adds dst1 to the hazard sources and both dispatchers drive
+``op_c`` with its contents.
+
+Flag semantics: ZERO/NEGATIVE describe the packed result; OVERFLOW marks
+a finite exact value that rounded to infinity; ERROR marks invalid
+operations (NaN result) and unsupported-format dispatches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl import Component
+from ..isa.opcodes import (
+    FLAG_ERROR,
+    FLAG_NEGATIVE,
+    FLAG_OVERFLOW,
+    FLAG_ZERO,
+    FP_FMT64,
+    FP_NEGATE,
+)
+from .base import FuComputation, PipelinedFunctionalUnit
+from .protocol import DispatchSample, TernaryDispatchPort
+from .softfloat import BIN32, BIN64, FpFormat, fp_add, fp_fma, fp_mul, is_nan
+
+
+def _result_flags(bits: int, fmt: FpFormat, overflowed: bool, invalid: bool) -> int:
+    flags = 0
+    if bits & ~(1 << (fmt.bits - 1)) == 0:
+        flags |= FLAG_ZERO
+    if bits >> (fmt.bits - 1):
+        flags |= FLAG_NEGATIVE
+    if overflowed:
+        flags |= FLAG_OVERFLOW
+    if invalid or is_nan(bits, fmt):
+        flags |= FLAG_ERROR
+    return flags
+
+
+class _FpUnitBase(PipelinedFunctionalUnit):
+    """Shared harness: format select, narrow-machine guard, flag packing."""
+
+    #: pipeline stages of the concrete datapath (thesis Fig. 2.19 style)
+    default_depth = 4
+    #: FP ops ignore the integer carry chain — dropping src_flag from the
+    #: hazard sources is what lets renaming unserialize flag-sharing streams
+    reads_flag = False
+
+    def __init__(
+        self,
+        name: str,
+        word_bits: int,
+        parent: Optional[Component] = None,
+        pipeline_depth: Optional[int] = None,
+        fifo_depth: Optional[int] = None,
+    ):
+        super().__init__(
+            name,
+            word_bits,
+            parent,
+            pipeline_depth=(
+                pipeline_depth if pipeline_depth is not None else self.default_depth
+            ),
+            fifo_depth=fifo_depth,
+        )
+
+    def compute(self, sample: DispatchSample) -> FuComputation:
+        fmt64 = bool(sample.variety & FP_FMT64)
+        if fmt64 and self.word_bits < 64:
+            # The write profile promised a data result; deliver one (zero)
+            # with ERROR set, or the locked destination never unlocks.
+            return FuComputation(data1=0, flags=FLAG_ERROR)
+        fmt = BIN64 if fmt64 else BIN32
+        mask = (1 << fmt.bits) - 1
+        bits, overflowed, invalid = self._op(sample, fmt, mask)
+        return FuComputation(
+            data1=bits, flags=_result_flags(bits, fmt, overflowed, invalid)
+        )
+
+    def _op(self, sample: DispatchSample, fmt: FpFormat, mask: int):
+        raise NotImplementedError
+
+
+class FpAdder(_FpUnitBase):
+    """Pipelined FP add/subtract (``FP_NEGATE`` selects ``a - b``)."""
+
+    default_depth = 6
+    latency_cycles = 6
+
+    def _op(self, sample: DispatchSample, fmt: FpFormat, mask: int):
+        a = sample.op_a & mask
+        b = sample.op_b & mask
+        if sample.variety & FP_NEGATE:
+            b ^= 1 << (fmt.bits - 1)
+        return fp_add(a, b, fmt)
+
+
+class FpMultiplier(_FpUnitBase):
+    """Pipelined FP multiplier."""
+
+    default_depth = 7
+    latency_cycles = 7
+
+    def _op(self, sample: DispatchSample, fmt: FpFormat, mask: int):
+        return fp_mul(sample.op_a & mask, sample.op_b & mask, fmt)
+
+
+class FpFma(_FpUnitBase):
+    """Pipelined fused multiply-add: ``dst1 := ±(a*b) + dst1``.
+
+    Single rounding of the exact product-plus-accumulator, the way a
+    hardware FMA datapath keeps the full-width product internal.
+    """
+
+    default_depth = 8
+    latency_cycles = 8
+    dispatch_port_cls = TernaryDispatchPort
+    reads_dst1 = True
+
+    def _op(self, sample: DispatchSample, fmt: FpFormat, mask: int):
+        return fp_fma(
+            sample.op_a & mask,
+            sample.op_b & mask,
+            sample.op_c & mask,
+            fmt,
+            negate_product=bool(sample.variety & FP_NEGATE),
+        )

@@ -53,6 +53,14 @@ class DispatchPort:
         #: functional unit → dispatcher: able to accept an instruction
         self.idle: Signal = comp.signal(f"{name}_idle", 1, reset=1)
 
+    def drive_op_c(self, regfile, reg: int) -> None:
+        """Drive the third operand bus from register ``reg``.
+
+        The base bundle has no such bus, so this is a no-op — dispatchers
+        call it unconditionally and the port's class decides whether a
+        register-file read happens (see :class:`TernaryDispatchPort`).
+        """
+
     def sample(self) -> "DispatchSample":
         """Capture the current settled values (used inside seq processes)."""
         return DispatchSample(
@@ -63,6 +71,37 @@ class DispatchPort:
             dst1=self.dst1.value,
             dst2=self.dst2.value,
             dst_flag=self.dst_flag.value,
+        )
+
+
+class TernaryDispatchPort(DispatchPort):
+    """Dispatch port with a third read operand bus (``op_c``).
+
+    Used by units that read their first destination register as an
+    accumulator (fused multiply-add): the dispatcher drives ``op_c`` with
+    the current dst1 contents alongside the two source operands.  Units
+    declare it via the ``dispatch_port_cls`` hook, so systems without such
+    units elaborate exactly the same signals as before.
+    """
+
+    def __init__(self, comp: Component, name: str, word_bits: int, flag_bits: int = 8):
+        super().__init__(comp, name, word_bits, flag_bits)
+        self.op_c: Signal = comp.signal(f"{name}_op_c", word_bits)
+
+    def drive_op_c(self, regfile, reg: int) -> None:
+        self.op_c.set(regfile.read(reg))
+
+    def sample(self) -> "DispatchSample":
+        base = super().sample()
+        return DispatchSample(
+            variety=base.variety,
+            op_a=base.op_a,
+            op_b=base.op_b,
+            flag_in=base.flag_in,
+            dst1=base.dst1,
+            dst2=base.dst2,
+            dst_flag=base.dst_flag,
+            op_c=self.op_c.value,
         )
 
 
@@ -77,6 +116,8 @@ class DispatchSample:
     dst1: int
     dst2: int
     dst_flag: int
+    #: third operand (accumulator), driven only for TernaryDispatchPort units
+    op_c: int = 0
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,29 @@ def default_registry(pipelined: bool = False) -> UnitRegistry:
     return reg
 
 
+def fp_registry(
+    base: Optional[UnitRegistry] = None,
+    add_depth: int = 6,
+    mul_depth: int = 7,
+    fma_depth: int = 8,
+) -> UnitRegistry:
+    """A registry with the pipelined floating-point family added.
+
+    Extends ``base`` (default: the case-study registry) with the FP
+    adder, multiplier and fused multiply-add at their default opcodes.
+    Kept out of :func:`default_registry` so existing preset systems
+    elaborate exactly as before.
+    """
+    from ..isa.opcodes import Opcode as Op
+    from .fp import FpAdder, FpFma, FpMultiplier
+
+    reg = base.copy() if base is not None else default_registry()
+    reg.register(Op.FPADD, lambda n, w, p: FpAdder(n, w, p, pipeline_depth=add_depth))
+    reg.register(Op.FPMUL, lambda n, w, p: FpMultiplier(n, w, p, pipeline_depth=mul_depth))
+    reg.register(Op.FPFMA, lambda n, w, p: FpFma(n, w, p, pipeline_depth=fma_depth))
+    return reg
+
+
 def smem_suite_registry(
     pipelined: bool = False,
     n_cells: int = 64,

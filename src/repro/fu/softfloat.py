@@ -1,0 +1,234 @@
+"""Exact-integer IEEE-754 datapaths for the floating-point units.
+
+The FP functional units operate on raw register bit patterns, so the
+datapath here works entirely in integers: unpack sign/exponent/
+significand, compute the exact (unbounded-precision) result, then apply
+one round-to-nearest-even step while packing.  That mirrors the hardware
+structure (wide internal significand + single rounder) and sidesteps any
+double-rounding question a Python-``float`` shortcut would raise —
+particularly for fused multiply-add, where the product must not be
+rounded before the addend joins.
+
+Supported formats: binary32 and binary64 (selected per-operation by the
+``FP_FMT64`` variety bit).  Semantics follow IEEE 754-2019
+round-to-nearest-even: subnormals, signed zeros (exact cancellation
+yields +0; sums of negative zeros yield -0), infinities, and quiet-NaN
+results for invalid operations (0·∞, ∞−∞, any NaN input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpFormat:
+    """One IEEE-754 binary interchange format."""
+
+    bits: int        # total width
+    exp_bits: int    # exponent field width
+    prec: int        # significand precision including the hidden bit
+
+    @property
+    def frac_bits(self) -> int:
+        return self.prec - 1
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emin(self) -> int:
+        return 1 - self.bias
+
+    @property
+    def emax(self) -> int:
+        return self.bias
+
+    @property
+    def exp_mask(self) -> int:
+        return (1 << self.exp_bits) - 1
+
+    @property
+    def frac_mask(self) -> int:
+        return (1 << self.frac_bits) - 1
+
+    @property
+    def qnan(self) -> int:
+        """Canonical quiet NaN (sign clear, MSB of the fraction set)."""
+        return (self.exp_mask << self.frac_bits) | (1 << (self.frac_bits - 1))
+
+    def inf(self, sign: int) -> int:
+        return (sign << (self.bits - 1)) | (self.exp_mask << self.frac_bits)
+
+    def zero(self, sign: int) -> int:
+        return sign << (self.bits - 1)
+
+
+BIN32 = FpFormat(bits=32, exp_bits=8, prec=24)
+BIN64 = FpFormat(bits=64, exp_bits=11, prec=53)
+
+
+def unpack(bits: int, fmt: FpFormat):
+    """``bits`` → (sign, class, exact significand, exponent).
+
+    Class is one of ``'nan' | 'inf' | 'zero' | 'finite'``.  For finite
+    non-zero values the number equals ``(-1)^sign * sig * 2^exp`` with
+    ``sig`` an integer (subnormals fold into the same form).
+    """
+    sign = (bits >> (fmt.bits - 1)) & 1
+    exp_field = (bits >> fmt.frac_bits) & fmt.exp_mask
+    frac = bits & fmt.frac_mask
+    if exp_field == fmt.exp_mask:
+        return (sign, "nan" if frac else "inf", 0, 0)
+    if exp_field == 0:
+        if frac == 0:
+            return (sign, "zero", 0, 0)
+        return (sign, "finite", frac, fmt.emin - fmt.frac_bits)
+    sig = frac | (1 << fmt.frac_bits)
+    return (sign, "finite", sig, exp_field - fmt.bias - fmt.frac_bits)
+
+
+def is_nan(bits: int, fmt: FpFormat) -> bool:
+    exp_field = (bits >> fmt.frac_bits) & fmt.exp_mask
+    return exp_field == fmt.exp_mask and bool(bits & fmt.frac_mask)
+
+
+def _round_to_nearest_even(sig: int, shift: int) -> int:
+    """Drop ``shift`` low bits of ``sig``, rounding to nearest, ties to even."""
+    if shift <= 0:
+        return sig << -shift
+    kept = sig >> shift
+    rem = sig & ((1 << shift) - 1)
+    half = 1 << (shift - 1)
+    if rem > half or (rem == half and (kept & 1)):
+        kept += 1
+    return kept
+
+
+def pack(sign: int, sig: int, exp: int, fmt: FpFormat) -> tuple[int, bool]:
+    """Round and pack an exact value ``(-1)^sign * sig * 2^exp``.
+
+    Returns ``(bits, overflowed)`` where ``overflowed`` reports a finite
+    exact value rounding to infinity.
+    """
+    if sig == 0:
+        return fmt.zero(sign), False
+    # Normalise so the significand occupies exactly `prec` bits — or as
+    # many as the subnormal range allows.
+    nbits = sig.bit_length()
+    # Exponent of the value if renormalised to a `prec`-bit significand.
+    e = exp + nbits - fmt.prec
+    if e < fmt.emin - fmt.frac_bits:
+        # Subnormal (or underflow to zero): align to the fixed emin grid.
+        shift = (fmt.emin - fmt.frac_bits) - exp
+        kept = _round_to_nearest_even(sig, shift)
+        if kept == 0:
+            return fmt.zero(sign), False
+        if kept >> fmt.frac_bits:
+            # rounded up into the smallest normal
+            return (sign << (fmt.bits - 1)) | (1 << fmt.frac_bits), False
+        return (sign << (fmt.bits - 1)) | kept, False
+    shift = nbits - fmt.prec
+    kept = _round_to_nearest_even(sig, shift)
+    if kept >> fmt.prec:
+        kept >>= 1
+        e += 1
+    exp_field = e + fmt.bias + fmt.frac_bits
+    if exp_field >= fmt.exp_mask:
+        return fmt.inf(sign), True
+    return (
+        (sign << (fmt.bits - 1))
+        | (exp_field << fmt.frac_bits)
+        | (kept & fmt.frac_mask)
+    ), False
+
+
+# ---------------------------------------------------------------------------
+# Operations (bits × bits → (bits, overflowed, invalid))
+# ---------------------------------------------------------------------------
+
+
+def fp_add(a: int, b: int, fmt: FpFormat) -> tuple[int, bool, bool]:
+    """IEEE-754 addition on raw bit patterns."""
+    sa, ca, siga, expa = unpack(a, fmt)
+    sb, cb, sigb, expb = unpack(b, fmt)
+    if ca == "nan" or cb == "nan":
+        return fmt.qnan, False, True
+    if ca == "inf" and cb == "inf":
+        if sa != sb:
+            return fmt.qnan, False, True  # inf - inf
+        return fmt.inf(sa), False, False
+    if ca == "inf":
+        return fmt.inf(sa), False, False
+    if cb == "inf":
+        return fmt.inf(sb), False, False
+    if ca == "zero" and cb == "zero":
+        # (+0) + (-0) = +0 under round-to-nearest; (-0) + (-0) = -0.
+        return fmt.zero(sa & sb), False, False
+    if ca == "zero":
+        return b, False, False
+    if cb == "zero":
+        return a, False, False
+    return _add_exact(sa, siga, expa, sb, sigb, expb, fmt)
+
+
+def _add_exact(sa, siga, expa, sb, sigb, expb, fmt) -> tuple[int, bool, bool]:
+    exp = min(expa, expb)
+    va = siga << (expa - exp)
+    vb = sigb << (expb - exp)
+    if sa:
+        va = -va
+    if sb:
+        vb = -vb
+    total = va + vb
+    if total == 0:
+        return fmt.zero(0), False, False  # exact cancellation → +0 (RNE)
+    sign = 1 if total < 0 else 0
+    bits, overflowed = pack(sign, abs(total), exp, fmt)
+    return bits, overflowed, False
+
+
+def fp_mul(a: int, b: int, fmt: FpFormat) -> tuple[int, bool, bool]:
+    """IEEE-754 multiplication on raw bit patterns."""
+    sa, ca, siga, expa = unpack(a, fmt)
+    sb, cb, sigb, expb = unpack(b, fmt)
+    sign = sa ^ sb
+    if ca == "nan" or cb == "nan":
+        return fmt.qnan, False, True
+    if (ca == "inf" and cb == "zero") or (ca == "zero" and cb == "inf"):
+        return fmt.qnan, False, True  # 0 * inf
+    if ca == "inf" or cb == "inf":
+        return fmt.inf(sign), False, False
+    if ca == "zero" or cb == "zero":
+        return fmt.zero(sign), False, False
+    bits, overflowed = pack(sign, siga * sigb, expa + expb, fmt)
+    return bits, overflowed, False
+
+
+def fp_fma(a: int, b: int, c: int, fmt: FpFormat, negate_product: bool = False) -> tuple[int, bool, bool]:
+    """Fused multiply-add ``(±(a*b)) + c`` with a single final rounding."""
+    sa, ca, siga, expa = unpack(a, fmt)
+    sb, cb, sigb, expb = unpack(b, fmt)
+    sc, cc, sigc, expc = unpack(c, fmt)
+    if ca == "nan" or cb == "nan" or cc == "nan":
+        return fmt.qnan, False, True
+    sp = (sa ^ sb) ^ (1 if negate_product else 0)
+    if (ca == "inf" and cb == "zero") or (ca == "zero" and cb == "inf"):
+        return fmt.qnan, False, True
+    if ca == "inf" or cb == "inf":
+        if cc == "inf" and sc != sp:
+            return fmt.qnan, False, True  # inf - inf through the addend
+        return fmt.inf(sp), False, False
+    if cc == "inf":
+        return fmt.inf(sc), False, False
+    # Finite product (possibly zero), finite addend (possibly zero).
+    if ca == "zero" or cb == "zero":
+        if cc == "zero":
+            # exact zero sum: -0 only when both contributions are negative
+            return fmt.zero(sp & sc), False, False
+        return c, False, False
+    if cc == "zero":
+        bits, overflowed = pack(sp, siga * sigb, expa + expb, fmt)
+        return bits, overflowed, False
+    return _add_exact(sp, siga * sigb, expa + expb, sc, sigc, expc, fmt)

@@ -28,6 +28,8 @@ class UnitOp:
     dst1: int = 1
     dst2: int = 2
     dst_flag: int = 0
+    #: third operand for TernaryDispatchPort units (FMA accumulator)
+    op_c: int = 0
 
 
 class FuTestbench(Component):
@@ -71,6 +73,8 @@ class FuTestbench(Component):
                 dp.dst1.set(op.dst1)
                 dp.dst2.set(op.dst2)
                 dp.dst_flag.set(op.dst_flag)
+                if hasattr(dp, "op_c"):
+                    dp.op_c.set(op.op_c)
             dp.dispatch.set(1 if go else 0)
             rp = self.unit.rp
             # ack_every models arbiter contention: grants land only on every
@@ -113,6 +117,8 @@ def run_unit(
     tb.enqueue(ops)
     start = sim.now
     sim.run_until(lambda: tb.completed >= len(ops) or
-                  (tb.pending == 0 and not tb.unit.rp.ready.value and tb.unit.dp.idle.value),
+                  (tb.pending == 0 and not tb.unit.rp.ready.value and
+                   tb.unit.dp.idle.value and
+                   not getattr(tb.unit, "busy", False)),
                   max_cycles)
     return tb, sim.now - start

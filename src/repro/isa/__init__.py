@@ -32,6 +32,8 @@ from .opcodes import (
     ARITH_USE_CARRY,
     FIRST_UNIT_OPCODE,
     FLAG_BITS,
+    FP_FMT64,
+    FP_NEGATE,
     FLAG_CARRY,
     FLAG_ERROR,
     FLAG_NEGATIVE,
@@ -75,6 +77,8 @@ __all__ = [
     "ARITH_USE_CARRY",
     "FIRST_UNIT_OPCODE",
     "FLAG_BITS",
+    "FP_FMT64",
+    "FP_NEGATE",
     "FLAG_CARRY",
     "FLAG_ERROR",
     "FLAG_NEGATIVE",

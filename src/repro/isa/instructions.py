@@ -9,7 +9,7 @@ thesis §3.2.2) in one place.
 from __future__ import annotations
 
 from .encoding import Instruction
-from .opcodes import ArithOp, LogicOp, Opcode
+from .opcodes import FP_FMT64, FP_NEGATE, ArithOp, LogicOp, Opcode
 
 
 # -- framework primitives -----------------------------------------------------
@@ -155,6 +155,49 @@ def orn(dst: int, a: int, b: int, dst_flag: int = 0) -> Instruction:
 
 def pass_(dst: int, a: int, dst_flag: int = 0) -> Instruction:
     return _logic(LogicOp.PASS, dst, a, 0, dst_flag)
+
+
+# -- floating-point units (pipelined FP family) ----------------------------------
+
+def _fp_variety(fmt64: bool, negate: bool = False) -> int:
+    return (FP_FMT64 if fmt64 else 0) | (FP_NEGATE if negate else 0)
+
+
+def fadd(dst: int, a: int, b: int, dst_flag: int = 0, fmt64: bool = False) -> Instruction:
+    return Instruction(
+        Opcode.FPADD, variety=_fp_variety(fmt64), dst_flag=dst_flag,
+        dst1=dst, src1=a, src2=b,
+    )
+
+
+def fsub(dst: int, a: int, b: int, dst_flag: int = 0, fmt64: bool = False) -> Instruction:
+    return Instruction(
+        Opcode.FPADD, variety=_fp_variety(fmt64, negate=True), dst_flag=dst_flag,
+        dst1=dst, src1=a, src2=b,
+    )
+
+
+def fmul(dst: int, a: int, b: int, dst_flag: int = 0, fmt64: bool = False) -> Instruction:
+    return Instruction(
+        Opcode.FPMUL, variety=_fp_variety(fmt64), dst_flag=dst_flag,
+        dst1=dst, src1=a, src2=b,
+    )
+
+
+def fmadd(acc: int, a: int, b: int, dst_flag: int = 0, fmt64: bool = False) -> Instruction:
+    """Fused multiply-add: ``R[acc] := R[a]*R[b] + R[acc]`` (single rounding)."""
+    return Instruction(
+        Opcode.FPFMA, variety=_fp_variety(fmt64), dst_flag=dst_flag,
+        dst1=acc, src1=a, src2=b,
+    )
+
+
+def fnmadd(acc: int, a: int, b: int, dst_flag: int = 0, fmt64: bool = False) -> Instruction:
+    """Negated-product FMA: ``R[acc] := R[acc] - R[a]*R[b]``."""
+    return Instruction(
+        Opcode.FPFMA, variety=_fp_variety(fmt64, negate=True), dst_flag=dst_flag,
+        dst1=acc, src1=a, src2=b,
+    )
 
 
 # -- generic functional-unit dispatch -------------------------------------------

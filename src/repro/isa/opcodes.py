@@ -42,6 +42,9 @@ class Opcode(IntEnum):
     SCAN = 0x13      # smart-memory prefix scan / reduce unit
     HISTO = 0x14     # smart-memory histogram unit
     MATCH = 0x15     # smart-memory streaming string-match unit
+    FPADD = 0x16     # pipelined floating-point adder/subtractor
+    FPMUL = 0x17     # pipelined floating-point multiplier
+    FPFMA = 0x18     # pipelined fused multiply-add (accumulates into dst1)
 
     @property
     def is_primitive(self) -> bool:
@@ -105,6 +108,14 @@ class LogicOp(IntEnum):
     ANDN = 0x07    # a & ~b
     ORN = 0x08     # a | ~b
     PASS = 0x09    # a (one-input; register move through the unit)
+
+
+# ---------------------------------------------------------------------------
+# Floating-point unit variety bits (multi-word formats via the variety field)
+# ---------------------------------------------------------------------------
+
+FP_FMT64 = 0x01    # operands/result are binary64 (needs word_bits >= 64)
+FP_NEGATE = 0x02   # adder: subtract (negate b); FMA: negate the product
 
 
 # ---------------------------------------------------------------------------

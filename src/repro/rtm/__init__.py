@@ -20,7 +20,9 @@ from .futable import (
 )
 from .lockmgr import LockManager
 from .msgbuffer import MessageBuffer
+from .ooo import OoODispatcher, RenamedOp
 from .regfile import FlagRegisterFile, RegisterFile
+from .rename import RenameTable
 from .rtm import RegisterTransferMachine
 from .serializer import MessageSerializer
 from .write_arbiter import WriteArbiter
@@ -38,6 +40,9 @@ __all__ = [
     "default_write_profile",
     "LockManager",
     "MessageBuffer",
+    "OoODispatcher",
+    "RenamedOp",
+    "RenameTable",
     "FlagRegisterFile",
     "RegisterFile",
     "RegisterTransferMachine",

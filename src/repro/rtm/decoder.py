@@ -191,7 +191,13 @@ class Decoder(Component):
         if entry is None:
             return _exception_op(ExceptionCode.ILLEGAL_OPCODE, instr.opcode)
         w1, w2, wf = entry.write_profile(instr.variety)
-        for reg, used in ((instr.src1, True), (instr.src2, True), (instr.dst1, w1), (instr.dst2, w2)):
+        reads_c = bool(getattr(entry.unit, "reads_dst1", False))
+        for reg, used in (
+            (instr.src1, True),
+            (instr.src2, True),
+            (instr.dst1, w1 or reads_c),
+            (instr.dst2, w2),
+        ):
             if used and not self._valid_reg(reg):
                 return _exception_op(ExceptionCode.BAD_REGISTER, reg)
         if not self._valid_flag(instr.src_flag) or (wf and not self._valid_flag(instr.dst_flag)):
@@ -199,8 +205,11 @@ class Decoder(Component):
         sources: list[tuple[WriteSpace, int]] = [
             (WriteSpace.DATA, instr.src1),
             (WriteSpace.DATA, instr.src2),
-            (WriteSpace.FLAG, instr.src_flag),
         ]
+        if getattr(entry.unit, "reads_flag", True):
+            sources.append((WriteSpace.FLAG, instr.src_flag))
+        if reads_c:
+            sources.append((WriteSpace.DATA, instr.dst1))
         write_set: list[tuple[WriteSpace, int]] = []
         if w1:
             write_set.append((WriteSpace.DATA, instr.dst1))

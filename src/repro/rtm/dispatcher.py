@@ -36,6 +36,9 @@ from .futable import FunctionalUnitTable
 from .lockmgr import LockManager
 from .regfile import FlagRegisterFile, RegisterFile
 
+#: stall causes tallied by both dispatch engines (rename only moves under OoO)
+_STALL_CAUSES = ("raw", "waw", "structural", "fence", "machine_check", "rename")
+
 
 class Dispatcher(Component):
     """Registered dispatch stage with local (handshake) stall control."""
@@ -74,6 +77,8 @@ class Dispatcher(Component):
         self.stalled = self.signal("stalled", 1, 0)
         self.dispatch_count = 0
         self.stall_cycles = 0
+        self._exec_count = 0
+        self.stall_causes = {cause: 0 for cause in _STALL_CAUSES}
 
         @self.comb
         def _drive() -> None:
@@ -136,9 +141,12 @@ class Dispatcher(Component):
                     guard = self.futable._guard
                     if guard is not None:
                         guard.on_dispatch()
+                else:
+                    self._exec_count += 1
                 self.lockmgr.lock_set(op.write_set)
             elif self.stalled.value:
                 self.stall_cycles += 1
+                self._classify_stall(self._op.value)
             if self.inp.fires():
                 self._op.nxt = self.inp.payload.value
                 self._full.nxt = 1
@@ -175,6 +183,42 @@ class Dispatcher(Component):
             return 0
         return None
 
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Work in flight in this stage (quiescence probe)."""
+        return bool(self._full.value)
+
+    def issue_stats(self) -> dict:
+        stats = {
+            "mode": "in-order",
+            "issued_total": self.dispatch_count + self._exec_count,
+            "unit_dispatches": self.dispatch_count,
+            "exec_ops": self._exec_count,
+            "stall_cycles": self.stall_cycles,
+            "window_depth": 1,
+            "window_occupancy_max": 1,
+        }
+        for cause in _STALL_CAUSES:
+            stats[f"stall_{cause}"] = self.stall_causes[cause]
+        return stats
+
+    def _classify_stall(self, op: DecodedOp) -> None:
+        # Counters only: the guard-free peeks keep the classification from
+        # adding query-time repair points the functional path never had.
+        causes = self.stall_causes
+        if self.lockmgr.peek_any_locked(op.sources):
+            causes["raw"] += 1
+        elif self.lockmgr.peek_any_locked(op.write_set):
+            causes["waw"] += 1
+        elif op.require_all_free and not self.lockmgr.peek_all_free:
+            causes["fence"] += 1
+        elif self.mcu is not None and self.mcu.pending:
+            causes["machine_check"] += 1
+        else:
+            causes["structural"] += 1
+
     # -- unit dispatch ------------------------------------------------------------
 
     def _drive_unit_port(self, unit: "FunctionalUnit", op: DecodedOp) -> None:
@@ -190,6 +234,9 @@ class Dispatcher(Component):
         dp.dst1.set(instr.dst1)
         dp.dst2.set(instr.dst2)
         dp.dst_flag.set(instr.dst_flag)
+        # Ternary units (FMA) read their accumulator from dst1; ports
+        # without the third bus make this a no-op (and read nothing).
+        dp.drive_op_c(self.regfile, instr.dst1)
         dp.dispatch.set(1)
 
     # -- primitive resolution (register reads happen here, per §III) ---------------

@@ -40,6 +40,11 @@ class UnitEntry:
     port: int                     # index of the unit's dispatch/result ports
     unit: FunctionalUnit
     write_profile: WriteProfile
+    #: dispatch-to-result latency in cycles (1 = single-cycle); defaulted
+    #: from the unit's ``latency_cycles`` at registration, so existing
+    #: registrations are untouched.  Consumed by the issue observability
+    #: layer and checked against the unit by the ``issue.*`` lint rules.
+    latency: int = 1
 
 
 class FunctionalUnitTable:
@@ -56,6 +61,7 @@ class FunctionalUnitTable:
         code: int,
         unit: FunctionalUnit,
         write_profile: Optional[WriteProfile] = None,
+        latency: Optional[int] = None,
     ) -> UnitEntry:
         if code in self._entries:
             raise ValueError(f"unit code {code:#x} already in the table")
@@ -63,7 +69,9 @@ class FunctionalUnitTable:
             write_profile = getattr(unit, "write_profile", None) or (
                 arith_write_profile if code == Opcode.ARITH else default_write_profile
             )
-        entry = UnitEntry(code, len(self._entries), unit, write_profile)
+        if latency is None:
+            latency = int(getattr(unit, "latency_cycles", 1))
+        entry = UnitEntry(code, len(self._entries), unit, write_profile, latency)
         self._entries[code] = entry
         return entry
 

@@ -28,11 +28,21 @@ from ..hdl import Component
 class LockManager(Component):
     """Tracks which data/flag registers are claimed by in-flight instructions."""
 
-    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        parent: Optional[Component] = None,
+        n_data: Optional[int] = None,
+        n_flag: Optional[int] = None,
+    ):
         super().__init__(name, parent)
         self.config = config
-        self._data_locks = self.reg("data_locks", config.n_regs, 0)
-        self._flag_locks = self.reg("flag_locks", config.n_flag_regs, 0)
+        #: tracked register counts (physical pool sizes under renaming)
+        self.n_data = n_data if n_data is not None else config.n_regs
+        self.n_flag = n_flag if n_flag is not None else config.n_flag_regs
+        self._data_locks = self.reg("data_locks", self.n_data, 0)
+        self._flag_locks = self.reg("flag_locks", self.n_flag, 0)
         #: optional scoreboard parity guard (repro.faults.LockGuard): lock
         #: updates pass through it and every query re-checks the masks
         self._guard = None
@@ -73,11 +83,69 @@ class LockManager(Component):
             self._guard.check()
         return self._data_locks.value == 0 and self._flag_locks.value == 0
 
+    def all_free_except(self, pairs: Iterable[tuple[WriteSpace, int]]) -> bool:
+        """True when every held lock is in ``pairs``.
+
+        The renaming engine's FENCE condition: destination locks are taken
+        at *rename* time, so queued younger ops behind the barrier already
+        hold locks that must not keep it waiting — only older in-flight
+        work (locks outside the queue's own write sets) has to drain.
+        """
+        if self._guard is not None:
+            self._guard.check()
+        dmask = fmask = 0
+        for space, reg in pairs:
+            if space is WriteSpace.DATA:
+                dmask |= 1 << reg
+            else:
+                fmask |= 1 << reg
+        return (
+            self._data_locks.value & ~dmask == 0
+            and self._flag_locks.value & ~fmask == 0
+        )
+
     @property
     def locked_count(self) -> int:
         if self._guard is not None:
             self._guard.check()
         return bin(self._data_locks.value).count("1") + bin(self._flag_locks.value).count("1")
+
+    # -- peeks (guard-free reads for observability only) -------------------------
+    #
+    # Stall-cause classification in the dispatchers' sequential tick must not
+    # perturb the fault domain: a guard.check() there would add query-time
+    # repair points the functional path never had, shifting detection-latency
+    # stats between otherwise identical runs.  These raw reads are for
+    # counters only — never for a dispatch decision.
+
+    def peek_locked(self, space: WriteSpace, reg: int) -> bool:
+        mask = (
+            self._data_locks.value
+            if space is WriteSpace.DATA
+            else self._flag_locks.value
+        )
+        return bool((mask >> reg) & 1)
+
+    def peek_any_locked(self, pairs: Iterable[tuple[WriteSpace, int]]) -> bool:
+        return any(self.peek_locked(space, reg) for space, reg in pairs)
+
+    @property
+    def peek_all_free(self) -> bool:
+        return self._data_locks.value == 0 and self._flag_locks.value == 0
+
+    def peek_all_free_except(
+        self, pairs: Iterable[tuple[WriteSpace, int]]
+    ) -> bool:
+        dmask = fmask = 0
+        for space, reg in pairs:
+            if space is WriteSpace.DATA:
+                dmask |= 1 << reg
+            else:
+                fmask |= 1 << reg
+        return (
+            self._data_locks.value & ~dmask == 0
+            and self._flag_locks.value & ~fmask == 0
+        )
 
     # -- updates (edge phase; commutative accumulation via .nxt) -----------------
 

@@ -6,6 +6,12 @@ instruction, performed in the dispatcher stage); there is a single write
 path shared between the write arbiter's granted transfer and the execution
 stage's high-priority write — sharing that path is the write arbiter's job,
 so this component simply exposes the RAM and enforces the index range.
+
+With the out-of-order issue engine enabled the same component is built
+over the *physical* register pool (``config.data_pool_size`` >
+``config.n_regs``): architectural indices occupy the low slots at reset
+(identity rename map) and the extra words are the rename headroom.  The
+component itself is index-agnostic — the rename table owns the mapping.
 """
 
 from __future__ import annotations
@@ -19,11 +25,17 @@ from ..hdl import Component, SyncRam
 class RegisterFile(Component):
     """N words of ``config.word_bits`` bits with combinational reads."""
 
-    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        parent: Optional[Component] = None,
+        n_regs: Optional[int] = None,
+    ):
         super().__init__(name, parent)
         self.config = config
-        self.n_regs = config.n_regs
-        self.ram = SyncRam("ram", config.n_regs, config.word_bits, parent=self)
+        self.n_regs = n_regs if n_regs is not None else config.n_regs
+        self.ram = SyncRam("ram", self.n_regs, config.word_bits, parent=self)
 
     def valid_index(self, reg: int) -> bool:
         return 0 <= reg < self.n_regs
@@ -46,11 +58,17 @@ class RegisterFile(Component):
 class FlagRegisterFile(Component):
     """The secondary register file "holding vectors of flags" (§III)."""
 
-    def __init__(self, name: str, config: FrameworkConfig, parent: Optional[Component] = None):
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        parent: Optional[Component] = None,
+        n_regs: Optional[int] = None,
+    ):
         super().__init__(name, parent)
         self.config = config
-        self.n_regs = config.n_flag_regs
-        self.ram = SyncRam("ram", config.n_flag_regs, config.flag_bits, parent=self)
+        self.n_regs = n_regs if n_regs is not None else config.n_flag_regs
+        self.ram = SyncRam("ram", self.n_regs, config.flag_bits, parent=self)
 
     def valid_index(self, reg: int) -> bool:
         return 0 <= reg < self.n_regs

@@ -1,0 +1,196 @@
+"""The register-renaming table of the out-of-order issue engine.
+
+Maps each architectural register (the index an instruction names) to a
+physical register in the enlarged pool of :mod:`repro.rtm.regfile`.  At
+reset the map is the identity, so slots ``0..n_regs-1`` hold the
+architectural state and the remaining pool words are rename headroom.
+
+Lifecycle of a physical register:
+
+* **free** — on the free list, unmapped, unreferenced;
+* **mapped** — allocated to an architectural destination at rename time
+  (and locked in the scoreboard until its producing write commits);
+* **pending-free** — its architectural register was renamed again by a
+  younger instruction; it still holds the previous architectural value
+  until every older in-flight reader has issued and its own producing
+  write (if any) has committed, then it recycles back to the free list.
+
+The table is passive: all state lives in object registers staged through
+``.nxt`` by the out-of-order dispatcher's single sequential process, so
+there is exactly one driver and updates within an edge compose in program
+order.  When state protection is on, a :class:`repro.faults.RenameGuard`
+shadows the two map registers with per-entry parity — map *writes* pass
+through :meth:`guard corruption hooks <allocate>` and every map *query*
+re-checks the shadow, exactly like the lock-manager scoreboard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..config import FrameworkConfig
+from ..fu.protocol import WriteSpace
+from ..hdl import Component
+
+
+class RenameTable(Component):
+    """Architectural→physical register map with free/pending-free lists."""
+
+    def __init__(
+        self,
+        name: str,
+        config: FrameworkConfig,
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        self.n_arch = {
+            WriteSpace.DATA: config.n_regs,
+            WriteSpace.FLAG: config.n_flag_regs,
+        }
+        self.n_phys = {
+            WriteSpace.DATA: config.data_pool_size,
+            WriteSpace.FLAG: config.flag_pool_size,
+        }
+        # Identity map at reset: architectural index i → physical slot i.
+        self._map = {
+            WriteSpace.DATA: self.reg(
+                "dmap", None, tuple(range(config.n_regs))
+            ),
+            WriteSpace.FLAG: self.reg(
+                "fmap", None, tuple(range(config.n_flag_regs))
+            ),
+        }
+        self._free = {
+            WriteSpace.DATA: self.reg(
+                "dfree",
+                None,
+                tuple(range(config.n_regs, self.n_phys[WriteSpace.DATA])),
+            ),
+            WriteSpace.FLAG: self.reg(
+                "ffree",
+                None,
+                tuple(range(config.n_flag_regs, self.n_phys[WriteSpace.FLAG])),
+            ),
+        }
+        # Per-physical-register count of queued (renamed, not yet issued)
+        # readers — a pending-free register must outlive them all.
+        self._readers = {
+            WriteSpace.DATA: self.reg(
+                "dreaders", None, (0,) * self.n_phys[WriteSpace.DATA]
+            ),
+            WriteSpace.FLAG: self.reg(
+                "freaders", None, (0,) * self.n_phys[WriteSpace.FLAG]
+            ),
+        }
+        self._pending = {
+            WriteSpace.DATA: self.reg("dpending", None, ()),
+            WriteSpace.FLAG: self.reg("fpending", None, ()),
+        }
+        #: optional rename-map parity guard (repro.faults.RenameGuard):
+        #: allocations pass through it and every map query re-checks
+        self._guard = None
+        # A passive component still needs a process to be simulable alone.
+        self.comb(lambda: None)
+
+    # -- queries (combinational, latched state) ---------------------------------
+
+    def phys(self, space: WriteSpace, arch: int) -> int:
+        """Current physical register behind an architectural index."""
+        if self._guard is not None:
+            self._guard.check()
+        return self._map[space].value[arch]
+
+    def arch_view(self, space: WriteSpace) -> tuple[int, ...]:
+        """The full architectural→physical map (checkpoint/backdoor path)."""
+        if self._guard is not None:
+            self._guard.check()
+        return self._map[space].value
+
+    def free_count(self, space: WriteSpace) -> int:
+        return len(self._free[space].value)
+
+    @property
+    def can_accept(self) -> bool:
+        """Enough free physical registers for one worst-case instruction
+        (two data destinations plus one flag destination)."""
+        return (
+            len(self._free[WriteSpace.DATA].value) >= 2
+            and len(self._free[WriteSpace.FLAG].value) >= 1
+        )
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any physical register awaits recycling."""
+        return bool(
+            self._pending[WriteSpace.DATA].value
+            or self._pending[WriteSpace.FLAG].value
+        )
+
+    # -- edge operations (called from the OoO dispatcher's seq process) ---------
+    #
+    # All read-modify-writes go through ``.nxt`` so the rename of one
+    # instruction and the reader-drop/recycle of the same edge compose.
+
+    def read_source(self, space: WriteSpace, arch: int) -> int:
+        """Rename a source operand: map through the *current* table and
+        claim a reader slot on the physical register."""
+        if self._guard is not None:
+            self._guard.check()
+        phys = self._map[space].nxt[arch]
+        readers = list(self._readers[space].nxt)
+        readers[phys] += 1
+        self._readers[space].nxt = tuple(readers)
+        return phys
+
+    def allocate(self, space: WriteSpace, arch: int) -> int:
+        """Rename a destination: pop a fresh physical register, retire the
+        old mapping to the pending-free list, and update the map."""
+        if self._guard is not None:
+            # Repair the committed map *before* deriving the new one from
+            # it: building ``staged`` on top of a corrupt entry would both
+            # capture an out-of-range index into the pending-free list and
+            # launder the corruption into the guard's shadow via
+            # ``on_rename`` (which trusts ``staged`` as the intended map).
+            self._guard.check()
+        free = self._free[space].nxt
+        phys = free[0]
+        self._free[space].nxt = free[1:]
+        entries = list(self._map[space].nxt)
+        old = entries[arch]
+        entries[arch] = phys
+        staged = tuple(entries)
+        if self._guard is not None:
+            staged = self._guard.on_rename(space, arch, staged)
+        self._map[space].nxt = staged
+        self._pending[space].nxt = self._pending[space].nxt + (old,)
+        return phys
+
+    def drop_reader(self, space: WriteSpace, phys: int) -> None:
+        """Release a reader slot (the consuming instruction issued)."""
+        readers = list(self._readers[space].nxt)
+        readers[phys] -= 1
+        self._readers[space].nxt = tuple(readers)
+
+    def drop_readers(self, pairs: Iterable[tuple[WriteSpace, int]]) -> None:
+        for space, phys in pairs:
+            self.drop_reader(space, phys)
+
+    def recycle(self, lockmgr) -> None:
+        """Move drained pending-free registers back to the free list: no
+        queued reader left and the producing write (if any) committed."""
+        for space in (WriteSpace.DATA, WriteSpace.FLAG):
+            pending = self._pending[space].nxt
+            if not pending:
+                continue
+            readers = self._readers[space].nxt
+            keep = []
+            freed = []
+            for phys in pending:
+                if readers[phys] == 0 and not lockmgr.peek_locked(space, phys):
+                    freed.append(phys)
+                else:
+                    keep.append(phys)
+            if freed:
+                self._pending[space].nxt = tuple(keep)
+                self._free[space].nxt = self._free[space].nxt + tuple(freed)

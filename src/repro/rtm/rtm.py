@@ -23,10 +23,12 @@ from ..faults import (
     LockGuard,
     MachineCheckUnit,
     RamGuard,
+    RenameGuard,
     StateFaultPlan,
     StateFaultSpec,
     StateScrubber,
 )
+from ..fu.protocol import WriteSpace
 from ..fu.base import FunctionalUnit
 from ..fu.registry import UnitRegistry, default_registry
 from ..hdl import Component
@@ -38,6 +40,7 @@ from .futable import FunctionalUnitTable
 from .lockmgr import LockManager
 from .msgbuffer import MessageBuffer
 from .regfile import FlagRegisterFile, RegisterFile
+from .rename import RenameTable
 from .serializer import MessageSerializer
 from .write_arbiter import WriteArbiter
 
@@ -83,9 +86,29 @@ class RegisterTransferMachine(Component):
             self.mcu.stats = self.state_domain.stats
 
         # -- state ------------------------------------------------------------
-        self.regfile = RegisterFile("regfile", config, parent=self)
-        self.flagfile = FlagRegisterFile("flagfile", config, parent=self)
-        self.lockmgr = LockManager("lockmgr", config, parent=self)
+        # In-order: files sized exactly as before (no new components or
+        # signals, so the renaming-off path is cycle- and VCD-identical).
+        # OoO: the same components over the physical register pool, plus
+        # the rename table.
+        if config.ooo:
+            self.regfile = RegisterFile(
+                "regfile", config, parent=self, n_regs=config.data_pool_size
+            )
+            self.flagfile = FlagRegisterFile(
+                "flagfile", config, parent=self, n_regs=config.flag_pool_size
+            )
+            self.lockmgr = LockManager(
+                "lockmgr", config, parent=self,
+                n_data=config.data_pool_size, n_flag=config.flag_pool_size,
+            )
+            self.rename: Optional[RenameTable] = RenameTable(
+                "rename", config, parent=self
+            )
+        else:
+            self.regfile = RegisterFile("regfile", config, parent=self)
+            self.flagfile = FlagRegisterFile("flagfile", config, parent=self)
+            self.lockmgr = LockManager("lockmgr", config, parent=self)
+            self.rename = None
         self.futable = FunctionalUnitTable()
 
         # -- functional units ---------------------------------------------------
@@ -98,10 +121,18 @@ class RegisterTransferMachine(Component):
         # -- pipeline stages -----------------------------------------------------
         self.msgbuffer = MessageBuffer("msgbuffer", config, parent=self)
         self.decoder = Decoder("decoder", config, self.futable, parent=self)
-        self.dispatcher = Dispatcher(
-            "dispatcher", config, self.regfile, self.flagfile, self.lockmgr,
-            self.futable, parent=self,
-        )
+        if config.ooo:
+            from .ooo import OoODispatcher
+
+            self.dispatcher = OoODispatcher(
+                "dispatcher", config, self.regfile, self.flagfile, self.lockmgr,
+                self.futable, self.rename, parent=self,
+            )
+        else:
+            self.dispatcher = Dispatcher(
+                "dispatcher", config, self.regfile, self.flagfile, self.lockmgr,
+                self.futable, parent=self,
+            )
         self.execution = Execution("execution", config, parent=self)
         self.encoder = MessageEncoder("encoder", config, parent=self)
         self.serializer = MessageSerializer("serializer", config, parent=self)
@@ -134,6 +165,8 @@ class RegisterTransferMachine(Component):
             RamGuard("rtm.flagfile", self.flagfile.ram, plan, mcu)
             LockGuard("rtm.lockmgr", self.lockmgr, plan, mcu)
             FutableGuard("rtm.futable", self.futable, plan, mcu)
+            if self.rename is not None:
+                RenameGuard("rtm.rename", self.rename, plan, mcu)
             for unit in self.units:
                 array = getattr(getattr(unit, "core", None), "array", None)
                 if array is not None:
@@ -158,12 +191,41 @@ class RegisterTransferMachine(Component):
         return bool(self.execution.halted.value)
 
     def register_value(self, reg: int) -> int:
-        """Backdoor read of a main register (testbench aid)."""
+        """Backdoor read of a main register (architectural view)."""
+        if self.rename is not None:
+            reg = self.rename.phys(WriteSpace.DATA, reg)
         return self.regfile.read(reg)
 
     def flag_value(self, reg: int) -> int:
-        """Backdoor read of a flag register (testbench aid)."""
+        """Backdoor read of a flag register (architectural view)."""
+        if self.rename is not None:
+            reg = self.rename.phys(WriteSpace.FLAG, reg)
         return self.flagfile.read(reg)
+
+    # -- architectural state (checkpoint/rollback path) -----------------------------
+
+    def arch_registers(self) -> tuple[int, ...]:
+        """Architectural data-register contents, in index order."""
+        if self.rename is None:
+            return self.regfile.dump()
+        view = self.rename.arch_view(WriteSpace.DATA)
+        return tuple(self.regfile.read(phys) for phys in view)
+
+    def arch_flags(self) -> tuple[int, ...]:
+        """Architectural flag-register contents, in index order."""
+        if self.rename is None:
+            return self.flagfile.dump()
+        view = self.rename.arch_view(WriteSpace.FLAG)
+        return tuple(self.flagfile.read(phys) for phys in view)
+
+    def load_arch_registers(self, values) -> None:
+        """Load architectural data registers (freshly reset machine only:
+        after a reset the rename map is the identity, so the architectural
+        values belong in physical slots ``0..n_regs-1``)."""
+        self.regfile.load(values)
+
+    def load_arch_flags(self, values) -> None:
+        self.flagfile.load(values)
 
     def unit_for(self, code: int) -> FunctionalUnit:
         entry = self.futable.lookup(code)

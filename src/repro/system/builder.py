@@ -55,6 +55,7 @@ class SystemBuilder:
         self._state_faults: Optional[StateFaultSpec] = None
         self._state_protection: bool = False
         self._lint: str = "warn"
+        self._fp_units: Optional[dict] = None
 
     def with_lint(self, mode: str) -> "SystemBuilder":
         """Set the elaboration-time design-rule check posture.
@@ -195,6 +196,37 @@ class SystemBuilder:
         self._unit_codes = tuple(codes)
         return self
 
+    def with_ooo(self, window: Optional[int] = None) -> "SystemBuilder":
+        """Enable the out-of-order issue engine (register renaming).
+
+        Replaces the in-order dispatcher with the renaming issue queue
+        (:class:`repro.rtm.ooo.OoODispatcher`): independent younger
+        instructions bypass a stalled older one while GET/GETF result
+        streams stay byte-identical to the in-order machine.  ``window``
+        overrides the issue-queue depth (default: the config's
+        ``ooo_window``).
+        """
+        overrides: dict = {"ooo": True}
+        if window is not None:
+            overrides["ooo_window"] = window
+        self._config = self._config.with_(**overrides)
+        return self
+
+    def with_fp_units(
+        self, add_depth: int = 6, mul_depth: int = 7, fma_depth: int = 8
+    ) -> "SystemBuilder":
+        """Add the pipelined floating-point family (add/mul/FMA).
+
+        Extends whatever registry is configured so far (default registry
+        otherwise) — see :func:`repro.fu.registry.fp_registry`.  Depths
+        are the per-unit pipeline stage counts; the actual build happens
+        at :meth:`build` time so later ``with_registry`` calls compose.
+        """
+        self._fp_units = {
+            "add_depth": add_depth, "mul_depth": mul_depth, "fma_depth": fma_depth
+        }
+        return self
+
     def with_smem_suite(
         self, n_cells: int = 64, array_kind: str = "vector"
     ) -> "SystemBuilder":
@@ -213,10 +245,17 @@ class SystemBuilder:
         return self
 
     def build(self) -> BuiltSystem:
+        registry = self._registry
+        if self._fp_units is not None:
+            from ..fu.registry import fp_registry
+
+            if registry is None:
+                registry = default_registry(self._config.pipelined_units)
+            registry = fp_registry(registry, **self._fp_units)
         soc = CoprocessorSystem(
             self._config,
             channel=self._channel,
-            registry=self._registry,
+            registry=registry,
             unit_codes=self._unit_codes,
             upstream_channel=self._upstream,
             downstream_faults=self._downstream_faults,
@@ -272,6 +311,9 @@ def build_system(
     wheel: bool = True,
     lint: str = "warn",
     backend: Optional[str] = None,
+    ooo: bool = False,
+    ooo_window: Optional[int] = None,
+    fp_units: bool = False,
 ) -> BuiltSystem:
     """One-call system construction with sensible defaults.
 
@@ -288,7 +330,10 @@ def build_system(
     ``"error"`` to raise on violations, ``"off"`` to skip — see
     :mod:`repro.analysis.lint`); ``backend="compiled"`` selects the
     codegen simulation backend (:mod:`repro.hdl.compile` — cycle-exact,
-    identical traces).
+    identical traces); ``ooo=True`` swaps in the out-of-order issue
+    engine with register renaming (``ooo_window`` sizes its issue
+    queue); ``fp_units=True`` adds the pipelined floating-point family
+    on top of whatever registry is in effect.
     """
     builder = (
         SystemBuilder(config)
@@ -300,6 +345,10 @@ def build_system(
     )
     if registry is not None:
         builder.with_registry(registry)
+    if ooo or ooo_window is not None:
+        builder.with_ooo(ooo_window)
+    if fp_units:
+        builder.with_fp_units()
     if unit_codes is not None:
         builder.with_units(unit_codes)
     if window is not None:

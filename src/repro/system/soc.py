@@ -100,7 +100,7 @@ class CoprocessorSystem(Component):
             or rtm.msgbuffer.backlog
             or rtm.msgbuffer._deframer.mid_frame
             or rtm.decoder._full.value
-            or rtm.dispatcher._full.value
+            or rtm.dispatcher.busy
             or rtm.execution._full.value
             or rtm.encoder.queued
             or rtm.serializer.words_pending

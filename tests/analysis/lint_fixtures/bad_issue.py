@@ -1,0 +1,58 @@
+"""Seeded defects for the ``issue.*`` rule family.
+
+Two independent holes a hand-assembled out-of-order machine can leave:
+
+* a machine-check unit plus a rename table with no
+  :class:`~repro.faults.RenameGuard` — an upset in a map entry silently
+  redirects every later read of that architectural register
+  (``issue.unprotected-rename``);
+* a functional-unit table row registered with an explicit ``latency=``
+  that disagrees with the unit's own ``latency_cycles``
+  (``issue.latency-mismatch``).
+"""
+
+from repro.config import FrameworkConfig
+from repro.faults import MachineCheckUnit, StateFaultPlan
+from repro.fu import FuComputation, PipelinedFunctionalUnit
+from repro.hdl import Component
+from repro.rtm.futable import FunctionalUnitTable
+from repro.rtm.rename import RenameTable
+
+EXPECTED_RULE = "issue.unprotected-rename"
+LATENCY_RULE = "issue.latency-mismatch"
+
+
+class ThreeStageUnit(PipelinedFunctionalUnit):
+    latency_cycles = 3
+
+    def __init__(self, name, word_bits, parent=None):
+        super().__init__(name, word_bits, parent, pipeline_depth=3)
+
+    def compute(self, s):
+        return FuComputation(data1=s.op_a, flags=0)
+
+
+class BareRenameMachine(Component):
+    def __init__(self) -> None:
+        super().__init__("barerename")
+        plan = StateFaultPlan()
+        self.mcu = MachineCheckUnit("mcu", parent=self)
+        self.mcu.stats = plan.stats
+
+        config = FrameworkConfig(ooo=True)
+        # the seeded defect: a rename map inside a protection domain
+        # (the MCU above) with no RenameGuard wired onto it
+        self.rename = RenameTable("rename", config, parent=self)
+
+        # second defect: the table row claims a latency the unit denies
+        self.unit = ThreeStageUnit("unit", 32, parent=self)
+        self.futable = FunctionalUnitTable()
+        self.futable.add(0x20, self.unit, latency=1)
+
+
+def build() -> BareRenameMachine:
+    return BareRenameMachine()
+
+
+def build_for_lint() -> BareRenameMachine:
+    return build()

@@ -26,6 +26,7 @@ from repro.system import SystemBuilder, build_system
 
 from tests.analysis.lint_fixtures import (
     bad_futable,
+    bad_issue,
     comb_loop,
     double_driver,
     impure_pure_seq,
@@ -35,7 +36,7 @@ from tests.analysis.lint_fixtures import (
 )
 
 FIXTURES = [comb_loop, double_driver, undeclared_read, impure_pure_seq,
-            valid_no_ready, bad_futable, unprotected_state]
+            valid_no_ready, bad_futable, unprotected_state, bad_issue]
 FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
 
 
@@ -46,6 +47,21 @@ FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
                          ids=[f.__name__.rsplit(".", 1)[-1] for f in FIXTURES])
 def test_fixture_fires_pinned_rule(fixture):
     assert_rule_fires(fixture.build(), fixture.EXPECTED_RULE)
+
+
+def test_bad_issue_also_fires_latency_mismatch():
+    report = assert_rule_fires(bad_issue.build(), bad_issue.LATENCY_RULE)
+    (diag,) = [d for d in report.diagnostics
+               if d.rule_id == bad_issue.LATENCY_RULE]
+    assert "0x20" in diag.message and "3" in diag.message
+
+
+def test_ooo_protected_system_lint_clean():
+    """The OoO preset with the full fault stack raises nothing — the
+    RenameGuard wiring satisfies issue.unprotected-rename by construction."""
+    built = build_system(ooo=True, fp_units=True, state_protection=True,
+                         lint="off")
+    assert_lint_clean(built.soc, sim=built.sim)
 
 
 def test_comb_loop_names_the_cycle():

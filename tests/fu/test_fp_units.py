@@ -1,0 +1,176 @@
+"""The pipelined FP family against the Python float oracle (struct-packed
+IEEE 754), plus the pipeline properties that make it an OoO workload:
+multi-cycle latency, initiation interval 1, and the ternary FMA port.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.fu import UnitOp, run_unit
+from repro.fu.fp import FpAdder, FpFma, FpMultiplier
+from repro.isa import FLAG_ERROR, FLAG_NEGATIVE, FLAG_OVERFLOW, FLAG_ZERO
+from repro.isa.opcodes import FP_FMT64, FP_NEGATE
+
+W = 64
+
+
+def f32(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def to_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def f64(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def to_f64(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def _adder(name, parent):
+    return FpAdder(name, W, parent)
+
+
+def _mul(name, parent):
+    return FpMultiplier(name, W, parent)
+
+
+def _fma(name, parent):
+    return FpFma(name, W, parent)
+
+
+class TestAdder:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(1.5, 2.25), (0.1, 0.2), (-7.5, 7.5), (1e30, -1e30), (3.0, -0.5)],
+    )
+    def test_f32_add_matches_oracle(self, a, b):
+        tb, _ = run_unit(_adder, [UnitOp(0, f32(a), f32(b), dst1=3)])
+        (t,) = tb.collected
+        expect = struct.unpack("<f", struct.pack("<f", a + b))[0]
+        assert to_f32(t.data_value) == expect
+
+    def test_f32_subtract_via_negate(self):
+        tb, _ = run_unit(_adder, [UnitOp(FP_NEGATE, f32(10.0), f32(4.5))])
+        (t,) = tb.collected
+        assert to_f32(t.data_value) == 5.5
+
+    def test_f64_add(self):
+        tb, _ = run_unit(
+            _adder, [UnitOp(FP_FMT64, f64(1.0000000001), f64(2.0))]
+        )
+        (t,) = tb.collected
+        assert to_f64(t.data_value) == 1.0000000001 + 2.0
+
+    def test_zero_and_negative_flags(self):
+        tb, _ = run_unit(_adder, [UnitOp(0, f32(2.5), f32(-2.5))])
+        (t,) = tb.collected
+        assert t.flag_value & FLAG_ZERO
+        tb, _ = run_unit(_adder, [UnitOp(0, f32(1.0), f32(-3.0))])
+        (t,) = tb.collected
+        assert t.flag_value & FLAG_NEGATIVE
+
+    def test_overflow_to_infinity_sets_overflow(self):
+        big = f32(3.4e38)
+        tb, _ = run_unit(_adder, [UnitOp(0, big, big)])
+        (t,) = tb.collected
+        assert math.isinf(to_f32(t.data_value))
+        assert t.flag_value & FLAG_OVERFLOW
+
+    def test_nan_sets_error(self):
+        tb, _ = run_unit(_adder, [UnitOp(0, f32(float("inf")),
+                                         f32(float("-inf")))])
+        (t,) = tb.collected
+        assert t.flag_value & FLAG_ERROR
+
+    def test_fmt64_on_narrow_machine_errors_but_completes(self):
+        tb, _ = run_unit(lambda n, p: FpAdder(n, 32, p),
+                         [UnitOp(FP_FMT64, 1, 2, dst1=3)])
+        (t,) = tb.collected
+        assert t.data_value == 0 and t.flag_value & FLAG_ERROR
+        assert t.data_reg == 3  # the promised write still lands
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(1.5, 2.0), (0.1, 10.0), (-3.0, 7.0), (1e10, 1e10), (0.0, 5.5)],
+    )
+    def test_f32_mul_matches_oracle(self, a, b):
+        tb, _ = run_unit(_mul, [UnitOp(0, f32(a), f32(b))])
+        (t,) = tb.collected
+        expect = struct.unpack("<f", struct.pack("<f", a * b))[0]
+        got = to_f32(t.data_value)
+        assert got == expect or (math.isnan(got) and math.isnan(expect))
+
+    def test_f64_mul(self):
+        tb, _ = run_unit(_mul, [UnitOp(FP_FMT64, f64(math.pi), f64(math.e))])
+        (t,) = tb.collected
+        assert to_f64(t.data_value) == math.pi * math.e
+
+
+class TestFma:
+    def test_fused_single_rounding(self):
+        # binary32 product tails fit exactly in a double (24+24 < 53 sig
+        # bits), so double math is an exact oracle for the fused result —
+        # and distinguishes it from round-the-product-first mul-then-add.
+        a, b, c = 1.0000001, 1.0000001, -1.0000002
+        av, bv, cv = to_f32(f32(a)), to_f32(f32(b)), to_f32(f32(c))
+        tb, _ = run_unit(_fma, [UnitOp(0, f32(av), f32(bv), op_c=f32(cv))])
+        (t,) = tb.collected
+        fused = to_f32(t.data_value)
+        expect = to_f32(f32(av * bv + cv))
+        unfused = to_f32(f32(to_f32(f32(av * bv)) + cv))
+        assert fused == expect
+        assert fused != unfused, "inputs must actually exercise the fusion"
+
+    def test_negate_product(self):
+        # c - a*b
+        tb, _ = run_unit(
+            _fma,
+            [UnitOp(FP_NEGATE, f32(3.0), f32(2.0), op_c=f32(10.0))],
+        )
+        (t,) = tb.collected
+        assert to_f32(t.data_value) == 4.0
+
+    def test_accumulator_rides_in_op_c(self):
+        tb, _ = run_unit(
+            _fma, [UnitOp(0, f32(2.0), f32(3.0), op_c=f32(1.0), dst1=5)]
+        )
+        (t,) = tb.collected
+        assert to_f32(t.data_value) == 7.0
+        assert t.data_reg == 5
+
+
+class TestPipelineShape:
+    def test_initiation_interval_one(self):
+        """A dependency-free burst drains at ~1 op/cycle, far below the
+        serial latency*n bound — the property the OoO engine exploits."""
+        n = 32
+        ops = [UnitOp(0, f32(float(i)), f32(1.0)) for i in range(n)]
+        tb, cycles = run_unit(_adder, ops)
+        assert tb.completed == n
+        assert cycles < n + 4 * FpAdder.latency_cycles
+        assert cycles >= n  # can't beat one dispatch per cycle
+
+    def test_latency_cycles_honest(self):
+        """One op takes at least the declared pipeline latency."""
+        tb, cycles = run_unit(_adder, [UnitOp(0, f32(1.0), f32(2.0))])
+        assert cycles >= FpAdder.latency_cycles
+
+    def test_results_in_dispatch_order(self):
+        ops = [UnitOp(0, f32(float(i)), f32(0.5), dst1=i % 8)
+               for i in range(10)]
+        tb, _ = run_unit(_adder, ops)
+        values = [to_f32(t.data_value) for t in tb.collected if t.has_data]
+        assert values == [float(i) + 0.5 for i in range(10)]
+
+    def test_declared_latencies_are_distinct_depths(self):
+        assert FpAdder.latency_cycles == FpAdder.default_depth
+        assert FpMultiplier.latency_cycles == FpMultiplier.default_depth
+        assert FpFma.latency_cycles == FpFma.default_depth

@@ -120,6 +120,45 @@ class TestCorrectOrRaises:
         )
 
 
+class TestOoOChaos:
+    """The out-of-order engine adds state (rename map, issue queue) but no
+    new ways to lie: under seeded upsets — optionally stacked on a lossy
+    link — an OoO machine still either matches the fault-free reference
+    or raises."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        flip=st.floats(0.0, 0.4),
+        double=st.floats(0.0, 0.05),
+        program=st.lists(OPS, min_size=1, max_size=6),
+    )
+    def test_ooo_state_upsets_correct_or_raises(self, seed, flip, double,
+                                                program):
+        _chaos_run(
+            program,
+            ooo=True,
+            state_faults=StateFaultSpec(
+                seed=seed, flip_rate=flip, double_rate=double),
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        drop=st.floats(0.0, 0.04),
+        program=st.lists(OPS, min_size=1, max_size=5),
+    )
+    def test_ooo_link_and_state_faults_stacked(self, seed, drop, program):
+        _chaos_run(
+            program,
+            ooo=True,
+            reliable=True,
+            faults=FaultSpec(seed=seed, drop_rate=drop),
+            state_faults=StateFaultSpec(
+                seed=seed + 1, flip_rate=0.2, double_rate=0.03),
+        )
+
+
 class TestBackendInjectionParity:
     """Injection is keyed by architectural write index, not simulator
     pacing, so every backend must draw the identical fate sequence."""
@@ -136,8 +175,11 @@ class TestBackendInjectionParity:
             built = build_system(lint="off", state_faults=spec, **kwargs)
             drv = CoprocessorDriver(built)
             model = [0] * N_REGS
-            for op in program:
-                _apply(drv, model, op)
+            try:
+                for op in program:
+                    _apply(drv, model, op)
+            except SimulationError:
+                pass  # an unrecoverable check aborts every backend alike
             stats = built.soc.state_domain.stats
             counts.append((stats.injected_single, stats.injected_double))
         assert counts[0] == counts[1] == counts[2]
