@@ -285,6 +285,57 @@ def test_kernel_settle_report(benchmark, rounds):
     assert idle["compiled_speedup"] is not None
 
 
+#: per-preset ceiling for the whole dataflow pass (build_design + fixpoint);
+#: measured ~10 ms locally — the bound is the CI no-regression backstop, not
+#: a target
+ANALYSIS_BUDGET_MS = 2000.0
+
+
+def test_dataflow_analysis_per_preset(benchmark):
+    """The dataflow verifier's wall-time rider: the abstract-interpretation
+    pass runs on every ``build_system(lint=...)`` call, so its cost is part
+    of every build — measure it per channel preset and hold the line."""
+    from repro.analysis.dataflow import analyze
+    from repro.messages.channel import PRESETS
+    from repro.system import build_system
+
+    def measure():
+        out = {}
+        for name in sorted(PRESETS):
+            built = build_system(channel=PRESETS[name], lint="off")
+            t0 = time.perf_counter()
+            res = analyze(built.soc, sim=built.sim)
+            out[name] = {
+                "wall_ms": (time.perf_counter() - t0) * 1e3,
+                "solve_ms": res.wall_ms,
+                "tracked": len(res.tracked),
+                "rounds": res.rounds,
+                "widened": len(res.widened),
+            }
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "K rider: dataflow verifier wall-time per preset",
+        format_table(
+            ["preset", "total ms", "solve ms", "tracked signals",
+             "rounds", "widened"],
+            [[name, f"{r['wall_ms']:.1f}", f"{r['solve_ms']:.1f}",
+              r["tracked"], r["rounds"], r["widened"]]
+             for name, r in results.items()],
+            title="total = build_design + fixpoint; solve = fixpoint only",
+        ),
+    )
+    for name, r in results.items():
+        # the fixpoint must do real proving, converge, and stay cheap
+        assert r["tracked"] > 0, f"{name}: nothing tracked"
+        assert r["widened"] == 0, f"{name}: {r['widened']} signals widened"
+        assert r["wall_ms"] < ANALYSIS_BUDGET_MS, (
+            f"{name}: dataflow pass took {r['wall_ms']:.0f} ms "
+            f"(budget {ANALYSIS_BUDGET_MS:.0f} ms)"
+        )
+
+
 def test_kernel_counters_surface():
     """counters_for folds scheduler stats into the framework counter report."""
     system = make_system(channel=INTEGRATED, **MODES["event+wheel"])

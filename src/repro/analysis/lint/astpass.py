@@ -67,6 +67,41 @@ def _is_chain_step_pure(node: ast.AST) -> bool:
     return isinstance(node, (ast.Name, ast.Attribute, ast.Subscript))
 
 
+#: Symbolic value expression attached to write sites and branch tests —
+#: nested tuples so sites stay hashable.  Node forms:
+#:   ("const", v)                      integer/bool literal
+#:   ("read", chain)                   a ``.value``/``.nxt`` signal read
+#:   ("chainval", chain)               a non-signal attribute/global value
+#:   ("bit", chain, i)                 ``sig.bit(i)``
+#:   ("bits", chain, hi, lo)           ``sig.bits(hi, lo)``
+#:   ("bin", op, l, r)                 arithmetic/shift/bitwise operator
+#:   ("un", op, x)                     unary operator
+#:   ("cmp", op, l, r)                 single comparison
+#:   ("bool", "and"|"or", (e, ...))    boolean combination
+#:   ("ifexp", t, a, b)                conditional expression
+#:   ("call", name, (args, ...))       min/max/abs/int/bool
+#: ``None`` marks a value the model cannot express (opaque).
+Expr = Optional[tuple]
+
+#: node-count ceiling on captured expressions — beyond this the value is
+#: treated as opaque rather than ballooning summaries
+_MAX_EXPR_NODES = 96
+
+
+def _expr_size(expr: Expr) -> int:
+    if expr is None:
+        return 1
+    n = 1
+    for part in expr[1:]:
+        if isinstance(part, tuple):
+            if part and isinstance(part[0], str):
+                n += _expr_size(part)
+            else:  # tuple of sub-expressions (bool/call arms)
+                for sub in part:
+                    n += _expr_size(sub)
+    return n
+
+
 @dataclass(frozen=True)
 class WriteSite:
     """One symbolic signal-write site inside a process function."""
@@ -80,6 +115,10 @@ class WriteSite:
     #: the width-mismatch rule inspects, because arithmetic and slicing are
     #: deliberate re-widthing
     src: Optional[Chain] = None
+    #: symbolic tree of the written value (see :data:`Expr`); ``None`` when
+    #: the value shape is outside the model — the dataflow solver then
+    #: widens the destination to its full width
+    expr: Expr = None
 
 
 @dataclass
@@ -103,6 +142,9 @@ class FnSummary:
     opaque_writes: bool = False
     #: source unavailable / unparseable — summary is empty, not wrong
     parse_failed: bool = False
+    #: (line, Expr) for every ``if`` test the value model can express —
+    #: the dataflow solver proves dead branches from these
+    branches: list = field(default_factory=list)
 
 
 # methods whose invocation mutates their receiver (container mutators)
@@ -125,13 +167,15 @@ _PURE_CALLS = frozenset(
 
 
 class _Scope:
-    """Local-variable state: alias chains and accumulated taint."""
+    """Local-variable state: alias chains, taint and symbolic value."""
 
-    __slots__ = ("alias", "taint")
+    __slots__ = ("alias", "taint", "expr")
 
-    def __init__(self, alias: Optional[Chain], taint: Taint):
+    def __init__(self, alias: Optional[Chain], taint: Taint,
+                 expr: Expr = None):
         self.alias = alias
         self.taint = taint
+        self.expr = expr
 
 
 class _Analyzer:
@@ -177,13 +221,14 @@ class _Analyzer:
         return acc
 
     def _write(self, kind: str, target: Optional[Chain], value_taint: Taint,
-               line: int, src: Optional[Chain] = None) -> None:
+               line: int, src: Optional[Chain] = None,
+               expr: Expr = None) -> None:
         if target is None:
             self.s.opaque_writes = True
             return
         self.s.writes.append(
             WriteSite(kind=kind, target=target, taint=value_taint | self._guards(),
-                      line=line, src=src)
+                      line=line, src=src, expr=expr)
         )
 
     def _copy_src(self, value: Optional[ast.AST]) -> Optional[Chain]:
@@ -194,6 +239,133 @@ class _Analyzer:
         if chain is None or chain[-1] != ("a", "value"):
             return None
         return chain[:-1]
+
+    # -- symbolic value expressions ------------------------------------------
+
+    _BIN_EXPR_OPS = {
+        ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.FloorDiv: "//",
+        ast.Mod: "%", ast.Pow: "**", ast.LShift: "<<", ast.RShift: ">>",
+        ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+    }
+    _CMP_EXPR_OPS = {
+        ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+        ast.Gt: ">", ast.GtE: ">=",
+    }
+    _UN_EXPR_OPS = {ast.USub: "-", ast.UAdd: "+", ast.Invert: "~", ast.Not: "not"}
+    _EXPR_CALLS = frozenset({"min", "max", "abs", "int", "bool"})
+
+    def expr_of(self, node: Optional[ast.AST]) -> Expr:
+        """Symbolic value tree of an expression, or None when unmodelable.
+
+        Purely syntactic (no summary side effects — ``taint_of`` is always
+        run alongside).  Local names substitute their recorded expression,
+        which is sound because locals bound under a conditional are
+        recorded as opaque (see :meth:`_bind_target`).
+        """
+        expr = self._expr_of(node)
+        if expr is not None and _expr_size(expr) > _MAX_EXPR_NODES:
+            return None
+        return expr
+
+    def _expr_of(self, node: Optional[ast.AST]) -> Expr:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return ("const", int(v))
+            if isinstance(v, int):
+                return ("const", v)
+            return None
+        if isinstance(node, ast.Name):
+            local = self.env.get(node.id)
+            if local is not None:
+                return local.expr
+            return ("chainval", (("r", node.id),))
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain = self._chain_of(node)
+            if chain is None or chain[-1] == ("e",):
+                return None
+            if chain[-1] in (("a", "value"), ("a", "nxt")):
+                return ("read", chain[:-1])
+            return ("chainval", chain)
+        if isinstance(node, ast.BinOp):
+            op = self._BIN_EXPR_OPS.get(type(node.op))
+            if op is None:
+                return None
+            left = self._expr_of(node.left)
+            right = self._expr_of(node.right)
+            if left is None or right is None:
+                return None
+            return ("bin", op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            op = self._UN_EXPR_OPS.get(type(node.op))
+            if op is None:
+                return None
+            x = self._expr_of(node.operand)
+            if x is None:
+                return None
+            return ("un", op, x)
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                return None
+            op = self._CMP_EXPR_OPS.get(type(node.ops[0]))
+            if op is None:
+                return None
+            left = self._expr_of(node.left)
+            right = self._expr_of(node.comparators[0])
+            if left is None or right is None:
+                return None
+            return ("cmp", op, left, right)
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            arms = tuple(self._expr_of(v) for v in node.values)
+            if any(a is None for a in arms):
+                return None
+            return ("bool", op, arms)
+        if isinstance(node, ast.IfExp):
+            test = self._expr_of(node.test)
+            body = self._expr_of(node.body)
+            orelse = self._expr_of(node.orelse)
+            if test is None or body is None or orelse is None:
+                return None
+            return ("ifexp", test, body, orelse)
+        if isinstance(node, ast.Call):
+            if node.keywords or any(isinstance(a, ast.Starred) for a in node.args):
+                return None
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self._EXPR_CALLS:
+                if func.id in ("min", "max"):
+                    if len(node.args) < 2:
+                        return None
+                elif len(node.args) != 1:
+                    return None
+                args = tuple(self._expr_of(a) for a in node.args)
+                if any(a is None for a in args):
+                    return None
+                return ("call", func.id, args)
+            if isinstance(func, ast.Attribute) and func.attr in ("bit", "bits"):
+                chain = self._chain_of(func)
+                if chain is None or chain[-1] != ("a", func.attr):
+                    return None
+                idx = [self._expr_of(a) for a in node.args]
+                if not all(a is not None and a[0] == "const" for a in idx):
+                    return None
+                prefix = chain[:-1]
+                if func.attr == "bit" and len(idx) == 1:
+                    return ("bit", prefix, idx[0][1])
+                if func.attr == "bits" and len(idx) == 2:
+                    return ("bits", prefix, idx[0][1], idx[1][1])
+            return None
+        return None
+
+    def _aug_expr(self, base: Expr, stmt: ast.AugAssign) -> Expr:
+        """Symbolic tree for ``target <op>= value`` given target's tree."""
+        op = self._BIN_EXPR_OPS.get(type(stmt.op))
+        if op is None or base is None:
+            return None
+        value = self.expr_of(stmt.value)
+        if value is None:
+            return None
+        return ("bin", op, base, value)
 
     # -- expression taint ----------------------------------------------------
 
@@ -428,11 +600,13 @@ class _Analyzer:
                 return frozenset({("sig", prefix)}) | args_taint
             if name in ("set", "stage", "force", "warp"):
                 src = None
+                expr: Expr = None
                 if name in ("set", "stage") and len(node.args) == 1 \
                         and not node.keywords:
                     src = self._copy_src(node.args[0])
+                    expr = self.expr_of(node.args[0])
                 self._write({"stage": "stage"}.get(name, name), prefix,
-                            args_taint, line, src=src)
+                            args_taint, line, src=src, expr=expr)
                 return frozenset()
             if name == "drive":
                 self._write("drive", prefix, args_taint, line)
@@ -453,9 +627,14 @@ class _Analyzer:
     # -- statements ----------------------------------------------------------
 
     def _bind_target(self, target: ast.AST, alias: Optional[Chain],
-                     taint: Taint, src: Optional[Chain] = None) -> None:
+                     taint: Taint, src: Optional[Chain] = None,
+                     expr: Expr = None) -> None:
         if isinstance(target, ast.Name):
-            self.env[target.id] = _Scope(alias, taint)
+            # a local bound under a condition/loop may hold either arm's
+            # value at the join point — its symbolic value goes opaque
+            self.env[target.id] = _Scope(
+                alias, taint, expr if not self.cond_stack else None
+            )
         elif isinstance(target, (ast.Tuple, ast.List)):
             for e in target.elts:
                 self._bind_target(e, None, taint)
@@ -469,7 +648,7 @@ class _Analyzer:
                 return
             if chain[-1] == ("a", "nxt"):
                 self._write("stage", chain[:-1], taint,
-                            getattr(target, "lineno", 0), src=src)
+                            getattr(target, "lineno", 0), src=src, expr=expr)
             else:
                 self.s.attr_stores.add(chain)
         elif isinstance(target, ast.Subscript):
@@ -490,6 +669,7 @@ class _Analyzer:
         elif isinstance(stmt, ast.Assign):
             taint = self.taint_of(stmt.value)
             src = self._copy_src(stmt.value)
+            vexpr = self.expr_of(stmt.value)
             alias = None
             if _is_chain_step_pure(stmt.value):
                 alias = self._chain_of(stmt.value)
@@ -503,7 +683,7 @@ class _Analyzer:
                 if fchain is not None:
                     alias = (("c", fchain),)
             for target in stmt.targets:
-                self._bind_target(target, alias, taint, src=src)
+                self._bind_target(target, alias, taint, src=src, expr=vexpr)
         elif isinstance(stmt, ast.AugAssign):
             taint = self.taint_of(stmt.value)
             target = stmt.target
@@ -511,6 +691,8 @@ class _Analyzer:
                 local = self.env.get(target.id)
                 if local is not None:
                     local.taint = local.taint | taint
+                    aug = self._aug_expr(local.expr, stmt)
+                    local.expr = aug if not self.cond_stack else None
                 else:
                     chain = (("r", target.id),)
                     self.s.nonlocal_stores.add(target.id)
@@ -521,7 +703,9 @@ class _Analyzer:
                     if chain2[-1] == ("a", "nxt"):
                         self.s.reads.add(chain2[:-1])
                         self._write("stage", chain2[:-1], taint,
-                                    getattr(target, "lineno", 0))
+                                    getattr(target, "lineno", 0),
+                                    expr=self._aug_expr(
+                                        ("read", chain2[:-1]), stmt))
                     else:
                         self.s.attr_stores.add(chain2)
                         self.s.attr_loads.add(chain2)
@@ -536,9 +720,15 @@ class _Analyzer:
                 self.taint_of(target.slice)
         elif isinstance(stmt, ast.AnnAssign):
             taint = self.taint_of(stmt.value) if stmt.value else frozenset()
-            self._bind_target(stmt.target, None, taint)
+            self._bind_target(stmt.target, None, taint,
+                              expr=self.expr_of(stmt.value) if stmt.value else None)
         elif isinstance(stmt, (ast.If,)):
             test_taint = self.taint_of(stmt.test)
+            test_expr = self.expr_of(stmt.test)
+            if test_expr is not None:
+                self.s.branches.append(
+                    (getattr(stmt.test, "lineno", 0), test_expr)
+                )
             self.cond_stack.append(test_taint)
             try:
                 self.visit_body(stmt.body)
@@ -663,6 +853,12 @@ class ResolvedWrite:
     deps_unresolved: bool
     #: concrete source signal of a pure ``dst.set(src.value)`` copy
     src: Optional[Signal] = None
+    #: resolved symbolic value tree — like :data:`Expr` but with
+    #: ("sig", Signal) leaves for signal reads and ("attr", v, owner_id,
+    #: name) for attribute-derived constants (provenance lets the solver
+    #: reject constants whose owner attribute some process mutates);
+    #: ``None`` when the written value is outside the model
+    expr: Optional[tuple] = None
 
 
 @dataclass
@@ -677,6 +873,8 @@ class ResolvedFn:
     hidden_stores: dict = field(default_factory=dict)
     nonlocal_stores: set = field(default_factory=set)
     streams_fired: set = field(default_factory=set)  # Stream objects
+    #: (line, resolved test tree) for every modelable ``if`` guard
+    branches: list = field(default_factory=list)
     unknown_calls: bool = False
     #: some reads could not be attributed (read set may be incomplete)
     opaque_reads: bool = False
@@ -804,6 +1002,93 @@ def _resolve_chain(chain: Chain, env: dict[str, Any]) -> Optional[list]:
     return objs
 
 
+def _resolve_expr(expr: Expr, env: dict[str, Any]) -> Optional[tuple]:
+    """Resolve a symbolic value tree against a concrete environment.
+
+    Signal-read leaves must resolve to exactly one numeric :class:`Signal`;
+    attribute/global leaves must resolve to exactly one int (recorded with
+    provenance so the solver can discount mutated attributes).  Anything
+    else makes the whole tree opaque (returns None).
+    """
+    if expr is None:
+        return None
+    tag = expr[0]
+    if tag == "const":
+        return expr
+    if tag == "read":
+        objs = _resolve_chain(expr[1], env)
+        if objs is None or len(objs) != 1:
+            return None
+        sig = objs[0]
+        if not isinstance(sig, Signal) or sig.width is None:
+            return None
+        return ("sig", sig)
+    if tag in ("bit", "bits"):
+        objs = _resolve_chain(expr[1], env)
+        if objs is None or len(objs) != 1:
+            return None
+        sig = objs[0]
+        if not isinstance(sig, Signal) or sig.width is None:
+            return None
+        return (tag, sig) + expr[2:]
+    if tag == "chainval":
+        chain = expr[1]
+        objs = _resolve_chain(chain, env)
+        if objs is None or len(objs) != 1:
+            return None
+        v = objs[0]
+        if not isinstance(v, int):  # bool is an int; Signals are not
+            return None
+        last = chain[-1]
+        if last[0] == "a" and len(chain) > 1:
+            owners = _resolve_chain(chain[:-1], env)
+            if owners is None or len(owners) != 1:
+                return None
+            return ("attr", int(v), id(owners[0]), last[1])
+        if last[0] == "i" and len(chain) > 1:
+            owners = _resolve_chain(chain[:-1], env)
+            if owners is None or len(owners) != 1:
+                return None
+            return ("attr", int(v), id(owners[0]), "[]")
+        if last[0] == "r":
+            # module-global / closure constant: provenance by name only
+            return ("attr", int(v), 0, last[1])
+        return None
+    if tag == "bin":
+        left = _resolve_expr(expr[2], env)
+        right = _resolve_expr(expr[3], env)
+        if left is None or right is None:
+            return None
+        return ("bin", expr[1], left, right)
+    if tag == "un":
+        x = _resolve_expr(expr[2], env)
+        if x is None:
+            return None
+        return ("un", expr[1], x)
+    if tag == "cmp":
+        left = _resolve_expr(expr[2], env)
+        right = _resolve_expr(expr[3], env)
+        if left is None or right is None:
+            return None
+        return ("cmp", expr[1], left, right)
+    if tag == "bool":
+        arms = tuple(_resolve_expr(a, env) for a in expr[2])
+        if any(a is None for a in arms):
+            return None
+        return ("bool", expr[1], arms)
+    if tag == "ifexp":
+        parts = tuple(_resolve_expr(a, env) for a in expr[1:])
+        if any(a is None for a in parts):
+            return None
+        return ("ifexp",) + parts
+    if tag == "call":
+        args = tuple(_resolve_expr(a, env) for a in expr[2])
+        if any(a is None for a in args):
+            return None
+        return ("call", expr[1], args)
+    return None
+
+
 class _Resolver:
     """Applies a symbolic summary to one concrete function instance."""
 
@@ -887,6 +1172,11 @@ class _Resolver:
         for site in summary.writes:
             self._resolve_write(site, env, depth)
 
+        for line, bexpr in summary.branches:
+            rexpr = _resolve_expr(bexpr, env)
+            if rexpr is not None:
+                out.branches.append((line, rexpr))
+
         for chain, args_taint, arg_aliases in summary.calls:
             self._resolve_call(chain, args_taint, arg_aliases, env, depth)
         return self.out
@@ -924,6 +1214,7 @@ class _Resolver:
                 line=site.line,
                 deps_unresolved=unresolved,
                 src=src_sig,
+                expr=_resolve_expr(site.expr, env),
             )
         )
 
@@ -1157,6 +1448,7 @@ def closure_of(fn: Callable[..., Any]) -> ProcClosure:
 
 __all__ = [
     "Chain",
+    "Expr",
     "FnSummary",
     "ProcClosure",
     "ResolvedFn",

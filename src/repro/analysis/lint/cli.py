@@ -22,9 +22,61 @@ from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple
 
 from .diagnostics import LintReport, Severity
-from .engine import Linter, all_rules, iter_rule_catalog
+from .engine import Linter, iter_rule_catalog
 
 _SEVERITIES = {s.value: s for s in Severity}
+
+#: baseline file schema version (bump on key-format changes)
+_BASELINE_VERSION = 1
+
+
+def _finding_key(diag) -> str:
+    """Stable identity of a finding across runs: rule + where it points.
+
+    Messages are deliberately excluded — they embed values that legitimate
+    refactors shift (line numbers, proven ranges) without changing *what*
+    is wrong.
+    """
+    return f"{diag.rule_id}|{diag.component}|{diag.signal or ''}"
+
+
+def _write_baseline(path: Path,
+                    reports: List[Tuple[str, LintReport]]) -> None:
+    payload = {
+        "version": _BASELINE_VERSION,
+        "findings": {
+            label: sorted({_finding_key(d) for d in rep.diagnostics})
+            for label, rep in reports
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _apply_baseline(path: Path,
+                    reports: List[Tuple[str, LintReport]]) -> int:
+    """Drop findings present in the baseline; return how many were waived.
+
+    Unknown targets fall back to an empty baseline (every finding is new),
+    so adding a preset/example to CI fails loudly instead of silently
+    inheriting a waiver.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"baseline {path} does not exist — create it with "
+            "--update-baseline"
+        )
+    if payload.get("version") != _BASELINE_VERSION:
+        raise SystemExit(f"baseline {path} has an unsupported version")
+    known = payload.get("findings", {})
+    waived = 0
+    for label, rep in reports:
+        allowed = set(known.get(label, ()))
+        kept = [d for d in rep.diagnostics if _finding_key(d) not in allowed]
+        waived += len(rep.diagnostics) - len(kept)
+        rep.diagnostics[:] = kept
+    return waived
 
 
 def _build_preset(name: str) -> Any:
@@ -69,8 +121,11 @@ def _expand_targets(args: argparse.Namespace) -> List[Tuple[str, Any]]:
         names.extend(sorted(PRESETS))
         ex_dir = _examples_dir()
         if ex_dir is not None:
+            # repo-relative labels so a baseline written on one checkout
+            # matches on another (CI runners, worktrees)
+            root = ex_dir.parent
             names.extend(
-                str(p) for p in sorted(ex_dir.glob("*.py"))
+                str(p.relative_to(root)) for p in sorted(ex_dir.glob("*.py"))
                 if p.name != "__init__.py"
             )
     if not names:
@@ -82,12 +137,19 @@ def _expand_targets(args: argparse.Namespace) -> List[Tuple[str, Any]]:
         else:
             path = Path(name)
             if not path.exists():
-                known = ", ".join(sorted(PRESETS))
-                raise SystemExit(
-                    f"unknown target {name!r}: not a preset ({known}) and "
-                    "not a file"
-                )
-            targets.append((str(path), ("file", path)))
+                # relative labels from the --all expansion resolve against
+                # the repo root regardless of the invocation directory
+                ex_dir = _examples_dir()
+                alt = None if ex_dir is None else ex_dir.parent / path
+                if alt is not None and alt.exists():
+                    path = alt
+                else:
+                    known = ", ".join(sorted(PRESETS))
+                    raise SystemExit(
+                        f"unknown target {name!r}: not a preset ({known}) "
+                        "and not a file"
+                    )
+            targets.append((name, ("file", path)))
     return targets
 
 
@@ -116,7 +178,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--rules", metavar="ID[,ID...]",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run; globs select families, "
+             "e.g. 'dataflow.*' (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        help="waive findings recorded in FILE: only *new* findings count "
+             "toward --fail-on (CI gates on regressions, not backlog)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from this run's findings and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -146,18 +218,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rid:28s} {severity.value:8s} {title}")
         return 0
 
+    if args.update_baseline and args.baseline is None:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rule_ids if r not in all_rules()]
-        if unknown:
-            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
-            return 2
 
-    linter = Linter(rule_ids, probe=not args.no_probe)
+    try:
+        linter = Linter(rule_ids, probe=not args.no_probe)
+    except KeyError as exc:
+        print(f"unknown rule id(s): {exc.args[0]}", file=sys.stderr)
+        return 2
     reports: List[Tuple[str, LintReport]] = []
     for label, kind_arg in _expand_targets(args):
         reports.append((label, _lint_one(kind_arg, linter)))
+
+    if args.baseline is not None:
+        if args.update_baseline:
+            _write_baseline(args.baseline, reports)
+            print(f"baseline written: {args.baseline}")
+            return 0
+        waived = _apply_baseline(args.baseline, reports)
+        if waived:
+            print(f"{waived} baselined finding(s) waived "
+                  f"({args.baseline})", file=sys.stderr)
 
     if args.as_json:
         payload = {

@@ -75,6 +75,7 @@ def all_rules() -> dict[str, Rule]:
     from . import (  # noqa: F401
         rules_compile,
         rules_contract,
+        rules_dataflow,
         rules_faults,
         rules_futable,
         rules_graph,
@@ -139,11 +140,24 @@ class Linter:
         if rules is None:
             selected = registry
         else:
-            unknown = [r for r in rules if r not in registry]
+            import fnmatch
+
+            selected = {}
+            unknown = []
+            for pat in rules:
+                if any(ch in pat for ch in "*?["):
+                    hits = fnmatch.filter(sorted(registry), pat)
+                    if not hits:
+                        unknown.append(pat)
+                    for rid in hits:
+                        selected[rid] = registry[rid]
+                elif pat in registry:
+                    selected[pat] = registry[pat]
+                else:
+                    unknown.append(pat)
             if unknown:
                 known = ", ".join(sorted(registry))
                 raise KeyError(f"unknown lint rule(s) {unknown}; known: {known}")
-            selected = {rid: registry[rid] for rid in rules}
         self.rules = selected
         self.probe = probe
 

@@ -58,6 +58,8 @@ class ProcRecord:
     hidden_stores: dict = field(default_factory=dict)
     nonlocal_stores: set = field(default_factory=set)
     streams_fired: set = field(default_factory=set)
+    #: (line, resolved test tree) for every modelable ``if`` guard
+    branches: list = field(default_factory=list)
     #: static analysis confidence flags
     unknown_calls: bool = False
     opaque_reads: bool = False
@@ -195,6 +197,7 @@ def _apply_ast(rec: ProcRecord) -> None:
     rec.hidden_stores.update(res.hidden_stores)
     rec.nonlocal_stores.update(res.nonlocal_stores)
     rec.streams_fired.update(res.streams_fired)
+    rec.branches.extend(res.branches)
     for site in res.writes:
         rec.sites.append(site)
         for tgt in site.targets:

@@ -1,0 +1,202 @@
+"""``dataflow.*`` rules: value/width proofs from the abstract-interpretation
+fixpoint (:mod:`repro.analysis.dataflow`).
+
+Every rule fires only on a *proof* over the solver's sound value ranges —
+an opaque write, an unmodelable expression or a mutated constant silently
+drops the claim, keeping the family inside the engine's zero-false-positive
+contract.  Width-overflow and pool-underflow are errors (both describe
+silent corruption: a value that always truncates, a rename pool that can
+strand the dispatcher); the rest describe dead weight and report as
+warning/info.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dataflow import analyze_design
+from .diagnostics import Diagnostic, Severity
+from .engine import Rule, register_rule
+from .model import DesignInfo
+
+
+def _range_text(av) -> str:
+    if av.lo == av.hi:
+        return str(av.lo)
+    return f"[{av.lo}, {av.hi}]"
+
+
+@register_rule
+class WidthOverflowRule(Rule):
+    id = "dataflow.width-overflow"
+    severity = Severity.ERROR
+    title = "written value provably exceeds the destination width"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        res = analyze_design(design)
+        seen = set()
+        for f in res.site_facts:
+            if f.pre is None:
+                continue
+            mask = f.target._mask
+            if f.pre.lo <= mask:
+                continue  # may fit (counters wrap by design: not a proof)
+            key = (f.target, f.rec.comp.path, f.site.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.diag(
+                f.rec.comp.path,
+                f"value written to {f.target.name} at line {f.site.line} is "
+                f"provably {_range_text(f.pre)}, beyond the {f.target.width}-bit "
+                f"range [0, {mask}]: every write truncates",
+                signal=f.target.name,
+                hint="widen the destination signal or mask the expression "
+                "intentionally at the source",
+            )
+
+
+@register_rule
+class TruncatingSliceRule(Rule):
+    id = "dataflow.truncating-slice"
+    severity = Severity.WARNING
+    title = "bit-slice/shift result may still exceed the destination"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        res = analyze_design(design)
+        seen = set()
+        for f in res.site_facts:
+            if f.pre is None or f.site.expr is None:
+                continue
+            root = f.site.expr[0]
+            if not (root == "bits" or (root == "bin" and f.site.expr[1] == ">>")):
+                continue  # only explicit extractions: arithmetic re-widths
+            mask = f.target._mask
+            if not (0 <= f.site.line and f.pre.lo <= mask < f.pre.hi):
+                continue  # full overflow is width-overflow's finding
+            key = (f.target, f.rec.comp.path, f.site.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.diag(
+                f.rec.comp.path,
+                f"bit extraction written to {f.target.name} at line "
+                f"{f.site.line} spans {_range_text(f.pre)} but the "
+                f"destination holds only [0, {mask}]: high bits are "
+                f"silently dropped",
+                signal=f.target.name,
+                hint="slice down to the destination width explicitly",
+            )
+
+
+@register_rule
+class ConstantSignalRule(Rule):
+    id = "dataflow.constant-signal"
+    severity = Severity.INFO
+    title = "driven signal is provably constant"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        res = analyze_design(design)
+        driven = {f.target for f in res.site_facts}
+        for sig in design.signals:
+            if sig not in res.tracked or sig not in driven:
+                continue
+            av = res.values[sig]
+            if not av.is_const:
+                continue
+            yield self.diag(
+                getattr(sig.owner, "path", design.top.path),
+                f"{sig.name} is driven but provably always {av.lo}",
+                signal=sig.name,
+                hint="tie it off as a constant or delete the dead driver",
+            )
+
+
+@register_rule
+class DeadBranchRule(Rule):
+    id = "dataflow.dead-branch"
+    severity = Severity.WARNING
+    title = "signal-dependent guard is provably never taken"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        res = analyze_design(design)
+        seen = set()
+        for b in res.branch_facts:
+            if b.verdict is not False or not b.signal_dependent:
+                # config-constant gating (reliable=False and friends) is a
+                # deliberate mode switch, not a dataflow defect
+                continue
+            key = (b.rec.comp.path, b.rec.label, b.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.diag(
+                b.rec.comp.path,
+                f"guard at line {b.line} of {b.rec.label} is provably never "
+                f"true: the branch body is unreachable",
+                hint="the guarded condition lies outside the proven signal "
+                "ranges — delete the branch or fix the comparison",
+            )
+
+
+@register_rule
+class UnreachableMicrocodeRule(Rule):
+    id = "dataflow.unreachable-microcode"
+    severity = Severity.WARNING
+    title = "microcode ROM rows no reachable FSM state selects"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        from ...smem.controller import MicroController
+
+        for comp in design.components:
+            if not isinstance(comp, MicroController):
+                continue
+            for variety, base, rows in comp.rom_layout():
+                done_at = next(
+                    (i for i, r in enumerate(rows) if r.done), None
+                )
+                if done_at is None or done_at == len(rows) - 1:
+                    continue
+                dead = len(rows) - 1 - done_at
+                label = "invalid-variety handler" if variety < 0 else (
+                    f"variety 0x{variety:02x}"
+                )
+                yield self.diag(
+                    comp.path,
+                    f"microprogram {label} finishes at row {base + done_at} "
+                    f"but {dead} more row(s) follow in its span: the FSM "
+                    f"returns to Idle on `done`, so rows "
+                    f"{base + done_at + 1}..{base + len(rows) - 1} can "
+                    f"never execute",
+                    hint="delete the dead rows or move `done` to the last word",
+                )
+
+
+@register_rule
+class PoolUnderflowRule(Rule):
+    id = "dataflow.pool-underflow"
+    severity = Severity.ERROR
+    title = "rename pool can exhaust under the configured issue window"
+
+    def check(self, design: DesignInfo) -> Iterator[Diagnostic]:
+        from ...fu.protocol import WriteSpace
+        from ...rtm.rename import RenameTable
+
+        for comp in design.components:
+            if not isinstance(comp, RenameTable):
+                continue
+            need = comp.pool_requirement()
+            for space in (WriteSpace.DATA, WriteSpace.FLAG):
+                have = comp.n_phys[space]
+                if have >= need[space]:
+                    continue
+                yield self.diag(
+                    comp.path,
+                    f"{space.name.lower()} pool holds {have} physical "
+                    f"registers but the issue window "
+                    f"({comp.config.ooo_window}) needs {need[space]} to "
+                    f"rule out exhaustion: dispatch can stall on "
+                    f"`can_accept` with the queue non-full",
+                    hint="grow phys_regs (or shrink ooo_window) to at "
+                    f"least {need[space]}",
+                )

@@ -29,6 +29,7 @@ import inspect
 import textwrap
 from typing import Any, Callable, Optional
 
+from ...analysis.dataflow import domain as _dom
 from ...analysis.lint.astpass import ProcClosure, _find_def, _root_env, closure_of
 from ..components import Stream
 from ..signal import Reg, Signal
@@ -224,7 +225,8 @@ class Translator:
     """
 
     def __init__(self, fn: Callable[[], None], closure: ProcClosure,
-                 hoist: Callable[[Any], str]):
+                 hoist: Callable[[Any], str],
+                 stats: Optional[dict] = None):
         self.fn = fn
         self.closure = closure
         self.hoist = hoist
@@ -233,6 +235,14 @@ class Translator:
         if bound is not None:
             self.env["self"] = bound
         self.locals: set[str] = set()
+        #: width-only abstract value per local: (AbstractValue, is_int) or
+        #: None once a conditional rebind makes the flow-insensitive value
+        #: stale.  Feeds mask elision and branch folding; see _abs_eval.
+        self._abs_locals: dict[str, Optional[tuple]] = {}
+        self._depth = 0
+        self.stats = stats if stats is not None else {}
+        self.stats.setdefault("masks_elided", 0)
+        self.stats.setdefault("branches_folded", 0)
 
     def translate(self) -> Optional[list[str]]:
         """Translated body lines (unindented), or None when out of subset."""
@@ -244,6 +254,7 @@ class Translator:
         code = getattr(self.fn, "__code__", None)
         if code is None or code.co_argcount:
             return None
+        snapshot = dict(self.stats)  # discarded bodies must not count
         try:
             src = textwrap.dedent(inspect.getsource(self.fn))
             tree = ast.parse(src)
@@ -255,8 +266,10 @@ class Translator:
                 lines.extend(self._tx_stmt(stmt))
             return lines or ["pass"]
         except Untranslatable:
+            self.stats.update(snapshot)
             return None
         except (OSError, SyntaxError, TypeError, ValueError):
+            self.stats.update(snapshot)
             return None
 
     # -- compile-time object resolution --------------------------------------
@@ -416,14 +429,179 @@ class Translator:
             return expr if test else f"bool{expr}"
         raise Untranslatable(f"method call .{name}")
 
+    # -- width-only abstract evaluation ---------------------------------------
+    #
+    # The value facts the code generator is allowed to use are strictly
+    # WEAKER than the lint fixpoint's: a signal read contributes only its
+    # width bound [0, mask].  Width bounds hold unconditionally — every
+    # kernel write path (set/stage/force/warp) masks, so even SEU
+    # injection and checkpoint restores cannot violate them — which is
+    # what keeps the specialized module cycle- and VCD-identical under
+    # fault campaigns that would invalidate the fixpoint's tighter ranges.
+
+    def _abs_eval(self, node: ast.AST) -> Optional[tuple]:
+        """``(AbstractValue, is_int)`` for a translatable expression.
+
+        ``is_int`` asserts the evaluated Python object is an ``int`` (not a
+        ``bool``) — mask elision must not change the stored object, and the
+        event kernel's ``int(value) & mask`` always commits an ``int``.
+        Returns None when no sound claim can be made.
+        """
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return _dom.const(int(node.value)), False
+            if isinstance(node.value, int):
+                return _dom.const(node.value), True
+            return None
+        if isinstance(node, (ast.Name, ast.Subscript)):
+            if isinstance(node, ast.Name) and node.id in self.locals:
+                return self._abs_locals.get(node.id)
+            try:
+                obj = self._resolve(node)
+            except Untranslatable:
+                return None
+            return self._abs_object(obj)
+        if isinstance(node, ast.Attribute):
+            return self._abs_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._abs_call(node)
+        if isinstance(node, ast.BinOp):
+            fn = _ABS_BINOPS.get(type(node.op))
+            left = self._abs_eval(node.left)
+            right = self._abs_eval(node.right)
+            if fn is None or left is None or right is None:
+                return None
+            return fn(left[0], right[0]), left[1] and right[1]
+        if isinstance(node, ast.UnaryOp):
+            operand = self._abs_eval(node.operand)
+            if operand is None:
+                return None
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            if isinstance(node.op, ast.USub):
+                return _dom.neg(operand[0]), operand[1]
+            if isinstance(node.op, ast.Invert):
+                return _dom.invert(operand[0]), operand[1]
+            if isinstance(node.op, ast.Not):
+                return _dom.logical_not(operand[0]), False
+            return None
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            op = _CMPOPS.get(type(node.ops[0]))
+            left = self._abs_eval(node.left)
+            right = self._abs_eval(node.comparators[0])
+            if op is None or left is None or right is None:
+                return None
+            return _dom.compare(op, left[0], right[0]), False
+        if isinstance(node, ast.BoolOp):
+            arms = [self._abs_eval(v) for v in node.values]
+            if any(a is None for a in arms):
+                return None
+            # the result is some arm's value, or 0 from a falsy short
+            # circuit — join them all with 0 (conservative but sound)
+            av = _dom.const(0)
+            for a in arms:
+                av = _dom.join(av, a[0])
+            return av, all(a[1] for a in arms)
+        if isinstance(node, ast.IfExp):
+            a = self._abs_eval(node.body)
+            b = self._abs_eval(node.orelse)
+            if a is None or b is None:
+                return None
+            return _dom.join(a[0], b[0]), a[1] and b[1]
+        return None
+
+    def _abs_object(self, obj: Any) -> Optional[tuple]:
+        if isinstance(obj, Signal):
+            if obj.width is None:
+                return None
+            return _dom.top(obj.width), True
+        if isinstance(obj, bool):
+            return _dom.const(int(obj)), False
+        if isinstance(obj, int):
+            return _dom.const(obj), True
+        return None
+
+    def _abs_attribute(self, node: ast.Attribute) -> Optional[tuple]:
+        if node.attr in ("value", "nxt"):
+            try:
+                sig = self._resolve(node.value)
+            except Untranslatable:
+                return None
+            if isinstance(sig, Signal) and sig.width is not None:
+                return _dom.top(sig.width), True
+            return None
+        # hidden attribute loads are emitted as *runtime* loads so
+        # rebinding stays observable — only a rebind-proof owner (enum
+        # class, frozen dataclass) makes the compile-time value a fact
+        try:
+            owner = self._resolve(node.value)
+            obj = getattr(owner, node.attr)
+        except Exception:
+            return None
+        if isinstance(obj, (bool, int)) and _constant_load(owner, obj):
+            return _dom.const(int(obj)), not isinstance(obj, bool)
+        return None
+
+    def _abs_call(self, node: ast.Call) -> Optional[tuple]:
+        if node.keywords:
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "bit" and len(node.args) == 1:
+                return _dom.interval(0, 1), True
+            if func.attr == "bits" and len(node.args) == 2:
+                try:
+                    hi = self._const_int(node.args[0])
+                    lo = self._const_int(node.args[1])
+                except Untranslatable:
+                    return None
+                return _dom.interval(0, (1 << (hi - lo + 1)) - 1), True
+            return None
+        if not isinstance(func, ast.Name):
+            return None
+        try:
+            fn = self._resolve(func)
+        except Untranslatable:
+            return None
+        args = [self._abs_eval(a) for a in node.args]
+        if any(a is None for a in args):
+            return None
+        if fn is int and len(args) == 1:
+            return args[0][0], True
+        if fn is bool and len(args) == 1:
+            av = args[0][0].truthiness()
+            if av is None:
+                return _dom.interval(0, 1), False
+            return _dom.const(int(av)), False
+        if fn is abs and len(args) == 1:
+            return _dom.absolute(args[0][0]), args[0][1]
+        if fn in (min, max) and len(args) >= 2:
+            combine = _dom.minimum if fn is min else _dom.maximum
+            av = args[0][0]
+            for a in args[1:]:
+                av = combine(av, a[0])
+            return av, all(a[1] for a in args)
+        return None
+
+    def _bind_abs(self, name: str, value: Optional[tuple]) -> None:
+        # flow-insensitive soundness: a binding under a conditional may or
+        # may not happen, so the local's abstract value becomes unknown
+        self._abs_locals[name] = value if self._depth == 0 else None
+
     # -- statements -----------------------------------------------------------
 
-    def _store_signal(self, sig: Signal, expr: str) -> list[str]:
+    def _store_signal(self, sig: Signal, expr: str,
+                      node: Optional[ast.AST] = None) -> list[str]:
         h = self.hoist(sig)
-        if sig._mask is not None:
-            load = f"_v = int({expr}) & {sig._mask}"
-        else:
+        load = f"_v = int({expr}) & {sig._mask}"
+        if sig._mask is None:
             load = f"_v = {expr}"
+        elif node is not None:
+            av = self._abs_eval(node)
+            if av is not None and av[1] and av[0].fits(sig._mask):
+                # the committed value is provably the expression itself
+                load = f"_v = {expr}"
+                self.stats["masks_elided"] += 1
         return [
             load,
             f"if _v != {h}._value:",
@@ -432,12 +610,17 @@ class Translator:
             f"    _CHG.append({h})",
         ]
 
-    def _stage_reg(self, reg: Reg, expr: str) -> list[str]:
+    def _stage_reg(self, reg: Reg, expr: str,
+                   node: Optional[ast.AST] = None) -> list[str]:
         h = self.hoist(reg)
-        if reg._mask is not None:
-            load = f"_v = int({expr}) & {reg._mask}"
-        else:
+        load = f"_v = int({expr}) & {reg._mask}"
+        if reg._mask is None:
             load = f"_v = {expr}"
+        elif node is not None:
+            av = self._abs_eval(node)
+            if av is not None and av[1] and av[0].fits(reg._mask):
+                load = f"_v = {expr}"
+                self.stats["masks_elided"] += 1
         return [
             load,
             f"if {h}._staged is _U:",
@@ -464,32 +647,39 @@ class Translator:
                 sig = self._resolve(call.func.value)
                 if not isinstance(sig, Signal):
                     raise Untranslatable(".set on non-signal")
-                return self._store_signal(sig, self._tx_expr(call.args[0]))
+                return self._store_signal(sig, self._tx_expr(call.args[0]),
+                                          call.args[0])
             if name == "stage" and len(call.args) == 1 and not call.keywords:
                 reg = self._resolve(call.func.value)
                 if not isinstance(reg, Reg):
                     raise Untranslatable(".stage on non-reg")
-                return self._stage_reg(reg, self._tx_expr(call.args[0]))
+                return self._stage_reg(reg, self._tx_expr(call.args[0]),
+                                       call.args[0])
             raise Untranslatable(f"statement call .{name}")
         if isinstance(stmt, ast.Assign):
             if len(stmt.targets) != 1:
                 raise Untranslatable("chained assignment")
             target = stmt.targets[0]
             if isinstance(target, ast.Name):
+                abs_val = self._abs_eval(stmt.value)
                 expr = self._tx_expr(stmt.value)
                 self.locals.add(target.id)
+                self._bind_abs(target.id, abs_val)
                 return [f"_L_{target.id} = {expr}"]
             if isinstance(target, ast.Attribute) and target.attr == "nxt":
                 reg = self._resolve(target.value)
                 if not isinstance(reg, Reg):
                     raise Untranslatable(".nxt on non-reg")
-                return self._stage_reg(reg, self._tx_expr(stmt.value))
+                return self._stage_reg(reg, self._tx_expr(stmt.value),
+                                       stmt.value)
             raise Untranslatable("assignment target")
         if isinstance(stmt, ast.AnnAssign):
             if not isinstance(stmt.target, ast.Name) or stmt.value is None:
                 raise Untranslatable("annotated assignment")
+            abs_val = self._abs_eval(stmt.value)
             expr = self._tx_expr(stmt.value)
             self.locals.add(stmt.target.id)
+            self._bind_abs(stmt.target.id, abs_val)
             return [f"_L_{stmt.target.id} = {expr}"]
         if isinstance(stmt, ast.AugAssign):
             if not isinstance(stmt.target, ast.Name) \
@@ -498,21 +688,46 @@ class Translator:
             op = _BINOPS.get(type(stmt.op))
             if op is None:
                 raise Untranslatable("augmented op")
+            name = stmt.target.id
+            base = self._abs_locals.get(name)
+            rhs = self._abs_eval(stmt.value)
+            fn = _ABS_BINOPS.get(type(stmt.op))
+            if base is not None and rhs is not None and fn is not None:
+                self._bind_abs(name, (fn(base[0], rhs[0]),
+                                      base[1] and rhs[1]))
+            else:
+                self._bind_abs(name, None)
             expr = self._tx_expr(stmt.value)
-            return [f"_L_{stmt.target.id} = _L_{stmt.target.id} {op} ({expr})"]
+            return [f"_L_{name} = _L_{name} {op} ({expr})"]
         if isinstance(stmt, ast.If):
+            av = self._abs_eval(stmt.test)
+            verdict = av[0].truthiness() if av is not None else None
+            if verdict is not None:
+                # the guard is decided by width bounds and rebind-proof
+                # constants alone — fold the dead arm away entirely
+                self.stats["branches_folded"] += 1
+                taken = stmt.body if verdict else stmt.orelse
+                lines = []
+                for s in taken:
+                    lines.extend(self._tx_stmt(s))
+                return lines
             test = self._tx_expr(stmt.test, test=True)
             lines = [f"if {test}:"]
-            body = []
-            for s in stmt.body:
-                body.extend(self._tx_stmt(s))
-            lines.extend("    " + line for line in (body or ["pass"]))
-            if stmt.orelse:
-                lines.append("else:")
-                orelse = []
-                for s in stmt.orelse:
-                    orelse.extend(self._tx_stmt(s))
-                lines.extend("    " + line for line in (orelse or ["pass"]))
+            self._depth += 1
+            try:
+                body = []
+                for s in stmt.body:
+                    body.extend(self._tx_stmt(s))
+                lines.extend("    " + line for line in (body or ["pass"]))
+                if stmt.orelse:
+                    lines.append("else:")
+                    orelse = []
+                    for s in stmt.orelse:
+                        orelse.extend(self._tx_stmt(s))
+                    lines.extend("    " + line
+                                 for line in (orelse or ["pass"]))
+            finally:
+                self._depth -= 1
             return lines
         raise Untranslatable(type(stmt).__name__)
 
@@ -530,6 +745,14 @@ _UNARYOPS: dict[type, str] = {
 _CMPOPS: dict[type, str] = {
     ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
     ast.Gt: ">", ast.GtE: ">=",
+}
+
+#: abstract transfer functions for the width-only evaluator
+_ABS_BINOPS: dict[type, Any] = {
+    ast.Add: _dom.add, ast.Sub: _dom.sub, ast.Mult: _dom.mul,
+    ast.FloorDiv: _dom.floordiv, ast.Mod: _dom.mod,
+    ast.LShift: _dom.lshift, ast.RShift: _dom.rshift,
+    ast.BitAnd: _dom.bitand, ast.BitOr: _dom.bitor, ast.BitXor: _dom.bitxor,
 }
 
 

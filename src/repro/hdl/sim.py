@@ -200,6 +200,11 @@ class KernelStats:
     vectorized_cells: int = 0
     #: one-time codegen + exec cost, in milliseconds (compiled backend)
     compile_ms: float = 0.0
+    #: width masks the code generator proved redundant and dropped
+    #: (range-informed codegen; compiled backend only)
+    masks_elided: int = 0
+    #: branches the code generator folded on a proven-constant guard
+    branches_folded: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -222,6 +227,8 @@ class KernelStats:
             "fallback_procs": self.fallback_procs,
             "vectorized_cells": self.vectorized_cells,
             "compile_ms": self.compile_ms,
+            "masks_elided": self.masks_elided,
+            "branches_folded": self.branches_folded,
         }
 
 

@@ -62,6 +62,8 @@ class FunctionalUnitTable:
         unit: FunctionalUnit,
         write_profile: Optional[WriteProfile] = None,
         latency: Optional[int] = None,
+        *,
+        trust_latency: bool = False,
     ) -> UnitEntry:
         if code in self._entries:
             raise ValueError(f"unit code {code:#x} already in the table")
@@ -71,6 +73,19 @@ class FunctionalUnitTable:
             )
         if latency is None:
             latency = int(getattr(unit, "latency_cycles", 1))
+        elif not trust_latency:
+            # An explicit latency that contradicts the unit's own pipeline
+            # depth would mis-steer the issue observability layer (and the
+            # scoreboard timing models built on it) for every instruction
+            # the row routes; fail at registration, not first dispatch.
+            actual = getattr(unit, "latency_cycles", None)
+            if actual is not None and int(latency) != int(actual):
+                raise ValueError(
+                    f"unit code {code:#x}: registered latency {latency} "
+                    f"contradicts {type(unit).__name__}.latency_cycles "
+                    f"({actual}); drop the latency= override or pass "
+                    "trust_latency=True if the table is deliberately lying"
+                )
         entry = UnitEntry(code, len(self._entries), unit, write_profile, latency)
         self._entries[code] = entry
         return entry

@@ -93,6 +93,27 @@ class RenameTable(Component):
         # A passive component still needs a process to be simulable alone.
         self.comb(lambda: None)
 
+    # -- analysis metadata -------------------------------------------------------
+
+    def pool_requirement(self) -> dict[WriteSpace, int]:
+        """Smallest pool sizes provably exhaustion-free under the window.
+
+        Inductive worst case: the dispatcher holds at most ``ooo_window``
+        renamed in-flight instructions, and each allocates at most two
+        data destinations and one flag destination
+        (:meth:`~repro.rtm.ooo.OoODispatcher._rename`).  Beyond the
+        ``n_arch`` mapped registers, live-but-unrecycled physical
+        registers are therefore bounded by ``2 * window`` (data) and
+        ``window`` (flags); a pool at least this large can never leave
+        ``can_accept`` false forever, because the issue queue drains
+        head-first and recycles as it goes.
+        """
+        window = self.config.ooo_window
+        return {
+            WriteSpace.DATA: self.n_arch[WriteSpace.DATA] + 2 * window,
+            WriteSpace.FLAG: self.n_arch[WriteSpace.FLAG] + window,
+        }
+
     # -- queries (combinational, latched state) ---------------------------------
 
     def phys(self, space: WriteSpace, arch: int) -> int:

@@ -49,7 +49,26 @@ from __future__ import annotations
 from types import SimpleNamespace
 from typing import Optional
 
+import numpy as np
+
 from ..hdl import Component
+
+
+def lane_dtype(word_bits: int) -> np.dtype:
+    """Narrowest unsigned numpy dtype whose lane holds a ``word_bits`` word.
+
+    Width-proof-backed narrowing for the vectorised cell state: every value
+    a cell commits is masked below ``2**word_bits``, and
+    ``(x mod 2**lane) mod 2**w == x mod 2**w`` for ``w <= lane``, so
+    add/multiply/bitwise arithmetic carried in the narrow lane wraps to the
+    same masked words and comparisons see identical values.  Words wider
+    than 64 bits clamp to the uint64 lane (the explicit word mask keeps
+    them exact, exactly as before narrowing).
+    """
+    # lazy: repro.analysis imports system/xisort modules built on this kit
+    from ..analysis.dataflow.domain import vector_width_bits
+
+    return np.dtype(f"uint{vector_width_bits(min(word_bits, 64))}")
 
 
 class SmartCell(Component):

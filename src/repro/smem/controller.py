@@ -133,6 +133,27 @@ class MicroController(Component):
                 self._op_b.nxt = self.op_b.value
                 self.running.nxt = 1
 
+    # -- analysis metadata --------------------------------------------------------
+
+    def rom_layout(self) -> list[tuple[int, int, tuple[MicroInstr, ...]]]:
+        """Per-program ROM spans: ``(variety, base, rows)``.
+
+        The FSM enters a program at its base and walks linearly until the
+        first ``done`` word (there are no microcode branches), so this
+        layout is the complete reachability model the dataflow verifier
+        needs: within a span, rows after the first ``done`` can never
+        execute.  The trailing invalid-variety handler is reported under
+        variety ``-1``.
+        """
+        spans: list[tuple[int, int, tuple[MicroInstr, ...]]] = []
+        bounds = sorted(self._entry.items(), key=lambda kv: kv[1])
+        for i, (variety, base) in enumerate(bounds):
+            end = bounds[i + 1][1] if i + 1 < len(bounds) else self._invalid_entry
+            rows = tuple(self.rom.read(pc) for pc in range(base, end))
+            spans.append((variety, base, rows))
+        spans.append((-1, self._invalid_entry, (self.rom.read(self._invalid_entry),)))
+        return spans
+
     # -- array bus driving --------------------------------------------------------
 
     def _drive_command(self, uinstr: MicroInstr) -> None:

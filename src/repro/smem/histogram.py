@@ -19,7 +19,7 @@ import numpy as np
 
 from ..hdl import Component
 from .adapter import SmartMemoryUnit
-from .array import SmartCell, StructuralSmartArray, VectorSmartArray
+from .array import SmartCell, StructuralSmartArray, VectorSmartArray, lane_dtype
 from .controller import MicroController
 from .core import ArrayKind, DirectMachine, SmartMemoryCore
 from .microcode import OP_A, AluOp, MicroInstr, imm, t_
@@ -55,15 +55,16 @@ class HistCellState:
 class HistVectors:
     """The parallel state arrays of an n-bin histogram column."""
 
-    __slots__ = ("n", "count", "sel", "pos")
+    __slots__ = ("n", "dtype", "count", "sel", "pos")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, word_bits: int = 64):
         self.n = n
+        self.dtype = lane_dtype(word_bits)
         self.pos = np.arange(n, dtype=np.uint32)
         self.clear()
 
     def clear(self) -> None:
-        self.count = np.zeros(self.n, dtype=np.uint64)
+        self.count = np.zeros(self.n, dtype=self.dtype)
         self.sel = np.zeros(self.n, dtype=bool)
 
     def state_of(self, i: int) -> HistCellState:
@@ -82,9 +83,7 @@ def apply_hist_command(vec: HistVectors, cmd: HistCmd, broadcast: int,
         vec.clear()
     elif cmd == HistCmd.INC_AT:
         hit = vec.pos == np.uint32(broadcast)
-        vec.count = np.where(
-            hit, (vec.count + np.uint64(1)) & np.uint64(mask), vec.count
-        )
+        vec.count = np.where(hit, (vec.count + 1) & mask, vec.count)
     elif cmd == HistCmd.SELECT_INDEX:
         vec.sel = vec.pos == np.uint32(broadcast)
     else:  # pragma: no cover - enum exhaustive
@@ -137,7 +136,7 @@ class _HistArrayMixin:
         self.sel_value = self.signal("sel_value", self.word_bits, 0)
 
     def _make_vectors(self, n_cells: int) -> HistVectors:
-        return HistVectors(n_cells)
+        return HistVectors(n_cells, self.word_bits)
 
     def _fold_vector(self, vec: HistVectors) -> None:
         counts = vec.count

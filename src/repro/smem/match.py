@@ -21,7 +21,7 @@ import numpy as np
 
 from ..hdl import Component
 from .adapter import SmartMemoryUnit
-from .array import SmartCell, StructuralSmartArray, VectorSmartArray
+from .array import SmartCell, StructuralSmartArray, VectorSmartArray, lane_dtype
 from .controller import MicroController
 from .core import ArrayKind, DirectMachine, SmartMemoryCore
 from .microcode import OP_A, MicroInstr
@@ -62,19 +62,20 @@ class MatchCellState:
 class MatchVectors:
     """The parallel state arrays of an n-cell match column."""
 
-    __slots__ = ("n", "pat", "occ", "alive", "hits", "sel", "pos")
+    __slots__ = ("n", "dtype", "pat", "occ", "alive", "hits", "sel", "pos")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, word_bits: int = 64):
         self.n = n
+        self.dtype = lane_dtype(word_bits)
         self.pos = np.arange(n, dtype=np.uint32)
         self.clear()
 
     def clear(self) -> None:
         n = self.n
-        self.pat = np.zeros(n, dtype=np.uint64)
+        self.pat = np.zeros(n, dtype=self.dtype)
         self.occ = np.zeros(n, dtype=bool)
         self.alive = np.zeros(n, dtype=bool)
-        self.hits = np.zeros(n, dtype=np.uint64)
+        self.hits = np.zeros(n, dtype=self.dtype)
         self.sel = np.zeros(n, dtype=bool)
 
     def state_of(self, i: int) -> MatchCellState:
@@ -109,17 +110,15 @@ def apply_match_command(vec: MatchVectors, cmd: MatchCmd, broadcast: int,
         k = int(np.count_nonzero(vec.occ))
         shifted = np.roll(vec.alive, 1)
         shifted[0] = True  # a match may start at this character
-        alive = vec.occ & (vec.pat == np.uint64(b)) & shifted
+        alive = vec.occ & (vec.pat == b) & shifted
         vec.alive = alive
         if k:
             # the last pattern cell counts completed matches
             last = alive & (vec.pos == np.uint32(k - 1))
-            vec.hits = np.where(
-                last, (vec.hits + np.uint64(1)) & np.uint64(mask), vec.hits
-            )
+            vec.hits = np.where(last, (vec.hits + 1) & mask, vec.hits)
     elif cmd == MatchCmd.RESTART:
         vec.alive = np.zeros(vec.n, dtype=bool)
-        vec.hits = np.zeros(vec.n, dtype=np.uint64)
+        vec.hits = np.zeros(vec.n, dtype=vec.dtype)
         vec.sel = np.zeros(vec.n, dtype=bool)
     elif cmd == MatchCmd.SELECT_INDEX:
         vec.sel = vec.occ & (vec.pos == np.uint32(b))
@@ -197,7 +196,7 @@ class _MatchArrayMixin:
         self.sel_value = self.signal("sel_value", self.word_bits, 0)
 
     def _make_vectors(self, n_cells: int) -> MatchVectors:
-        return MatchVectors(n_cells)
+        return MatchVectors(n_cells, self.word_bits)
 
     def _fold_vector(self, vec: MatchVectors) -> None:
         k = int(np.count_nonzero(vec.occ))

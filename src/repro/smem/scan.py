@@ -22,7 +22,7 @@ import numpy as np
 
 from ..hdl import Component
 from .adapter import SmartMemoryUnit
-from .array import SmartCell, StructuralSmartArray, VectorSmartArray
+from .array import SmartCell, StructuralSmartArray, VectorSmartArray, lane_dtype
 from .controller import MicroController
 from .core import ArrayKind, DirectMachine, SmartMemoryCore
 from .microcode import OP_A, MicroInstr
@@ -61,16 +61,17 @@ class ScanCellState:
 class ScanVectors:
     """The parallel state arrays of an n-cell scan column."""
 
-    __slots__ = ("n", "value", "occ", "sel", "pos")
+    __slots__ = ("n", "dtype", "value", "occ", "sel", "pos")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, word_bits: int = 64):
         self.n = n
+        self.dtype = lane_dtype(word_bits)
         self.pos = np.arange(n, dtype=np.uint32)
         self.clear()
 
     def clear(self) -> None:
         n = self.n
-        self.value = np.zeros(n, dtype=np.uint64)
+        self.value = np.zeros(n, dtype=self.dtype)
         self.occ = np.zeros(n, dtype=bool)
         self.sel = np.zeros(n, dtype=bool)
 
@@ -103,12 +104,13 @@ def apply_scan_command(vec: ScanVectors, cmd: ScanCmd, broadcast: int,
         # Unoccupied cells hold 0, so the raw cumulative sum is exact for
         # the occupied prefix; uint64 wraps mod 2^64 and (S mod 2^64) mod
         # 2^w == S mod 2^w for w ≤ 64, so the word mask stays exact too.
-        prefix = np.cumsum(vec.value, dtype=np.uint64) & np.uint64(mask)
+        # The masked result fits the (possibly narrower) value lane again.
+        prefix = (
+            np.cumsum(vec.value, dtype=np.uint64) & np.uint64(mask)
+        ).astype(vec.dtype, copy=False)
         vec.value = np.where(vec.occ, prefix, vec.value)
     elif cmd == ScanCmd.ADD_ALL:
-        vec.value = np.where(
-            vec.occ, (vec.value + np.uint64(b)) & np.uint64(mask), vec.value
-        )
+        vec.value = np.where(vec.occ, (vec.value + b) & mask, vec.value)
     elif cmd == ScanCmd.SELECT_INDEX:
         vec.sel = vec.occ & (vec.pos == np.uint32(b))
     else:  # pragma: no cover - enum exhaustive
@@ -181,7 +183,7 @@ class _ScanArrayMixin:
         self.sel_value = self.signal("sel_value", self.word_bits, 0)
 
     def _make_vectors(self, n_cells: int) -> ScanVectors:
-        return ScanVectors(n_cells)
+        return ScanVectors(n_cells, self.word_bits)
 
     def _fold_vector(self, vec: ScanVectors) -> None:
         occ = vec.occ

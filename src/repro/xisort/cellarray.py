@@ -32,7 +32,12 @@ from typing import Optional
 import numpy as np
 
 from ..hdl import Component
-from ..smem.array import SmartArrayExecutor, StructuralSmartArray, VectorSmartArray
+from ..smem.array import (
+    SmartArrayExecutor,
+    StructuralSmartArray,
+    VectorSmartArray,
+    lane_dtype,
+)
 from ..smem.tree import TreeNetwork, fold_reduce
 from .cell import INTERVAL_BITS, SENTINEL, Cell, CellCmd, CellState
 
@@ -40,16 +45,17 @@ from .cell import INTERVAL_BITS, SENTINEL, Cell, CellCmd, CellState
 class CellVectors:
     """The five parallel state arrays of an n-cell SIMD column."""
 
-    __slots__ = ("n", "data", "lower", "upper", "sel", "saved")
+    __slots__ = ("n", "dtype", "data", "lower", "upper", "sel", "saved")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, word_bits: int = 64):
         self.n = n
+        self.dtype = lane_dtype(word_bits)
         self.clear()
 
     def clear(self) -> None:
         """Every cell back to the empty (sentinel-interval) state."""
         n = self.n
-        self.data = np.zeros(n, dtype=np.uint64)
+        self.data = np.zeros(n, dtype=self.dtype)
         self.lower = np.full(n, SENTINEL, dtype=np.uint32)
         self.upper = np.full(n, SENTINEL, dtype=np.uint32)
         self.sel = np.zeros(n, dtype=bool)
@@ -97,11 +103,11 @@ def apply_vector_command(
     elif cmd == CellCmd.SELECT_IMPRECISE:
         vec.sel = vec.sel & (vec.lower != vec.upper)
     elif cmd == CellCmd.MATCH_DATA_LT:
-        vec.sel = vec.sel & (vec.data < np.uint64(b))
+        vec.sel = vec.sel & (vec.data < b)
     elif cmd == CellCmd.MATCH_DATA_EQ:
-        vec.sel = vec.sel & (vec.data == np.uint64(b))
+        vec.sel = vec.sel & (vec.data == b)
     elif cmd == CellCmd.MATCH_DATA_GT:
-        vec.sel = vec.sel & (vec.data > np.uint64(b))
+        vec.sel = vec.sel & (vec.data > b)
     elif cmd == CellCmd.MATCH_LOWER_BOUND:
         vec.sel = vec.sel & (vec.lower == bi)
     elif cmd == CellCmd.MATCH_UPPER_BOUND:
@@ -118,7 +124,7 @@ def apply_vector_command(
         vec.lower = np.where(vec.sel, np.uint32(bi), vec.lower)
         vec.upper = np.where(vec.sel, np.uint32(bi), vec.upper)
     elif cmd == CellCmd.LOAD_SELECTED:
-        vec.data = np.where(vec.sel, np.uint64(b), vec.data)
+        vec.data = np.where(vec.sel, b, vec.data)
     elif cmd == CellCmd.SAVE:
         vec.saved = vec.sel.copy()
     elif cmd == CellCmd.RESTORE:
@@ -184,7 +190,7 @@ class _XiArrayMixin(CellArrayPorts):
         self._make_ports(self, self.word_bits)
 
     def _make_vectors(self, n_cells: int) -> CellVectors:
-        return CellVectors(n_cells)
+        return CellVectors(n_cells, self.word_bits)
 
     def _fold_vector(self, vec: CellVectors) -> None:
         fold_tree_outputs(vec, self.tree, self)
@@ -272,7 +278,11 @@ class StructuralCellArray(_XiArrayMixin, StructuralSmartArray):
     def _make_executor(self) -> CellArrayExecutor:
         absorbed = [self._tree_fn] + [c._tick_fn for c in self.cells]
         return CellArrayExecutor(
-            self, CellVectors(self.n_cells), self.tree, absorbed, cells=self.cells
+            self,
+            CellVectors(self.n_cells, self.word_bits),
+            self.tree,
+            absorbed,
+            cells=self.cells,
         )
 
     def states(self) -> list[CellState]:

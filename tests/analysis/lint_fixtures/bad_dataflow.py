@@ -1,0 +1,122 @@
+"""Seeded defects for the ``dataflow.*`` rule family — one per rule.
+
+Each sub-component carries exactly one provable value/width defect, and
+nothing else in the tree is allowed to trip the family (the test asserts
+*exactly one* finding per rule id).  The wrap-by-design counter inside
+``DeadGuard`` doubles as the negative control: its ``+ 1`` overflows the
+register every 16 cycles yet must stay silent, because wrapping is only a
+defect when the written value can *never* fit.
+"""
+
+from repro.config import FrameworkConfig
+from repro.hdl import Component
+from repro.rtm.rename import RenameTable
+from repro.smem.controller import MicroController
+from repro.smem.microcode import OP_A, MicroInstr
+from repro.smem.scan import ScanCmd, VectorScanArray
+
+RULES = (
+    "dataflow.width-overflow",
+    "dataflow.truncating-slice",
+    "dataflow.constant-signal",
+    "dataflow.dead-branch",
+    "dataflow.unreachable-microcode",
+    "dataflow.pool-underflow",
+)
+EXPECTED_RULE = RULES[0]
+
+
+class OverflowAccumulator(Component):
+    """dataflow.width-overflow: 4-bit register fed value + 21 — the
+    smallest possible write (21) already exceeds the [0, 15] range."""
+
+    def __init__(self, parent=None):
+        super().__init__("overflow", parent)
+        self.acc = self.reg("acc", 4, 0)
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            self.acc.nxt = self.acc.value + 21
+
+
+class TruncatingTap(Component):
+    """dataflow.truncating-slice: an 8-bit counter shifted right by 2
+    still spans [0, 63], silently dropping bits into a 4-bit register."""
+
+    def __init__(self, parent=None):
+        super().__init__("tap", parent)
+        self.wide = self.reg("wide", 8, 0)
+        self.nib = self.reg("nib", 4, 0)
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            self.wide.nxt = self.wide.value + 1
+            self.nib.nxt = self.wide.value >> 2
+
+
+class TiedOff(Component):
+    """dataflow.constant-signal: a driver that can only ever produce 3."""
+
+    def __init__(self, parent=None):
+        super().__init__("tied", parent)
+        self.level = self.signal("level", 4, 3)
+
+        @self.comb
+        def _drive() -> None:
+            self.level.set(3)
+
+
+class DeadGuard(Component):
+    """dataflow.dead-branch: the guard compares a 4-bit counter against
+    100 — provably never true.  The counter itself wraps by design and
+    must NOT raise width-overflow."""
+
+    def __init__(self, parent=None):
+        super().__init__("guard", parent)
+        self.cnt = self.reg("cnt", 4, 0)
+        self.pulse = self.reg("pulse", 1, 0)
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            self.cnt.nxt = self.cnt.value + 1
+            if self.cnt.value > 100:
+                self.pulse.nxt = 1
+
+
+#: one-word program whose ``done`` is followed by a second word the
+#: two-state FSM can never reach (it returns to Idle on ``done``)
+DEAD_TAIL_MICROCODE: dict[int, tuple[MicroInstr, ...]] = {
+    0x01: (
+        MicroInstr(cell_cmd=int(ScanCmd.CLEAR), done=True),
+        MicroInstr(cell_cmd=int(ScanCmd.ADD_ALL), broadcast=OP_A),
+    ),
+}
+
+
+class BadDataflowMachine(Component):
+    def __init__(self) -> None:
+        super().__init__("baddataflow")
+        self.overflow = OverflowAccumulator(parent=self)
+        self.tap = TruncatingTap(parent=self)
+        self.tied = TiedOff(parent=self)
+        self.guard = DeadGuard(parent=self)
+
+        # dataflow.unreachable-microcode: controller over the dead-tail ROM
+        self.array = VectorScanArray("array", 4, 32, parent=self)
+        self.ctrl = MicroController(
+            "ctrl", self.array, DEAD_TAIL_MICROCODE, 32, parent=self
+        )
+
+        # dataflow.pool-underflow: window 8 can hold 16 in-flight data
+        # destinations beyond the 16 architectural registers, but the pool
+        # only has 20 - 16 = 4 spares.
+        config = FrameworkConfig(ooo=True, ooo_window=8, phys_regs=20)
+        self.rename = RenameTable("rename", config, parent=self)
+
+
+def build() -> BadDataflowMachine:
+    return BadDataflowMachine()
+
+
+def build_for_lint() -> BadDataflowMachine:
+    return build()

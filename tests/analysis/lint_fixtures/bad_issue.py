@@ -47,7 +47,10 @@ class BareRenameMachine(Component):
         # second defect: the table row claims a latency the unit denies
         self.unit = ThreeStageUnit("unit", 32, parent=self)
         self.futable = FunctionalUnitTable()
-        self.futable.add(0x20, self.unit, latency=1)
+        # trust_latency bypasses the registration-time cross-check — the
+        # point of this fixture is a table that lies, so the *lint* rule
+        # has something to catch
+        self.futable.add(0x20, self.unit, latency=1, trust_latency=True)
 
 
 def build() -> BareRenameMachine:

@@ -1,0 +1,60 @@
+"""A width-overflow defect with *observable* consequences.
+
+``SaturatingAger`` holds a saturating age counter: every edge it adds
+``RATE`` and clamps at ``CAP``, and its time-wheel hook batch-ages runs
+of idle edges with the closed form ``min(age + RATE*n, CAP)`` — sound
+congruence for a register wide enough to hold ``CAP``.
+
+The seeded defect is the 4-bit register: ``min(age + 21, 100)`` is
+proven to lie in ``[21, 36]``, always above the 4-bit mask, so every
+per-edge store truncates (``dataflow.width-overflow``).  Truncation
+breaks the hook's congruence — saturation never triggers (the stored
+value can't reach 100) and ``(min(v + 21n, 100)) & 15`` disagrees with
+the edge-by-edge recurrence ``v := (v + 21) & 15`` — so a wheel-enabled
+run visibly desynchronises from the exhaustive oracle.  The divergence
+property test pins that consequence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdl import Component
+
+EXPECTED_RULE = "dataflow.width-overflow"
+
+RATE = 21
+CAP = 100
+WIDTH = 4  # the defect: CAP needs 7 bits
+
+
+class SaturatingAger(Component):
+    def __init__(self) -> None:
+        super().__init__("satager")
+        self.age = self.reg("age", WIDTH, 0)
+
+        @self.seq(pure=True)
+        def _tick() -> None:
+            if self.age.value < CAP:
+                self.age.nxt = min(self.age.value + RATE, CAP)
+
+        self.wheel(self._horizon, self._skip)
+
+    def _horizon(self) -> Optional[int]:
+        v = self.age.value
+        if v >= CAP:
+            return None  # saturated: fully idle
+        # "pure aging" until the saturation edge — a congruence the
+        # truncating store below the counter's width silently voids
+        return -(-(CAP - v) // RATE)
+
+    def _skip(self, n: int) -> None:
+        self.age.warp(min(self.age.value + RATE * n, CAP))
+
+
+def build() -> SaturatingAger:
+    return SaturatingAger()
+
+
+def build_for_lint() -> SaturatingAger:
+    return build()

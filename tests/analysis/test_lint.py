@@ -25,18 +25,21 @@ from repro.messages.channel import PRESETS
 from repro.system import SystemBuilder, build_system
 
 from tests.analysis.lint_fixtures import (
+    bad_dataflow,
     bad_futable,
     bad_issue,
     comb_loop,
     double_driver,
     impure_pure_seq,
+    overflow_divergence,
     undeclared_read,
     unprotected_state,
     valid_no_ready,
 )
 
 FIXTURES = [comb_loop, double_driver, undeclared_read, impure_pure_seq,
-            valid_no_ready, bad_futable, unprotected_state, bad_issue]
+            valid_no_ready, bad_futable, unprotected_state, bad_issue,
+            bad_dataflow, overflow_divergence]
 FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
 
 
@@ -108,6 +111,62 @@ def test_smem_suite_table_is_futable_clean():
     report = lint_report(built.soc, sim=built.sim)
     assert not any(d.rule_id.startswith("futable.")
                    for d in report.diagnostics)
+
+
+# -- the dataflow family ------------------------------------------------------
+
+
+def test_bad_dataflow_fires_each_rule_exactly_once():
+    """One seeded defect per rule, and no cross-talk between them."""
+    from collections import Counter
+
+    report = Linter(["dataflow.*"]).lint(bad_dataflow.build())
+    counts = Counter(d.rule_id for d in report.diagnostics)
+    assert counts == {rid: 1 for rid in bad_dataflow.RULES}
+
+
+def test_width_overflow_names_signal_and_proved_range():
+    report = Linter(["dataflow.width-overflow"]).lint(bad_dataflow.build())
+    (diag,) = report.diagnostics
+    assert diag.signal.endswith(".acc")
+    assert "21" in diag.message  # the proven minimum of the pre-mask value
+
+
+def test_wrapping_counter_is_not_flagged():
+    """DeadGuard.cnt wraps by design (lo stays 0) — no width-overflow."""
+    report = Linter(["dataflow.width-overflow"]).lint(bad_dataflow.build())
+    assert not any(d.signal and d.signal.endswith(".cnt")
+                   for d in report.diagnostics)
+
+
+def test_pool_underflow_rejects_undersized_rename_pool():
+    """The builder gate refuses a physical register file the renamer can
+    exhaust: 20 < n_regs + 2*window = 32."""
+    from repro.config import FrameworkConfig
+
+    cfg = FrameworkConfig(ooo=True, ooo_window=8, phys_regs=20)
+    with pytest.raises(LintFailure) as exc:
+        build_system(cfg, lint="error")
+    assert any(d.rule_id == "dataflow.pool-underflow"
+               for d in exc.value.report.errors)
+
+
+def test_default_pool_sizing_is_dataflow_clean():
+    """The defaulted phys-reg pool is exactly the proof obligation."""
+    built = build_system(ooo=True, lint="off")
+    report = Linter(["dataflow.*"]).lint(built.soc, sim=built.sim)
+    assert not report.diagnostics
+
+
+def test_rule_glob_selects_family():
+    linter = Linter(["dataflow.*"])
+    assert linter.rules and all(rid.startswith("dataflow.")
+                                for rid in linter.rules)
+
+
+def test_rule_glob_with_no_match_is_rejected():
+    with pytest.raises(KeyError):
+        Linter(["nosuchfamily.*"])
 
 
 # -- false positives: shipped designs must be silent --------------------------
@@ -236,6 +295,49 @@ def test_cli_list_rules(capsys):
 
 def test_cli_rejects_unknown_rule_id():
     assert lint_main(["--rules", "graph.no-such-rule"]) == 2
+
+
+def test_cli_rule_glob(capsys):
+    path = str(FIXTURE_DIR / "bad_dataflow.py")
+    assert lint_main([path, "--rules", "dataflow.*"]) == 1
+    out = capsys.readouterr().out
+    assert "dataflow.width-overflow" in out
+    assert "graph." not in out
+
+
+def test_cli_baseline_roundtrip(tmp_path, capsys):
+    """Write a baseline from a dirty target, then re-run: everything is
+    waived and the gate passes."""
+    path = str(FIXTURE_DIR / "bad_dataflow.py")
+    base = tmp_path / "lint-baseline.json"
+    assert lint_main([path, "--rules", "dataflow.*",
+                      "--baseline", str(base), "--update-baseline"]) == 0
+    payload = json.loads(base.read_text())
+    assert payload["version"] == 1
+    (keys,) = payload["findings"].values()
+    assert any(k.startswith("dataflow.width-overflow|") for k in keys)
+    assert lint_main([path, "--rules", "dataflow.*",
+                      "--baseline", str(base)]) == 0
+
+
+def test_cli_baseline_still_fails_on_new_findings(tmp_path, capsys):
+    """A baseline waives only what it recorded — new findings still gate."""
+    clean = str(FIXTURE_DIR / "bad_dataflow.py")
+    base = tmp_path / "lint-baseline.json"
+    # baseline records nothing for this label (different target key)
+    base.write_text(json.dumps({"version": 1, "findings": {}}) + "\n")
+    assert lint_main([clean, "--rules", "dataflow.*",
+                      "--baseline", str(base)]) == 1
+
+
+def test_cli_baseline_missing_file_is_a_usage_error(tmp_path):
+    with pytest.raises(SystemExit):
+        lint_main([str(FIXTURE_DIR / "double_driver.py"),
+                   "--baseline", str(tmp_path / "absent.json")])
+
+
+def test_cli_update_baseline_requires_baseline():
+    assert lint_main(["--update-baseline"]) == 2
 
 
 def test_cli_rejects_unknown_target():

@@ -58,3 +58,57 @@ class TestRegistry:
         reg = default_registry()
         reg.register(0x30, lambda n, w, p: LogicUnit(n, w, p))
         assert isinstance(reg.build(0x30, "u", 32), LogicUnit)
+
+
+class TestLatencyCrossCheck:
+    """The table row's latency must agree with the unit it routes to."""
+
+    def test_fp_registry_rows_match_pipeline_depths(self):
+        """Every FP unit registers with latency == its actual pipeline
+        depth, with the explicit value accepted by the cross-check."""
+        from repro.fu.registry import fp_registry
+        from repro.rtm.futable import FunctionalUnitTable
+
+        reg = fp_registry()
+        table = FunctionalUnitTable()
+        fp_rows = 0
+        for code in reg.codes():
+            unit = reg.build(code, f"u{code:02x}", 64)
+            entry = table.add(code, unit, latency=unit.latency_cycles)
+            assert entry.latency == unit.latency_cycles
+            depth = getattr(unit, "pipeline_depth", None)
+            if depth is not None:
+                assert entry.latency == depth
+                fp_rows += 1
+        assert fp_rows >= 3  # adder, multiplier, FMA
+
+    def test_custom_depths_propagate_to_rows(self):
+        from repro.fu.registry import fp_registry
+        from repro.isa.opcodes import Opcode as Op
+        from repro.rtm.futable import FunctionalUnitTable
+
+        reg = fp_registry(add_depth=9)
+        unit = reg.build(Op.FPADD, "fpadd", 64)
+        entry = FunctionalUnitTable().add(Op.FPADD, unit)
+        assert entry.latency == unit.pipeline_depth == 9
+
+    def test_latency_mismatch_raises_at_registration(self):
+        from repro.fu.registry import fp_registry
+        from repro.isa.opcodes import Opcode as Op
+        from repro.rtm.futable import FunctionalUnitTable
+
+        unit = fp_registry().build(Op.FPMUL, "fpmul", 64)
+        with pytest.raises(ValueError, match="contradicts"):
+            FunctionalUnitTable().add(Op.FPMUL, unit,
+                                      latency=unit.pipeline_depth + 1)
+
+    def test_trust_latency_bypasses_cross_check(self):
+        """The deliberate-lie escape hatch used by the lint fixtures."""
+        from repro.fu.registry import fp_registry
+        from repro.isa.opcodes import Opcode as Op
+        from repro.rtm.futable import FunctionalUnitTable
+
+        unit = fp_registry().build(Op.FPADD, "fpadd", 64)
+        entry = FunctionalUnitTable().add(Op.FPADD, unit, latency=1,
+                                          trust_latency=True)
+        assert entry.latency == 1

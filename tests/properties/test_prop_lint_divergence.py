@@ -17,7 +17,11 @@ import pytest
 
 from repro.hdl.sim import Simulator
 
-from tests.analysis.lint_fixtures import impure_pure_seq, undeclared_read
+from tests.analysis.lint_fixtures import (
+    impure_pure_seq,
+    overflow_divergence,
+    undeclared_read,
+)
 from tests.properties.test_prop_kernel_equiv import SCHEDULERS, _dual_trace
 
 
@@ -101,3 +105,53 @@ def test_impure_pure_seq_loses_hidden_work(wheel):
         "the event kernel matched the exhaustive tally — the fixture's "
         "purity violation is no longer load-bearing"
     )
+
+
+def test_width_overflow_breaks_wheel_congruence():
+    """The dataflow.width-overflow fixture: truncation voids batch aging.
+
+    ``SaturatingAger``'s wheel hook fast-forwards with the saturating
+    closed form ``min(age + 21n, 100)`` — congruent with per-edge stepping
+    only when the register holds ``min(age + 21, 100)`` without loss.  The
+    4-bit store the rule flags truncates every edge, so the edge-by-edge
+    recurrence is really ``age := (age + 21) & 15`` and the wheel-enabled
+    run lands on a different value than the exhaustive oracle.
+    """
+    n = 12
+
+    def run(scheduler: str, wheel: bool) -> int:
+        top = overflow_divergence.build()
+        sim = Simulator(top, scheduler=scheduler, wheel=wheel)
+        sim.reset()
+        sim.step(n)
+        assert sim.now == n
+        return top.age.value
+
+    exhaustive = run("exhaustive", False)
+    stepped_event = run("event", False)
+    fast = run("event", True)
+    # without the wheel both kernels agree on the truncated recurrence:
+    # +21 mod 16 is +5 per edge
+    assert exhaustive == stepped_event == (n * 21) % 16
+    assert fast != exhaustive, (
+        "the wheeled run matched the exhaustive oracle — the fixture's "
+        "width overflow no longer breaks the skip hook's congruence"
+    )
+
+
+def test_width_overflow_divergence_also_under_compiled():
+    """Same defect, compiled backend: the generated kernel inherits the
+    wheel fast-forward path and the same broken closed form."""
+    n = 12
+
+    def run(backend: str, wheel: bool) -> int:
+        top = overflow_divergence.build()
+        sim = Simulator(top, scheduler="event", wheel=wheel, backend=backend)
+        sim.reset()
+        sim.step(n)
+        return top.age.value
+
+    stepped = run("compiled", False)
+    fast = run("compiled", True)
+    assert stepped == (n * 21) % 16
+    assert fast != stepped
